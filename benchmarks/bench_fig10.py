@@ -1,0 +1,26 @@
+"""Regenerates Fig. 10: the latency CDF at the top configuration.
+
+Shape asserted: at every threshold OptChain completes at least as large
+a share of transactions as OmniLedger (paper at 10 s: 70% vs 7.9%).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, scale):
+    samples = run_once(benchmark, lambda: fig10.run(scale))
+    print()
+    print(fig10.as_table(samples, threshold=10.0))
+    for threshold in (5.0, 10.0, 20.0, 50.0):
+        fractions = fig10.within(samples, threshold)
+        assert (
+            fractions["optchain"] >= fractions["omniledger"] - 1e-9
+        ), threshold
+    curves = fig10.cdf(samples)
+    for method, points in curves.items():
+        values = [v for v, _ in points]
+        assert values == sorted(values), method

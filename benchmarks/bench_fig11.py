@@ -1,0 +1,23 @@
+"""Regenerates Fig. 11: OptChain's max sustained rate versus #shards.
+
+Shape asserted: the sustainable rate is non-decreasing in the shard
+count (the paper finds a near-linear relationship).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, scale):
+    points = run_once(benchmark, lambda: fig11.run(scale))
+    print()
+    print(fig11.as_table(points))
+    rates = [p.max_rate for p in points]
+    assert all(rate > 0 for rate in rates)
+    # The scalability claim: more shards sustain a higher rate. Local
+    # dips within the binary-search resolution are tolerated.
+    assert rates[-1] > rates[0]
+    assert all(b >= 0.9 * a for a, b in zip(rates, rates[1:]))

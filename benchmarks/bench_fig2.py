@@ -1,0 +1,34 @@
+"""Regenerates Fig. 2: TaN network statistics.
+
+Shape asserted against the paper's §IV-A: power-law-ish degree tails
+(most nodes with in-degree < 3, out-degree < 10) and a visible
+average-degree bump across the flooding window.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, scale):
+    result = run_once(benchmark, lambda: fig2.run(scale))
+    print()
+    print(fig2.as_table(result))
+    summary = result.summary
+    assert summary.fraction_in_degree_below_3 > 0.80
+    assert summary.fraction_out_degree_below_10 > 0.90
+    assert summary.n_coinbase > 0
+    # Degree histograms are heavy at the head, thin at the tail.
+    head = sum(
+        count
+        for degree, count in result.in_degree_histogram.items()
+        if degree <= 2
+    )
+    assert head / summary.n_nodes > 0.8
+    # Cumulative curves are monotone and end at 1.
+    for series in (result.in_cumulative, result.out_cumulative):
+        fractions = [f for _, f in series]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert abs(fractions[-1] - 1.0) < 1e-9

@@ -1,0 +1,31 @@
+"""Regenerates Fig. 3: latency/throughput grids for all four methods.
+
+Shape asserted: more shards help every method (latency at the top shard
+count is no worse than at the bottom for the same rate), and OmniLedger's
+random placement pays the highest latency at the top configuration.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, scale):
+    cells = run_once(benchmark, lambda: fig3.run(scale))
+    print()
+    print(fig3.as_table(cells))
+    by_key = {(c.method, c.n_shards, c.tx_rate): c for c in cells}
+    shard_lo = min(scale.shard_counts)
+    shard_hi = max(scale.shard_counts)
+    for method in ("optchain", "omniledger", "greedy", "metis"):
+        for rate in scale.tx_rates:
+            lo = by_key[(method, shard_lo, rate)]
+            hi = by_key[(method, shard_hi, rate)]
+            assert hi.average_latency <= lo.average_latency * 1.1
+    top_rate = max(scale.tx_rates)
+    opt = by_key[("optchain", shard_hi, top_rate)]
+    omni = by_key[("omniledger", shard_hi, top_rate)]
+    assert opt.average_latency < omni.average_latency
+    assert opt.cross_fraction < 0.5 * omni.cross_fraction

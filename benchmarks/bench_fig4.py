@@ -1,0 +1,24 @@
+"""Regenerates Fig. 4: system throughput (4a at top shards, 4b maxima).
+
+Shape asserted: OptChain's maximum throughput is the highest of the four
+methods (paper: +34.4% over OmniLedger at 16 shards), and its throughput
+at the top shard count is non-decreasing in the offered rate.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, scale):
+    cells = run_once(benchmark, lambda: fig4.run(scale))
+    print()
+    print(fig4.as_table(cells))
+    best = fig4.max_throughput(cells)
+    assert best["optchain"] >= best["omniledger"]
+    assert best["optchain"] >= 0.95 * max(best.values())
+    series = fig4.throughput_at_max_shards(cells)
+    optchain = [thr for _, thr in series["optchain"]]
+    assert all(b >= a * 0.9 for a, b in zip(optchain, optchain[1:]))

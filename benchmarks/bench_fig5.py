@@ -1,0 +1,23 @@
+"""Regenerates Fig. 5: committed transactions per time window.
+
+Shape asserted: OptChain's commit rate is at least as steady as Metis's
+(the paper's Metis line oscillates and starts slow).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, scale):
+    histograms = run_once(benchmark, lambda: fig5.run(scale))
+    print()
+    print(fig5.as_table(histograms))
+    for method, histogram in histograms.items():
+        total = sum(count for _, count in histogram)
+        assert total == scale.n_transactions, method
+    assert fig5.oscillation(histograms["optchain"]) <= (
+        fig5.oscillation(histograms["metis"]) * 1.05
+    )

@@ -1,0 +1,34 @@
+"""Regenerates Fig. 6: max/min shard queue sizes over time.
+
+Shape asserted: OptChain's peak queue stays below OmniLedger's (whose
+queues grow without bound past saturation) and below Metis's (whose
+placement floods single shards). Paper peaks: OptChain ~44k vs Metis
+507k, Greedy 230k, OmniLedger 499k.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, scale):
+    series = run_once(benchmark, lambda: fig6.run(scale))
+    print()
+    print(fig6.as_table(series))
+    peaks = {
+        method: fig6.worst_max_queue(points)
+        for method, points in series.items()
+    }
+    # OmniLedger is past saturation at the top configuration: its queues
+    # grow without bound, OptChain's stay bounded. Comparisons carry a
+    # margin because at tiny scale queues are only a few block-sizes
+    # deep and the orderings are noisy; at default scale (EXPERIMENTS.md)
+    # OptChain's peak is far below both.
+    assert peaks["optchain"] <= 1.25 * peaks["omniledger"]
+    assert peaks["optchain"] <= 2 * peaks["metis"]
+    for method, points in series.items():
+        assert all(
+            biggest >= smallest for _, biggest, smallest in points
+        ), method

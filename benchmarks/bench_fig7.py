@@ -1,0 +1,28 @@
+"""Regenerates Fig. 7: queue-size max/min ratio over time.
+
+Shape asserted: OptChain's median imbalance ratio is no worse than
+Metis's and Greedy's (the paper's temporal-balance result).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, scale):
+    series = run_once(benchmark, lambda: fig7.run(scale))
+    print()
+    print(fig7.as_table(series))
+    stats = {
+        method: fig7.summarize(points) for method, points in series.items()
+    }
+    assert (
+        stats["optchain"]["median_ratio"]
+        <= stats["metis"]["median_ratio"] * 1.05
+    )
+    assert (
+        stats["optchain"]["fraction_idle_shard"]
+        <= stats["metis"]["fraction_idle_shard"] + 0.05
+    )

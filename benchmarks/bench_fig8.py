@@ -1,0 +1,28 @@
+"""Regenerates Fig. 8: average transaction latency.
+
+Shape asserted: OptChain has the lowest average latency of all methods
+at the top configuration (paper: up to 93% below OmniLedger), and random
+placement's latency grows with the offered rate.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, scale):
+    cells = run_once(benchmark, lambda: fig8.run(scale))
+    print()
+    print(fig8.as_table(cells))
+    series = fig8.latency_at_max_shards(cells)
+    top_rate = max(scale.tx_rates)
+    at_top = {
+        method: dict(points)[top_rate] for method, points in series.items()
+    }
+    # The headline comparison: OptChain beats random placement clearly.
+    assert at_top["optchain"] < at_top["omniledger"]
+    omni = [lat for _, lat in series["omniledger"]]
+    assert omni[-1] >= omni[0]
+    assert fig8.reduction_vs(cells) > 0.0

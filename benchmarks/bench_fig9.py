@@ -1,0 +1,22 @@
+"""Regenerates Fig. 9: maximum transaction latency.
+
+Shape asserted: OptChain's worst-case latency at the top configuration
+beats OmniLedger's (paper: 100.9 s vs 1309.5 s).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, scale):
+    cells = run_once(benchmark, lambda: fig9.run(scale))
+    print()
+    print(fig9.as_table(cells))
+    worst = fig9.worst_case(cells)
+    assert worst["optchain"] <= worst["omniledger"]
+    series = fig9.max_latency_at_max_shards(cells)
+    for method, points in series.items():
+        assert all(latency > 0 for _, latency in points), method

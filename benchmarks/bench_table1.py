@@ -1,0 +1,26 @@
+"""Regenerates Table I: % cross-TXs from scratch, per method and k.
+
+Shape asserted against the paper: Metis < T2S-based < Greedy-or-equal <
+OmniLedger, every method growing with the shard count.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, scale):
+    results = run_once(benchmark, lambda: table1.run(scale))
+    print()
+    print(table1.as_table(results))
+    for k, row in results.items():
+        # The orderings the paper's Table I demonstrates.
+        assert row["metis"] < row["omniledger"]
+        assert row["t2s"] < 0.5 * row["omniledger"]
+        assert row["t2s"] <= row["greedy"] * 1.05
+    ks = sorted(results)
+    for method in ("metis", "omniledger", "t2s"):
+        values = [results[k][method] for k in ks]
+        assert values == sorted(values), f"{method} not monotone in k"

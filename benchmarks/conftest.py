@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Benchmarks default to the ``tiny`` experiment scale so the whole suite
+regenerates every table and figure in minutes. Set ``REPRO_SCALE=default``
+(or ``paper``) for the scales EXPERIMENTS.md reports.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the measured quantity is "time to regenerate the artifact", and
+experiment runs are far too heavy for statistical repetition.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.configs import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale shared by every benchmark in the session."""
+    return get_scale(os.environ.get("REPRO_SCALE") or "tiny")
+
+
+def run_once(benchmark, func):
+    """Benchmark an experiment exactly once and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Quickstart: place a transaction stream with OptChain vs random.
+
+Generates a Bitcoin-like workload, runs the OptChain placer and the
+OmniLedger random-hash baseline over it, and prints the two numbers the
+paper's abstract leads with: the cross-shard transaction fraction (up to
+10x lower with OptChain) and the load balance across shards.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    OmniLedgerRandomPlacer,
+    OptChainPlacer,
+    cross_shard_fraction,
+    synthetic_stream,
+)
+from repro.partition.quality import balance_ratio
+
+N_TRANSACTIONS = 20_000
+N_SHARDS = 16
+
+
+def main() -> None:
+    print(f"generating {N_TRANSACTIONS} Bitcoin-like transactions...")
+    stream = synthetic_stream(N_TRANSACTIONS, seed=7)
+
+    placers = {
+        "OptChain": OptChainPlacer(N_SHARDS),
+        "OmniLedger (random hash)": OmniLedgerRandomPlacer(N_SHARDS),
+    }
+    print(f"placing into {N_SHARDS} shards:\n")
+    for name, placer in placers.items():
+        assignment = placer.place_stream(stream)
+        cross = cross_shard_fraction(stream, assignment)
+        balance = balance_ratio(assignment, N_SHARDS)
+        print(f"  {name}")
+        print(f"    cross-shard transactions: {cross:.1%}")
+        print(f"    load balance (max shard / ideal): {balance:.2f}")
+        print()
+    print(
+        "OptChain groups related transactions while keeping shards "
+        "balanced;\nrandom placement balances but makes almost every "
+        "transaction cross-shard."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Mini Fig. 11: OptChain's sustainable rate as shards grow.
+
+For each shard count, finds the highest transaction rate the system
+sustains without backlogging (drained, healthy latency, bounded queues)
+- the paper's scalability result: near-linear growth with the shard
+count and confirmation under 11 seconds in the healthy regime.
+
+Run::
+
+    python examples/scalability_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import get_scale
+from repro.experiments.fig11 import as_table, run
+
+
+def main() -> None:
+    scale = get_scale("tiny")
+    print(
+        f"searching max sustained rate per shard count "
+        f"(scale={scale.name}, {scale.n_transactions} txs)...\n"
+    )
+    points = run(scale)
+    print(as_table(points))
+    lo, hi = points[0], points[-1]
+    if lo.max_rate > 0:
+        print(
+            f"\n{hi.n_shards} shards sustain "
+            f"{hi.max_rate / lo.max_rate:.1f}x the rate of "
+            f"{lo.n_shards} shards (paper: near-linear scaling)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""SPV deployment: OptChain split between wallets and shard servers.
+
+The paper's practicality argument (§I): OptChain needs only per-input
+lookups, so it runs inside wallets via a modified SPV protocol - no full
+history. This example runs the two-sided deployment -
+:class:`ShardDirectory` (network side) and :class:`SPVWallet` (user
+side) - over a workload and shows:
+
+1. the communication cost per transaction (|inputs| directory lookups),
+2. that the decentralized decisions match the monolithic
+   :class:`OptChainPlacer` exactly.
+
+Run::
+
+    python examples/spv_directory.py
+"""
+
+from __future__ import annotations
+
+from repro import OptChainPlacer, cross_shard_fraction, synthetic_stream
+from repro.core.wallet import SPVWalletPlacer
+
+N_SHARDS = 8
+N_TRANSACTIONS = 10_000
+
+
+def main() -> None:
+    stream = synthetic_stream(N_TRANSACTIONS, seed=11)
+
+    # Decentralized deployment: wallet decisions over directory lookups,
+    # load observed through the wallet-side proxy.
+    spv = SPVWalletPlacer(N_SHARDS)
+    spv_assignment = spv.place_stream(stream)
+
+    # Monolithic reference (same algorithm, same proxy semantics).
+    monolithic = OptChainPlacer(N_SHARDS)
+    mono_assignment = monolithic.place_stream(stream)
+
+    agreement = sum(
+        1 for a, b in zip(spv_assignment, mono_assignment) if a == b
+    ) / len(stream)
+    total_inputs = sum(len(tx.input_txids) for tx in stream)
+    directory = spv.directory
+
+    print(f"transactions placed:        {len(stream)}")
+    print(
+        f"cross-shard fraction:       "
+        f"{cross_shard_fraction(stream, spv_assignment):.1%}"
+    )
+    print(f"directory parent lookups:   {directory.n_parent_queries} "
+          f"(= total tx inputs: {total_inputs})")
+    print(
+        f"lookups per transaction:    "
+        f"{directory.n_parent_queries / len(stream):.2f}"
+    )
+    print(f"agreement with monolithic:  {agreement:.1%}")
+    print()
+    print(
+        "the wallet never downloads history: each placement costs "
+        "|inputs| record\nlookups plus one shard-size read - the "
+        "paper's lightweight SPV claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Run every experiment at a chosen scale and save the printed tables.
+
+Usage::
+
+    python scripts/run_all_experiments.py [scale] [output-path]
+
+This is the script that produced the measured numbers recorded in
+EXPERIMENTS.md (scale ``default``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+    table3,
+)
+
+EXPERIMENTS = [
+    ("Table I", table1),
+    ("Table II", table2),
+    ("Table III", table3),
+    ("Fig 2", fig2),
+    ("Fig 3", fig3),
+    ("Fig 4", fig4),
+    ("Fig 5", fig5),
+    ("Fig 6", fig6),
+    ("Fig 7", fig7),
+    ("Fig 8", fig8),
+    ("Fig 9", fig9),
+    ("Fig 10", fig10),
+    ("Fig 11", fig11),
+]
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "default"
+    out_path = (
+        sys.argv[2] if len(sys.argv) > 2 else f"experiments_{scale}.txt"
+    )
+    sections = []
+    for name, module in EXPERIMENTS:
+        start = time.time()
+        print(f"=== {name} (scale={scale}) ===", flush=True)
+        output = module.main(scale)
+        elapsed = time.time() - start
+        print(f"--- {name} done in {elapsed:.1f}s ---", flush=True)
+        sections.append(f"=== {name} ({elapsed:.1f}s) ===\n{output}\n")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Table I spot check at 1M transactions (paper-scale workload slice).
+
+Validates that the default-scale Table I shape holds on a workload 17x
+larger; results are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.placement import make_placer
+from repro.datasets.synthetic import BitcoinLikeGenerator, GeneratorConfig
+from repro.partition.metis_like import partition_tan
+from repro.partition.quality import cross_shard_fraction
+from repro.txgraph.tan import TaNGraph
+
+N = 1_000_000
+K = 16
+
+
+def main() -> None:
+    start = time.time()
+    config = GeneratorConfig(
+        n_wallets=60_000,
+        coinbase_interval=2_000,
+        bootstrap_coinbase=2_000,
+        burst_length=150_000,
+    )
+    stream = BitcoinLikeGenerator(config=config, seed=1).generate(N)
+    print(f"generated {N} txs in {time.time() - start:.0f}s", flush=True)
+
+    rows = {}
+    t0 = time.time()
+    tan = TaNGraph.from_transactions(stream)
+    rows["metis"] = cross_shard_fraction(stream, partition_tan(tan, K))
+    print(f"metis: {rows['metis']:.2%} ({time.time() - t0:.0f}s)", flush=True)
+    for method in ("greedy", "t2s", "omniledger"):
+        t0 = time.time()
+        kwargs = {"expected_total": N} if method != "omniledger" else {}
+        placer = make_placer(method, K, **kwargs)
+        rows[method] = cross_shard_fraction(
+            stream, placer.place_stream(stream)
+        )
+        print(
+            f"{method}: {rows[method]:.2%} ({time.time() - t0:.0f}s)",
+            flush=True,
+        )
+    print("paper k=16: metis 4.70 greedy 28.14 omni 94.87 t2s 15.73")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""OptChain reproduction: optimal transaction placement for blockchain sharding.
+
+This package is a from-scratch reproduction of *OptChain: Optimal
+Transactions Placement for Scalable Blockchain Sharding* (Nguyen, Nguyen,
+Dinh, Thai - ICDCS 2019). It contains:
+
+- :mod:`repro.utxo` - the UTXO transaction model the paper builds on.
+- :mod:`repro.txgraph` - the Transactions-as-Nodes (TaN) online DAG.
+- :mod:`repro.datasets` - synthetic Bitcoin-like workload generation and IO.
+- :mod:`repro.partition` - offline (METIS-like multilevel) and streaming
+  graph partitioners used as baselines.
+- :mod:`repro.core` - the paper's contribution: T2S / L2S scores, Temporal
+  Fitness, and the OptChain placement algorithm plus all baselines.
+- :mod:`repro.simulator` - a discrete-event sharded-blockchain simulator
+  (the OverSim/OMNeT++ substitute) with the OmniLedger atomic cross-shard
+  commit protocol.
+- :mod:`repro.analysis` - metric post-processing shared by experiments.
+- :mod:`repro.experiments` - one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import synthetic_stream, OptChainPlacer, cross_shard_fraction
+
+    stream = synthetic_stream(n_transactions=20_000, seed=7)
+    placer = OptChainPlacer(n_shards=16)
+    assignment = placer.place_stream(stream)
+    print(cross_shard_fraction(stream, assignment))
+"""
+
+from repro.core.baselines import (
+    GreedyPlacer,
+    MetisOfflinePlacer,
+    OmniLedgerRandomPlacer,
+    T2SOnlyPlacer,
+)
+from repro.core.fitness import TemporalFitness
+from repro.core.l2s import L2SEstimator, ShardLatencyModel
+from repro.core.optchain import OptChainPlacer
+from repro.core.placement import PlacementStrategy, make_placer
+from repro.core.t2s import T2SScorer
+from repro.datasets.synthetic import BitcoinLikeGenerator, synthetic_stream
+from repro.partition.quality import cross_shard_fraction, edge_cut_fraction
+from repro.txgraph.tan import TaNGraph
+from repro.utxo.transaction import Transaction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitcoinLikeGenerator",
+    "GreedyPlacer",
+    "L2SEstimator",
+    "MetisOfflinePlacer",
+    "OmniLedgerRandomPlacer",
+    "OptChainPlacer",
+    "PlacementStrategy",
+    "ShardLatencyModel",
+    "T2SOnlyPlacer",
+    "T2SScorer",
+    "TaNGraph",
+    "TemporalFitness",
+    "Transaction",
+    "cross_shard_fraction",
+    "edge_cut_fraction",
+    "make_placer",
+    "synthetic_stream",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Post-processing shared by the experiments.
+
+- :mod:`repro.analysis.timeseries` - time-binned commit counts (Fig. 5),
+  per-shard queue extrema (Fig. 6) and max/min ratios (Fig. 7).
+- :mod:`repro.analysis.distribution` - percentiles and CDFs (Fig. 10).
+- :mod:`repro.analysis.tables` - plain-text table rendering used by every
+  experiment runner to print paper-style rows.
+"""
+
+from repro.analysis.distribution import cdf_points, fraction_below, percentile
+from repro.analysis.report import compare_results, summarize_result
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import (
+    bin_counts,
+    queue_extrema_series,
+    queue_ratio_series,
+)
+
+__all__ = [
+    "bin_counts",
+    "cdf_points",
+    "compare_results",
+    "format_table",
+    "fraction_below",
+    "percentile",
+    "queue_extrema_series",
+    "queue_ratio_series",
+    "summarize_result",
+]

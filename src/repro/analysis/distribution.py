@@ -1,0 +1,56 @@
+"""Latency distribution helpers (percentiles and CDFs)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ConfigurationError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Share of values strictly below ``threshold``.
+
+    This is how the paper reads Fig. 10 ("70% of transactions are
+    processed within 10 seconds with OptChain").
+    """
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value < threshold) / len(values)
+
+
+def cdf_points(
+    values: Sequence[float], n_points: int = 100
+) -> list[tuple[float, float]]:
+    """Empirical CDF sampled at ``n_points`` evenly spaced quantiles.
+
+    Returns ``(value, cumulative_fraction)`` pairs suitable for plotting
+    Fig. 10 without carrying the full raw sample.
+    """
+    if n_points <= 0:
+        raise ConfigurationError(f"n_points must be > 0, got {n_points}")
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points = []
+    for i in range(1, n_points + 1):
+        fraction = i / n_points
+        index = min(n - 1, max(0, int(fraction * n) - 1))
+        points.append((ordered[index], fraction))
+    return points

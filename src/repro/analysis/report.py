@@ -1,0 +1,89 @@
+"""One-page textual report of a simulation result.
+
+Collects the §V metrics (throughput, latency distribution, cross-shard
+economics, queue balance) into a single printable summary. Used by the
+CLI's ``simulate`` command and the examples; keeps presentation out of
+the simulator itself.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distribution import fraction_below, percentile
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import queue_extrema_series
+from repro.simulator.engine import SimulationResult
+
+
+def summarize_result(result: SimulationResult, title: str = "") -> str:
+    """Render the headline metrics of one run."""
+    rows: list[list[object]] = [
+        ["transactions", f"{result.n_committed}/{result.n_issued}"],
+        ["aborted", result.n_aborted],
+        ["cross-shard", f"{result.cross_fraction:.1%}"],
+        ["throughput", f"{result.throughput:.1f} tps"],
+        ["sim duration", f"{result.duration:.1f} s"],
+        ["drained", "yes" if result.drained else "no"],
+    ]
+    if result.latencies:
+        rows.extend(
+            [
+                ["avg latency", f"{result.average_latency:.2f} s"],
+                [
+                    "p50/p95/p99 latency",
+                    (
+                        f"{percentile(result.latencies, 50):.1f} / "
+                        f"{percentile(result.latencies, 95):.1f} / "
+                        f"{percentile(result.latencies, 99):.1f} s"
+                    ),
+                ],
+                ["max latency", f"{result.max_latency:.2f} s"],
+                [
+                    "confirmed < 10 s",
+                    f"{fraction_below(result.latencies, 10.0):.1%}",
+                ],
+            ]
+        )
+    if result.bytes_same_shard and result.bytes_cross:
+        rows.append(
+            ["cross/same bandwidth", f"{result.bandwidth_ratio:.2f}x"]
+        )
+    if result.queue_samples:
+        extrema = queue_extrema_series(
+            result.queue_sample_times, result.queue_samples
+        )
+        peak = max(biggest for _, biggest, _ in extrema)
+        rows.append(["peak queue", peak])
+    rows.append(
+        [
+            "blocks per shard",
+            "/".join(str(b) for b in result.blocks_per_shard),
+        ]
+    )
+    heading = title or (
+        f"{result.placer_name} @ {result.config.tx_rate:.0f} tps, "
+        f"{result.config.n_shards} shards"
+    )
+    return format_table(["metric", "value"], rows, title=heading)
+
+
+def compare_results(results: dict[str, SimulationResult]) -> str:
+    """Side-by-side comparison table of several runs."""
+    if not results:
+        return ""
+    headers = ["metric"] + list(results)
+    metric_rows = [
+        ("cross-shard", lambda r: f"{r.cross_fraction:.1%}"),
+        ("throughput (tps)", lambda r: f"{r.throughput:.0f}"),
+        ("avg latency (s)", lambda r: f"{r.average_latency:.1f}"),
+        ("max latency (s)", lambda r: f"{r.max_latency:.1f}"),
+        (
+            "confirmed < 10 s",
+            lambda r: f"{fraction_below(r.latencies, 10.0):.1%}",
+        ),
+        ("drained", lambda r: "yes" if r.drained else "no"),
+    ]
+    rows = [
+        [name] + [extract(result) for result in results.values()]
+        for name, extract in metric_rows
+    ]
+    return format_table(headers, rows, title="Comparison")

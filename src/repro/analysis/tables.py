@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints its rows the way the paper's tables read, so a
+terminal run of a benchmark is directly comparable against the PDF.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with 2 decimals; everything else via ``str``.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    rendered_rows = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    for index, row in enumerate(rendered_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {index} has {len(row)} cells for {len(headers)} "
+                f"columns"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,74 @@
+"""Time-series helpers for the queue and commit-timeline figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def bin_counts(
+    times: Sequence[float], bin_width: float, end: float | None = None
+) -> list[tuple[float, int]]:
+    """Count events per time bin (Fig. 5: commits per 50 s window).
+
+    Returns ``(bin_start, count)`` for every bin from 0 to ``end`` (or
+    the last event). ``times`` need not be sorted. Empty bins are
+    included so gaps - the Metis congestion signature - stay visible.
+    """
+    if bin_width <= 0:
+        raise ConfigurationError(f"bin_width must be > 0, got {bin_width}")
+    if not times:
+        return []
+    horizon = end if end is not None else max(times)
+    n_bins = int(horizon / bin_width) + 1
+    counts = [0] * n_bins
+    for time in times:
+        index = int(time / bin_width)
+        if 0 <= index < n_bins:
+            counts[index] += 1
+    return [(i * bin_width, counts[i]) for i in range(n_bins)]
+
+
+def queue_extrema_series(
+    sample_times: Sequence[float],
+    samples: Sequence[Sequence[int]],
+) -> list[tuple[float, int, int]]:
+    """Per-sample max and min shard queue size (Fig. 6).
+
+    Returns ``(time, max_queue, min_queue)`` per sample.
+    """
+    if len(sample_times) != len(samples):
+        raise ConfigurationError(
+            f"{len(sample_times)} times for {len(samples)} samples"
+        )
+    series = []
+    for time, sizes in zip(sample_times, samples):
+        if not sizes:
+            raise ConfigurationError("empty queue sample")
+        series.append((time, max(sizes), min(sizes)))
+    return series
+
+
+def queue_ratio_series(
+    sample_times: Sequence[float],
+    samples: Sequence[Sequence[int]],
+) -> list[tuple[float, float]]:
+    """Max/min queue-size ratio over time (Fig. 7).
+
+    The paper plots ``max_queue / min_queue``; an idle shard makes the
+    ratio infinite, which is precisely the signal (Metis/Greedy leave
+    shards empty while others drown), so zeros map to ``inf`` when any
+    queue is non-empty and to 1.0 when all are empty.
+    """
+    series = []
+    for time, biggest, smallest in queue_extrema_series(
+        sample_times, samples
+    ):
+        if biggest == 0:
+            series.append((time, 1.0))
+        elif smallest == 0:
+            series.append((time, float("inf")))
+        else:
+            series.append((time, biggest / smallest))
+    return series

@@ -1,0 +1,226 @@
+"""Command-line interface: ``optchain`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``place``      - place a synthetic stream with a chosen strategy and
+  print cross-shard/balance statistics.
+- ``simulate``   - run one discrete-event simulation and print the §V
+  metrics.
+- ``experiment`` - regenerate a paper table/figure
+  (``table1 table2 fig2 ... fig11`` or ``all``).
+- ``generate``   - write a synthetic workload to JSONL or edge-list.
+- ``stats``      - TaN statistics of a stream file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro import __version__
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="optchain",
+        description="OptChain (ICDCS 2019) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    place = commands.add_parser(
+        "place", help="place a synthetic stream and print statistics"
+    )
+    place.add_argument("--method", default="optchain")
+    place.add_argument("--shards", type=int, default=16)
+    place.add_argument("--transactions", type=int, default=20_000)
+    place.add_argument("--seed", type=int, default=1)
+
+    simulate = commands.add_parser(
+        "simulate", help="run one discrete-event simulation"
+    )
+    simulate.add_argument("--method", default="optchain")
+    simulate.add_argument("--shards", type=int, default=16)
+    simulate.add_argument("--transactions", type=int, default=20_000)
+    simulate.add_argument("--rate", type=float, default=300.0)
+    simulate.add_argument("--block-capacity", type=int, default=200)
+    simulate.add_argument(
+        "--protocol", choices=("omniledger", "rapidchain"),
+        default="omniledger",
+    )
+    simulate.add_argument(
+        "--validate",
+        action="store_true",
+        help="full per-shard UTXO validation (dependency parking, "
+        "natural double-spend rejection)",
+    )
+    simulate.add_argument("--seed", type=int, default=1)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name", choices=_EXPERIMENTS + ("all",)
+    )
+    experiment.add_argument(
+        "--scale", default=None, help="tiny | default | paper"
+    )
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic workload to disk"
+    )
+    generate.add_argument("path")
+    generate.add_argument("--transactions", type=int, default=100_000)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument(
+        "--format", choices=("jsonl", "edges"), default="jsonl"
+    )
+
+    stats = commands.add_parser(
+        "stats", help="TaN statistics of a stream file"
+    )
+    stats.add_argument("path")
+    stats.add_argument(
+        "--format", choices=("jsonl", "edges"), default="jsonl"
+    )
+    return parser
+
+
+def _cmd_place(args) -> int:
+    from repro.core.placement import make_placer
+    from repro.datasets.synthetic import synthetic_stream
+    from repro.partition.quality import balance_ratio, cross_shard_fraction
+
+    stream = synthetic_stream(args.transactions, seed=args.seed)
+    kwargs = (
+        {"expected_total": len(stream)}
+        if args.method in ("greedy", "t2s")
+        else {}
+    )
+    if args.method == "metis":
+        from repro.partition.metis_like import partition_tan
+        from repro.txgraph.tan import TaNGraph
+
+        assignment = partition_tan(
+            TaNGraph.from_transactions(stream), args.shards
+        )
+    else:
+        placer = make_placer(args.method, args.shards, **kwargs)
+        assignment = placer.place_stream(stream)
+    print(f"method:       {args.method}")
+    print(f"transactions: {len(stream)}")
+    print(f"shards:       {args.shards}")
+    print(
+        f"cross-shard:  "
+        f"{cross_shard_fraction(stream, assignment):.2%}"
+    )
+    print(
+        f"balance:      {balance_ratio(assignment, args.shards):.3f}"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.analysis.report import summarize_result
+    from repro.core.placement import make_placer
+    from repro.datasets.synthetic import synthetic_stream
+    from repro.simulator import SimulationConfig, run_simulation
+
+    stream = synthetic_stream(args.transactions, seed=args.seed)
+    placer = make_placer(args.method, args.shards)
+    config = SimulationConfig(
+        n_shards=args.shards,
+        tx_rate=args.rate,
+        block_capacity=args.block_capacity,
+        block_size_bytes=args.block_capacity * 500,
+        consensus_per_tx_s=min(0.01, 1.0 / args.block_capacity),
+        max_sim_time_s=50_000.0,
+        protocol=args.protocol,
+        validate_ledger=args.validate,
+        seed=args.seed,
+    )
+    result = run_simulation(stream, placer, config)
+    print(summarize_result(result))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = _EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        module.main(args.scale)
+        print()
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.datasets.io import save_edge_list, save_stream_jsonl
+    from repro.datasets.synthetic import synthetic_stream
+
+    stream = synthetic_stream(args.transactions, seed=args.seed)
+    if args.format == "jsonl":
+        count = save_stream_jsonl(stream, args.path)
+        print(f"wrote {count} transactions to {args.path}")
+    else:
+        count = save_edge_list(stream, args.path)
+        print(f"wrote {count} TaN edges to {args.path}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.datasets.io import load_edge_list, load_stream_jsonl
+    from repro.txgraph.stats import graph_summary
+    from repro.txgraph.tan import TaNGraph
+
+    if args.format == "jsonl":
+        stream = list(load_stream_jsonl(args.path))
+    else:
+        stream = load_edge_list(args.path)
+    summary = graph_summary(TaNGraph.from_transactions(stream))
+    print(f"nodes:            {summary.n_nodes}")
+    print(f"edges:            {summary.n_edges}")
+    print(f"average degree:   {summary.average_degree:.3f}")
+    print(f"coinbase:         {summary.n_coinbase}")
+    print(f"unspent frontier: {summary.n_unspent_frontier}")
+    print(f"in-degree < 3:    {summary.fraction_in_degree_below_3:.1%}")
+    print(f"out-degree < 10:  {summary.fraction_out_degree_below_10:.1%}")
+    return 0
+
+
+_HANDLERS = {
+    "place": _cmd_place,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""OptChain core: the paper's contribution.
+
+- :mod:`repro.core.t2s` - Transaction-to-Shard score: the incremental
+  PageRank-style fitness over the TaN DAG (§IV-B).
+- :mod:`repro.core.l2s` - Latency-to-Shard score: expected confirmation
+  latency from per-shard exponential communication/verification models
+  (§IV-C).
+- :mod:`repro.core.fitness` - Temporal Fitness: the combination rule of
+  Algorithm 1.
+- :mod:`repro.core.placement` - the strategy interface and factory.
+- :mod:`repro.core.optchain` - Algorithm 1: the OptChain placer.
+- :mod:`repro.core.baselines` - OmniLedger random placement, Greedy,
+  Metis-offline, and T2S-only placers the paper compares against.
+"""
+
+from repro.core.baselines import (
+    GreedyPlacer,
+    MetisOfflinePlacer,
+    OmniLedgerRandomPlacer,
+    T2SOnlyPlacer,
+)
+from repro.core.fitness import TemporalFitness
+from repro.core.l2s import L2SEstimator, ShardLatencyModel
+from repro.core.optchain import LoadProxyLatencyProvider, OptChainPlacer
+from repro.core.placement import PlacementStrategy, make_placer
+from repro.core.t2s import T2SScorer
+from repro.core.wallet import ShardDirectory, SPVWallet, SPVWalletPlacer
+
+__all__ = [
+    "GreedyPlacer",
+    "L2SEstimator",
+    "LoadProxyLatencyProvider",
+    "MetisOfflinePlacer",
+    "OmniLedgerRandomPlacer",
+    "OptChainPlacer",
+    "PlacementStrategy",
+    "SPVWallet",
+    "SPVWalletPlacer",
+    "ShardDirectory",
+    "ShardLatencyModel",
+    "T2SOnlyPlacer",
+    "T2SScorer",
+    "TemporalFitness",
+    "make_placer",
+]

@@ -1,0 +1,231 @@
+"""Baseline placement strategies the paper compares against (§IV-B, §V).
+
+- :class:`OmniLedgerRandomPlacer` - the incumbent: hash the transaction
+  to a shard. Balanced but blind to structure (94-99.98% cross-TXs).
+- :class:`GreedyPlacer` - place with the most input transactions, under a
+  ``(1 + epsilon) * n/k`` size cap (the paper's Greedy, §IV-B).
+- :class:`T2SOnlyPlacer` - argmax of the T2S score under the same cap
+  (the "T2S-based" method of Tables I/II; alpha = 0.5, epsilon = 0.1).
+- :class:`MetisOfflinePlacer` - replays a precomputed offline partition
+  (METIS k-way in the paper, our multilevel partitioner here). Unrealistic
+  - it requires the whole future - but the paper's lower bound on
+  cross-TXs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.placement import PlacementStrategy
+from repro.core.t2s import T2SScorer
+from repro.errors import ConfigurationError, PlacementError
+from repro.rng import make_rng
+from repro.utxo.transaction import Transaction
+
+PAPER_EPSILON = 0.1
+
+
+class OmniLedgerRandomPlacer(PlacementStrategy):
+    """OmniLedger's default placement: ``hash(tx) mod k``."""
+
+    name = "omniledger"
+
+    def _choose(self, tx: Transaction) -> int:
+        return tx.shard_hash(self.n_shards)
+
+
+TIE_BREAKS = ("first", "lightest", "random")
+
+
+class _CappedPlacer(PlacementStrategy):
+    """Shared size-cap logic for Greedy and T2S-based placers.
+
+    The paper caps each shard at ``(1 + epsilon) * floor(n / k)`` where
+    ``n`` is the total number of transactions. ``expected_total`` supplies
+    ``n`` when known (Table I/II runs know the stream length); without
+    it the cap tracks the running count, keeping the same (1 + epsilon)
+    headroom over the ideal share at every moment.
+
+    ``tie_break`` decides among equal-score shards:
+
+    - ``"random"`` (default, paper-faithful): a uniformly random shard
+      among the tied ones. Transactions with no informative inputs (all
+      coinbases, and every overflow past a capped favourite) scatter,
+      which is how the paper's Greedy fragments wallet chains across
+      shards and lands at 24-29% cross-TXs while the deep-ancestry T2S
+      score re-coheres them (Table I).
+    - ``"first"``: plain argmin-index argmax. Ties pile into the lowest
+      shard id, producing wave-fill dynamics and the extreme temporal
+      imbalance of the paper's Fig. 6c.
+    - ``"lightest"``: prefer the smaller shard - a balance-aware variant
+      measured in the ablation bench.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        epsilon: float = PAPER_EPSILON,
+        expected_total: int | None = None,
+        tie_break: str = "random",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_shards)
+        if epsilon < 0:
+            raise ConfigurationError(f"epsilon must be >= 0, got {epsilon}")
+        if expected_total is not None and expected_total <= 0:
+            raise ConfigurationError(
+                f"expected_total must be > 0, got {expected_total}"
+            )
+        if tie_break not in TIE_BREAKS:
+            raise ConfigurationError(
+                f"tie_break must be one of {TIE_BREAKS}, got {tie_break!r}"
+            )
+        self.epsilon = epsilon
+        self.expected_total = expected_total
+        self.tie_break = tie_break
+        self._rng = make_rng(seed)
+        self._sizes = [0] * n_shards
+
+    def _cap(self) -> float:
+        if self.expected_total is not None:
+            # The paper's cap: (1 + eps) * floor(n / k) with n known.
+            return (1.0 + self.epsilon) * (
+                self.expected_total // self.n_shards
+            )
+        # Online variant: same headroom over the running ideal share,
+        # with +1 slack so tiny prefixes (floor = 0) don't force every
+        # placement through the all-capped fallback.
+        total = self.n_placed + 1
+        return (1.0 + self.epsilon) * math.ceil(total / self.n_shards) + 1.0
+
+    def _under_cap(self, shard: int) -> bool:
+        return self._sizes[shard] + 1 <= self._cap()
+
+    def _best_allowed(self, scores: Sequence[float]) -> int:
+        """Highest score among shards under the cap.
+
+        Falls back to the smallest shard when every shard is at the cap
+        (possible early in a run when ``floor(n / k)`` is small).
+        """
+        allowed = [s for s in range(self.n_shards) if self._under_cap(s)]
+        if not allowed:
+            return min(range(self.n_shards), key=self._sizes.__getitem__)
+        top = max(scores[s] for s in allowed)
+        tied = [s for s in allowed if scores[s] == top]
+        if len(tied) == 1 or self.tie_break == "first":
+            return tied[0]
+        if self.tie_break == "lightest":
+            return min(tied, key=self._sizes.__getitem__)
+        return tied[self._rng.randrange(len(tied))]
+
+    def _record(self, shard: int) -> None:
+        self._sizes[shard] += 1
+
+    def _on_forced(self, tx: Transaction, shard: int) -> None:
+        self._record(shard)
+
+
+class GreedyPlacer(_CappedPlacer):
+    """Maximize input transactions already in the shard (§IV-B Greedy).
+
+    The paper defines the cost ``f(u, j) = |Sin(u) \\ S_j|`` (inputs *not*
+    in shard ``j``) and selects the extremal shard; minimizing that cost
+    equals maximizing the inputs inside ``j``, which is what we compute.
+    One-hop only - no global view - which is exactly the weakness the
+    T2S score fixes.
+    """
+
+    name = "greedy"
+
+    def _choose(self, tx: Transaction) -> int:
+        scores = [0.0] * self.n_shards
+        for parent in tx.input_txids:
+            scores[self.shard_of(parent)] += 1.0
+        shard = self._best_allowed(scores)
+        self._record(shard)
+        return shard
+
+
+class T2SOnlyPlacer(_CappedPlacer):
+    """Place at the T2S argmax under the Greedy size cap ("T2S-based").
+
+    This is the method behind Tables I and II: like Greedy but scoring
+    with the random-walk T2S instead of one-hop input counts.
+    """
+
+    name = "t2s"
+
+    def __init__(
+        self,
+        n_shards: int,
+        epsilon: float = PAPER_EPSILON,
+        expected_total: int | None = None,
+        tie_break: str = "random",
+        seed: int = 0,
+        alpha: float = 0.5,
+        outdeg_mode: str = "spenders",
+    ) -> None:
+        super().__init__(
+            n_shards,
+            epsilon=epsilon,
+            expected_total=expected_total,
+            tie_break=tie_break,
+            seed=seed,
+        )
+        self.scorer = T2SScorer(
+            n_shards, alpha=alpha, outdeg_mode=outdeg_mode
+        )
+
+    def _choose(self, tx: Transaction) -> int:
+        sparse = self.scorer.add_transaction(
+            tx.txid, tx.input_txids, len(tx.outputs)
+        )
+        scores = [0.0] * self.n_shards
+        for shard, value in sparse.items():
+            scores[shard] = value
+        shard = self._best_allowed(scores)
+        self.scorer.place(tx.txid, shard)
+        self._record(shard)
+        return shard
+
+    def _on_forced(self, tx: Transaction, shard: int) -> None:
+        self.scorer.add_transaction(tx.txid, tx.input_txids, len(tx.outputs))
+        self.scorer.place(tx.txid, shard)
+        self._record(shard)
+
+
+class MetisOfflinePlacer(PlacementStrategy):
+    """Replay a precomputed offline partition (the paper's Metis k-way).
+
+    Build the assignment with
+    :func:`repro.partition.metis_like.partition_tan` over the full TaN
+    graph, then replay it through the simulator like any online placer.
+    """
+
+    name = "metis"
+
+    def __init__(
+        self, n_shards: int, precomputed: Sequence[int] | None = None
+    ) -> None:
+        super().__init__(n_shards)
+        if precomputed is None:
+            raise ConfigurationError(
+                "MetisOfflinePlacer needs precomputed=<assignment list>; "
+                "compute it with repro.partition.partition_tan"
+            )
+        for node, shard in enumerate(precomputed):
+            if not 0 <= shard < n_shards:
+                raise ConfigurationError(
+                    f"precomputed assignment sends node {node} to shard "
+                    f"{shard}, valid range is [0, {n_shards})"
+                )
+        self._precomputed = list(precomputed)
+
+    def _choose(self, tx: Transaction) -> int:
+        if tx.txid >= len(self._precomputed):
+            raise PlacementError(
+                f"precomputed assignment covers {len(self._precomputed)} "
+                f"transactions; transaction {tx.txid} is beyond it"
+            )
+        return self._precomputed[tx.txid]

@@ -1,0 +1,263 @@
+"""Latency-to-Shard (L2S) score - §IV-C of the paper.
+
+The model: communication between the user and shard ``i`` takes
+``Exp(lambda_c_i)`` time; verification at shard ``i`` takes
+``Exp(lambda_v_i)``. Time to a proof-of-acceptance from shard ``i`` is
+the sum of the two (a hypoexponential), with CDF::
+
+    F_i(t) = lv/(lv-lc) * (1 - e^{-lc t}) - lc/(lv-lc) * (1 - e^{-lv t})
+
+If transaction ``u`` is placed in shard ``j`` it needs acceptances from
+its input shards ``S_j``, gathered in parallel, so the time to have all
+of them is ``max_i T_i`` with CDF ``prod F_i``; afterwards the commit at
+shard ``j`` takes another hypoexponential. The L2S score is the expected
+total::
+
+    E(j) = E[max_{S_i in S_j} T_i] + E[T_commit_j]
+
+**Mode choice.** The paper's formula (Alg. 1 line 6) convolves
+``f_v^{(j)}`` with itself; the prose suggests an accept-then-commit
+pipeline. Three readings are implemented (DESIGN.md §4, substitution 4):
+
+- ``"shard_load"`` (OptChain's default): ``E(j)`` is shard ``j``'s own
+  hypoexponential traversed once for a same-shard placement and twice
+  (lock pass + commit pass) for a cross-shard one. This is the only
+  reading whose score *decreases* when moving away from a congested
+  shard - the acceptance-at-input-shards term of the other readings is
+  identical for every candidate ``j``, so they can never trade a
+  cross-TX for load relief - and therefore the only one that reproduces
+  the temporal balancing the paper observes (Figs. 6a, 7).
+- ``"accept_commit"``: full-path estimate
+  ``E[max_{S_i} T_i] + E[T_commit_j]`` - the best per-transaction latency
+  predictor (validated against the simulator in tests), used by the
+  ablation bench.
+- ``"accept_accept"``: the literal self-convolution of the acceptance
+  density, expectation ``2 * E[max]``.
+
+``E[max]`` has a closed form: expanding ``prod_i F_i`` gives a signed sum
+of exponentials, and ``E[max] = integral of (1 - prod F_i)`` integrates
+each term to ``coefficient / rate``. The expansion has ``3^m`` terms and
+catastrophic cancellation when ``lc`` is close to ``lv``, so the
+estimator switches to numerical integration for many shards or
+near-degenerate rates; tests verify the two paths agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+L2S_MODES = ("shard_load", "accept_commit", "accept_accept")
+
+# Closed form is used only when safe: few shards (3^m term blowup) and
+# well-separated rates (cancellation in the partial-fraction
+# coefficients).
+_MAX_CLOSED_FORM_SHARDS = 7
+_MIN_RATE_SEPARATION = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class ShardLatencyModel:
+    """Exponential latency parameters of one shard.
+
+    ``lambda_c``: communication rate (1 / expected user-shard round trip).
+    ``lambda_v``: verification rate (1 / expected time for the shard to
+    process the transaction through its queue and consensus).
+    """
+
+    lambda_c: float
+    lambda_v: float
+
+    def __post_init__(self) -> None:
+        if self.lambda_c <= 0 or self.lambda_v <= 0:
+            raise ConfigurationError(
+                f"rates must be > 0, got lambda_c={self.lambda_c}, "
+                f"lambda_v={self.lambda_v}"
+            )
+
+    @property
+    def expected_total(self) -> float:
+        """Mean of the hypoexponential: ``1/lambda_c + 1/lambda_v``."""
+        return 1.0 / self.lambda_c + 1.0 / self.lambda_v
+
+    def cdf(self, t: float) -> float:
+        """``F_i(t)``: probability the proof arrives by time ``t``."""
+        if t <= 0.0:
+            return 0.0
+        lc, lv = self.lambda_c, self.lambda_v
+        if math.isclose(lc, lv, rel_tol=1e-9):
+            # Erlang(2, lambda) limit of the hypoexponential.
+            return 1.0 - math.exp(-lc * t) * (1.0 + lc * t)
+        return (
+            lv / (lv - lc) * (1.0 - math.exp(-lc * t))
+            - lc / (lv - lc) * (1.0 - math.exp(-lv * t))
+        )
+
+    def pdf(self, t: float) -> float:
+        """Density of the proof-arrival time."""
+        if t < 0.0:
+            return 0.0
+        lc, lv = self.lambda_c, self.lambda_v
+        if math.isclose(lc, lv, rel_tol=1e-9):
+            return lc * lc * t * math.exp(-lc * t)
+        return lc * lv / (lv - lc) * (math.exp(-lc * t) - math.exp(-lv * t))
+
+
+def acceptance_cdf(models: Sequence[ShardLatencyModel], t: float) -> float:
+    """CDF of the *last* proof-of-acceptance: ``prod_i F_i(t)``."""
+    product = 1.0
+    for model in models:
+        product *= model.cdf(t)
+        if product == 0.0:
+            return 0.0
+    return product
+
+
+def expected_max_acceptance(models: Sequence[ShardLatencyModel]) -> float:
+    """``E[max_i T_i]`` for parallel acceptance from several shards."""
+    if not models:
+        return 0.0
+    if len(models) == 1:
+        return models[0].expected_total
+    if _closed_form_safe(models):
+        return _expected_max_closed_form(models)
+    return _expected_max_numeric(models)
+
+
+def _closed_form_safe(models: Sequence[ShardLatencyModel]) -> bool:
+    if len(models) > _MAX_CLOSED_FORM_SHARDS:
+        return False
+    return all(
+        abs(m.lambda_v - m.lambda_c)
+        > _MIN_RATE_SEPARATION * max(m.lambda_v, m.lambda_c)
+        for m in models
+    )
+
+
+def _expected_max_closed_form(models: Sequence[ShardLatencyModel]) -> float:
+    # prod_i F_i(t) = prod_i (1 + a_i e^{-lc_i t} + b_i e^{-lv_i t})
+    # expands to sum of c * e^{-r t} terms; E[max] = -sum c/r over the
+    # non-constant terms.
+    terms: list[tuple[float, float]] = [(1.0, 0.0)]  # (coefficient, rate)
+    for model in models:
+        lc, lv = model.lambda_c, model.lambda_v
+        a = -lv / (lv - lc)
+        b = lc / (lv - lc)
+        expanded: list[tuple[float, float]] = []
+        for coefficient, rate in terms:
+            expanded.append((coefficient, rate))
+            expanded.append((coefficient * a, rate + lc))
+            expanded.append((coefficient * b, rate + lv))
+        terms = expanded
+    expectation = 0.0
+    for coefficient, rate in terms:
+        if rate > 0.0:
+            expectation -= coefficient / rate
+    return expectation
+
+
+def _expected_max_numeric(
+    models: Sequence[ShardLatencyModel], n_points: int = 4096
+) -> float:
+    # E[max] = integral over t of (1 - prod F_i). The integrand decays
+    # like the slowest shard's tail; 40 mean-lifetimes of the slowest
+    # shard bounds the truncation error far below the integration error.
+    horizon = 40.0 * max(model.expected_total for model in models)
+    step = horizon / n_points
+    # Composite Simpson needs an even interval count.
+    total = 1.0 - acceptance_cdf(models, 0.0)
+    total += 1.0 - acceptance_cdf(models, horizon)
+    for index in range(1, n_points):
+        weight = 4.0 if index % 2 == 1 else 2.0
+        total += weight * (1.0 - acceptance_cdf(models, index * step))
+    return total * step / 3.0
+
+
+class L2SEstimator:
+    """Computes L2S scores ``E(j)`` for every candidate shard.
+
+    Construct with the per-shard latency models (refreshed by whoever
+    observes the network: the simulator's
+    :class:`~repro.simulator.metrics.LatencyObserver` or a wallet's
+    sampling loop) and ask for the expected confirmation latency of each
+    placement choice.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[ShardLatencyModel],
+        mode: str = "accept_commit",
+    ) -> None:
+        if not models:
+            raise ConfigurationError("L2SEstimator needs at least one shard")
+        if mode not in L2S_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {L2S_MODES}, got {mode!r}"
+            )
+        self._models = list(models)
+        self.mode = mode
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards covered by the models."""
+        return len(self._models)
+
+    def model_of(self, shard: int) -> ShardLatencyModel:
+        """The latency model of one shard."""
+        return self._models[shard]
+
+    def score(self, shard: int, input_shards: Iterable[int]) -> float:
+        """``E(j)``: expected confirmation latency placing into ``shard``.
+
+        ``input_shards`` are the shards holding the transaction's inputs
+        (``Sin(u)``). When they are empty (coinbase) or all equal to
+        ``shard`` (same-shard transaction) there is no acceptance phase.
+        """
+        acceptance = {s for s in input_shards}
+        if not 0 <= shard < len(self._models):
+            raise ConfigurationError(
+                f"shard {shard} out of range [0, {len(self._models)})"
+            )
+        is_cross = bool(acceptance) and acceptance != {shard}
+        if not is_cross:
+            return self._models[shard].expected_total
+        if self.mode == "shard_load":
+            return 2.0 * self._models[shard].expected_total
+        acceptance_models = [self._models[s] for s in sorted(acceptance)]
+        expected_accept = expected_max_acceptance(acceptance_models)
+        if self.mode == "accept_accept":
+            return 2.0 * expected_accept
+        return expected_accept + self._models[shard].expected_total
+
+    def scores_all(self, input_shards: Iterable[int]) -> list[float]:
+        """``E(j)`` for every shard ``j`` (one call per arriving tx).
+
+        The acceptance set ``Sin(u)`` does not depend on the candidate
+        shard, so ``E[max]`` is computed once and reused; only the
+        same-shard special case (``Sin == {j}``) skips it.
+        """
+        shards = set(input_shards)
+        n = len(self._models)
+        if not shards:
+            return [self._models[j].expected_total for j in range(n)]
+        if self.mode == "shard_load":
+            return [
+                self._models[j].expected_total * (1.0 if shards == {j} else 2.0)
+                for j in range(n)
+            ]
+        acceptance_models = [self._models[s] for s in sorted(shards)]
+        expected_accept = expected_max_acceptance(acceptance_models)
+        scores = []
+        for j in range(n):
+            if shards == {j}:
+                scores.append(self._models[j].expected_total)
+            elif self.mode == "accept_accept":
+                scores.append(2.0 * expected_accept)
+            else:
+                scores.append(
+                    expected_accept + self._models[j].expected_total
+                )
+        return scores

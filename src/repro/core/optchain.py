@@ -1,0 +1,172 @@
+"""OptChain - Algorithm 1 of the paper.
+
+For each arriving transaction ``u``:
+
+1. compute the T2S scores ``p(u)`` incrementally (§IV-B);
+2. compute the L2S scores ``E(j)`` from the current per-shard latency
+   models (§IV-C);
+3. place ``u`` into ``argmax_j p(u)[j] - 0.01 * E(j)`` (Temporal Fitness);
+4. update ``p'(u)[chosen] += alpha``.
+
+The latency models come from whoever can observe the shards. Inside the
+simulator that is a live :class:`~repro.simulator.metrics.LatencyObserver`
+fed by real queue lengths and consensus times. Outside a simulation
+(static placement runs like Tables I/II) there are no shards to observe,
+so :class:`LoadProxyLatencyProvider` models each shard's load from the
+placer's own recent placements - an exponentially decayed arrival window
+standing in for the queue a wallet would observe. With no provider at
+all, OptChain degrades to pure T2S placement exactly as the paper's
+"T2S-based" method (the L2S term is constant across shards).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.fitness import PAPER_LATENCY_WEIGHT, TemporalFitness
+from repro.core.l2s import L2SEstimator, ShardLatencyModel
+from repro.core.placement import PlacementStrategy
+from repro.core.t2s import T2SScorer
+from repro.errors import ConfigurationError
+from repro.utxo.transaction import Transaction
+
+#: Returns one latency model per shard; called once per placement.
+LatencyProvider = Callable[[], Sequence[ShardLatencyModel]]
+
+
+class LoadProxyLatencyProvider:
+    """Latency models derived from the placer's own placement history.
+
+    Each shard's *pending load* is an exponentially decayed count of the
+    transactions recently placed there: after each placement the load of
+    the chosen shard grows by one and every load decays by
+    ``exp(-1/window)``. The verification rate then scales inversely with
+    the load (a queue of ``q`` transactions takes about
+    ``(1 + q/block) * consensus_time``), matching how the paper estimates
+    ``1/lambda_v`` "from observation of recent consensus time of shard i
+    and its current queue size".
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        window: float = 2_000.0,
+        base_verify_time: float = 5.0,
+        base_comm_time: float = 0.1,
+        block_capacity: int = 2_000,
+    ) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        if window <= 0 or base_verify_time <= 0 or base_comm_time <= 0:
+            raise ConfigurationError(
+                "window, base_verify_time, base_comm_time must be > 0"
+            )
+        if block_capacity <= 0:
+            raise ConfigurationError(
+                f"block_capacity must be > 0, got {block_capacity}"
+            )
+        self._loads = [0.0] * n_shards
+        self._decay = math.exp(-1.0 / window)
+        self._base_verify = base_verify_time
+        self._base_comm = base_comm_time
+        self._block = block_capacity
+
+    @property
+    def loads(self) -> list[float]:
+        """Copy of the decayed per-shard loads."""
+        return list(self._loads)
+
+    def record(self, shard: int) -> None:
+        """Account one placement into ``shard`` (and decay everything)."""
+        for index in range(len(self._loads)):
+            self._loads[index] *= self._decay
+        self._loads[shard] += 1.0
+
+    def __call__(self) -> list[ShardLatencyModel]:
+        models = []
+        for load in self._loads:
+            verify_time = self._base_verify * (1.0 + load / self._block)
+            models.append(
+                ShardLatencyModel(
+                    lambda_c=1.0 / self._base_comm,
+                    lambda_v=1.0 / verify_time,
+                )
+            )
+        return models
+
+
+class OptChainPlacer(PlacementStrategy):
+    """Algorithm 1: Temporal-Fitness placement (T2S - 0.01 * L2S)."""
+
+    name = "optchain"
+
+    def __init__(
+        self,
+        n_shards: int,
+        alpha: float = 0.5,
+        latency_weight: float = PAPER_LATENCY_WEIGHT,
+        latency_provider: LatencyProvider | None = "proxy",  # type: ignore[assignment]
+        l2s_mode: str = "shard_load",
+        outdeg_mode: str = "spenders",
+    ) -> None:
+        super().__init__(n_shards)
+        self.scorer = T2SScorer(n_shards, alpha=alpha, outdeg_mode=outdeg_mode)
+        self.fitness = TemporalFitness(latency_weight=latency_weight)
+        self.l2s_mode = l2s_mode
+        self._proxy: LoadProxyLatencyProvider | None = None
+        if latency_provider == "proxy":
+            self._proxy = LoadProxyLatencyProvider(n_shards)
+            self.latency_provider: LatencyProvider | None = self._proxy
+        else:
+            self.latency_provider = latency_provider
+
+    def use_latency_provider(self, provider: LatencyProvider) -> None:
+        """Swap in a live latency source (e.g. the simulator's observer).
+
+        Disables the offline load proxy: with real queues observable the
+        proxy's synthetic loads would double-count placements.
+        """
+        self._proxy = None
+        self.latency_provider = provider
+
+    def _choose(self, tx: Transaction) -> int:
+        t2s_scores = self.scorer.add_transaction(
+            tx.txid, tx.input_txids, len(tx.outputs)
+        )
+        if self.latency_provider is None:
+            # No observable shards: fitness reduces to T2S with
+            # lightest-shard tie-breaking.
+            l2s_scores = [0.0] * self.n_shards
+            shard = self._t2s_argmax(t2s_scores)
+        else:
+            models = self.latency_provider()
+            if len(models) != self.n_shards:
+                raise ConfigurationError(
+                    f"latency provider returned {len(models)} models for "
+                    f"{self.n_shards} shards"
+                )
+            estimator = L2SEstimator(models, mode=self.l2s_mode)
+            l2s_scores = estimator.scores_all(self.input_shards(tx))
+            shard = self.fitness.best_shard(t2s_scores, l2s_scores)
+        self.scorer.place(tx.txid, shard)
+        if self._proxy is not None:
+            self._proxy.record(shard)
+        return shard
+
+    def _on_forced(self, tx: Transaction, shard: int) -> None:
+        self.scorer.add_transaction(tx.txid, tx.input_txids, len(tx.outputs))
+        self.scorer.place(tx.txid, shard)
+        if self._proxy is not None:
+            self._proxy.record(shard)
+
+    def _t2s_argmax(self, sparse: dict[int, float]) -> int:
+        sizes = self.scorer.shard_sizes
+        best = min(range(self.n_shards), key=sizes.__getitem__)
+        best_score = sparse.get(best, 0.0)
+        for shard in range(self.n_shards):
+            score = sparse.get(shard, 0.0)
+            if score > best_score:
+                best = shard
+                best_score = score
+        return best

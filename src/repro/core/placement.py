@@ -1,0 +1,140 @@
+"""The placement-strategy interface and factory.
+
+A placement strategy consumes the transaction stream in arrival order and
+decides, online, which shard owns each transaction. Strategies are the
+unit the whole evaluation varies: Tables I/II compare their static
+cross-TX quality; Figures 3-11 plug them into the simulator.
+
+Contract: ``place`` is called exactly once per transaction, in stream
+order; it must return a shard id in ``[0, n_shards)`` and record the
+assignment so later transactions can see their inputs' shards via
+``shard_of``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.utxo.transaction import Transaction
+
+
+class PlacementStrategy(ABC):
+    """Base class for all transaction placers."""
+
+    #: Registry name -> subclass, populated by __init_subclass__.
+    registry: dict[str, type["PlacementStrategy"]] = {}
+
+    #: Subclasses set this to register themselves with the factory.
+    name: str = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name:
+            PlacementStrategy.registry[cls.name] = cls
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        self.n_shards = n_shards
+        self._assignment: list[int] = []
+
+    # -- contract ----------------------------------------------------------
+
+    @abstractmethod
+    def _choose(self, tx: Transaction) -> int:
+        """Pick a shard for ``tx``; assignment recording is handled here."""
+
+    def place(self, tx: Transaction) -> int:
+        """Place one transaction; returns its shard."""
+        if tx.txid != len(self._assignment):
+            raise PlacementError(
+                f"transactions must be placed in dense stream order: got "
+                f"{tx.txid}, expected {len(self._assignment)}"
+            )
+        shard = self._choose(tx)
+        if not 0 <= shard < self.n_shards:
+            raise PlacementError(
+                f"{type(self).__name__} produced shard {shard}, valid "
+                f"range is [0, {self.n_shards})"
+            )
+        self._assignment.append(shard)
+        return shard
+
+    def place_stream(self, txs: Iterable[Transaction]) -> list[int]:
+        """Place a whole stream; returns the assignment list."""
+        for tx in txs:
+            self.place(tx)
+        return list(self._assignment)
+
+    def force_place(self, tx: Transaction, shard: int) -> None:
+        """Record an externally decided placement (warm starts).
+
+        Table II seeds every strategy with a Metis partition of the
+        stream prefix before measuring the placement window; the internal
+        state (scores, sizes) must track these decisions exactly as if
+        the strategy had made them.
+        """
+        if tx.txid != len(self._assignment):
+            raise PlacementError(
+                f"transactions must be placed in dense stream order: got "
+                f"{tx.txid}, expected {len(self._assignment)}"
+            )
+        if not 0 <= shard < self.n_shards:
+            raise PlacementError(
+                f"forced shard {shard} out of range [0, {self.n_shards})"
+            )
+        self._on_forced(tx, shard)
+        self._assignment.append(shard)
+
+    def _on_forced(self, tx: Transaction, shard: int) -> None:
+        """Subclass hook: absorb a forced placement into internal state.
+
+        The default is a no-op, correct for stateless strategies
+        (random hash, offline replay).
+        """
+
+    # -- shared queries ------------------------------------------------------
+
+    @property
+    def n_placed(self) -> int:
+        """Transactions placed so far."""
+        return len(self._assignment)
+
+    def shard_of(self, txid: int) -> int:
+        """Shard of an already-placed transaction."""
+        return self._assignment[txid]
+
+    def assignment(self) -> list[int]:
+        """Copy of the full assignment so far."""
+        return list(self._assignment)
+
+    def input_shards(self, tx: Transaction) -> set[int]:
+        """``Sin(u)`` given the placements made so far."""
+        return {self._assignment[parent] for parent in tx.input_txids}
+
+    def shard_sizes(self) -> list[int]:
+        """Current transaction count per shard."""
+        sizes = [0] * self.n_shards
+        for shard in self._assignment:
+            sizes[shard] += 1
+        return sizes
+
+
+def make_placer(
+    name: str, n_shards: int, **kwargs
+) -> PlacementStrategy:
+    """Factory over the strategy registry.
+
+    Names: ``optchain``, ``omniledger``, ``greedy``, ``metis``, ``t2s``
+    (see :mod:`repro.core.baselines` and :mod:`repro.core.optchain`).
+    """
+    try:
+        cls = PlacementStrategy.registry[name]
+    except KeyError:
+        known = ", ".join(sorted(PlacementStrategy.registry))
+        raise ConfigurationError(
+            f"unknown placement strategy {name!r}; known: {known}"
+        )
+    return cls(n_shards=n_shards, **kwargs)

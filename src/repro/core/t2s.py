@@ -1,0 +1,236 @@
+"""Transaction-to-Shard (T2S) score - §IV-B of the paper.
+
+The T2S score of a new transaction ``u`` against shard ``i`` measures the
+probability that a PageRank-style random walk from ``u`` over the TaN DAG
+terminates in shard ``i`` - how much of ``u``'s ancestry shard ``i``
+already owns. The paper's incremental formulation avoids recomputing the
+walk for the whole graph on every arrival:
+
+- each placed transaction ``v`` keeps an *unnormalized* sparse vector
+  ``p'(v)``;
+- on arrival of ``u``::
+
+      p'(u) = (1 - alpha) * sum_{v in Nin(u)} p'(v) / |Nout(v)|
+      p(u)[i] = p'(u)[i] / |S_i|          (the normalized T2S score)
+
+- after placing ``u`` into shard ``s``: ``p'(u)[s] += alpha``.
+
+Cost per transaction is ``O(|Nin(u)| * nnz)`` - constant on average since
+the TaN is scale-free (paper: average degree about 2.3) and ``p'`` stays
+very sparse (mass concentrates on the ancestor shards).
+
+``|Nout(v)|`` semantics: the paper divides by the size of ``Nout(v)``,
+the set of transactions spending ``v``'s outputs, *as known when u
+arrives* (it is never retroactively updated). That literal reading is the
+default (``outdeg_mode="spenders"``). The alternative capacity reading -
+divide by the number of outputs ``v`` created, i.e. the maximum possible
+spenders - is available as ``outdeg_mode="outputs"`` and compared in the
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError, PlacementError
+
+OUTDEG_MODES = ("spenders", "outputs")
+
+
+class T2SScorer:
+    """Incremental T2S scoring engine.
+
+    Usage per arriving transaction::
+
+        scores = scorer.add_transaction(txid, input_txids, n_outputs)
+        shard = ...  # choose using scores (and L2S)
+        scorer.place(txid, shard)
+
+    ``add_transaction`` must be called in stream order (dense txids);
+    ``place`` must be called exactly once per added transaction before
+    the next one is added.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        alpha: float = 0.5,
+        outdeg_mode: str = "spenders",
+        prune_epsilon: float = 1e-12,
+    ) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {alpha}"
+            )
+        if outdeg_mode not in OUTDEG_MODES:
+            raise ConfigurationError(
+                f"outdeg_mode must be one of {OUTDEG_MODES}, got "
+                f"{outdeg_mode!r}"
+            )
+        if prune_epsilon < 0:
+            raise ConfigurationError(
+                f"prune_epsilon must be >= 0, got {prune_epsilon}"
+            )
+        self.n_shards = n_shards
+        self.alpha = alpha
+        self.outdeg_mode = outdeg_mode
+        self.prune_epsilon = prune_epsilon
+        # p'(v) as sparse dict shard -> mass, per transaction.
+        self._p_prime: list[dict[int, float]] = []
+        # Spender count observed so far, per transaction.
+        self._spender_count: list[int] = []
+        # Output (UTXO) count, per transaction - for outdeg_mode="outputs".
+        self._output_count: list[int] = []
+        self._shard_sizes = [0] * n_shards
+        self._pending: int | None = None
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def n_transactions(self) -> int:
+        """Transactions added so far."""
+        return len(self._p_prime)
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Copy of the per-shard placement counts ``|S_i|``."""
+        return list(self._shard_sizes)
+
+    def p_prime_of(self, txid: int) -> dict[int, float]:
+        """Copy of the unnormalized vector of a transaction."""
+        return dict(self._p_prime[txid])
+
+    # -- the incremental recurrence ---------------------------------------
+
+    def add_transaction(
+        self,
+        txid: int,
+        input_txids: Sequence[int],
+        n_outputs: int = 1,
+    ) -> dict[int, float]:
+        """Compute the T2S scores of an arriving transaction.
+
+        Returns the *normalized* sparse score map ``{shard: p(u)[shard]}``
+        (missing shards score 0). Registers ``u`` as a spender of each
+        input, which is what advances ``|Nout(v)|`` for later arrivals.
+        """
+        if self._pending is not None:
+            raise PlacementError(
+                f"transaction {self._pending} was added but never placed"
+            )
+        if txid != len(self._p_prime):
+            raise PlacementError(
+                f"transactions must arrive in dense order: got {txid}, "
+                f"expected {len(self._p_prime)}"
+            )
+        # Register u as a spender of each distinct input *before* reading
+        # the divisor, so |Nout(v)| includes the edge that u itself just
+        # created (a walk from u can only re-enter v's spenders through
+        # an edge that exists).
+        distinct: dict[int, None] = {}
+        for parent in input_txids:
+            if not 0 <= parent < txid:
+                raise PlacementError(
+                    f"transaction {txid} has invalid input {parent}"
+                )
+            distinct.setdefault(parent, None)
+        for parent in distinct:
+            self._spender_count[parent] += 1
+
+        p_prime: dict[int, float] = {}
+        scale = 1.0 - self.alpha
+        if scale > 0.0:
+            for parent in distinct:
+                divisor = self._divisor(parent)
+                parent_vector = self._p_prime[parent]
+                if not parent_vector:
+                    continue
+                factor = scale / divisor
+                for shard, mass in parent_vector.items():
+                    p_prime[shard] = p_prime.get(shard, 0.0) + mass * factor
+        if self.prune_epsilon > 0.0 and p_prime:
+            p_prime = {
+                shard: mass
+                for shard, mass in p_prime.items()
+                if mass > self.prune_epsilon
+            }
+        self._p_prime.append(p_prime)
+        self._spender_count.append(0)
+        self._output_count.append(max(1, n_outputs))
+        self._pending = txid
+        return self.normalized(txid)
+
+    def normalized(self, txid: int) -> dict[int, float]:
+        """Normalized scores ``p(u)[i] = p'(u)[i] / |S_i|``.
+
+        Empty shards divide by 1: a shard that holds nothing cannot hold
+        ancestry, and its raw mass is necessarily 0 anyway.
+        """
+        return {
+            shard: mass / max(1, self._shard_sizes[shard])
+            for shard, mass in self._p_prime[txid].items()
+        }
+
+    def place(self, txid: int, shard: int) -> None:
+        """Record the placement decision: ``p'(u)[shard] += alpha``."""
+        if self._pending != txid:
+            raise PlacementError(
+                f"place({txid}) without matching add_transaction "
+                f"(pending: {self._pending})"
+            )
+        if not 0 <= shard < self.n_shards:
+            raise PlacementError(
+                f"shard {shard} out of range [0, {self.n_shards})"
+            )
+        vector = self._p_prime[txid]
+        vector[shard] = vector.get(shard, 0.0) + self.alpha
+        self._shard_sizes[shard] += 1
+        self._pending = None
+
+    def _divisor(self, parent: int) -> int:
+        if self.outdeg_mode == "spenders":
+            return self._spender_count[parent]
+        return max(self._output_count[parent], self._spender_count[parent])
+
+
+def t2s_reference_dense(
+    arrivals: Sequence[tuple[int, Sequence[int], int]],
+    placements: Sequence[int],
+    n_shards: int,
+    alpha: float = 0.5,
+    outdeg_mode: str = "spenders",
+) -> list[list[float]]:
+    """Dense, no-pruning replay of the T2S recurrence (test oracle).
+
+    ``arrivals`` is ``(txid, input_txids, n_outputs)`` in order;
+    ``placements[txid]`` is the shard each transaction went to. Returns
+    the *unnormalized* ``p'`` vectors after the full replay. The sparse
+    incremental engine must agree with this up to pruning (exact when
+    pruning is disabled).
+    """
+    if outdeg_mode not in OUTDEG_MODES:
+        raise ConfigurationError(f"bad outdeg_mode {outdeg_mode!r}")
+    p_prime: list[list[float]] = []
+    spenders: list[int] = []
+    outputs: list[int] = []
+    for txid, input_txids, n_outputs in arrivals:
+        distinct = list(dict.fromkeys(input_txids))
+        for parent in distinct:
+            spenders[parent] += 1
+        vector = [0.0] * n_shards
+        for parent in distinct:
+            if outdeg_mode == "spenders":
+                divisor = spenders[parent]
+            else:
+                divisor = max(outputs[parent], spenders[parent])
+            for shard in range(n_shards):
+                vector[shard] += (
+                    (1.0 - alpha) * p_prime[parent][shard] / divisor
+                )
+        vector[placements[txid]] += alpha
+        p_prime.append(vector)
+        spenders.append(0)
+        outputs.append(max(1, n_outputs))
+    return p_prime

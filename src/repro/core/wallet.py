@@ -1,0 +1,245 @@
+"""SPV-style wallet integration - the paper's practicality claim (§I).
+
+OptChain is designed to run inside user wallets *without* the full
+transaction history: "as computing the T2S score only requires the
+information on the input txs, it can be done efficiently at the user
+side by modifying the existing Simple Payment Verification protocol".
+
+This module splits Algorithm 1 across that trust boundary:
+
+- :class:`ShardDirectory` is the network side - the state a (sharded)
+  full-node population collectively maintains: one small record per
+  transaction (its shard, unnormalized T2S vector, spender count) plus
+  per-shard placement counts. Wallets query it per *input transaction*.
+- :class:`SPVWallet` is the user side - it makes the placement decision
+  from ``|Nin(u)|`` directory lookups plus its own latency observations,
+  never touching any other part of the chain. ``n_queries`` exposes the
+  communication cost, which tests pin to exactly ``|Nin(u)|`` lookups
+  per transaction (plus one shard-size read), the paper's "lightweight"
+  property.
+
+The wallet's decisions are bit-for-bit identical to the monolithic
+:class:`~repro.core.optchain.OptChainPlacer` given the same latency
+models (tested), so every experiment result transfers to the
+decentralized deployment unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.fitness import PAPER_LATENCY_WEIGHT, TemporalFitness
+from repro.core.l2s import L2SEstimator, ShardLatencyModel
+from repro.core.optchain import LatencyProvider, LoadProxyLatencyProvider
+from repro.core.placement import PlacementStrategy
+from repro.errors import ConfigurationError, PlacementError
+from repro.utxo.transaction import Transaction
+
+_PRUNE_EPSILON = 1e-12  # matches T2SScorer's default
+
+
+@dataclass(frozen=True, slots=True)
+class ParentView:
+    """What a shard server returns for one input-transaction query."""
+
+    shard: int
+    p_prime: dict[int, float]
+    spender_count: int
+
+
+@dataclass(slots=True)
+class _Record:
+    shard: int
+    p_prime: dict[int, float]
+    spender_count: int
+
+
+class ShardDirectory:
+    """Network-side per-transaction records, queryable by wallets.
+
+    ``parent_view`` registers the caller as a new spender before
+    answering (the query *is* the spend announcement), so the returned
+    count already includes the in-flight transaction - the same
+    semantics as the incremental scorer's ``|Nout(v)|``.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        self.n_shards = n_shards
+        self._records: dict[int, _Record] = {}
+        self._sizes = [0] * n_shards
+        self.n_parent_queries = 0
+        self.n_size_queries = 0
+
+    def parent_view(self, txid: int) -> ParentView:
+        """Record of one input transaction (registers the spend)."""
+        record = self._records.get(txid)
+        if record is None:
+            raise PlacementError(
+                f"directory has no record of transaction {txid}"
+            )
+        record.spender_count += 1
+        self.n_parent_queries += 1
+        return ParentView(
+            shard=record.shard,
+            p_prime=dict(record.p_prime),
+            spender_count=record.spender_count,
+        )
+
+    def shard_sizes(self) -> list[int]:
+        """Current per-shard placement counts (one lightweight query)."""
+        self.n_size_queries += 1
+        return list(self._sizes)
+
+    def announce(
+        self, txid: int, shard: int, p_prime: dict[int, float]
+    ) -> None:
+        """Publish a placed transaction's record."""
+        if txid in self._records:
+            raise PlacementError(f"transaction {txid} announced twice")
+        if not 0 <= shard < self.n_shards:
+            raise PlacementError(
+                f"shard {shard} out of range [0, {self.n_shards})"
+            )
+        self._records[txid] = _Record(
+            shard=shard, p_prime=dict(p_prime), spender_count=0
+        )
+        self._sizes[shard] += 1
+
+    @property
+    def n_records(self) -> int:
+        """Transactions known to the directory."""
+        return len(self._records)
+
+
+class SPVWallet:
+    """User-side OptChain: decides placements from directory lookups."""
+
+    def __init__(
+        self,
+        directory: ShardDirectory,
+        alpha: float = 0.5,
+        latency_weight: float = PAPER_LATENCY_WEIGHT,
+        l2s_mode: str = "shard_load",
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.directory = directory
+        self.alpha = alpha
+        self.fitness = TemporalFitness(latency_weight=latency_weight)
+        self.l2s_mode = l2s_mode
+        self.n_submitted = 0
+
+    def decide_and_submit(
+        self,
+        tx: Transaction,
+        latency_models: Sequence[ShardLatencyModel],
+    ) -> int:
+        """Run Algorithm 1 for one transaction; returns the chosen shard.
+
+        Queries the directory once per distinct input transaction,
+        computes ``p'(u)`` and the Temporal Fitness locally, announces
+        the placement, and returns the shard.
+        """
+        if len(latency_models) != self.directory.n_shards:
+            raise ConfigurationError(
+                f"{len(latency_models)} latency models for "
+                f"{self.directory.n_shards} shards"
+            )
+        views = [
+            self.directory.parent_view(parent)
+            for parent in tx.input_txids
+        ]
+        p_prime: dict[int, float] = {}
+        scale = 1.0 - self.alpha
+        if scale > 0.0:
+            for view in views:
+                if not view.p_prime:
+                    continue
+                factor = scale / view.spender_count
+                for shard, mass in view.p_prime.items():
+                    p_prime[shard] = (
+                        p_prime.get(shard, 0.0) + mass * factor
+                    )
+        if p_prime:
+            p_prime = {
+                shard: mass
+                for shard, mass in p_prime.items()
+                if mass > _PRUNE_EPSILON
+            }
+        sizes = self.directory.shard_sizes()
+        t2s = {
+            shard: mass / max(1, sizes[shard])
+            for shard, mass in p_prime.items()
+        }
+        estimator = L2SEstimator(latency_models, mode=self.l2s_mode)
+        input_shards = {view.shard for view in views}
+        l2s = estimator.scores_all(input_shards)
+        shard = self.fitness.best_shard(t2s, l2s)
+        p_prime[shard] = p_prime.get(shard, 0.0) + self.alpha
+        self.directory.announce(tx.txid, shard, p_prime)
+        self.n_submitted += 1
+        return shard
+
+
+class SPVWalletPlacer(PlacementStrategy):
+    """The SPV wallet wrapped as a placement strategy.
+
+    Lets the decentralized wallet+directory deployment run anywhere a
+    placer does - including inside the simulator, where the engine wires
+    its latency provider to the live queue observer exactly as it does
+    for :class:`~repro.core.optchain.OptChainPlacer`.
+    """
+
+    name = "spv"
+
+    def __init__(
+        self,
+        n_shards: int,
+        alpha: float = 0.5,
+        latency_weight: float = PAPER_LATENCY_WEIGHT,
+        l2s_mode: str = "shard_load",
+    ) -> None:
+        super().__init__(n_shards)
+        self.directory = ShardDirectory(n_shards)
+        self.wallet = SPVWallet(
+            self.directory,
+            alpha=alpha,
+            latency_weight=latency_weight,
+            l2s_mode=l2s_mode,
+        )
+        self._proxy: LoadProxyLatencyProvider | None = (
+            LoadProxyLatencyProvider(n_shards)
+        )
+        self.latency_provider: LatencyProvider = self._proxy
+
+    def use_latency_provider(self, provider: LatencyProvider) -> None:
+        """Swap in a live latency source (the simulator's observer)."""
+        self._proxy = None
+        self.latency_provider = provider
+
+    def _choose(self, tx: Transaction) -> int:
+        shard = self.wallet.decide_and_submit(tx, self.latency_provider())
+        if self._proxy is not None:
+            self._proxy.record(shard)
+        return shard
+
+    def _on_forced(self, tx: Transaction, shard: int) -> None:
+        # Warm starts: replay the decision's directory effects without
+        # the wallet's scoring.
+        views = [
+            self.directory.parent_view(parent)
+            for parent in tx.input_txids
+        ]
+        p_prime: dict[int, float] = {}
+        scale = 1.0 - self.wallet.alpha
+        for view in views:
+            factor = scale / view.spender_count
+            for target, mass in view.p_prime.items():
+                p_prime[target] = p_prime.get(target, 0.0) + mass * factor
+        p_prime[shard] = p_prime.get(shard, 0.0) + self.wallet.alpha
+        self.directory.announce(tx.txid, shard, p_prime)
+        if self._proxy is not None:
+            self._proxy.record(shard)

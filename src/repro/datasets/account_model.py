@@ -1,0 +1,178 @@
+"""Account-model workloads (Ethereum-style transfers).
+
+§II of the paper notes that Ethereum 2.0 shards an *account* model where
+"each transaction has only one input and one output". In TaN terms an
+account-model stream is a set of interleaved chains: each account's
+transactions form a path (every transfer spends the account's single
+running state output), and a transfer also creates/feeds the receiver's
+state.
+
+This module generates such workloads so placement strategies can be
+evaluated beyond UTXO - the TaN machinery applies unchanged, and the
+ablation bench compares how much of OptChain's advantage survives when
+fan-in collapses to at most two parents (sender state + receiver state).
+
+Mechanics: each account's latest state is one UTXO. A transfer from
+``a`` to ``b`` spends ``a``'s state (and ``b``'s state when it exists,
+merging the receipt) and outputs the two new states. That is the closest
+UTXO encoding of an account-model transfer and keeps streams valid
+against :class:`~repro.utxo.utxoset.UTXOSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.wallets import WalletModel
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+INITIAL_BALANCE = 1_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class AccountModelConfig:
+    """Parameters of the account-model generator.
+
+    Accounts come from the same community/activity machinery as the
+    UTXO generator (via :class:`WalletModel`) so the two workloads have
+    comparable locality.
+    """
+
+    n_accounts: int = 2_000
+    n_communities: int = 64
+    intra_community_prob: float = 0.92
+    community_exponent: float = 1.3
+    activity_exponent: float = 0.8
+    tx_rate: float = 1_000.0
+    #: probability a transfer merges the receiver's state (2 inputs)
+    #: instead of only spending the sender's (1 input).
+    merge_receiver_prob: float = 0.8
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on bad parameters."""
+        if self.n_accounts < 2:
+            raise ConfigurationError("n_accounts must be >= 2")
+        if not 0.0 <= self.merge_receiver_prob <= 1.0:
+            raise ConfigurationError(
+                "merge_receiver_prob must be in [0, 1]"
+            )
+        if self.tx_rate <= 0:
+            raise ConfigurationError("tx_rate must be > 0")
+
+
+class AccountModelGenerator:
+    """Generates account-model transfer streams."""
+
+    def __init__(
+        self, config: AccountModelConfig | None = None, seed: int = 0
+    ) -> None:
+        self.config = config or AccountModelConfig()
+        self.config.validate()
+        self._rng = make_rng(seed)
+        self._wallets = WalletModel(
+            n_wallets=self.config.n_accounts,
+            rng=self._rng,
+            activity_exponent=self.config.activity_exponent,
+            n_communities=self.config.n_communities,
+            intra_community_prob=self.config.intra_community_prob,
+            community_exponent=self.config.community_exponent,
+        )
+        # account -> outpoint of its current state (None before genesis).
+        self._state: list[OutPoint | None] = [None] * self.config.n_accounts
+        self._balance = [0] * self.config.n_accounts
+        self._existing: list[int] = []  # accounts with a state output
+        self._next_fresh = 0  # next never-funded account id
+        self._next_txid = 0
+
+    def generate(self, n_transactions: int) -> list[Transaction]:
+        """Materialize ``n_transactions`` transfers (plus genesis txs)."""
+        if n_transactions < 0:
+            raise ConfigurationError("n_transactions must be >= 0")
+        return [self._next_transaction() for _ in range(n_transactions)]
+
+    def _next_transaction(self) -> Transaction:
+        txid = self._next_txid
+        self._next_txid += 1
+        sender = self._pick_sender()
+        if (
+            sender is None
+            or self._state[sender] is None
+            or self._balance[sender] < 2
+        ):
+            # No population yet, or the drawn account is drained: mint.
+            return self._genesis(txid)
+        receiver = self._wallets.pick_payee(sender)
+        if receiver == sender:
+            receiver = (receiver + 1) % self.config.n_accounts
+        amount = max(1, self._balance[sender] // 4)
+
+        inputs = [self._state[sender]]
+        merged = (
+            self._state[receiver] is not None
+            and self._rng.random() < self.config.merge_receiver_prob
+        )
+        if merged:
+            inputs.append(self._state[receiver])
+        sender_balance = self._balance[sender] - amount
+        receiver_balance = self._balance[receiver] + amount if merged else amount
+
+        outputs = [
+            TxOutput(value=sender_balance, address=sender),
+            TxOutput(value=receiver_balance, address=receiver),
+        ]
+        tx = Transaction(
+            txid=txid,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            timestamp=txid / self.config.tx_rate,
+            size_bytes=250,
+        )
+        self._state[sender] = OutPoint(txid, 0)
+        self._balance[sender] = sender_balance
+        if self._state[receiver] is None:
+            self._existing.append(receiver)
+        # The receipt output always becomes the receiver's live state;
+        # when unmerged, the receiver's previous state output is simply
+        # orphaned as unspent (merging it later would double-spend).
+        self._state[receiver] = OutPoint(txid, 1)
+        self._balance[receiver] = receiver_balance
+        return tx
+
+    def _pick_sender(self) -> int | None:
+        # Bootstrap until a minimal population exists, then transfer.
+        if len(self._existing) < max(2, self.config.n_accounts // 50):
+            return None
+        return self._existing[self._rng.randrange(len(self._existing))]
+
+    def _genesis(self, txid: int) -> Transaction:
+        """Fund a new account (the account model's implicit minting)."""
+        if self._next_fresh < self.config.n_accounts:
+            account = self._next_fresh
+            self._next_fresh += 1
+        else:
+            account = 0
+        tx = Transaction(
+            txid=txid,
+            inputs=(),
+            outputs=(TxOutput(value=INITIAL_BALANCE, address=account),),
+            timestamp=txid / self.config.tx_rate,
+            size_bytes=150,
+        )
+        if self._state[account] is None:
+            self._state[account] = OutPoint(txid, 0)
+            self._balance[account] = INITIAL_BALANCE
+            self._existing.append(account)
+        return tx
+
+
+def account_model_stream(
+    n_transactions: int,
+    seed: int = 0,
+    config: AccountModelConfig | None = None,
+) -> list[Transaction]:
+    """One-call helper mirroring :func:`synthetic_stream`."""
+    return AccountModelGenerator(config=config, seed=seed).generate(
+        n_transactions
+    )

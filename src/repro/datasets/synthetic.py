@@ -1,0 +1,387 @@
+"""Synthetic Bitcoin-like transaction stream generator.
+
+Substitutes for the MIT Bitcoin dataset (DESIGN.md §4). The generator
+reproduces the TaN-network properties the paper reports in §IV-A and
+relies on in the evaluation:
+
+- power-law in/out degree distributions with average degree around 2.3
+  (Fig. 2a/2b: about 93% of nodes with in-degree < 3, about 97% with
+  out-degree < 10);
+- coinbase transactions at block cadence, plus a bootstrap era in which
+  almost all transactions are coinbase (the paper notes 99.1% of the
+  first 10k blocks);
+- an optional high-degree "flooding attack" window reproducing the
+  average-degree spike in Fig. 2c;
+- wallet locality / community structure via :class:`WalletModel` - the
+  property that makes smart placement beat random placement;
+- validity: the stream is topological and double-spend free by
+  construction (property-tested against :class:`UTXOSet`).
+
+Every stream is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.datasets.wallets import WalletModel
+from repro.errors import ConfigurationError
+from repro.rng import bounded_power_law, make_rng
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+COIN = 100_000_000  # satoshi per coin
+BLOCK_REWARD = 50 * COIN
+DUST_LIMIT = 546  # change below this folds into the fee, as real wallets do
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorConfig:
+    """Tunable parameters of the synthetic workload.
+
+    Defaults are calibrated so the generated TaN matches the paper's
+    Bitcoin statistics (see ``tests/datasets/test_synthetic_stats.py``).
+
+    - ``n_wallets``: wallet population; smaller populations create denser
+      communities and stronger placement signal.
+    - ``coinbase_interval``: one mining reward every this many
+      transactions (about one block of 2000 txs in the paper's setup).
+    - ``bootstrap_coinbase``: number of leading pure-coinbase transactions
+      (the funding era).
+    - ``max_inputs`` / ``input_exponent``: fan-in power law.
+    - ``batch_payment_prob`` / ``max_batch_outputs``: occasional exchange
+      style payout transactions creating the out-degree tail.
+    - ``consolidation_prob``: occasional many-input sweep transactions.
+    - ``flood_start`` / ``flood_length``: optional flooding-attack window
+      (Fig. 2c); ``None`` disables it.
+    - ``burst_prob`` / ``burst_communities`` / ``burst_length``: activity
+      waves. With probability ``burst_prob`` the spender is drawn from a
+      rotating window of ``burst_communities`` "hot" communities; the
+      window shifts every ``burst_length`` transactions. This gives
+      graph clusters *temporal* locality - the property that makes
+      offline partitions (Metis) congestion-prone in the paper's
+      Figs. 5-7: a cluster's shard takes its whole burst at once.
+      ``burst_prob=0`` disables bursts.
+    - ``tx_rate``: timestamps are ``txid / tx_rate`` seconds.
+    """
+
+    n_wallets: int = 5_000
+    coinbase_interval: int = 2_000
+    bootstrap_coinbase: int = 200
+    max_inputs: int = 6
+    input_exponent: float = 2.1
+    batch_payment_prob: float = 0.03
+    max_batch_outputs: int = 40
+    consolidation_prob: float = 0.02
+    max_consolidation_inputs: int = 20
+    flood_start: int | None = None
+    flood_length: int = 0
+    flood_inputs: int = 30
+    tx_rate: float = 1_000.0
+    activity_exponent: float = 0.8
+    partner_stickiness: float = 0.7
+    recency_bias: float = 0.8
+    n_communities: int = 64
+    intra_community_prob: float = 0.92
+    community_exponent: float = 1.3
+    n_hubs: int = 0
+    hub_payment_prob: float = 0.15
+    burst_prob: float = 0.7
+    burst_communities: int = 4
+    burst_length: int = 10_000
+    fee: int = 1_000
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent parameters."""
+        if self.n_wallets < 2:
+            raise ConfigurationError("n_wallets must be >= 2")
+        if self.coinbase_interval < 1:
+            raise ConfigurationError("coinbase_interval must be >= 1")
+        if self.bootstrap_coinbase < 1:
+            raise ConfigurationError(
+                "bootstrap_coinbase must be >= 1 (the first transaction "
+                "has nothing to spend)"
+            )
+        if self.max_inputs < 1:
+            raise ConfigurationError("max_inputs must be >= 1")
+        if not 0 <= self.batch_payment_prob <= 1:
+            raise ConfigurationError("batch_payment_prob must be in [0, 1]")
+        if not 0 <= self.consolidation_prob <= 1:
+            raise ConfigurationError("consolidation_prob must be in [0, 1]")
+        if self.tx_rate <= 0:
+            raise ConfigurationError("tx_rate must be > 0")
+        if self.flood_start is not None and self.flood_start < 0:
+            raise ConfigurationError("flood_start must be >= 0")
+        if self.n_communities < 1:
+            raise ConfigurationError("n_communities must be >= 1")
+        if not 0.0 <= self.intra_community_prob <= 1.0:
+            raise ConfigurationError(
+                "intra_community_prob must be in [0, 1]"
+            )
+        if self.n_hubs < 0:
+            raise ConfigurationError("n_hubs must be >= 0")
+        if not 0.0 <= self.hub_payment_prob <= 1.0:
+            raise ConfigurationError("hub_payment_prob must be in [0, 1]")
+        if not 0.0 <= self.burst_prob <= 1.0:
+            raise ConfigurationError("burst_prob must be in [0, 1]")
+        if self.burst_communities < 1:
+            raise ConfigurationError("burst_communities must be >= 1")
+        if self.burst_length < 1:
+            raise ConfigurationError("burst_length must be >= 1")
+        if self.fee < 0:
+            raise ConfigurationError("fee must be >= 0")
+
+
+class BitcoinLikeGenerator:
+    """Streaming generator of valid, Bitcoin-like transactions."""
+
+    def __init__(
+        self, config: GeneratorConfig | None = None, seed: int = 0
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.config.validate()
+        self._rng = make_rng(seed)
+        self._wallets = WalletModel(
+            n_wallets=self.config.n_wallets,
+            rng=self._rng,
+            activity_exponent=self.config.activity_exponent,
+            partner_stickiness=self.config.partner_stickiness,
+            recency_bias=self.config.recency_bias,
+            n_communities=self.config.n_communities,
+            intra_community_prob=self.config.intra_community_prob,
+            community_exponent=self.config.community_exponent,
+            n_hubs=self.config.n_hubs,
+            hub_payment_prob=self.config.hub_payment_prob,
+        )
+        self._next_txid = 0
+
+    @property
+    def n_generated(self) -> int:
+        """Transactions produced so far."""
+        return self._next_txid
+
+    def stream(self, n_transactions: int) -> Iterator[Transaction]:
+        """Yield the next ``n_transactions`` transactions.
+
+        May be called repeatedly; generation continues from the current
+        state, so ``stream(a)`` then ``stream(b)`` equals ``stream(a+b)``.
+        """
+        if n_transactions < 0:
+            raise ConfigurationError(
+                f"n_transactions must be >= 0, got {n_transactions}"
+            )
+        for _ in range(n_transactions):
+            yield self._next_transaction()
+
+    def generate(self, n_transactions: int) -> list[Transaction]:
+        """Materialize ``n_transactions`` transactions as a list."""
+        return list(self.stream(n_transactions))
+
+    # -- internal --------------------------------------------------------
+
+    def _next_transaction(self) -> Transaction:
+        txid = self._next_txid
+        self._next_txid += 1
+        cfg = self.config
+        if txid < cfg.bootstrap_coinbase or txid % cfg.coinbase_interval == 0:
+            return self._coinbase(txid)
+        if self._in_flood_window(txid):
+            tx = self._flood_transaction(txid)
+        elif self._rng.random() < cfg.consolidation_prob:
+            tx = self._spend(
+                txid,
+                forced_inputs=bounded_power_law(
+                    self._rng, 2, cfg.max_consolidation_inputs, 1.2
+                ),
+                consolidate=True,
+            )
+        else:
+            tx = self._spend(txid)
+        return tx
+
+    def _in_flood_window(self, txid: int) -> bool:
+        start = self.config.flood_start
+        if start is None:
+            return False
+        return start <= txid < start + self.config.flood_length
+
+    def _hot_communities(self, txid: int) -> list[int] | None:
+        """The rotating activity-burst window (None when inactive)."""
+        cfg = self.config
+        if cfg.burst_prob == 0.0 or self._rng.random() >= cfg.burst_prob:
+            return None
+        n_communities = min(cfg.n_communities, cfg.n_wallets)
+        width = min(cfg.burst_communities, n_communities)
+        start = (txid // cfg.burst_length) * width % n_communities
+        return [
+            (start + offset) % n_communities for offset in range(width)
+        ]
+
+    def _flood_transaction(self, txid: int) -> Transaction:
+        """The July-2015 spam pattern (paper Fig. 2c).
+
+        Spam transactions shower a victim wallet with many tiny outputs;
+        cleanup transactions sweep dozens of them back up. Both halves
+        have degree far above the background, which is what produces the
+        average-degree spike.
+        """
+        cfg = self.config
+        victim = 0  # a designated spam-target wallet
+        if self._wallets.utxo_count(victim) >= cfg.flood_inputs:
+            return self._spend(
+                txid, forced_inputs=cfg.flood_inputs, consolidate=True,
+                forced_spender=victim,
+            )
+        # Spam phase: one transaction creating many dust outputs on the
+        # victim.
+        spender = self._wallets.pick_spender()
+        if spender is None or spender == victim:
+            return self._coinbase(txid)
+        coins = self._wallets.withdraw(spender, 2)
+        if not coins:
+            return self._coinbase(txid)
+        total_in = sum(value for _, value in coins)
+        n_dust = min(cfg.flood_inputs, max(1, total_in // (2 * DUST_LIMIT)))
+        share = total_in // (n_dust + 1)
+        outputs = [
+            TxOutput(value=share, address=victim) for _ in range(n_dust)
+        ]
+        outputs.append(TxOutput(value=total_in - share * n_dust,
+                                address=spender))
+        tx = Transaction(
+            txid=txid,
+            inputs=tuple(outpoint for outpoint, _ in coins),
+            outputs=tuple(outputs),
+            timestamp=txid / cfg.tx_rate,
+            size_bytes=150 + 150 * len(coins) + 35 * len(outputs),
+        )
+        for index, output in enumerate(outputs):
+            self._wallets.deposit(
+                output.address, OutPoint(txid, index), output.value
+            )
+        return tx
+
+    def _coinbase(self, txid: int) -> Transaction:
+        miner = self._rng.randrange(self.config.n_wallets)
+        output = TxOutput(value=BLOCK_REWARD, address=miner)
+        tx = Transaction(
+            txid=txid,
+            inputs=(),
+            outputs=(output,),
+            timestamp=txid / self.config.tx_rate,
+            size_bytes=200,
+        )
+        self._wallets.deposit(miner, OutPoint(txid, 0), BLOCK_REWARD)
+        return tx
+
+    def _spend(
+        self,
+        txid: int,
+        forced_inputs: int | None = None,
+        consolidate: bool = False,
+        forced_spender: int | None = None,
+    ) -> Transaction:
+        cfg = self.config
+        if forced_spender is not None:
+            spender = forced_spender
+        else:
+            spender = self._wallets.pick_spender(self._hot_communities(txid))
+        if spender is None:
+            # Nothing is funded (can only happen with tiny bootstrap):
+            # mint instead of spending; keeps the stream valid.
+            return self._coinbase(txid)
+        is_hub = self._wallets.is_hub(spender)
+        if is_hub and forced_inputs is None:
+            # Exchange pattern: sweep many deposits in one transaction.
+            forced_inputs = bounded_power_law(
+                self._rng, 2, cfg.max_consolidation_inputs, 1.2
+            )
+        if forced_inputs is None:
+            n_inputs = bounded_power_law(
+                self._rng, 1, cfg.max_inputs, cfg.input_exponent
+            )
+        else:
+            n_inputs = forced_inputs
+        coins = self._wallets.withdraw(spender, n_inputs)
+        if not coins:
+            return self._coinbase(txid)
+        total_in = sum(value for _, value in coins)
+        inputs = tuple(outpoint for outpoint, _ in coins)
+        fee = min(cfg.fee, max(0, total_in - DUST_LIMIT))
+        spendable = total_in - fee
+
+        outputs: list[TxOutput] = []
+        if consolidate:
+            outputs.append(TxOutput(value=spendable, address=spender))
+        elif is_hub or (
+            self._rng.random() < cfg.batch_payment_prob
+            and spendable > 2 * DUST_LIMIT * cfg.max_batch_outputs
+        ):
+            # Hubs always pay out in batches (exchange withdrawals).
+            outputs.extend(self._batch_outputs(spender, spendable))
+        else:
+            outputs.extend(self._payment_outputs(spender, spendable))
+
+        tx = Transaction(
+            txid=txid,
+            inputs=inputs,
+            outputs=tuple(outputs),
+            timestamp=txid / cfg.tx_rate,
+            size_bytes=150 + 150 * len(inputs) + 35 * len(outputs),
+            fee=total_in - sum(o.value for o in outputs),
+        )
+        for index, output in enumerate(outputs):
+            self._wallets.deposit(
+                output.address, OutPoint(txid, index), output.value
+            )
+        return tx
+
+    def _payment_outputs(self, spender: int, spendable: int) -> list[TxOutput]:
+        """A normal payment: one output to a partner, change back."""
+        payee = self._wallets.pick_payee(spender)
+        # Pay 10-90% of the spendable value; the rest is change.
+        amount = max(1, int(spendable * self._rng.uniform(0.1, 0.9)))
+        change = spendable - amount
+        outputs = [TxOutput(value=amount, address=payee)]
+        if change > DUST_LIMIT:
+            outputs.append(TxOutput(value=change, address=spender))
+        else:
+            # Fold dust change into the payment, not the fee, so value
+            # conservation in tests stays exact.
+            outputs[0] = TxOutput(value=amount + change, address=payee)
+        return outputs
+
+    def _batch_outputs(self, spender: int, spendable: int) -> list[TxOutput]:
+        """An exchange-style payout: many outputs to many wallets."""
+        n_out = bounded_power_law(
+            self._rng, 3, self.config.max_batch_outputs, 1.1
+        )
+        # Shrink the batch when funds are low so every share is positive.
+        n_out = max(1, min(n_out, spendable - 1)) if spendable > 1 else 1
+        share = spendable // (n_out + 1)
+        outputs = [
+            TxOutput(
+                value=share,
+                address=self._wallets.pick_payee(spender),
+            )
+            for _ in range(n_out)
+        ]
+        change = spendable - share * n_out
+        outputs.append(TxOutput(value=change, address=spender))
+        return outputs
+
+
+def synthetic_stream(
+    n_transactions: int,
+    seed: int = 0,
+    config: GeneratorConfig | None = None,
+) -> list[Transaction]:
+    """One-call helper: a materialized Bitcoin-like stream.
+
+    This is the workload entry point used by examples, experiments, and
+    the quickstart in the package docstring.
+    """
+    return BitcoinLikeGenerator(config=config, seed=seed).generate(
+        n_transactions
+    )

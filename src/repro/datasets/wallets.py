@@ -1,0 +1,326 @@
+"""Wallet population model for the synthetic workload.
+
+Real Bitcoin spending has strong locality: a wallet combines its own
+UTXOs as inputs, pays a small set of recurring partners, and receives
+change back to itself. That locality is what creates community structure
+in the TaN network, and community structure is exactly the signal a
+placement algorithm can exploit (a random stream with no locality would
+make every placer equally bad). The wallet model keeps:
+
+- a Zipf-distributed activity level per wallet (few exchanges dominate),
+- per-wallet UTXO pools with recency-biased selection (wallets spend
+  recent coins more often - the "hot coin" effect),
+- a sticky partner graph (repeat business), grown by preferential
+  attachment, and
+- wallet *communities*: most new partners come from the spender's own
+  community, so payment flows - and therefore TaN edges - concentrate
+  inside clusters. This mirrors the separability of the real Bitcoin TaN
+  (the paper's Metis baseline cuts it to 1.66% cross-TX at 4 shards,
+  impossible without clusters). Community sizes are Zipf-distributed:
+  the Bitcoin graph is dominated by a few huge activity clusters
+  (exchanges and their orbits), and
+- *hubs*: a handful of exchange-like wallets that everyone occasionally
+  pays and that constantly recycle a pool of coins deposited from all
+  communities. A coin received from a hub carries a *misleading* direct
+  parent (the hub's chain, not the payee's community), which is exactly
+  the structure separating one-hop Greedy placement from the T2S random
+  walk: T2S's division by ``|Nout(v)|`` dilutes the high-fanout hub
+  transactions and still recovers the community signal from deeper
+  ancestry (paper Table I: Greedy 24.6% vs T2S 9.3% cross at 4 shards).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng import ZipfSampler
+from repro.utxo.transaction import OutPoint
+
+
+@dataclass(slots=True)
+class _Wallet:
+    """Book-keeping for one wallet: its coins and favourite partners."""
+
+    address: int
+    utxos: list[tuple[OutPoint, int]] = field(default_factory=list)
+    partners: list[int] = field(default_factory=list)
+
+
+class WalletModel:
+    """Population of wallets with Zipf activity and sticky partners."""
+
+    def __init__(
+        self,
+        n_wallets: int,
+        rng: random.Random,
+        activity_exponent: float = 0.8,
+        partner_stickiness: float = 0.7,
+        max_partners: int = 8,
+        recency_bias: float = 0.8,
+        n_communities: int = 64,
+        intra_community_prob: float = 0.92,
+        community_exponent: float = 1.0,
+        n_hubs: int = 0,
+        hub_payment_prob: float = 0.15,
+    ) -> None:
+        if n_wallets <= 1:
+            raise ConfigurationError(
+                f"WalletModel needs at least 2 wallets, got {n_wallets}"
+            )
+        if not 0.0 <= partner_stickiness <= 1.0:
+            raise ConfigurationError(
+                f"partner_stickiness must be in [0, 1], got {partner_stickiness}"
+            )
+        if not 0.0 <= recency_bias < 1.0:
+            raise ConfigurationError(
+                f"recency_bias must be in [0, 1), got {recency_bias}"
+            )
+        if n_communities < 1:
+            raise ConfigurationError(
+                f"n_communities must be >= 1, got {n_communities}"
+            )
+        if not 0.0 <= intra_community_prob <= 1.0:
+            raise ConfigurationError(
+                f"intra_community_prob must be in [0, 1], got "
+                f"{intra_community_prob}"
+            )
+        if community_exponent < 0:
+            raise ConfigurationError(
+                f"community_exponent must be >= 0, got {community_exponent}"
+            )
+        if n_hubs < 0 or n_hubs >= n_wallets:
+            raise ConfigurationError(
+                f"n_hubs must be in [0, n_wallets), got {n_hubs}"
+            )
+        if not 0.0 <= hub_payment_prob <= 1.0:
+            raise ConfigurationError(
+                f"hub_payment_prob must be in [0, 1], got {hub_payment_prob}"
+            )
+        self._rng = rng
+        self._wallets = [_Wallet(address=a) for a in range(n_wallets)]
+        # Activity rank -> address through a random permutation, so the
+        # hottest wallets land in random communities (aligning rank with
+        # address would spread one hot wallet per community through the
+        # seed loop below and flatten community traffic).
+        self._activity = ZipfSampler(n_wallets, activity_exponent, rng)
+        self._activity_order = list(range(n_wallets))
+        rng.shuffle(self._activity_order)
+        self._stickiness = partner_stickiness
+        self._max_partners = max_partners
+        self._recency_bias = recency_bias
+        self._n_communities = min(n_communities, n_wallets)
+        self._intra_prob = intra_community_prob
+        # Zipf-sized communities: wallet a joins a community drawn from a
+        # Zipf over community ranks, so a few communities are huge. Every
+        # community keeps at least one member (the seed loop) so lookups
+        # never hit an empty list.
+        community_sampler = ZipfSampler(
+            self._n_communities, community_exponent, rng
+        )
+        self._community_of = [0] * n_wallets
+        self._members: list[list[int]] = [
+            [] for _ in range(self._n_communities)
+        ]
+        for address in range(n_wallets):
+            if address < self._n_communities:
+                community = address  # seed one member per community
+            else:
+                community = community_sampler.sample()
+            self._community_of[address] = community
+            self._members[community].append(address)
+        # Local activity: rank within the community, shared sampler sized
+        # by the biggest community (draws are taken modulo member count).
+        largest = max(len(members) for members in self._members)
+        self._local_activity = ZipfSampler(largest, activity_exponent, rng)
+        # Hubs are the globally most active wallets (top activity ranks),
+        # so their deposit pools recycle fast.
+        self._hubs = [self._activity_order[rank] for rank in range(n_hubs)]
+        self._hub_set = set(self._hubs)
+        self._hub_prob = hub_payment_prob if n_hubs else 0.0
+        self._n_funded = 0
+        self._funded_ids: list[int] = []
+        self._is_funded = [False] * n_wallets
+
+    @property
+    def n_wallets(self) -> int:
+        """Total wallet population size."""
+        return len(self._wallets)
+
+    @property
+    def n_funded(self) -> int:
+        """Wallets currently holding at least one UTXO."""
+        return self._n_funded
+
+    def deposit(self, address: int, outpoint: OutPoint, value: int) -> None:
+        """Credit a UTXO to a wallet (called for every created output)."""
+        wallet = self._wallets[address]
+        wallet.utxos.append((outpoint, value))
+        if not self._is_funded[address]:
+            self._is_funded[address] = True
+            self._funded_ids.append(address)
+            self._n_funded += 1
+
+    def pick_spender(
+        self, hot_communities: Sequence[int] | None = None
+    ) -> int | None:
+        """Choose a funded wallet, biased by Zipf activity.
+
+        ``hot_communities`` restricts the draw to the given communities
+        (the generator's activity-burst model: real services are busy in
+        waves, which is what correlates graph clusters with time and
+        breaks offline partitions' *temporal* balance - the paper's
+        Figs. 5-7 Metis pathology). Draws activity ranks and keeps the
+        first funded match; bounded retries keep the cost O(1) amortized.
+        Returns None when nothing is funded.
+        """
+        if self._n_funded == 0:
+            return None
+        if hot_communities is not None:
+            hot = set(hot_communities)
+            for _ in range(24):
+                community = hot_communities[
+                    self._rng.randrange(len(hot_communities))
+                ]
+                candidate = self._sample_community_member(community)
+                if (
+                    self._is_funded[candidate]
+                    and self._wallets[candidate].utxos
+                ):
+                    return candidate
+            # Fall through to the global draw when the hot communities
+            # hold no funded wallets yet (early stream).
+        for _ in range(16):
+            candidate = self._activity_order[self._activity.sample()]
+            if self._is_funded[candidate] and self._wallets[candidate].utxos:
+                return candidate
+        # Fallback: uniform over the funded list (compact it lazily).
+        for _ in range(16):
+            candidate = self._funded_ids[
+                self._rng.randrange(len(self._funded_ids))
+            ]
+            if self._wallets[candidate].utxos:
+                return candidate
+        self._compact_funded()
+        if not self._funded_ids:
+            return None
+        return self._funded_ids[self._rng.randrange(len(self._funded_ids))]
+
+    def withdraw(self, address: int, n_inputs: int) -> list[tuple[OutPoint, int]]:
+        """Remove and return up to ``n_inputs`` UTXOs from a wallet.
+
+        Selection is recency-biased: with probability ``recency_bias`` take
+        the most recent coin, otherwise a uniform one. Both operations are
+        O(1) thanks to swap-removal (UTXO order within a wallet carries no
+        protocol meaning).
+        """
+        wallet = self._wallets[address]
+        taken: list[tuple[OutPoint, int]] = []
+        while wallet.utxos and len(taken) < n_inputs:
+            if self._rng.random() < self._recency_bias:
+                index = len(wallet.utxos) - 1
+            else:
+                index = self._rng.randrange(len(wallet.utxos))
+            wallet.utxos[index], wallet.utxos[-1] = (
+                wallet.utxos[-1],
+                wallet.utxos[index],
+            )
+            taken.append(wallet.utxos.pop())
+        if not wallet.utxos and self._is_funded[address]:
+            self._is_funded[address] = False
+            self._n_funded -= 1
+        return taken
+
+    def community_of(self, address: int) -> int:
+        """Community id of a wallet."""
+        return self._community_of[address]
+
+    def is_hub(self, address: int) -> bool:
+        """True when the wallet is an exchange-like hub."""
+        return address in self._hub_set
+
+    def community_size(self, community: int) -> int:
+        """Member count of a community (inspection/test helper)."""
+        return len(self._members[community])
+
+    def pick_payee(self, spender: int) -> int:
+        """Choose who ``spender`` pays.
+
+        With probability ``hub_payment_prob`` the payment goes to a hub
+        (deposits to an exchange - not sticky, hubs are not "partners").
+        Otherwise, with probability ``partner_stickiness`` an existing
+        partner is reused; failing that a new partner is drawn - from the
+        spender's own community with probability ``intra_community_prob``,
+        globally (Zipf by activity) otherwise - and becomes sticky, capped
+        at ``max_partners`` with random replacement.
+        """
+        wallet = self._wallets[spender]
+        if spender in self._hub_set:
+            # Hub payouts (exchange withdrawals) go anywhere: global
+            # activity draw, no stickiness. This is what spreads
+            # hub-parented coins across every community.
+            payee = self._activity_order[self._activity.sample()]
+            if payee == spender:
+                payee = self._activity_order[
+                    self._activity.sample() % len(self._wallets)
+                ]
+            if payee != spender:
+                return payee
+            return (spender + 1) % len(self._wallets)
+        if self._hubs and self._rng.random() < self._hub_prob:
+            hub = self._hubs[self._rng.randrange(len(self._hubs))]
+            if hub != spender:
+                return hub
+        if wallet.partners and self._rng.random() < self._stickiness:
+            return wallet.partners[self._rng.randrange(len(wallet.partners))]
+        if self._rng.random() < self._intra_prob:
+            payee = self._sample_community_member(self.community_of(spender))
+        else:
+            payee = self._activity_order[self._activity.sample()]
+        if payee == spender:
+            members = self._members[self.community_of(spender)]
+            if len(members) > 1:
+                # Next member of the same community, so intra draws stay
+                # intra.
+                payee = members[
+                    (members.index(spender) + 1) % len(members)
+                ]
+            else:
+                payee = (spender + 1) % len(self._wallets)
+        if len(wallet.partners) < self._max_partners:
+            wallet.partners.append(payee)
+        else:
+            wallet.partners[self._rng.randrange(len(wallet.partners))] = payee
+        return payee
+
+    def _sample_community_member(self, community: int) -> int:
+        """Zipf-by-rank draw restricted to one community's members.
+
+        Member lists are shuffled at construction, so low local ranks are
+        arbitrary members (community-local "hot" wallets), independent of
+        the global activity order.
+        """
+        members = self._members[community]
+        rank = self._local_activity.sample() % len(members)
+        return members[rank]
+
+    def balance_of(self, address: int) -> int:
+        """Total value held by a wallet (test/inspection helper)."""
+        return sum(value for _, value in self._wallets[address].utxos)
+
+    def utxo_count(self, address: int) -> int:
+        """Number of UTXOs a wallet holds."""
+        return len(self._wallets[address].utxos)
+
+    def _compact_funded(self) -> None:
+        # A drain-then-refund cycle can leave duplicate ids in the list
+        # (deposit appends without scanning); dict.fromkeys dedupes while
+        # preserving order.
+        self._funded_ids = [
+            address
+            for address in dict.fromkeys(self._funded_ids)
+            if self._wallets[address].utxos
+        ]
+        self._n_funded = len(self._funded_ids)

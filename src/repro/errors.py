@@ -1,0 +1,65 @@
+"""Exception hierarchy for the OptChain reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the
+subsystem that raises them; none of them carry behaviour beyond a message,
+which keeps the hierarchy boring and predictable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied parameter is invalid or inconsistent."""
+
+
+class UTXOError(ReproError):
+    """Base class for UTXO-model violations."""
+
+
+class UnknownOutputError(UTXOError):
+    """A transaction references an output that was never created."""
+
+
+class DoubleSpendError(UTXOError):
+    """A transaction spends an output that is already spent."""
+
+
+class ValidationError(UTXOError):
+    """A transaction violates a structural validation rule."""
+
+
+class GraphError(ReproError):
+    """Base class for TaN / partition graph violations."""
+
+
+class DuplicateNodeError(GraphError):
+    """A node id was inserted into a graph twice."""
+
+
+class MissingNodeError(GraphError):
+    """An operation referenced a node that is not in the graph."""
+
+
+class CycleError(GraphError):
+    """An operation would introduce a cycle into a DAG."""
+
+
+class PartitionError(ReproError):
+    """A partition is malformed (not a disjoint cover, bad shard id...)."""
+
+
+class PlacementError(ReproError):
+    """A placement strategy produced or received invalid state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DatasetError(ReproError):
+    """A dataset file or stream is malformed."""

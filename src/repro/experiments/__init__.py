@@ -1,0 +1,27 @@
+"""Experiment runners: one per paper table/figure.
+
+Each module exposes a ``run(scale=...)`` function returning structured
+results and a ``main()`` that prints them paper-style. The shared sweep
+machinery and the in-process result cache live in
+:mod:`repro.experiments.runner`; scale presets (tiny / default / paper)
+in :mod:`repro.experiments.configs`.
+
+| Paper artifact | Module |
+|----------------|--------|
+| Table I        | :mod:`repro.experiments.table1` |
+| Table II       | :mod:`repro.experiments.table2` |
+| Fig. 2a-2c     | :mod:`repro.experiments.fig2` |
+| Fig. 3         | :mod:`repro.experiments.fig3` |
+| Fig. 4a-4b     | :mod:`repro.experiments.fig4` |
+| Fig. 5         | :mod:`repro.experiments.fig5` |
+| Fig. 6         | :mod:`repro.experiments.fig6` |
+| Fig. 7         | :mod:`repro.experiments.fig7` |
+| Fig. 8a-8b     | :mod:`repro.experiments.fig8` |
+| Fig. 9a-9b     | :mod:`repro.experiments.fig9` |
+| Fig. 10        | :mod:`repro.experiments.fig10` |
+| Fig. 11        | :mod:`repro.experiments.fig11` |
+"""
+
+from repro.experiments.configs import SCALES, ExperimentScale, get_scale
+
+__all__ = ["SCALES", "ExperimentScale", "get_scale"]

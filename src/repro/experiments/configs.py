@@ -1,0 +1,151 @@
+"""Scale presets for the experiments.
+
+The paper's evaluation runs 10M Bitcoin transactions through an
+OverSim/OMNeT++ cluster - far beyond what an in-process pure-Python
+discrete-event simulation should attempt by default. Each preset scales
+the workload *and* the system together (transaction count, block
+capacity, transaction rates) by the same factor, which preserves every
+relationship the paper evaluates: utilization at a given (rate, shards)
+point, who backlogs first, latency ratios between methods, and queue
+imbalance dynamics. EXPERIMENTS.md records measured-vs-paper numbers at
+the ``default`` scale.
+
+- ``tiny``   - seconds per figure; used by the test suite and the
+  pytest benchmarks.
+- ``default``- minutes per figure; the scale EXPERIMENTS.md reports.
+- ``paper``  - the paper's own numbers (10M txs, 2000-6000 tps,
+  2000-tx blocks). Hours to days in pure Python; provided for
+  completeness and spot checks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.datasets.synthetic import GeneratorConfig
+from repro.errors import ConfigurationError
+from repro.simulator.config import SimulationConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentScale:
+    """One coherent workload + system sizing."""
+
+    name: str
+    n_transactions: int
+    generator: GeneratorConfig
+    #: transaction rates (the paper's 2000..6000 tps axis, scaled)
+    tx_rates: tuple[float, ...]
+    #: shard counts (the paper's 4..16 axis; Tables I/II go to 64)
+    shard_counts: tuple[int, ...]
+    #: shard counts for the static tables (paper: 4..64)
+    table_shard_counts: tuple[int, ...]
+    block_capacity: int
+    block_size_bytes: int
+    consensus_per_tx_s: float
+    #: Fig. 5 commit-histogram bin, scaled from the paper's 50 s
+    commit_bin_s: float
+    #: guard for overload runs: stop after this much simulated time
+    max_sim_time_s: float
+    #: Table II: prefix partitioned offline, window measured online
+    warm_prefix: int
+    warm_window: int
+
+    def simulation(
+        self, n_shards: int, tx_rate: float, **overrides
+    ) -> SimulationConfig:
+        """Build the simulator config for one grid point."""
+        parameters = dict(
+            n_shards=n_shards,
+            tx_rate=tx_rate,
+            block_capacity=self.block_capacity,
+            block_size_bytes=self.block_size_bytes,
+            consensus_per_tx_s=self.consensus_per_tx_s,
+            commit_bin_s=self.commit_bin_s,
+            max_sim_time_s=self.max_sim_time_s,
+        )
+        parameters.update(overrides)
+        return SimulationConfig(**parameters)
+
+
+_TINY = ExperimentScale(
+    name="tiny",
+    n_transactions=4_000,
+    generator=GeneratorConfig(
+        n_wallets=800,
+        coinbase_interval=200,
+        bootstrap_coinbase=100,
+        burst_length=650,
+    ),
+    tx_rates=(100.0, 200.0, 300.0),
+    shard_counts=(4, 16),
+    table_shard_counts=(4, 16),
+    block_capacity=100,
+    block_size_bytes=50_000,
+    consensus_per_tx_s=0.01,
+    commit_bin_s=5.0,
+    max_sim_time_s=2_000.0,
+    warm_prefix=2_500,
+    warm_window=1_500,
+)
+
+_DEFAULT = ExperimentScale(
+    name="default",
+    n_transactions=60_000,
+    generator=GeneratorConfig(
+        n_wallets=4_000,
+        coinbase_interval=200,
+        bootstrap_coinbase=200,
+        burst_length=10_000,
+    ),
+    tx_rates=(200.0, 300.0, 400.0, 500.0, 600.0),
+    shard_counts=(4, 6, 8, 10, 12, 14, 16),
+    table_shard_counts=(4, 8, 16, 32, 64),
+    block_capacity=200,
+    block_size_bytes=100_000,
+    consensus_per_tx_s=0.005,
+    commit_bin_s=10.0,
+    max_sim_time_s=10_000.0,
+    warm_prefix=40_000,
+    warm_window=20_000,
+)
+
+_PAPER = ExperimentScale(
+    name="paper",
+    n_transactions=10_000_000,
+    generator=GeneratorConfig(
+        n_wallets=200_000,
+        coinbase_interval=2_000,
+        bootstrap_coinbase=5_000,
+        burst_length=1_500_000,
+    ),
+    tx_rates=(2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0),
+    shard_counts=(4, 6, 8, 10, 12, 14, 16),
+    table_shard_counts=(4, 8, 16, 32, 64),
+    block_capacity=2_000,
+    block_size_bytes=1_000_000,
+    consensus_per_tx_s=0.0005,
+    commit_bin_s=50.0,
+    max_sim_time_s=50_000.0,
+    warm_prefix=8_000_000,
+    warm_window=1_000_000,
+)
+
+SCALES: dict[str, ExperimentScale] = {
+    scale.name: scale for scale in (_TINY, _DEFAULT, _PAPER)
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a scale by name, env var ``REPRO_SCALE``, or default.
+
+    Precedence: explicit ``name`` > ``REPRO_SCALE`` > ``"default"``.
+    """
+    resolved = name or os.environ.get("REPRO_SCALE") or "default"
+    try:
+        return SCALES[resolved]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {resolved!r}; known: {sorted(SCALES)}"
+        )

@@ -1,0 +1,87 @@
+"""Figure 10 - cumulative distribution of transaction latency.
+
+Paper (16 shards, 6000 tps): within 10 seconds OptChain completes 70% of
+transactions versus 41.2% (Greedy), 7.9% (OmniLedger) and 2.4% (Metis).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distribution import cdf_points, fraction_below
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import METHODS, simulate
+
+
+def run(
+    scale: ExperimentScale, seed: int = 1
+) -> dict[str, list[float]]:
+    """Raw latency samples per method at the top configuration."""
+    n_shards = max(scale.shard_counts)
+    tx_rate = max(scale.tx_rates)
+    samples: dict[str, list[float]] = {}
+    for method in METHODS:
+        result = simulate(scale, method, n_shards, tx_rate, seed)
+        samples[method] = result.latencies
+    return samples
+
+
+def cdf(samples: dict[str, list[float]], n_points: int = 40):
+    """CDF curves per method."""
+    return {
+        method: cdf_points(latencies, n_points)
+        for method, latencies in samples.items()
+    }
+
+
+def within(samples: dict[str, list[float]], threshold: float):
+    """Fraction of transactions confirmed within ``threshold`` seconds."""
+    return {
+        method: fraction_below(latencies, threshold)
+        for method, latencies in samples.items()
+    }
+
+
+def as_table(samples: dict[str, list[float]], threshold: float) -> str:
+    fractions = within(samples, threshold)
+    rows = [
+        [method, f"{fraction:.1%}"]
+        for method, fraction in sorted(fractions.items())
+    ]
+    table = format_table(
+        ["method", f"confirmed within {threshold:.0f}s"],
+        rows,
+        title=(
+            "Fig. 10: latency CDF headline "
+            "(paper at 10s: OptChain 70%, Greedy 41.2%, OmniLedger 7.9%, "
+            "Metis 2.4%)"
+        ),
+    )
+    curves = cdf(samples, n_points=10)
+    methods = sorted(curves)
+    rows = []
+    for i in range(10):
+        row: list[object] = [f"{(i + 1) * 10}%"]
+        for method in methods:
+            value, _ = curves[method][i]
+            row.append(f"{value:.1f}s")
+        rows.append(row)
+    detail = format_table(
+        ["quantile"] + methods, rows, title="latency quantiles"
+    )
+    return table + "\n\n" + detail
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    scale = scale_by_name(scale_name)
+    samples = run(scale)
+    # The paper reads the CDF at 10 s; at reduced scale the equivalent
+    # threshold is the same because consensus timing is unscaled.
+    output = as_table(samples, threshold=10.0)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Figure 11 - OptChain scalability.
+
+The paper plots, per shard count, the highest transaction rate at which
+OptChain's throughput still equals the rate (no backlogging), finding a
+near-linear relationship (above 20,000 tps at 62 shards) with
+confirmation delay never exceeding 11 seconds in the healthy regime.
+
+We binary-search the sustainable rate per shard count. A rate is
+*sustained* when the run drains, the average confirmation latency stays
+under the paper's healthy-regime budget (11 s, "the confirmation delay
+is never more than 11 seconds"), and no shard's queue grows past a few
+blocks. Throughput-vs-rate comparisons are unusable at reduced scale
+because short runs are drain-dominated; the latency/queue criterion
+measures the same "no backlogging" property directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.optchain import OptChainPlacer
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import stream_for
+from repro.simulator.engine import run_simulation
+
+LATENCY_BUDGET_S = 11.0  # the paper's healthy-regime confirmation bound
+QUEUE_BUDGET_BLOCKS = 5  # backlog cap: queues beyond this mean overload
+
+
+@dataclass(frozen=True, slots=True)
+class ScalePoint:
+    """Max sustained rate for one shard count."""
+
+    n_shards: int
+    max_rate: float
+    average_latency: float
+    max_latency: float
+
+
+def _sustains(scale: ExperimentScale, n_shards: int, rate: float, seed: int):
+    stream = stream_for(scale, seed)
+    config = scale.simulation(n_shards, rate)
+    result = run_simulation(stream, OptChainPlacer(n_shards), config)
+    peak_queue = max(
+        (max(sizes) for sizes in result.queue_samples), default=0
+    )
+    ok = (
+        result.drained
+        and result.average_latency <= LATENCY_BUDGET_S
+        and peak_queue <= QUEUE_BUDGET_BLOCKS * scale.block_capacity
+    )
+    return ok, result
+
+
+def run(scale: ExperimentScale, seed: int = 1) -> list[ScalePoint]:
+    """Binary-search the max sustained rate per shard count."""
+    points = []
+    lo_hint = min(scale.tx_rates) / 2
+    for n_shards in scale.shard_counts:
+        lo, hi = lo_hint, max(scale.tx_rates) * 2.0
+        best = None
+        # Expand upward if even the top is sustained.
+        ok, result = _sustains(scale, n_shards, hi, seed)
+        if ok:
+            best = (hi, result)
+        else:
+            for _ in range(6):  # ~2% resolution on the rate axis
+                mid = (lo + hi) / 2
+                ok, result = _sustains(scale, n_shards, mid, seed)
+                if ok:
+                    best = (mid, result)
+                    lo = mid
+                else:
+                    hi = mid
+        if best is None:
+            points.append(ScalePoint(n_shards, 0.0, 0.0, 0.0))
+            continue
+        rate, result = best
+        points.append(
+            ScalePoint(
+                n_shards=n_shards,
+                max_rate=rate,
+                average_latency=result.average_latency,
+                max_latency=result.max_latency,
+            )
+        )
+        lo_hint = rate  # more shards never sustain less
+    return points
+
+
+def as_table(points: list[ScalePoint]) -> str:
+    rows = [
+        [
+            p.n_shards,
+            f"{p.max_rate:.0f}",
+            f"{p.average_latency:.1f}s",
+            f"{p.max_latency:.1f}s",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["#shards", "max sustained rate", "avg latency", "max latency"],
+        rows,
+        title=(
+            "Fig. 11: OptChain scalability (paper: near-linear in #shards, "
+            "confirmation <= 11s when healthy)"
+        ),
+    )
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

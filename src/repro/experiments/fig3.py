@@ -1,0 +1,94 @@
+"""Figure 3 - latency and throughput across (rate, #shards) per method.
+
+The paper shows four panels (OptChain, OmniLedger, Metis k-way, Greedy),
+each a pair of surfaces: average latency and throughput as functions of
+the transaction rate and shard count. Expected shape: every method's
+latency falls as shards grow; OptChain reaches rate-matching throughput
+with fewer shards than anyone else; OmniLedger saturates earliest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import METHODS, simulate_grid
+
+
+@dataclass(frozen=True, slots=True)
+class GridCell:
+    """One (method, shards, rate) measurement."""
+
+    method: str
+    n_shards: int
+    tx_rate: float
+    throughput: float
+    average_latency: float
+    max_latency: float
+    cross_fraction: float
+    drained: bool
+
+
+def run(scale: ExperimentScale, seed: int = 1) -> list[GridCell]:
+    """The full grid of Fig. 3 (shared with Figs. 4, 8, 9)."""
+    grid = simulate_grid(scale, METHODS, seed)
+    cells = []
+    for (method, n_shards, tx_rate), result in grid.items():
+        cells.append(
+            GridCell(
+                method=method,
+                n_shards=n_shards,
+                tx_rate=tx_rate,
+                throughput=result.throughput,
+                average_latency=result.average_latency,
+                max_latency=result.max_latency,
+                cross_fraction=result.cross_fraction,
+                drained=result.drained,
+            )
+        )
+    return cells
+
+
+def as_table(cells: list[GridCell]) -> str:
+    """One panel per method: rows = rates, columns = shard counts."""
+    methods = sorted({cell.method for cell in cells})
+    shard_counts = sorted({cell.n_shards for cell in cells})
+    rates = sorted({cell.tx_rate for cell in cells})
+    by_key = {
+        (cell.method, cell.n_shards, cell.tx_rate): cell for cell in cells
+    }
+    sections = []
+    for method in methods:
+        rows = []
+        for rate in rates:
+            row: list[object] = [int(rate)]
+            for k in shard_counts:
+                cell = by_key[(method, k, rate)]
+                row.append(
+                    f"{cell.average_latency:.1f}s/{cell.throughput:.0f}"
+                )
+            rows.append(row)
+        sections.append(
+            format_table(
+                ["rate"] + [f"k={k}" for k in shard_counts],
+                rows,
+                title=(
+                    f"Fig. 3 ({method}): avg latency / throughput per "
+                    f"(rate, #shards)"
+                ),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Figure 4 - system throughput.
+
+(4a) throughput versus transaction rate at the largest shard count;
+(4b) the maximum throughput each method achieves per configuration.
+Paper: at 16 shards OptChain's maximum throughput is 34.4%, 30.5% and
+16.6% higher than OmniLedger, Metis and Greedy; OptChain tracks the
+input rate the longest, Metis never reaches it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.fig3 import GridCell
+from repro.experiments.fig3 import run as fig3_run
+
+
+def run(scale: ExperimentScale, seed: int = 1) -> list[GridCell]:
+    """Same grid as Fig. 3."""
+    return fig3_run(scale, seed)
+
+
+def throughput_at_max_shards(
+    cells: list[GridCell],
+) -> dict[str, list[tuple[float, float]]]:
+    """Fig. 4a: ``rate -> throughput`` per method at the top shard count."""
+    top = max(cell.n_shards for cell in cells)
+    series: dict[str, list[tuple[float, float]]] = {}
+    for cell in cells:
+        if cell.n_shards != top:
+            continue
+        series.setdefault(cell.method, []).append(
+            (cell.tx_rate, cell.throughput)
+        )
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def max_throughput(cells: list[GridCell]) -> dict[str, float]:
+    """Fig. 4b headline: best throughput per method over the grid."""
+    best: dict[str, float] = {}
+    for cell in cells:
+        best[cell.method] = max(
+            best.get(cell.method, 0.0), cell.throughput
+        )
+    return best
+
+
+def as_table(cells: list[GridCell]) -> str:
+    series = throughput_at_max_shards(cells)
+    rates = sorted({rate for pts in series.values() for rate, _ in pts})
+    methods = sorted(series)
+    rows = []
+    for rate in rates:
+        row: list[object] = [int(rate)]
+        for method in methods:
+            value = dict(series[method]).get(rate, float("nan"))
+            row.append(f"{value:.0f}")
+        rows.append(row)
+    part_a = format_table(
+        ["rate"] + list(methods),
+        rows,
+        title="Fig. 4a: throughput vs rate at the largest shard count",
+    )
+    best = max_throughput(cells)
+    part_b = format_table(
+        ["method", "max throughput (tps)"],
+        [[m, f"{v:.0f}"] for m, v in sorted(best.items())],
+        title="Fig. 4b: maximum throughput per method",
+    )
+    return part_a + "\n\n" + part_b
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

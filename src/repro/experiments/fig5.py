@@ -1,0 +1,92 @@
+"""Figure 5 - committed transactions per time window.
+
+At the top (rate, shards) configuration the paper counts commits per
+50-second window: OptChain, OmniLedger and Greedy produce near-constant
+lines; Metis starts slow (first ~500 s) and oscillates - the congestion
+signature of placing consecutive transactions in one shard.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.timeseries import bin_counts
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import METHODS, simulate
+
+
+def run(
+    scale: ExperimentScale, seed: int = 1
+) -> dict[str, list[tuple[float, int]]]:
+    """Commit histogram per method at the top configuration."""
+    n_shards = max(scale.shard_counts)
+    tx_rate = max(scale.tx_rates)
+    histograms: dict[str, list[tuple[float, int]]] = {}
+    for method in METHODS:
+        result = simulate(scale, method, n_shards, tx_rate, seed)
+        histograms[method] = bin_counts(
+            result.commit_times, scale.commit_bin_s
+        )
+    return histograms
+
+
+def oscillation(histogram: list[tuple[float, int]]) -> float:
+    """Coefficient of variation of per-bin commits (Metis > others).
+
+    The last bin is dropped - it is truncated by the end of the run for
+    every method.
+    """
+    counts = [count for _, count in histogram[:-1]]
+    if not counts:
+        return 0.0
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return 0.0
+    variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+    return variance**0.5 / mean
+
+
+def as_table(histograms: dict[str, list[tuple[float, int]]]) -> str:
+    methods = sorted(histograms)
+    n_bins = max(len(h) for h in histograms.values())
+    rows = []
+    for index in range(n_bins):
+        row: list[object] = []
+        start = None
+        for method in methods:
+            histogram = histograms[method]
+            if index < len(histogram):
+                start = histogram[index][0]
+                row.append(histogram[index][1])
+            else:
+                row.append(0)
+        rows.append([f"{start:.0f}s"] + row)
+    table = format_table(
+        ["bin"] + list(methods),
+        rows,
+        title="Fig. 5: committed transactions per time window",
+    )
+    cv_rows = [
+        [method, f"{oscillation(histograms[method]):.3f}"]
+        for method in methods
+    ]
+    return (
+        table
+        + "\n\n"
+        + format_table(
+            ["method", "commit-rate CV"],
+            cv_rows,
+            title="Oscillation (coefficient of variation; Metis highest)",
+        )
+    )
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Figure 6 - maximum and minimum shard queue sizes over time.
+
+Paper (6000 tps, 16 shards): OptChain keeps max and min close (worst
+max about 44k transactions); Metis reaches 507k with idle shards at the
+same instant; Greedy 230k; OmniLedger grows unboundedly (about 499k)
+because the system is beyond its capacity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import queue_extrema_series
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import METHODS, simulate
+
+
+def run(
+    scale: ExperimentScale, seed: int = 1
+) -> dict[str, list[tuple[float, int, int]]]:
+    """(time, max queue, min queue) series per method."""
+    n_shards = max(scale.shard_counts)
+    tx_rate = max(scale.tx_rates)
+    series: dict[str, list[tuple[float, int, int]]] = {}
+    for method in METHODS:
+        result = simulate(scale, method, n_shards, tx_rate, seed)
+        series[method] = queue_extrema_series(
+            result.queue_sample_times, result.queue_samples
+        )
+    return series
+
+
+def worst_max_queue(series: list[tuple[float, int, int]]) -> int:
+    """Peak queue size over the run (the paper's headline per method)."""
+    return max((biggest for _, biggest, _ in series), default=0)
+
+
+def as_table(series: dict[str, list[tuple[float, int, int]]]) -> str:
+    methods = sorted(series)
+    headline = format_table(
+        ["method", "peak max-queue", "samples"],
+        [
+            [method, worst_max_queue(series[method]), len(series[method])]
+            for method in methods
+        ],
+        title="Fig. 6: peak queue sizes (OptChain smallest in the paper)",
+    )
+    # Compact trace: every ~10th sample of max/min per method.
+    rows = []
+    length = max(len(s) for s in series.values())
+    step = max(1, length // 12)
+    for index in range(0, length, step):
+        row: list[object] = []
+        time = None
+        for method in methods:
+            s = series[method]
+            if index < len(s):
+                time, biggest, smallest = s[index]
+                row.append(f"{biggest}/{smallest}")
+            else:
+                row.append("-")
+        rows.append([f"{time:.0f}s"] + row)
+    trace = format_table(
+        ["t"] + list(methods),
+        rows,
+        title="max/min queue size over time",
+    )
+    return headline + "\n\n" + trace
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

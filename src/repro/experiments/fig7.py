@@ -1,0 +1,70 @@
+"""Figure 7 - queue-size ratio (max/min) over time.
+
+The temporal-balance metric: Metis and Greedy show huge or infinite
+ratios (idle shards while others drown); OptChain and OmniLedger stay
+near 1. Infinite ratios (min queue = 0 while max > 0) are reported as
+``inf`` and summarized by their frequency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import queue_ratio_series
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import METHODS, simulate
+
+
+def run(
+    scale: ExperimentScale, seed: int = 1
+) -> dict[str, list[tuple[float, float]]]:
+    """(time, max/min ratio) series per method at the top config."""
+    n_shards = max(scale.shard_counts)
+    tx_rate = max(scale.tx_rates)
+    series: dict[str, list[tuple[float, float]]] = {}
+    for method in METHODS:
+        result = simulate(scale, method, n_shards, tx_rate, seed)
+        series[method] = queue_ratio_series(
+            result.queue_sample_times, result.queue_samples
+        )
+    return series
+
+
+def summarize(series: list[tuple[float, float]]) -> dict[str, float]:
+    """Median finite ratio and the share of unbalanced samples."""
+    finite = sorted(r for _, r in series if r != float("inf"))
+    infinite = sum(1 for _, r in series if r == float("inf"))
+    median = finite[len(finite) // 2] if finite else float("inf")
+    return {
+        "median_ratio": median,
+        "fraction_idle_shard": infinite / len(series) if series else 0.0,
+    }
+
+
+def as_table(series: dict[str, list[tuple[float, float]]]) -> str:
+    rows = []
+    for method in sorted(series):
+        stats = summarize(series[method])
+        rows.append(
+            [
+                method,
+                f"{stats['median_ratio']:.1f}",
+                f"{stats['fraction_idle_shard']:.1%}",
+            ]
+        )
+    return format_table(
+        ["method", "median max/min ratio", "samples with an idle shard"],
+        rows,
+        title="Fig. 7: queue-size ratio (OptChain lowest in the paper)",
+    )
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Figure 9 - maximum transaction latency.
+
+Paper (16 shards, 6000 tps): OptChain's worst transaction takes 100.9 s
+versus 1309.5 s (OmniLedger), 1345.9 s (Metis), 628.9 s (Greedy). Same
+series as Fig. 8 but with the max instead of the mean.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.fig3 import GridCell
+from repro.experiments.fig3 import run as fig3_run
+
+
+def run(scale: ExperimentScale, seed: int = 1) -> list[GridCell]:
+    """Same grid as Fig. 3."""
+    return fig3_run(scale, seed)
+
+
+def max_latency_at_max_shards(
+    cells: list[GridCell],
+) -> dict[str, list[tuple[float, float]]]:
+    """Fig. 9a series: ``rate -> max latency`` at the top shard count."""
+    top = max(cell.n_shards for cell in cells)
+    series: dict[str, list[tuple[float, float]]] = {}
+    for cell in cells:
+        if cell.n_shards != top:
+            continue
+        series.setdefault(cell.method, []).append(
+            (cell.tx_rate, cell.max_latency)
+        )
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def worst_case(cells: list[GridCell]) -> dict[str, float]:
+    """Fig. 9b headline: worst latency per method over the grid."""
+    worst: dict[str, float] = {}
+    for cell in cells:
+        worst[cell.method] = max(
+            worst.get(cell.method, 0.0), cell.max_latency
+        )
+    return worst
+
+
+def as_table(cells: list[GridCell]) -> str:
+    series = max_latency_at_max_shards(cells)
+    methods = sorted(series)
+    rates = sorted({rate for pts in series.values() for rate, _ in pts})
+    rows = []
+    for rate in rates:
+        row: list[object] = [int(rate)]
+        for method in methods:
+            row.append(f"{dict(series[method])[rate]:.1f}s")
+        rows.append(row)
+    table = format_table(
+        ["rate"] + list(methods),
+        rows,
+        title="Fig. 9a: maximum latency vs rate at the largest shard count",
+    )
+    worst = worst_case(cells)
+    summary = format_table(
+        ["method", "worst latency (s)"],
+        [[m, f"{v:.1f}"] for m, v in sorted(worst.items())],
+        title="Fig. 9b: worst case over the grid (OptChain smallest)",
+    )
+    return table + "\n\n" + summary
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

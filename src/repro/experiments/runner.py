@@ -1,0 +1,140 @@
+"""Shared machinery for the experiment sweeps.
+
+Caches are process-wide and keyed by scale, so the 8 simulation-derived
+figures (3-10) share one grid of simulation runs instead of re-simulating
+per figure, and the static tables share one workload and one Metis
+partition per shard count.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.baselines import (
+    GreedyPlacer,
+    MetisOfflinePlacer,
+    OmniLedgerRandomPlacer,
+    T2SOnlyPlacer,
+)
+from repro.core.optchain import OptChainPlacer
+from repro.core.placement import PlacementStrategy
+from repro.datasets.synthetic import BitcoinLikeGenerator
+from repro.errors import ConfigurationError
+from repro.experiments.configs import ExperimentScale, get_scale
+from repro.partition.metis_like import partition_tan
+from repro.simulator.engine import SimulationResult, run_simulation
+from repro.txgraph.tan import TaNGraph
+from repro.utxo.transaction import Transaction
+
+#: The four methods of the paper's evaluation, in its display order.
+METHODS = ("optchain", "omniledger", "metis", "greedy")
+
+#: The three online methods of Tables I/II plus Metis.
+TABLE_METHODS = ("metis", "greedy", "omniledger", "t2s")
+
+_STREAM_CACHE: dict[tuple[str, int], list[Transaction]] = {}
+_TAN_CACHE: dict[tuple[str, int], TaNGraph] = {}
+_METIS_CACHE: dict[tuple[str, int, int], list[int]] = {}
+_SIM_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def stream_for(scale: ExperimentScale, seed: int = 1) -> list[Transaction]:
+    """The workload stream of a scale (cached)."""
+    key = (scale.name, seed)
+    if key not in _STREAM_CACHE:
+        _STREAM_CACHE[key] = BitcoinLikeGenerator(
+            config=scale.generator, seed=seed
+        ).generate(scale.n_transactions)
+    return _STREAM_CACHE[key]
+
+
+def tan_for(scale: ExperimentScale, seed: int = 1) -> TaNGraph:
+    """TaN graph of the scale's workload (cached)."""
+    key = (scale.name, seed)
+    if key not in _TAN_CACHE:
+        _TAN_CACHE[key] = TaNGraph.from_transactions(stream_for(scale, seed))
+    return _TAN_CACHE[key]
+
+
+def metis_assignment(
+    scale: ExperimentScale, n_shards: int, seed: int = 1
+) -> list[int]:
+    """Offline Metis-like partition of the full TaN (cached)."""
+    key = (scale.name, seed, n_shards)
+    if key not in _METIS_CACHE:
+        _METIS_CACHE[key] = partition_tan(tan_for(scale, seed), n_shards)
+    return _METIS_CACHE[key]
+
+
+def build_placer(
+    method: str,
+    n_shards: int,
+    scale: ExperimentScale,
+    expected_total: int | None = None,
+    seed: int = 1,
+) -> PlacementStrategy:
+    """Construct a fresh placer for one run.
+
+    ``expected_total`` feeds the Greedy/T2S size caps in static table
+    runs; simulation runs leave it ``None`` (online cap).
+    """
+    if method == "optchain":
+        return OptChainPlacer(n_shards)
+    if method == "omniledger":
+        return OmniLedgerRandomPlacer(n_shards)
+    if method == "greedy":
+        return GreedyPlacer(n_shards, expected_total=expected_total)
+    if method == "t2s":
+        return T2SOnlyPlacer(n_shards, expected_total=expected_total)
+    if method == "metis":
+        return MetisOfflinePlacer(
+            n_shards, precomputed=metis_assignment(scale, n_shards, seed)
+        )
+    raise ConfigurationError(f"unknown method {method!r}")
+
+
+def simulate(
+    scale: ExperimentScale,
+    method: str,
+    n_shards: int,
+    tx_rate: float,
+    seed: int = 1,
+) -> SimulationResult:
+    """One simulation grid point (cached process-wide)."""
+    key = (scale.name, method, n_shards, tx_rate, seed)
+    if key not in _SIM_CACHE:
+        stream = stream_for(scale, seed)
+        placer = build_placer(method, n_shards, scale, seed=seed)
+        config = scale.simulation(n_shards, tx_rate)
+        _SIM_CACHE[key] = run_simulation(stream, placer, config)
+    return _SIM_CACHE[key]
+
+
+def simulate_grid(
+    scale: ExperimentScale,
+    methods=METHODS,
+    seed: int = 1,
+) -> dict[tuple[str, int, float], SimulationResult]:
+    """The full (method x shards x rate) grid behind Figs. 3-10."""
+    grid = {}
+    for method in methods:
+        for n_shards in scale.shard_counts:
+            for tx_rate in scale.tx_rates:
+                grid[(method, n_shards, tx_rate)] = simulate(
+                    scale, method, n_shards, tx_rate, seed
+                )
+    return grid
+
+
+def clear_caches() -> None:
+    """Drop all cached workloads and results (tests use this)."""
+    _STREAM_CACHE.clear()
+    _TAN_CACHE.clear()
+    _METIS_CACHE.clear()
+    _SIM_CACHE.clear()
+
+
+@lru_cache(maxsize=None)
+def scale_by_name(name: str | None = None) -> ExperimentScale:
+    """Convenience wrapper so experiment mains share scale resolution."""
+    return get_scale(name)

@@ -1,0 +1,73 @@
+"""Table I - percentage of cross-TXs when running from scratch.
+
+Paper (Bitcoin, first 10M txs)::
+
+    k   Metis   Greedy  Omniledger  T2S-based
+    4   1.66%   24.62%  80.82%      9.28%
+    8   3.09%   27.02%  90.33%      12.52%
+    16  4.70%   28.14%  94.87%      15.73%
+    32  6.91%   28.69%  97.09%      18.94%
+    64  9.91%   28.97%  98.18%      21.65%
+
+Expected shape: Metis lowest, then T2S, then Greedy, with random
+(OmniLedger) placement near the theoretical ``1 - 1/k`` upper region;
+all growing with k.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import build_placer, metis_assignment, stream_for
+from repro.partition.quality import cross_shard_fraction
+
+
+def run(scale: ExperimentScale, seed: int = 1) -> dict[int, dict[str, float]]:
+    """Cross-TX fraction per (shard count, method), empty-shards start."""
+    stream = stream_for(scale, seed)
+    n = len(stream)
+    results: dict[int, dict[str, float]] = {}
+    for n_shards in scale.table_shard_counts:
+        row: dict[str, float] = {}
+        row["metis"] = cross_shard_fraction(
+            stream, metis_assignment(scale, n_shards, seed)
+        )
+        for method in ("greedy", "omniledger", "t2s"):
+            placer = build_placer(
+                method, n_shards, scale, expected_total=n, seed=seed
+            )
+            assignment = placer.place_stream(stream)
+            row[method] = cross_shard_fraction(stream, assignment)
+        results[n_shards] = row
+    return results
+
+
+def as_table(results: dict[int, dict[str, float]]) -> str:
+    """Render the paper-style table."""
+    rows = [
+        [
+            k,
+            f"{row['metis']:.2%}",
+            f"{row['greedy']:.2%}",
+            f"{row['omniledger']:.2%}",
+            f"{row['t2s']:.2%}",
+        ]
+        for k, row in sorted(results.items())
+    ]
+    return format_table(
+        ["k", "Metis", "Greedy", "Omniledger", "T2S-based"],
+        rows,
+        title="Table I: percentage of cross-TXs when running from scratch",
+    )
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    output = as_table(run(scale_by_name(scale_name)))
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Table II - cross-TXs when running from a warm-started system.
+
+The paper partitions the first 30M Bitcoin transactions with Metis, then
+places the next 1M with each online method and counts cross-TXs *in that
+window* (absolute counts in the paper)::
+
+    k   Greedy   Omniledger  T2S-based
+    4   335,269  837,356     112,657
+    8   407,747  922,073     172,978
+    16  441,267  960,935     226,171
+    32  449,032  979,323     282,108
+    64  454,321  988,144     366,854
+
+We scale prefix/window per the experiment scale and report both count
+and fraction. Expected shape: T2S < Greedy << Omniledger at every k.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import build_placer, stream_for
+from repro.partition.metis_like import partition_tan
+from repro.partition.quality import cross_shard_count
+from repro.txgraph.tan import TaNGraph
+
+
+def run(
+    scale: ExperimentScale, seed: int = 1
+) -> dict[int, dict[str, int]]:
+    """Cross-TX count in the placement window per (shards, method)."""
+    stream = stream_for(scale, seed)
+    prefix_len = min(scale.warm_prefix, len(stream))
+    window_len = min(scale.warm_window, len(stream) - prefix_len)
+    prefix = stream[:prefix_len]
+    window = stream[prefix_len : prefix_len + window_len]
+    prefix_tan = TaNGraph.from_transactions(prefix)
+
+    results: dict[int, dict[str, int]] = {}
+    for n_shards in scale.table_shard_counts:
+        warm = partition_tan(prefix_tan, n_shards)
+        row: dict[str, int] = {}
+        for method in ("greedy", "omniledger", "t2s"):
+            placer = build_placer(
+                method,
+                n_shards,
+                scale,
+                expected_total=len(stream),
+                seed=seed,
+            )
+            for tx, shard in zip(prefix, warm):
+                placer.force_place(tx, shard)
+            for tx in window:
+                placer.place(tx)
+            assignment = placer.assignment()
+            # Count cross-TXs in the window only, like the paper.
+            row[method] = cross_shard_count(window, assignment)
+        results[n_shards] = row
+    return results
+
+
+def as_table(
+    results: dict[int, dict[str, int]], window_len: int
+) -> str:
+    """Render the paper-style table (count and window fraction)."""
+    rows = []
+    for k, row in sorted(results.items()):
+        rows.append(
+            [
+                k,
+                f"{row['greedy']} ({row['greedy'] / window_len:.1%})",
+                f"{row['omniledger']} ({row['omniledger'] / window_len:.1%})",
+                f"{row['t2s']} ({row['t2s'] / window_len:.1%})",
+            ]
+        )
+    return format_table(
+        ["k", "Greedy", "Omniledger", "T2S-based"],
+        rows,
+        title=(
+            "Table II: cross-TXs placing a window after a Metis-partitioned "
+            "prefix"
+        ),
+    )
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    scale = scale_by_name(scale_name)
+    results = run(scale)
+    window = min(
+        scale.warm_window, scale.n_transactions - scale.warm_prefix
+    )
+    output = as_table(results, window)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Table III - experiment configuration.
+
+The paper's Table III lists the simulation constants. This runner prints
+the same rows for any scale next to the paper's values, making the
+scaling factors explicit (DESIGN.md §4: workload, block capacity and
+rates scale together).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.experiments.configs import ExperimentScale
+
+_PAPER = {
+    "Number of transactions": "10,000,000",
+    "Block size": "1 MB",
+    "Transactions per block": "2,000",
+    "Network bandwidth": "20 Mbps",
+    "Number of shards": "4, 6, 8, 10, 12, 14, 16",
+    "Transactions rate (tps)": "2000, 3000, 4000, 5000, 6000",
+    "Algorithms": "OptChain, Metis k-way, OmniLedger, Greedy",
+}
+
+
+def run(scale: ExperimentScale) -> dict[str, str]:
+    """The configuration rows for one scale."""
+    sample = scale.simulation(max(scale.shard_counts), max(scale.tx_rates))
+    return {
+        "Number of transactions": f"{scale.n_transactions:,}",
+        "Block size": f"{scale.block_size_bytes / 1_000_000:g} MB",
+        "Transactions per block": f"{scale.block_capacity:,}",
+        "Network bandwidth": f"{sample.bandwidth_mbps:g} Mbps",
+        "Number of shards": ", ".join(
+            str(k) for k in scale.shard_counts
+        ),
+        "Transactions rate (tps)": ", ".join(
+            f"{rate:g}" for rate in scale.tx_rates
+        ),
+        "Algorithms": "OptChain, Metis k-way, OmniLedger, Greedy",
+    }
+
+
+def as_table(rows: dict[str, str], scale_name: str) -> str:
+    """Paper vs scale side by side."""
+    return format_table(
+        ["parameter", "paper", scale_name],
+        [[key, _PAPER[key], value] for key, value in rows.items()],
+        title="Table III: experiment configuration",
+    )
+
+
+def main(scale_name: str | None = None) -> str:
+    from repro.experiments.runner import scale_by_name
+
+    scale = scale_by_name(scale_name)
+    output = as_table(run(scale), scale.name)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

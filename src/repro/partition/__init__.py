@@ -1,0 +1,54 @@
+"""Graph partitioning: the offline and streaming baselines.
+
+The paper compares OptChain against METIS k-way (offline, unrealistic but
+cross-TX-optimal) and simple streaming heuristics. METIS itself is a C
+binary, so :mod:`repro.partition.metis_like` reimplements the same
+multilevel k-way scheme (Karypis-Kumar 1995) from scratch: heavy-edge
+matching coarsening, greedy region growing for the initial partition, and
+boundary Fiduccia-Mattheyses refinement. :mod:`repro.partition.streaming`
+adds the Stanton-Kliot streaming heuristics referenced in related work.
+
+:mod:`repro.partition.quality` holds the evaluation metrics: edge cut,
+balance, and - the quantity the paper actually optimizes - the fraction
+of cross-shard transactions.
+"""
+
+from repro.partition.graph import StaticGraph
+from repro.partition.metis_like import (
+    MultilevelConfig,
+    metis_kway,
+    partition_tan,
+)
+from repro.partition.quality import (
+    balance_ratio,
+    cross_shard_count,
+    cross_shard_fraction,
+    edge_cut,
+    edge_cut_fraction,
+    validate_partition,
+)
+from repro.partition.streaming import (
+    chunking_partition,
+    exponential_greedy_partition,
+    fennel_partition,
+    hashing_partition,
+    linear_greedy_partition,
+)
+
+__all__ = [
+    "MultilevelConfig",
+    "StaticGraph",
+    "balance_ratio",
+    "chunking_partition",
+    "cross_shard_count",
+    "cross_shard_fraction",
+    "edge_cut",
+    "edge_cut_fraction",
+    "exponential_greedy_partition",
+    "fennel_partition",
+    "hashing_partition",
+    "linear_greedy_partition",
+    "metis_kway",
+    "partition_tan",
+    "validate_partition",
+]

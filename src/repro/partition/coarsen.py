@@ -1,0 +1,126 @@
+"""Graph coarsening via heavy-edge matching.
+
+First phase of the multilevel scheme (Karypis-Kumar): repeatedly contract
+a maximal matching that prefers heavy edges, so strongly connected vertex
+pairs merge early and the coarse graph preserves the cluster structure
+the initial partitioner needs to see. Node weights accumulate so balance
+constraints keep meaning "original vertices per part".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.partition.graph import StaticGraph
+
+
+@dataclass(frozen=True, slots=True)
+class CoarseLevel:
+    """One level of the coarsening hierarchy.
+
+    ``fine_to_coarse[u]`` maps each fine node to its coarse node, which is
+    all the uncoarsening phase needs to project a partition back down.
+    """
+
+    graph: StaticGraph
+    fine_to_coarse: list[int]
+
+
+def heavy_edge_matching(graph: StaticGraph, rng: random.Random) -> list[int]:
+    """Return ``match[u]`` = matched partner of ``u`` (or ``u`` itself).
+
+    Visits vertices in random order; each unmatched vertex grabs its
+    unmatched neighbor with the heaviest connecting edge. Randomized visit
+    order is the standard defence against pathological matchings on
+    regular graphs.
+    """
+    n = graph.n_nodes
+    match = [-1] * n
+    order = list(range(n))
+    rng.shuffle(order)
+    for u in order:
+        if match[u] != -1:
+            continue
+        best = -1
+        best_weight = 0
+        for v, weight in graph.neighbors(u):
+            if match[v] == -1 and weight > best_weight:
+                best = v
+                best_weight = weight
+        if best >= 0:
+            match[u] = best
+            match[best] = u
+        else:
+            match[u] = u
+    return match
+
+
+def contract(graph: StaticGraph, match: list[int]) -> CoarseLevel:
+    """Contract a matching into a coarse graph.
+
+    Matched pairs become one coarse node whose weight is the pair's total;
+    parallel edges between coarse nodes merge their weights; edges inside
+    a pair disappear (they can never be cut again at coarser levels).
+    """
+    n = graph.n_nodes
+    fine_to_coarse = [-1] * n
+    next_id = 0
+    for u in range(n):
+        if fine_to_coarse[u] != -1:
+            continue
+        fine_to_coarse[u] = next_id
+        partner = match[u]
+        if partner != u and fine_to_coarse[partner] == -1:
+            fine_to_coarse[partner] = next_id
+        next_id += 1
+
+    node_weights = [0] * next_id
+    for u in range(n):
+        node_weights[fine_to_coarse[u]] += graph.node_weight(u)
+
+    # Aggregate edge weights in a dict first: StaticGraph.add_edge merges
+    # parallel edges by scanning adjacency, which would be quadratic here.
+    accumulated: dict[tuple[int, int], int] = {}
+    for u, v, weight in graph.edges():
+        cu, cv = fine_to_coarse[u], fine_to_coarse[v]
+        if cu == cv:
+            continue
+        key = (cu, cv) if cu < cv else (cv, cu)
+        accumulated[key] = accumulated.get(key, 0) + weight
+
+    coarse = StaticGraph(next_id, node_weights)
+    for (cu, cv), weight in accumulated.items():
+        coarse.add_edge(cu, cv, weight)
+    return CoarseLevel(graph=coarse, fine_to_coarse=fine_to_coarse)
+
+
+def coarsen_once(graph: StaticGraph, rng: random.Random) -> CoarseLevel:
+    """One matching + contraction step."""
+    return contract(graph, heavy_edge_matching(graph, rng))
+
+
+def build_hierarchy(
+    graph: StaticGraph,
+    rng: random.Random,
+    target_size: int,
+    max_levels: int = 40,
+    min_shrink: float = 0.95,
+) -> tuple[StaticGraph, list[CoarseLevel]]:
+    """Coarsen until at most ``target_size`` nodes remain.
+
+    Stops early when a level shrinks by less than ``1 - min_shrink``
+    (isolated vertices and star centers eventually resist matching).
+    Returns the coarsest graph and the levels from finest to coarsest.
+    """
+    levels: list[CoarseLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.n_nodes <= target_size:
+            break
+        level = coarsen_once(current, rng)
+        if level.graph.n_nodes >= current.n_nodes * min_shrink:
+            break
+        levels.append(level)
+        current = level.graph
+    return current, levels

@@ -1,0 +1,129 @@
+"""Static weighted undirected graph for offline partitioning.
+
+The multilevel partitioner works on an undirected, weighted view of the
+TaN network: node weights count collapsed original vertices (so balance
+constraints survive coarsening) and edge weights count collapsed parallel
+edges (so heavy-edge matching prefers strongly connected clusters).
+
+The representation is adjacency lists of ``(neighbor, weight)`` pairs -
+simple, cache-friendly enough for the scales the reproduction targets,
+and cheap to rebuild during coarsening.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GraphError, MissingNodeError
+from repro.txgraph.tan import TaNGraph
+
+
+class StaticGraph:
+    """Undirected weighted graph with integer node ids ``0..n-1``."""
+
+    def __init__(self, n_nodes: int, node_weights: Sequence[int] | None = None):
+        if n_nodes < 0:
+            raise GraphError(f"n_nodes must be >= 0, got {n_nodes}")
+        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(n_nodes)]
+        if node_weights is None:
+            self._node_weights = [1] * n_nodes
+        else:
+            if len(node_weights) != n_nodes:
+                raise GraphError(
+                    f"{len(node_weights)} node weights for {n_nodes} nodes"
+                )
+            self._node_weights = list(node_weights)
+        self._n_edges = 0
+
+    # -- construction ----------------------------------------------------
+
+    def add_edge(self, u: int, v: int, weight: int = 1) -> None:
+        """Add an undirected edge; parallel edges merge their weights.
+
+        Self-loops are ignored (they carry no cut information).
+        """
+        self._require(u)
+        self._require(v)
+        if u == v:
+            return
+        if weight <= 0:
+            raise GraphError(f"edge weight must be > 0, got {weight}")
+        for index, (neighbor, existing) in enumerate(self._adj[u]):
+            if neighbor == v:
+                self._adj[u][index] = (v, existing + weight)
+                for jndex, (back, back_weight) in enumerate(self._adj[v]):
+                    if back == u:
+                        self._adj[v][jndex] = (u, back_weight + weight)
+                        break
+                return
+        self._adj[u].append((v, weight))
+        self._adj[v].append((u, weight))
+        self._n_edges += 1
+
+    @classmethod
+    def from_tan(cls, tan: TaNGraph) -> "StaticGraph":
+        """Undirected view of a TaN graph (unit node and edge weights)."""
+        graph = cls(tan.n_nodes)
+        for u, v in tan.edges():
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls, n_nodes: int, edges: Iterable[tuple[int, int]]
+    ) -> "StaticGraph":
+        """Build from an edge iterable (test/experiment helper)."""
+        graph = cls(n_nodes)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct undirected edges."""
+        return self._n_edges
+
+    @property
+    def total_node_weight(self) -> int:
+        """Sum of node weights (== original vertex count after coarsening)."""
+        return sum(self._node_weights)
+
+    def node_weight(self, u: int) -> int:
+        """Weight of node ``u`` (collapsed original vertices)."""
+        self._require(u)
+        return self._node_weights[u]
+
+    def neighbors(self, u: int) -> list[tuple[int, int]]:
+        """List of ``(neighbor, edge_weight)`` pairs."""
+        self._require(u)
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        """Number of distinct neighbors."""
+        self._require(u)
+        return len(self._adj[u])
+
+    def weighted_degree(self, u: int) -> int:
+        """Total weight of incident edges."""
+        self._require(u)
+        return sum(weight for _, weight in self._adj[u])
+
+    def edges(self) -> Iterable[tuple[int, int, int]]:
+        """Iterate each undirected edge once as ``(u, v, weight)``."""
+        for u, adj in enumerate(self._adj):
+            for v, weight in adj:
+                if u < v:
+                    yield (u, v, weight)
+
+    def _require(self, u: int) -> None:
+        if not 0 <= u < len(self._adj):
+            raise MissingNodeError(
+                f"node {u} not in graph of {len(self._adj)} nodes"
+            )

@@ -1,0 +1,120 @@
+"""Partition quality metrics.
+
+Two families of metrics, deliberately separated because the paper's
+central argument distinguishes them:
+
+- **Graph metrics** (edge cut, balance): what classic partitioners like
+  METIS optimize.
+- **Sharding metrics** (cross-shard transaction count/fraction): what
+  actually matters for a sharded blockchain. A transaction ``u`` is
+  cross-shard iff some *input shard* differs from its own shard
+  (``Sin(u) != {S(u)}`` in the paper's notation, §III-A). Coinbase
+  transactions have no inputs and can never be cross-shard.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PartitionError
+from repro.partition.graph import StaticGraph
+from repro.utxo.transaction import Transaction
+
+
+def validate_partition(assignment: Sequence[int], n_shards: int) -> None:
+    """Raise unless every entry is a shard id in ``[0, n_shards)``."""
+    if n_shards <= 0:
+        raise PartitionError(f"n_shards must be > 0, got {n_shards}")
+    for node, shard in enumerate(assignment):
+        if not 0 <= shard < n_shards:
+            raise PartitionError(
+                f"node {node} assigned to shard {shard}, valid range is "
+                f"[0, {n_shards})"
+            )
+
+
+def shard_sizes(assignment: Sequence[int], n_shards: int) -> list[int]:
+    """Node count per shard."""
+    validate_partition(assignment, n_shards)
+    sizes = [0] * n_shards
+    for shard in assignment:
+        sizes[shard] += 1
+    return sizes
+
+
+def balance_ratio(assignment: Sequence[int], n_shards: int) -> float:
+    """Max shard size over ideal size (1.0 = perfectly balanced).
+
+    This is the classic imbalance metric; METIS-style partitioners
+    constrain it to ``1 + epsilon``.
+    """
+    sizes = shard_sizes(assignment, n_shards)
+    total = sum(sizes)
+    if total == 0:
+        return 1.0
+    ideal = total / n_shards
+    return max(sizes) / ideal
+
+
+def edge_cut(graph: StaticGraph, assignment: Sequence[int]) -> int:
+    """Total weight of edges whose endpoints are in different parts."""
+    if len(assignment) != graph.n_nodes:
+        raise PartitionError(
+            f"assignment covers {len(assignment)} nodes, graph has "
+            f"{graph.n_nodes}"
+        )
+    cut = 0
+    for u, v, weight in graph.edges():
+        if assignment[u] != assignment[v]:
+            cut += weight
+    return cut
+
+
+def edge_cut_fraction(graph: StaticGraph, assignment: Sequence[int]) -> float:
+    """Cut weight as a fraction of total edge weight."""
+    total = sum(weight for _, _, weight in graph.edges())
+    if total == 0:
+        return 0.0
+    return edge_cut(graph, assignment) / total
+
+
+def is_cross_shard(tx: Transaction, assignment: Sequence[int]) -> bool:
+    """True when some input shard differs from the transaction's shard.
+
+    ``assignment`` must cover the transaction and all its inputs.
+    """
+    own = assignment[tx.txid]
+    return any(assignment[parent] != own for parent in tx.input_txids)
+
+
+def cross_shard_count(
+    txs: Sequence[Transaction], assignment: Sequence[int]
+) -> int:
+    """Number of cross-shard transactions in the stream."""
+    if txs and len(assignment) < len(txs):
+        raise PartitionError(
+            f"assignment covers {len(assignment)} transactions, stream has "
+            f"{len(txs)}"
+        )
+    return sum(1 for tx in txs if is_cross_shard(tx, assignment))
+
+
+def cross_shard_fraction(
+    txs: Sequence[Transaction], assignment: Sequence[int]
+) -> float:
+    """Fraction of the stream that is cross-shard (Tables I and II)."""
+    if not txs:
+        return 0.0
+    return cross_shard_count(txs, assignment) / len(txs)
+
+
+def input_shards(tx: Transaction, assignment: Sequence[int]) -> set[int]:
+    """``Sin(u)``: the distinct shards holding the transaction's inputs."""
+    return {assignment[parent] for parent in tx.input_txids}
+
+
+def involved_shards(tx: Transaction, assignment: Sequence[int]) -> set[int]:
+    """All shards that must participate in committing the transaction."""
+    shards = input_shards(tx, assignment)
+    shards.add(assignment[tx.txid])
+    return shards

@@ -1,0 +1,156 @@
+"""Boundary refinement for k-way partitions.
+
+Greedy Fiduccia-Mattheyses-style passes: every boundary vertex considers
+moving to the adjacent part it is most connected to; the move is applied
+when it reduces the cut (or keeps it equal while improving balance) and
+the target part stays under the weight cap. Passes repeat until a pass
+makes no move.
+
+This is the refinement used inside the multilevel partitioner at every
+uncoarsening level and once more on the final partition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PartitionError
+from repro.partition.graph import StaticGraph
+
+
+def part_weights(
+    graph: StaticGraph, assignment: Sequence[int], n_parts: int
+) -> list[int]:
+    """Total node weight per part."""
+    weights = [0] * n_parts
+    for u in range(graph.n_nodes):
+        weights[assignment[u]] += graph.node_weight(u)
+    return weights
+
+
+def refine_kway(
+    graph: StaticGraph,
+    assignment: list[int],
+    n_parts: int,
+    max_part_weight: int,
+    max_passes: int = 8,
+) -> int:
+    """Refine ``assignment`` in place; returns the number of moves made.
+
+    ``max_part_weight`` is the hard balance cap; moves never push a part
+    above it. A vertex moves to the adjacent part with the highest
+    connectivity when the cut strictly improves, or when the cut is equal
+    and the move strictly improves the weight difference between source
+    and target (drains overweight parts through zero-gain moves).
+    """
+    if max_part_weight <= 0:
+        raise PartitionError(
+            f"max_part_weight must be > 0, got {max_part_weight}"
+        )
+    weights = part_weights(graph, assignment, n_parts)
+    total_moves = 0
+    for _ in range(max_passes):
+        moves = 0
+        for u in range(graph.n_nodes):
+            own = assignment[u]
+            neighbors = graph.neighbors(u)
+            if not neighbors:
+                continue
+            # Connectivity of u to each adjacent part.
+            connectivity: dict[int, int] = {}
+            for v, weight in neighbors:
+                part = assignment[v]
+                connectivity[part] = connectivity.get(part, 0) + weight
+            internal = connectivity.get(own, 0)
+            best_part = -1
+            best_gain = 0
+            best_connectivity = -1
+            for part, external in connectivity.items():
+                if part == own:
+                    continue
+                gain = external - internal
+                if gain > best_gain or (
+                    gain == best_gain and external > best_connectivity
+                ):
+                    node_weight = graph.node_weight(u)
+                    if weights[part] + node_weight > max_part_weight:
+                        continue
+                    balance_improves = (
+                        weights[part] + node_weight
+                        < weights[own]
+                    )
+                    if gain > 0 or (gain == 0 and balance_improves):
+                        best_part = part
+                        best_gain = gain
+                        best_connectivity = external
+            if best_part >= 0:
+                node_weight = graph.node_weight(u)
+                weights[own] -= node_weight
+                weights[best_part] += node_weight
+                assignment[u] = best_part
+                moves += 1
+        total_moves += moves
+        if moves == 0:
+            break
+    return total_moves
+
+
+def rebalance(
+    graph: StaticGraph,
+    assignment: list[int],
+    n_parts: int,
+    max_part_weight: int,
+    strict: bool = True,
+) -> int:
+    """Force every part under the cap, moving cheapest boundary nodes.
+
+    Used after projecting a partition to a finer level, where weights are
+    unchanged but the cap may have been violated by the initial partition
+    on the coarsest graph. Returns moves made. With ``strict`` it raises
+    when rebalancing is impossible (a cap tighter than a single node's
+    weight); non-strict callers accept a best effort - coarse levels can
+    carry merged nodes heavier than the cap, which only finer levels can
+    split.
+    """
+    weights = part_weights(graph, assignment, n_parts)
+    moves = 0
+    for _ in range(graph.n_nodes):
+        over = [p for p in range(n_parts) if weights[p] > max_part_weight]
+        if not over:
+            return moves
+        source = max(over, key=lambda p: weights[p])
+        # Cheapest move: the node in `source` losing the least connectivity,
+        # to the lightest part that can take it.
+        target = min(range(n_parts), key=lambda p: weights[p])
+        if target == source:
+            break
+        best_u = -1
+        best_loss = None
+        for u in range(graph.n_nodes):
+            if assignment[u] != source:
+                continue
+            if weights[target] + graph.node_weight(u) > max_part_weight:
+                continue
+            loss = 0
+            for v, weight in graph.neighbors(u):
+                if assignment[v] == source:
+                    loss += weight
+                elif assignment[v] == target:
+                    loss -= weight
+            if best_loss is None or loss < best_loss:
+                best_loss = loss
+                best_u = u
+        if best_u < 0:
+            break
+        node_weight = graph.node_weight(best_u)
+        weights[source] -= node_weight
+        weights[target] += node_weight
+        assignment[best_u] = target
+        moves += 1
+    still_over = [p for p in range(n_parts) if weights[p] > max_part_weight]
+    if still_over and strict:
+        raise PartitionError(
+            f"cannot rebalance under cap {max_part_weight}: parts "
+            f"{still_over} remain overweight (weights {weights})"
+        )
+    return moves

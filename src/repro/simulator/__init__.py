@@ -1,0 +1,44 @@
+"""Discrete-event sharded-blockchain simulator.
+
+The paper evaluates OptChain on a Bitcoin-like system simulated with
+OverSim on OMNeT++ 4.6; this package is the from-scratch substitute
+(DESIGN.md §4, substitution 2). It keeps the paper's network constants -
+20 Mbps links, 100 ms coordinate-scaled propagation, 1 MB blocks of 2000
+transactions, a committee per shard - and simulates the full queueing and
+protocol dynamics:
+
+- per-shard mempool queues and sequential block production
+  (:mod:`repro.simulator.shard`), with consensus latency parameterized by
+  committee size and block fill (:mod:`repro.simulator.consensus`);
+- the OmniLedger lock / proof-of-acceptance / unlock-to-commit protocol
+  for cross-shard transactions, plus RapidChain-style yanking as an
+  alternative (:mod:`repro.simulator.protocol`);
+- clients issuing a transaction stream at a configurable rate and
+  running any :class:`~repro.core.placement.PlacementStrategy`
+  (:mod:`repro.simulator.client`);
+- metric collection - per-transaction confirmation latency, throughput,
+  queue-size time series - and the live latency observer that feeds
+  OptChain's L2S score (:mod:`repro.simulator.metrics`).
+
+Entry point: :func:`repro.simulator.engine.run_simulation`.
+"""
+
+from repro.simulator.committees import (
+    Committee,
+    CommitteeAssignment,
+    failure_probability_bound,
+)
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import SimulationResult, run_simulation
+from repro.simulator.metrics import LatencyObserver, MetricsCollector
+
+__all__ = [
+    "Committee",
+    "CommitteeAssignment",
+    "LatencyObserver",
+    "MetricsCollector",
+    "SimulationConfig",
+    "SimulationResult",
+    "failure_probability_bound",
+    "run_simulation",
+]

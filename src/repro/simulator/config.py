@@ -1,0 +1,102 @@
+"""Simulation configuration (the paper's Table III, parameterized).
+
+Defaults mirror the paper's setup: 1 MB blocks of 2000 transactions,
+20 Mbps links, 100 ms base latency, 400 validators per shard. Consensus
+timing constants are calibrated so one shard sustains about 400 tx/s -
+the paper's observed per-shard capacity (16 shards handle 6000 tps with
+OptChain, Fig. 11), see ``repro.simulator.consensus``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+PROTOCOLS = ("omniledger", "rapidchain")
+ARRIVALS = ("deterministic", "poisson")
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """All knobs of one simulation run."""
+
+    n_shards: int = 16
+    tx_rate: float = 2_000.0  # transactions per second issued by clients
+    block_capacity: int = 2_000  # transactions per block (1 MB / 500 B)
+    block_size_bytes: int = 1_000_000
+    bandwidth_mbps: float = 20.0
+    base_latency_s: float = 0.1  # paper: 100 ms on all links
+    validators_per_shard: int = 400
+    #: global Byzantine validator fraction; committees are sampled and
+    #: checked against the 1/3 BFT threshold before the run starts.
+    byzantine_fraction: float = 0.0
+    gossip_fanout: int = 8  # committee dissemination tree fanout
+    consensus_base_s: float = 2.0  # leader assembly + fixed BFT overhead
+    consensus_per_tx_s: float = 0.0005  # marginal validation per entry
+    protocol: str = "omniledger"
+    arrivals: str = "deterministic"
+    #: maintain real per-shard UTXO ledgers: dependency parking, natural
+    #: double-spend rejection, unlock-to-abort (see simulator.ledger).
+    validate_ledger: bool = False
+    queue_sample_interval_s: float = 5.0
+    commit_bin_s: float = 50.0  # Fig. 5 histogram bin width
+    latency_jitter: float = 0.1  # +-10% multiplicative network jitter
+    max_sim_time_s: float | None = None  # None: run until fully drained
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.n_shards <= 0:
+            raise ConfigurationError(
+                f"n_shards must be > 0, got {self.n_shards}"
+            )
+        if self.tx_rate <= 0:
+            raise ConfigurationError(
+                f"tx_rate must be > 0, got {self.tx_rate}"
+            )
+        if self.block_capacity <= 0:
+            raise ConfigurationError(
+                f"block_capacity must be > 0, got {self.block_capacity}"
+            )
+        if self.bandwidth_mbps <= 0 or self.base_latency_s < 0:
+            raise ConfigurationError("bad network parameters")
+        if self.validators_per_shard <= 0:
+            raise ConfigurationError(
+                f"validators_per_shard must be > 0, got "
+                f"{self.validators_per_shard}"
+            )
+        if self.gossip_fanout < 2:
+            raise ConfigurationError(
+                f"gossip_fanout must be >= 2, got {self.gossip_fanout}"
+            )
+        if not 0.0 <= self.byzantine_fraction < 1.0 / 3.0:
+            raise ConfigurationError(
+                f"byzantine_fraction must be in [0, 1/3), got "
+                f"{self.byzantine_fraction}"
+            )
+        if self.consensus_base_s < 0 or self.consensus_per_tx_s < 0:
+            raise ConfigurationError("consensus timings must be >= 0")
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"protocol must be one of {PROTOCOLS}, got {self.protocol!r}"
+            )
+        if self.arrivals not in ARRIVALS:
+            raise ConfigurationError(
+                f"arrivals must be one of {ARRIVALS}, got {self.arrivals!r}"
+            )
+        if self.queue_sample_interval_s <= 0 or self.commit_bin_s <= 0:
+            raise ConfigurationError("sampling intervals must be > 0")
+        if not 0.0 <= self.latency_jitter < 1.0:
+            raise ConfigurationError(
+                f"latency_jitter must be in [0, 1), got {self.latency_jitter}"
+            )
+        if self.max_sim_time_s is not None and self.max_sim_time_s <= 0:
+            raise ConfigurationError(
+                f"max_sim_time_s must be > 0, got {self.max_sim_time_s}"
+            )
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Link bandwidth in bytes per second."""
+        return self.bandwidth_mbps * 1_000_000 / 8

@@ -1,0 +1,184 @@
+"""Simulation engine: wiring and the run loop.
+
+:func:`run_simulation` assembles network, shards, protocol, clients and
+metrics for one configuration, optionally wires a live
+:class:`~repro.simulator.metrics.LatencyObserver` into an OptChain
+placer, runs the event loop to completion (or ``max_sim_time_s``), and
+returns a :class:`SimulationResult` with every raw series the
+experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.placement import PlacementStrategy
+from repro.errors import SimulationError
+from repro.rng import derive_rng, make_rng
+from repro.simulator.client import TransactionIssuer
+from repro.simulator.committees import CommitteeAssignment
+from repro.simulator.config import SimulationConfig
+from repro.simulator.consensus import ConsensusModel
+from repro.simulator.events import EventQueue
+from repro.simulator.metrics import LatencyObserver, MetricsCollector
+from repro.simulator.network import Network
+from repro.simulator.protocol import AtomicCommitProtocol
+from repro.simulator.shard import Shard
+from repro.utxo.transaction import Transaction
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything measured in one run.
+
+    Raw series (latencies, commit times, queue samples) are kept so each
+    figure's post-processing lives in :mod:`repro.analysis`, not here.
+    """
+
+    config: SimulationConfig
+    placer_name: str
+    n_issued: int
+    n_committed: int
+    n_aborted: int
+    n_cross: int
+    n_same_shard: int
+    n_parked: int
+    duration: float
+    throughput: float
+    latencies: list[float]
+    commit_times: list[float]
+    queue_sample_times: list[float]
+    queue_samples: list[list[int]]
+    blocks_per_shard: list[int]
+    entries_per_shard: list[int]
+    bytes_same_shard: int
+    bytes_cross: int
+    bandwidth_ratio: float
+    drained: bool
+
+    @property
+    def average_latency(self) -> float:
+        """Mean confirmation latency over committed transactions."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        """Worst confirmation latency."""
+        return max(self.latencies) if self.latencies else 0.0
+
+    @property
+    def cross_fraction(self) -> float:
+        """Fraction of submitted transactions that were cross-shard."""
+        total = self.n_cross + self.n_same_shard
+        return self.n_cross / total if total else 0.0
+
+
+def run_simulation(
+    stream: list[Transaction],
+    placer: PlacementStrategy,
+    config: SimulationConfig,
+    abort_txids: set[int] | None = None,
+    outages: list[tuple[int, float, float]] | None = None,
+) -> SimulationResult:
+    """Simulate one configuration over a transaction stream.
+
+    ``abort_txids`` marks transactions an input shard rejects (failure
+    injection); ``outages`` is a list of ``(shard, start_s, end_s)``
+    committee pauses. An :class:`OptChainPlacer` is automatically wired
+    to the live latency observer (replacing its offline load proxy) so
+    its L2S score sees real queues, as §IV-C intends.
+    """
+    config.validate()
+    if placer.n_placed:
+        raise SimulationError(
+            "placer has prior placements; use a fresh placer per run"
+        )
+    events = EventQueue()
+    rng = make_rng(config.seed)
+    network = Network(config, derive_rng(rng, "network"))
+    consensus = ConsensusModel(config)
+    metrics = MetricsCollector(len(stream))
+    if config.byzantine_fraction > 0.0:
+        # Form explicit committees and refuse configurations whose
+        # sampled committees cross the BFT threshold - simulating them
+        # would produce results no real deployment could see.
+        committees = CommitteeAssignment(
+            config.n_shards,
+            config.n_shards * config.validators_per_shard,
+            byzantine_fraction=config.byzantine_fraction,
+            seed=config.seed,
+        )
+        committees.require_safe()
+
+    protocol: AtomicCommitProtocol | None = None
+
+    def on_committed(shard_id: int, entry) -> None:
+        assert protocol is not None
+        protocol.entry_committed(shard_id, entry)
+
+    shards = [
+        Shard(shard_id, config, consensus, events, on_committed)
+        for shard_id in range(config.n_shards)
+    ]
+    protocol = AtomicCommitProtocol(
+        config,
+        network,
+        shards,
+        events,
+        on_confirmed=lambda txid: metrics.record_commit(txid, events.now),
+        on_aborted=metrics.record_abort,
+        abort_txids=abort_txids,
+    )
+    # Any latency-aware placer (OptChain, the SPV wallet adapter, custom
+    # strategies) gets the live queue observer in place of its offline
+    # proxy.
+    if hasattr(placer, "use_latency_provider"):
+        placer.use_latency_provider(LatencyObserver(config, network, shards))
+    issuer = TransactionIssuer(
+        stream, placer, config, events, protocol, metrics
+    )
+
+    def sample_queues() -> None:
+        metrics.record_queue_sample(
+            events.now, [shard.queue_size for shard in shards]
+        )
+        if not metrics.is_complete():
+            events.schedule(config.queue_sample_interval_s, sample_queues)
+
+    issuer.start()
+    if stream:
+        events.schedule(0.0, sample_queues)
+    for shard_id, start, end in outages or []:
+        if not 0 <= shard_id < config.n_shards or end <= start:
+            raise SimulationError(
+                f"bad outage spec ({shard_id}, {start}, {end})"
+            )
+        events.schedule_at(start, shards[shard_id].pause)
+        events.schedule_at(end, shards[shard_id].resume)
+
+    events.run(until=config.max_sim_time_s)
+
+    return SimulationResult(
+        config=config,
+        placer_name=getattr(placer, "name", type(placer).__name__),
+        n_issued=metrics.n_issued,
+        n_committed=metrics.n_committed,
+        n_aborted=metrics.n_aborted,
+        n_cross=protocol.n_cross,
+        n_same_shard=protocol.n_same_shard,
+        n_parked=protocol.n_parked,
+        duration=events.now,
+        throughput=metrics.throughput(),
+        latencies=metrics.latencies(),
+        commit_times=metrics.commit_times(),
+        queue_sample_times=metrics.queue_sample_times,
+        queue_samples=metrics.queue_samples,
+        blocks_per_shard=[shard.n_blocks for shard in shards],
+        entries_per_shard=[shard.n_entries_committed for shard in shards],
+        bytes_same_shard=protocol.bytes_same_shard,
+        bytes_cross=protocol.bytes_cross,
+        bandwidth_ratio=protocol.bandwidth_ratio(),
+        drained=metrics.is_complete(),
+    )

@@ -1,0 +1,89 @@
+"""Event queue for the discrete-event simulation.
+
+A thin heap of ``(time, sequence, callback)`` entries. The sequence
+number makes ordering total and FIFO among simultaneous events, which
+keeps runs deterministic - the property every reproducibility test
+relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], Any]
+
+
+class EventQueue:
+    """Time-ordered callback queue with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callback]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def n_pending(self) -> int:
+        """Events scheduled but not yet executed."""
+        return len(self._heap)
+
+    @property
+    def n_processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(
+            self._heap, (self._now + delay, self._sequence, callback)
+        )
+        self._sequence += 1
+
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, clock is at {self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self._now = time
+        self._processed += 1
+        callback()
+        return True
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Drain the queue, optionally bounded by time or event count.
+
+        With ``until``, events at times strictly greater are left queued
+        and the clock advances to ``until``.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1

@@ -1,0 +1,150 @@
+"""Metric collection and the live latency observer.
+
+:class:`MetricsCollector` records the raw series every figure of §V is
+derived from: per-transaction issue/commit times (latency, throughput,
+Fig. 5/8/9/10), periodic queue-size samples (Figs. 6/7), and per-shard
+block statistics.
+
+:class:`LatencyObserver` is the bridge between the simulator and
+OptChain's L2S score: it plays the role of the wallet software that
+samples shard round trips and watches queue sizes (§IV-C), producing one
+:class:`~repro.core.l2s.ShardLatencyModel` per shard on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.l2s import ShardLatencyModel
+from repro.errors import SimulationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.network import Network
+from repro.simulator.shard import Shard
+
+
+class MetricsCollector:
+    """Accumulates the raw measurement series of one simulation run."""
+
+    def __init__(self, n_transactions: int) -> None:
+        if n_transactions < 0:
+            raise SimulationError(
+                f"n_transactions must be >= 0, got {n_transactions}"
+            )
+        self.n_transactions = n_transactions
+        self._issue_time: dict[int, float] = {}
+        self._commit_time: dict[int, float] = {}
+        self._aborted: set[int] = set()
+        self.queue_sample_times: list[float] = []
+        self.queue_samples: list[list[int]] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record_issue(self, txid: int, time: float) -> None:
+        """A client handed the transaction to the network."""
+        if txid in self._issue_time:
+            raise SimulationError(f"transaction {txid} issued twice")
+        self._issue_time[txid] = time
+
+    def record_commit(self, txid: int, time: float) -> None:
+        """The transaction is confirmed on its output shard."""
+        if txid not in self._issue_time:
+            raise SimulationError(
+                f"transaction {txid} committed but never issued"
+            )
+        if txid in self._commit_time:
+            raise SimulationError(f"transaction {txid} committed twice")
+        self._commit_time[txid] = time
+
+    def record_abort(self, txid: int) -> None:
+        """The transaction was rejected (failure injection)."""
+        self._aborted.add(txid)
+
+    def record_queue_sample(self, time: float, sizes: list[int]) -> None:
+        """Periodic snapshot of every shard's queue size."""
+        self.queue_sample_times.append(time)
+        self.queue_samples.append(sizes)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def n_issued(self) -> int:
+        """Transactions issued so far."""
+        return len(self._issue_time)
+
+    @property
+    def n_committed(self) -> int:
+        """Transactions confirmed so far."""
+        return len(self._commit_time)
+
+    @property
+    def n_aborted(self) -> int:
+        """Transactions aborted via proof-of-rejection."""
+        return len(self._aborted)
+
+    def is_complete(self) -> bool:
+        """All issued transactions reached a terminal state."""
+        return (
+            self.n_issued == self.n_transactions
+            and self.n_committed + self.n_aborted == self.n_issued
+        )
+
+    def latencies(self) -> list[float]:
+        """Confirmation latency per committed transaction (issue order)."""
+        return [
+            self._commit_time[txid] - self._issue_time[txid]
+            for txid in sorted(self._commit_time)
+        ]
+
+    def commit_times(self) -> list[float]:
+        """Commit timestamps, sorted (Fig. 5 input)."""
+        return sorted(self._commit_time.values())
+
+    def throughput(self) -> float:
+        """Committed transactions over the active time window."""
+        if not self._commit_time:
+            return 0.0
+        start = min(self._issue_time.values())
+        end = max(self._commit_time.values())
+        if end <= start:
+            return 0.0
+        return self.n_committed / (end - start)
+
+    def issue_time_of(self, txid: int) -> float:
+        """Issue timestamp of one transaction."""
+        return self._issue_time[txid]
+
+
+class LatencyObserver:
+    """Wallet-side view of the shards, feeding OptChain's L2S score.
+
+    ``lambda_c`` comes from the (static) expected client-shard one-way
+    delay - what RTT sampling converges to. ``lambda_v`` is refreshed on
+    every call from each shard's current queue size and recent block
+    duration, exactly the estimate §IV-C prescribes.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        network: Network,
+        shards: Sequence[Shard],
+    ) -> None:
+        self._shards = shards
+        tx_bytes = 500
+        self._comm_time = [
+            network.propagation(Network.CLIENT, shard.shard_id)
+            + tx_bytes / config.bandwidth_bytes_per_s
+            for shard in shards
+        ]
+
+    def __call__(self) -> list[ShardLatencyModel]:
+        models = []
+        for shard, comm_time in zip(self._shards, self._comm_time):
+            verify_time = shard.expected_verification_time()
+            models.append(
+                ShardLatencyModel(
+                    lambda_c=1.0 / comm_time,
+                    lambda_v=1.0 / verify_time,
+                )
+            )
+        return models

@@ -1,0 +1,381 @@
+"""Cross-shard atomic commit protocols.
+
+Implements the transaction lifecycle of §III-A:
+
+**OmniLedger (lock / proof-of-acceptance / unlock-to-commit)**
+
+1. The client sends the transaction to every *input shard* (shards
+   holding its inputs). Same-shard transactions skip to a single ``tx``
+   entry at their own shard.
+2. Each input shard validates and locks the inputs by committing a
+   ``lock`` entry in a block, then gossips a proof-of-acceptance back to
+   the client.
+3. Once the client holds every proof it sends an unlock-to-commit to the
+   output shard, which commits a ``commit`` entry in a block - the
+   transaction is confirmed.
+
+**RapidChain ("yanking")**
+
+Input shards commit the lock and then forward ("yank") the inputs
+*directly* to the output shard - no client round trip. The output shard
+enqueues the final transaction once every yank arrived.
+
+Both protocols charge one block slot per involved shard, reproducing the
+paper's cost model (a 2-input/1-output cross-TX triples communication and
+computation). Validity is guaranteed upstream by the workload generator,
+so proof-of-rejection paths exist only for failure injection
+(``abort_txids``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.events import EventQueue
+from repro.simulator.ledger import CONFLICT, MISSING, OK, ShardLedger
+from repro.simulator.network import Network
+from repro.simulator.shard import KIND_COMMIT, KIND_LOCK, KIND_TX, Entry, Shard
+from repro.utxo.transaction import OutPoint, Transaction
+
+PROOF_BYTES = 200  # proof-of-acceptance / rejection message
+UNLOCK_BYTES = 300  # unlock-to-commit / unlock-to-abort message
+YANK_BYTES = 600  # yanked inputs + transaction
+
+
+@dataclass(slots=True)
+class _PendingCrossTx:
+    """Client-side state for one in-flight cross-shard transaction."""
+
+    output_shard: int
+    awaiting: int
+    rejected: bool = False
+    #: shards whose locks succeeded (must be unlocked on abort)
+    accepted_shards: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _TxInfo:
+    """Ledger-validation bookkeeping for one submitted transaction."""
+
+    n_outputs: int
+    output_shard: int
+    #: shard -> the input outpoints that shard is responsible for
+    inputs_by_shard: dict[int, list[OutPoint]]
+
+
+class AtomicCommitProtocol:
+    """Routes transactions through shards and reports confirmations."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        network: Network,
+        shards: Sequence[Shard],
+        events: EventQueue,
+        on_confirmed: Callable[[int], None],
+        on_aborted: Callable[[int], None] | None = None,
+        abort_txids: set[int] | None = None,
+    ) -> None:
+        self._config = config
+        self._network = network
+        self._shards = shards
+        self._events = events
+        self._on_confirmed = on_confirmed
+        self._on_aborted = on_aborted or (lambda txid: None)
+        self._abort_txids = abort_txids or set()
+        self._pending: dict[int, _PendingCrossTx] = {}
+        self.n_cross = 0
+        self.n_same_shard = 0
+        self.n_aborted = 0
+        self.n_parked = 0  # dependency-parking events (validation mode)
+        # Bandwidth accounting (§III-B: a cross-TX should cost about 3x
+        # a same-shard transaction in communication).
+        self.bytes_same_shard = 0
+        self.bytes_cross = 0
+        # Ledger validation (config.validate_ledger): real per-shard
+        # UTXO state, dependency parking, natural conflict rejection.
+        self.validate_ledger = config.validate_ledger
+        self.ledgers: list[ShardLedger] = [
+            ShardLedger(shard.shard_id) for shard in shards
+        ]
+        self._tx_info: dict[int, _TxInfo] = {}
+        # Per shard: missing outpoint -> entries parked on it.
+        self._parked: list[dict[OutPoint, list[Entry]]] = [
+            {} for _ in shards
+        ]
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        tx: Transaction,
+        output_shard: int,
+        input_shards: set[int],
+        inputs_by_shard: dict[int, list[OutPoint]] | None = None,
+    ) -> None:
+        """Start the commit protocol for a freshly placed transaction.
+
+        ``inputs_by_shard`` maps each input shard to the outpoints it is
+        responsible for; required when ledger validation is on.
+        """
+        if self.validate_ledger:
+            if inputs_by_shard is None:
+                raise SimulationError(
+                    "ledger validation needs inputs_by_shard per submit"
+                )
+            self._tx_info[tx.txid] = _TxInfo(
+                n_outputs=len(tx.outputs),
+                output_shard=output_shard,
+                inputs_by_shard=inputs_by_shard,
+            )
+        cross = bool(input_shards) and input_shards != {output_shard}
+        if not cross:
+            self.n_same_shard += 1
+            self.bytes_same_shard += tx.size_bytes
+            self._send_to_shard(
+                output_shard, Entry(KIND_TX, tx.txid), tx.size_bytes
+            )
+            return
+        self.n_cross += 1
+        self.bytes_cross += len(input_shards) * tx.size_bytes
+        self._pending[tx.txid] = _PendingCrossTx(
+            output_shard=output_shard, awaiting=len(input_shards)
+        )
+        for shard in input_shards:
+            self._send_to_shard(
+                shard, Entry(KIND_LOCK, tx.txid), tx.size_bytes
+            )
+
+    # -- shard callbacks -----------------------------------------------------
+
+    def entry_committed(self, shard_id: int, entry: Entry) -> None:
+        """A shard committed a block entry; advance the state machine."""
+        if entry.kind == KIND_TX:
+            if self.validate_ledger and not self._apply_same_shard(
+                shard_id, entry.txid
+            ):
+                return  # conflict: the abort path already ran
+            self._on_confirmed(entry.txid)
+            return
+        if entry.kind == KIND_COMMIT:
+            if self.validate_ledger:
+                self._register_outputs(shard_id, entry.txid)
+                self._tx_info.pop(entry.txid, None)
+            self._on_confirmed(entry.txid)
+            return
+        if entry.kind != KIND_LOCK:
+            raise SimulationError(f"unknown entry kind {entry.kind!r}")
+        state = self._pending.get(entry.txid)
+        if state is None:
+            raise SimulationError(
+                f"lock committed for unknown transaction {entry.txid}"
+            )
+        accepted = entry.txid not in self._abort_txids
+        if accepted and self.validate_ledger:
+            accepted = self._lock_inputs(shard_id, entry.txid)
+        self._route_proof(shard_id, entry.txid, accepted)
+
+    def _route_proof(self, shard_id: int, txid: int, accepted: bool) -> None:
+        """Deliver a proof-of-acceptance/rejection for one lock."""
+        state = self._require_pending(txid)
+        if self._config.protocol == "omniledger":
+            # Proof travels shard -> client; the client reacts.
+            self.bytes_cross += PROOF_BYTES
+            delay = self._network.delay(
+                shard_id, Network.CLIENT, PROOF_BYTES
+            )
+        else:  # rapidchain: yank directly input shard -> output shard
+            self.bytes_cross += YANK_BYTES
+            delay = self._network.delay(
+                shard_id, state.output_shard, YANK_BYTES
+            )
+        self._events.schedule(
+            delay,
+            lambda: self._proof_collected(txid, shard_id, accepted),
+        )
+
+    # -- coordinator state machine ---------------------------------------------
+    # (the client under OmniLedger, the output shard under RapidChain)
+
+    def _proof_collected(
+        self, txid: int, shard_id: int, accepted: bool
+    ) -> None:
+        state = self._require_pending(txid)
+        state.awaiting -= 1
+        if accepted:
+            state.accepted_shards.append(shard_id)
+        else:
+            state.rejected = True
+        if state.awaiting > 0:
+            return
+        del self._pending[txid]
+        if state.rejected:
+            self._abort_and_unlock(txid, state)
+            return
+        if self._config.protocol == "omniledger":
+            # Client sends unlock-to-commit to the output shard.
+            self.bytes_cross += UNLOCK_BYTES
+            self._send_to_shard(
+                state.output_shard, Entry(KIND_COMMIT, txid), UNLOCK_BYTES
+            )
+        else:
+            # Output shard already holds the yanked inputs: enqueue
+            # the final transaction directly.
+            self._try_enqueue(state.output_shard, Entry(KIND_COMMIT, txid))
+
+    def _abort_and_unlock(self, txid: int, state: _PendingCrossTx) -> None:
+        """Proof-of-rejection: reclaim every successfully locked input."""
+        self.n_aborted += 1
+        if self.validate_ledger and state.accepted_shards:
+            info = self._tx_info[txid]
+            source = (
+                Network.CLIENT
+                if self._config.protocol == "omniledger"
+                else state.output_shard
+            )
+            for shard_id in state.accepted_shards:
+                outpoints = list(info.inputs_by_shard.get(shard_id, []))
+                self.bytes_cross += UNLOCK_BYTES
+                delay = self._network.delay(
+                    source, shard_id, UNLOCK_BYTES
+                )
+                self._events.schedule(
+                    delay,
+                    lambda s=shard_id, ops=outpoints: self.ledgers[
+                        s
+                    ].unspend(ops, txid),
+                )
+        self._tx_info.pop(txid, None)
+        self._on_aborted(txid)
+
+    # -- ledger validation ------------------------------------------------------
+
+    def _apply_same_shard(self, shard_id: int, txid: int) -> bool:
+        """Validate+apply a same-shard transaction at commit time."""
+        info = self._tx_info[txid]
+        outpoints = info.inputs_by_shard.get(shard_id, [])
+        ledger = self.ledgers[shard_id]
+        if ledger.classify(outpoints) != OK:
+            # Conflict surfaced between enqueue and commit (a competing
+            # spend won the block race).
+            self.n_aborted += 1
+            self._tx_info.pop(txid, None)
+            delay = self._network.delay(
+                shard_id, Network.CLIENT, PROOF_BYTES
+            )
+            self._events.schedule(delay, lambda: self._on_aborted(txid))
+            return False
+        ledger.spend(outpoints, txid)
+        self._register_outputs(shard_id, txid)
+        self._tx_info.pop(txid, None)
+        return True
+
+    def _lock_inputs(self, shard_id: int, txid: int) -> bool:
+        """Validate+lock this shard's input slice at lock-commit time."""
+        info = self._tx_info[txid]
+        outpoints = info.inputs_by_shard.get(shard_id, [])
+        ledger = self.ledgers[shard_id]
+        verdict = ledger.classify(outpoints)
+        if verdict == CONFLICT:
+            return False
+        if verdict == MISSING:
+            raise SimulationError(
+                f"lock for tx {txid} reached consensus with unregistered "
+                f"inputs; parking must happen at enqueue time"
+            )
+        ledger.spend(outpoints, txid)
+        return True
+
+    def _register_outputs(self, shard_id: int, txid: int) -> None:
+        """Create a committed transaction's outputs; wake parked entries."""
+        info = self._tx_info.get(txid)
+        if info is None:
+            raise SimulationError(
+                f"no ledger bookkeeping for committed transaction {txid}"
+            )
+        created = self.ledgers[shard_id].register_outputs(
+            txid, info.n_outputs
+        )
+        parked_here = self._parked[shard_id]
+        for outpoint in created:
+            for entry in parked_here.pop(outpoint, []):
+                self._try_enqueue(shard_id, entry)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _send_to_shard(
+        self, shard_id: int, entry: Entry, size_bytes: int
+    ) -> None:
+        delay = self._network.delay(Network.CLIENT, shard_id, size_bytes)
+        self._events.schedule(
+            delay, lambda: self._try_enqueue(shard_id, entry)
+        )
+
+    def _try_enqueue(self, shard_id: int, entry: Entry) -> None:
+        """Admission control: validate/park before consuming block slots.
+
+        Without ledger validation this is a plain enqueue. With it,
+        entries whose inputs are not registered yet park until the parent
+        commits (mempool-orphan behaviour); provably conflicting entries
+        are rejected immediately without consuming consensus capacity.
+        """
+        if not self.validate_ledger or entry.kind == KIND_COMMIT:
+            self._shards[shard_id].enqueue(entry)
+            return
+        info = self._tx_info.get(entry.txid)
+        if info is None:
+            raise SimulationError(
+                f"no ledger bookkeeping for entry {entry}"
+            )
+        outpoints = info.inputs_by_shard.get(shard_id, [])
+        ledger = self.ledgers[shard_id]
+        verdict = ledger.classify(outpoints)
+        if verdict == OK:
+            self._shards[shard_id].enqueue(entry)
+            return
+        if verdict == MISSING:
+            anchor = ledger.first_missing(outpoints)
+            assert anchor is not None
+            self._parked[shard_id].setdefault(anchor, []).append(entry)
+            self.n_parked += 1
+            return
+        # CONFLICT: reject without consensus.
+        if entry.kind == KIND_TX:
+            self.n_aborted += 1
+            self._tx_info.pop(entry.txid, None)
+            delay = self._network.delay(
+                shard_id, Network.CLIENT, PROOF_BYTES
+            )
+            self._events.schedule(
+                delay, lambda: self._on_aborted(entry.txid)
+            )
+            return
+        self._route_proof(shard_id, entry.txid, accepted=False)
+
+    def _require_pending(self, txid: int) -> _PendingCrossTx:
+        state = self._pending.get(txid)
+        if state is None:
+            raise SimulationError(
+                f"protocol event for non-pending transaction {txid}"
+            )
+        return state
+
+    @property
+    def n_in_flight(self) -> int:
+        """Cross-shard transactions between lock and commit phases."""
+        return len(self._pending)
+
+    def bandwidth_ratio(self) -> float:
+        """Average cross-TX bytes over average same-shard bytes.
+
+        The paper's §III-B claim is about 3x for a typical 2-input
+        cross-TX. Returns 0 when either class is empty.
+        """
+        if not self.n_cross or not self.n_same_shard:
+            return 0.0
+        per_cross = self.bytes_cross / self.n_cross
+        per_same = self.bytes_same_shard / self.n_same_shard
+        return per_cross / per_same if per_same else 0.0

@@ -1,0 +1,41 @@
+"""Transactions-as-Nodes (TaN) network.
+
+The paper's graph abstraction (Definition 1): each transaction is a node;
+a directed edge ``(u, v)`` exists when transaction ``u`` spends an output
+of transaction ``v``. Because a transaction can only spend outputs of
+earlier transactions, the TaN network is an online DAG whose arrival order
+is a topological order.
+
+- :class:`~repro.txgraph.tan.TaNGraph` - the online DAG with both
+  adjacency directions and O(1) degree queries.
+- :mod:`repro.txgraph.stats` - the Figure 2 statistics (degree
+  distributions, cumulative distributions, average degree over time).
+- :mod:`repro.txgraph.topo` - DAG/topological-order verification used by
+  tests and the dataset loader.
+"""
+
+from repro.txgraph.stats import (
+    average_degree_timeline,
+    cumulative_degree_distribution,
+    degree_distribution,
+    graph_summary,
+    windowed_average_degree,
+)
+from repro.txgraph.tan import TaNGraph
+from repro.txgraph.topo import (
+    is_topological_stream,
+    kahn_topological_order,
+    verify_dag,
+)
+
+__all__ = [
+    "TaNGraph",
+    "average_degree_timeline",
+    "cumulative_degree_distribution",
+    "degree_distribution",
+    "graph_summary",
+    "is_topological_stream",
+    "kahn_topological_order",
+    "verify_dag",
+    "windowed_average_degree",
+]

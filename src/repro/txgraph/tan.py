@@ -1,0 +1,157 @@
+"""The TaN online DAG.
+
+Nodes arrive one at a time carrying their input edges; edges always point
+from the new node ``u`` to earlier nodes ``v`` (``u`` spends an output of
+``v``). Following the paper's notation:
+
+- ``Nin(u)``  - *input transactions* of ``u``: the targets of ``u``'s
+  outgoing edges (the transactions ``u`` spends from).
+- ``Nout(v)`` - *output transactions* of ``v``: the sources of edges into
+  ``v`` (the transactions spending ``v``'s outputs). ``|Nout(v)|`` grows
+  over time as spenders arrive; the T2S recurrence divides by it.
+
+The structure is optimized for the two access patterns that dominate the
+reproduction: appending a node with its edges (dataset replay) and reading
+``Nin``/``Nout`` of a recent node (T2S scoring). Node ids must be dense
+integers in arrival order - the invariant the paper leans on ("the order
+of appearance of transactions ... exactly reflects the topological
+order"), enforced here so everything downstream can index by txid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import CycleError, DuplicateNodeError, MissingNodeError
+from repro.utxo.transaction import Transaction, TxId
+
+
+class TaNGraph:
+    """Online Transactions-as-Nodes DAG with dense integer node ids."""
+
+    def __init__(self) -> None:
+        # _inputs[u] = tuple of v with edge (u, v): u spends from v.
+        self._inputs: list[tuple[TxId, ...]] = []
+        # _spenders[v] = list of u with edge (u, v), in arrival order.
+        self._spenders: list[list[TxId]] = []
+
+    # -- construction ----------------------------------------------------
+
+    def add_node(self, txid: TxId, input_txids: Sequence[TxId]) -> None:
+        """Append node ``txid`` with edges to each id in ``input_txids``.
+
+        ``txid`` must equal the current node count (dense arrival order);
+        every input id must already be present (DAG property). Duplicate
+        input ids are collapsed - multiple outputs of the same parent
+        spent by one transaction form a single TaN edge, matching the
+        paper's graph construction.
+        """
+        expected = len(self._inputs)
+        if txid < expected:
+            raise DuplicateNodeError(
+                f"node {txid} already present (next id is {expected})"
+            )
+        if txid > expected:
+            raise MissingNodeError(
+                f"node ids must be dense and in arrival order: got {txid}, "
+                f"expected {expected}"
+            )
+        unique: dict[TxId, None] = {}
+        for parent in input_txids:
+            if parent >= txid:
+                raise CycleError(
+                    f"node {txid} cannot depend on non-earlier node {parent}"
+                )
+            if parent < 0:
+                raise MissingNodeError(f"negative input txid {parent}")
+            unique.setdefault(parent, None)
+        parents = tuple(unique)
+        self._inputs.append(parents)
+        self._spenders.append([])
+        for parent in parents:
+            self._spenders[parent].append(txid)
+
+    def add_transaction(self, tx: Transaction) -> None:
+        """Append a node for ``tx`` using its distinct input txids."""
+        self.add_node(tx.txid, tx.input_txids)
+
+    @classmethod
+    def from_transactions(cls, txs: Iterable[Transaction]) -> "TaNGraph":
+        """Build a graph from a full transaction stream."""
+        graph = cls()
+        for tx in txs:
+            graph.add_transaction(tx)
+        return graph
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._inputs)
+
+    def __contains__(self, txid: TxId) -> bool:
+        return 0 <= txid < len(self._inputs)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of transactions in the graph."""
+        return len(self._inputs)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct (spender, parent) edges."""
+        return sum(len(parents) for parents in self._inputs)
+
+    def inputs_of(self, txid: TxId) -> tuple[TxId, ...]:
+        """``Nin(u)``: transactions ``txid`` spends from."""
+        self._require(txid)
+        return self._inputs[txid]
+
+    def spenders_of(self, txid: TxId) -> tuple[TxId, ...]:
+        """``Nout(v)``: transactions spending ``txid``'s outputs so far."""
+        self._require(txid)
+        return tuple(self._spenders[txid])
+
+    def in_degree(self, txid: TxId) -> int:
+        """``|Nin(u)|``: number of distinct parent transactions."""
+        self._require(txid)
+        return len(self._inputs[txid])
+
+    def out_degree(self, txid: TxId) -> int:
+        """``|Nout(v)|``: number of spender transactions observed so far."""
+        self._require(txid)
+        return len(self._spenders[txid])
+
+    def is_coinbase(self, txid: TxId) -> bool:
+        """True when the node has no parents (coinbase transaction)."""
+        return not self.inputs_of(txid)
+
+    def nodes(self) -> range:
+        """All node ids in arrival (= topological) order."""
+        return range(len(self._inputs))
+
+    def edges(self) -> Iterator[tuple[TxId, TxId]]:
+        """Iterate ``(u, v)`` edges: ``u`` spends from ``v``."""
+        for u, parents in enumerate(self._inputs):
+            for v in parents:
+                yield (u, v)
+
+    def coinbase_nodes(self) -> list[TxId]:
+        """All nodes without parents."""
+        return [u for u, parents in enumerate(self._inputs) if not parents]
+
+    def unspent_frontier(self) -> list[TxId]:
+        """Nodes with no spenders yet (txs whose outputs are all unspent,
+        in TaN terms: no incoming edges)."""
+        return [v for v, spenders in enumerate(self._spenders) if not spenders]
+
+    def undirected_neighbors(self, txid: TxId) -> list[TxId]:
+        """Parents and spenders combined - used by offline partitioners,
+        which treat the TaN as an undirected graph."""
+        self._require(txid)
+        return list(self._inputs[txid]) + self._spenders[txid]
+
+    def _require(self, txid: TxId) -> None:
+        if not 0 <= txid < len(self._inputs):
+            raise MissingNodeError(
+                f"node {txid} not in graph of {len(self._inputs)} nodes"
+            )

@@ -1,0 +1,83 @@
+"""DAG and topological-order verification.
+
+The entire OptChain pipeline relies on one structural invariant: the
+transaction stream arrives in a topological order of the TaN DAG (a
+transaction never precedes its inputs). These helpers verify that
+invariant for arbitrary edge streams; the dataset loader runs them on
+untrusted input files, and the property-based tests run them on generated
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import CycleError
+from repro.txgraph.tan import TaNGraph
+from repro.utxo.transaction import Transaction
+
+
+def is_topological_stream(txs: Iterable[Transaction]) -> bool:
+    """True when every transaction only spends from earlier ones.
+
+    Works on any iterable without materializing it; ids do not need to be
+    dense, only already-seen relative to their inputs.
+    """
+    seen: set[int] = set()
+    for tx in txs:
+        for parent in tx.input_txids:
+            if parent not in seen:
+                return False
+        seen.add(tx.txid)
+    return True
+
+
+def verify_dag(graph: TaNGraph) -> None:
+    """Raise :class:`CycleError` unless ``graph`` is acyclic.
+
+    :class:`TaNGraph` enforces backwards edges at insertion time; this
+    re-verifies independently so tests do not have to trust the
+    insertion-time checks. Because node ids are arrival order, acyclicity
+    is equivalent to "every edge points strictly backwards".
+    """
+    for u in graph.nodes():
+        for parent in graph.inputs_of(u):
+            if parent >= u:
+                raise CycleError(
+                    f"edge ({u}, {parent}) does not point backwards; graph "
+                    f"is not in topological arrival order"
+                )
+
+
+def kahn_topological_order(graph: TaNGraph) -> list[int]:
+    """Topological order via Kahn's algorithm over the reverse orientation.
+
+    Processes a node once all its input transactions are processed, so the
+    returned order is a valid replay order for the UTXO set. Used by tests
+    to check it agrees with arrival order on generated graphs (same set,
+    both valid topological orders).
+    """
+    n = graph.n_nodes
+    remaining = [graph.in_degree(u) for u in graph.nodes()]
+    ready = [u for u in graph.nodes() if remaining[u] == 0]
+    order: list[int] = []
+    cursor = 0
+    while cursor < len(ready):
+        u = ready[cursor]
+        cursor += 1
+        order.append(u)
+        for spender in graph.spenders_of(u):
+            remaining[spender] -= 1
+            if remaining[spender] == 0:
+                ready.append(spender)
+    if len(order) != n:
+        raise CycleError(
+            f"Kahn's algorithm processed {len(order)} of {n} nodes; "
+            f"graph contains a cycle"
+        )
+    return order
+
+
+def topological_positions(order: Sequence[int]) -> dict[int, int]:
+    """Map node id -> position for an explicit order (test helper)."""
+    return {txid: position for position, txid in enumerate(order)}

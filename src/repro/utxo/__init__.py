@@ -1,0 +1,30 @@
+"""UTXO transaction model.
+
+The unspent-transaction-output model from Bitcoin, which OptChain (and the
+sharding protocols it improves: OmniLedger, RapidChain) is built on. A
+transaction consumes previously created outputs and creates new ones;
+outputs are spendable exactly once.
+
+Public API:
+
+- :class:`~repro.utxo.transaction.Transaction` with
+  :class:`~repro.utxo.transaction.OutPoint` and
+  :class:`~repro.utxo.transaction.TxOutput`.
+- :class:`~repro.utxo.utxoset.UTXOSet` - the authoritative spent/unspent
+  ledger state with double-spend detection.
+- :func:`~repro.utxo.validation.validate_transaction` plus the individual
+  rules in :mod:`repro.utxo.validation`.
+"""
+
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+from repro.utxo.utxoset import UTXOSet
+from repro.utxo.validation import validate_structure, validate_transaction
+
+__all__ = [
+    "OutPoint",
+    "Transaction",
+    "TxOutput",
+    "UTXOSet",
+    "validate_structure",
+    "validate_transaction",
+]

@@ -1,0 +1,162 @@
+"""Transactions, outputs, and outpoints for the UTXO model.
+
+Transactions are immutable value objects. Transaction ids are plain
+integers assigned by the producer (dataset generator or loader) in arrival
+order; the TaN analysis in the paper relies on arrival order equalling
+topological order, and integer ids make that property explicit and cheap
+to check. A content hash is still available (:meth:`Transaction.digest`)
+for components that need a Bitcoin-style identifier, e.g. the random
+placement baseline that hashes transactions to shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+TxId = int
+
+
+@dataclass(frozen=True, slots=True)
+class OutPoint:
+    """Reference to one output of one transaction: ``(txid, index)``."""
+
+    txid: TxId
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.txid < 0:
+            raise ValidationError(f"OutPoint txid must be >= 0, got {self.txid}")
+        if self.index < 0:
+            raise ValidationError(
+                f"OutPoint index must be >= 0, got {self.index}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class TxOutput:
+    """A newly created, lockable unit of value.
+
+    ``address`` identifies the controlling wallet; the reproduction does
+    not model signatures, so the address is an opaque integer label used
+    by the dataset generator to create realistic spending locality.
+    """
+
+    value: int
+    address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValidationError(f"TxOutput value must be >= 0, got {self.value}")
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """An immutable UTXO transaction.
+
+    ``inputs`` are outpoints of earlier transactions; an empty input list
+    marks a *coinbase* transaction (mining reward), which is the only kind
+    allowed to create value out of nothing. ``timestamp`` is the issue
+    time in seconds used by the simulator's replay clock.
+    """
+
+    txid: TxId
+    inputs: tuple[OutPoint, ...]
+    outputs: tuple[TxOutput, ...]
+    timestamp: float = 0.0
+    size_bytes: int = 500
+    fee: int = 0
+
+    def __post_init__(self) -> None:
+        if self.txid < 0:
+            raise ValidationError(f"txid must be >= 0, got {self.txid}")
+        if self.size_bytes <= 0:
+            raise ValidationError(
+                f"size_bytes must be > 0, got {self.size_bytes}"
+            )
+        if self.fee < 0:
+            raise ValidationError(f"fee must be >= 0, got {self.fee}")
+
+    @property
+    def is_coinbase(self) -> bool:
+        """True when the transaction has no inputs (a mining reward)."""
+        return not self.inputs
+
+    @property
+    def input_txids(self) -> tuple[TxId, ...]:
+        """Distinct ids of the transactions whose outputs this tx spends.
+
+        Order of first appearance is preserved so the TaN edge order is
+        deterministic.
+        """
+        seen: dict[TxId, None] = {}
+        for outpoint in self.inputs:
+            seen.setdefault(outpoint.txid, None)
+        return tuple(seen)
+
+    @property
+    def total_output_value(self) -> int:
+        """Sum of all created output values."""
+        return sum(output.value for output in self.outputs)
+
+    def digest(self) -> bytes:
+        """Content hash (BLAKE2b-160) over ids, inputs, and outputs.
+
+        Used by the OmniLedger random-placement baseline, which assigns a
+        transaction to ``hash(tx) mod k``.
+        """
+        hasher = hashlib.blake2b(digest_size=20)
+        hasher.update(self.txid.to_bytes(8, "big"))
+        for outpoint in self.inputs:
+            hasher.update(outpoint.txid.to_bytes(8, "big"))
+            hasher.update(outpoint.index.to_bytes(4, "big"))
+        for output in self.outputs:
+            hasher.update(output.value.to_bytes(8, "big", signed=False))
+            hasher.update(output.address.to_bytes(8, "big", signed=True))
+        return hasher.digest()
+
+    def shard_hash(self, n_shards: int) -> int:
+        """Deterministic pseudo-random shard in ``[0, n_shards)``."""
+        if n_shards <= 0:
+            raise ValidationError(f"n_shards must be > 0, got {n_shards}")
+        return int.from_bytes(self.digest()[:8], "big") % n_shards
+
+
+@dataclass(slots=True)
+class TransactionBuilder:
+    """Convenience builder used by tests and examples.
+
+    Collects inputs/outputs incrementally and produces an immutable
+    :class:`Transaction`. Not used on generator hot paths (those build
+    tuples directly).
+    """
+
+    txid: TxId
+    timestamp: float = 0.0
+    size_bytes: int = 500
+    fee: int = 0
+    _inputs: list[OutPoint] = field(default_factory=list)
+    _outputs: list[TxOutput] = field(default_factory=list)
+
+    def spend(self, txid: TxId, index: int) -> "TransactionBuilder":
+        """Add an input spending output ``index`` of transaction ``txid``."""
+        self._inputs.append(OutPoint(txid, index))
+        return self
+
+    def pay(self, value: int, address: int = 0) -> "TransactionBuilder":
+        """Add an output of ``value`` locked to ``address``."""
+        self._outputs.append(TxOutput(value, address))
+        return self
+
+    def build(self) -> Transaction:
+        """Return the immutable transaction."""
+        return Transaction(
+            txid=self.txid,
+            inputs=tuple(self._inputs),
+            outputs=tuple(self._outputs),
+            timestamp=self.timestamp,
+            size_bytes=self.size_bytes,
+            fee=self.fee,
+        )

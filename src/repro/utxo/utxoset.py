@@ -1,0 +1,115 @@
+"""The UTXO set: authoritative spent/unspent ledger state.
+
+This is the state every shard committee maintains for its slice of the
+transaction history. The global (unsharded) variant here is used by the
+dataset generator (to only ever create spendable workloads), by validation,
+and by tests asserting that every generated stream is double-spend free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import DoubleSpendError, UnknownOutputError, ValidationError
+from repro.utxo.transaction import OutPoint, Transaction, TxId, TxOutput
+
+
+class UTXOSet:
+    """Tracks unspent outputs and which transaction spent each spent one.
+
+    ``apply`` is transactional: a transaction that would double-spend or
+    reference an unknown output is rejected without mutating state.
+    """
+
+    def __init__(self) -> None:
+        self._unspent: dict[OutPoint, TxOutput] = {}
+        # Spent outpoints map to the txid that consumed them; keeping the
+        # spender (not just a flag) is what lets the TaN builder recover
+        # edges and the simulator produce precise double-spend proofs.
+        self._spent_by: dict[OutPoint, TxId] = {}
+        self._applied: set[TxId] = set()
+
+    def __len__(self) -> int:
+        return len(self._unspent)
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self._unspent
+
+    def __iter__(self) -> Iterator[OutPoint]:
+        return iter(self._unspent)
+
+    @property
+    def n_spent(self) -> int:
+        """Number of outputs consumed so far."""
+        return len(self._spent_by)
+
+    @property
+    def n_applied(self) -> int:
+        """Number of transactions applied so far."""
+        return len(self._applied)
+
+    def value_of(self, outpoint: OutPoint) -> int:
+        """Value of an unspent output; raises if unknown or spent."""
+        return self._lookup(outpoint).value
+
+    def address_of(self, outpoint: OutPoint) -> int:
+        """Owning address of an unspent output; raises if unknown/spent."""
+        return self._lookup(outpoint).address
+
+    def spender_of(self, outpoint: OutPoint) -> TxId | None:
+        """Txid that spent ``outpoint``, or None if it is still unspent."""
+        return self._spent_by.get(outpoint)
+
+    def check(self, tx: Transaction) -> None:
+        """Raise unless ``tx`` could be applied right now.
+
+        Checks referenced outputs exist and are unspent, and that the
+        transaction itself was not applied before. Does not mutate.
+        """
+        if tx.txid in self._applied:
+            raise ValidationError(f"transaction {tx.txid} applied twice")
+        seen: set[OutPoint] = set()
+        for outpoint in tx.inputs:
+            if outpoint in seen:
+                raise DoubleSpendError(
+                    f"transaction {tx.txid} spends {outpoint} twice internally"
+                )
+            seen.add(outpoint)
+            self._check_spendable(tx.txid, outpoint)
+
+    def apply(self, tx: Transaction) -> None:
+        """Atomically spend ``tx``'s inputs and create its outputs."""
+        self.check(tx)
+        for outpoint in tx.inputs:
+            del self._unspent[outpoint]
+            self._spent_by[outpoint] = tx.txid
+        for index, output in enumerate(tx.outputs):
+            self._unspent[OutPoint(tx.txid, index)] = output
+        self._applied.add(tx.txid)
+
+    def apply_all(self, txs: Iterable[Transaction]) -> None:
+        """Apply a sequence of transactions, stopping at the first error."""
+        for tx in txs:
+            self.apply(tx)
+
+    def snapshot_unspent(self) -> dict[OutPoint, TxOutput]:
+        """Shallow copy of the current unspent map (for inspection)."""
+        return dict(self._unspent)
+
+    def _lookup(self, outpoint: OutPoint) -> TxOutput:
+        output = self._unspent.get(outpoint)
+        if output is None:
+            self._check_spendable(txid=None, outpoint=outpoint)
+            raise AssertionError("unreachable")  # pragma: no cover
+        return output
+
+    def _check_spendable(self, txid: TxId | None, outpoint: OutPoint) -> None:
+        if outpoint in self._unspent:
+            return
+        who = "lookup" if txid is None else f"transaction {txid}"
+        spender = self._spent_by.get(outpoint)
+        if spender is not None:
+            raise DoubleSpendError(
+                f"{who} references {outpoint} already spent by {spender}"
+            )
+        raise UnknownOutputError(f"{who} references unknown output {outpoint}")

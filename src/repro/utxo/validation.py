@@ -1,0 +1,82 @@
+"""Structural and stateful transaction validation rules.
+
+Shard committees run these checks before voting a transaction into a
+block. Structural rules need only the transaction; stateful rules need a
+:class:`~repro.utxo.utxoset.UTXOSet`. The split matches what a real
+sharded validator can check locally versus what requires ledger state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.utxo.transaction import Transaction
+from repro.utxo.utxoset import UTXOSet
+
+# Bitcoin consensus caps a transaction at 100 kB standardness / 1 MB
+# consensus; we use the 100 kB standardness limit because the simulator
+# models relay behaviour, not miner-assembled edge cases.
+MAX_TX_SIZE_BYTES = 100_000
+MAX_OUTPUTS = 10_000
+# 21e6 BTC in satoshi: total money supply; no single output may exceed it.
+MAX_VALUE = 21_000_000 * 100_000_000
+
+
+def validate_structure(tx: Transaction) -> None:
+    """Raise :class:`ValidationError` on context-free rule violations."""
+    if tx.size_bytes > MAX_TX_SIZE_BYTES:
+        raise ValidationError(
+            f"transaction {tx.txid} size {tx.size_bytes} exceeds "
+            f"{MAX_TX_SIZE_BYTES} bytes"
+        )
+    if not tx.outputs and not tx.inputs:
+        raise ValidationError(
+            f"transaction {tx.txid} has neither inputs nor outputs"
+        )
+    if len(tx.outputs) > MAX_OUTPUTS:
+        raise ValidationError(
+            f"transaction {tx.txid} creates {len(tx.outputs)} outputs, "
+            f"limit is {MAX_OUTPUTS}"
+        )
+    total = 0
+    for output in tx.outputs:
+        if output.value > MAX_VALUE:
+            raise ValidationError(
+                f"transaction {tx.txid} output value {output.value} exceeds "
+                f"money supply"
+            )
+        total += output.value
+    if total > MAX_VALUE:
+        raise ValidationError(
+            f"transaction {tx.txid} total output {total} exceeds money supply"
+        )
+    for outpoint in tx.inputs:
+        if outpoint.txid >= tx.txid:
+            raise ValidationError(
+                f"transaction {tx.txid} spends output of non-earlier "
+                f"transaction {outpoint.txid}; arrival order must be "
+                f"topological"
+            )
+
+
+def validate_balance(tx: Transaction, utxos: UTXOSet) -> None:
+    """Raise unless inputs cover outputs plus fee (coinbase is exempt)."""
+    if tx.is_coinbase:
+        return
+    available = sum(utxos.value_of(outpoint) for outpoint in tx.inputs)
+    needed = tx.total_output_value + tx.fee
+    if available < needed:
+        raise ValidationError(
+            f"transaction {tx.txid} spends {needed} but inputs only "
+            f"carry {available}"
+        )
+
+
+def validate_transaction(tx: Transaction, utxos: UTXOSet) -> None:
+    """Full validation: structure, spendability, and value balance.
+
+    Mirrors the order a real validator uses - cheap context-free checks
+    first, then UTXO lookups.
+    """
+    validate_structure(tx)
+    utxos.check(tx)
+    validate_balance(tx, utxos)

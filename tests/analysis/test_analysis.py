@@ -1,0 +1,131 @@
+"""Unit tests for the analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distribution import cdf_points, fraction_below, percentile
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import (
+    bin_counts,
+    queue_extrema_series,
+    queue_ratio_series,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBinCounts:
+    def test_counts_per_bin(self):
+        counts = bin_counts([0.1, 0.2, 1.5, 2.9], bin_width=1.0)
+        assert counts == [(0.0, 2), (1.0, 1), (2.0, 1)]
+
+    def test_empty_bins_included(self):
+        counts = bin_counts([0.5, 3.5], bin_width=1.0)
+        assert counts == [(0.0, 1), (1.0, 0), (2.0, 0), (3.0, 1)]
+
+    def test_explicit_end(self):
+        counts = bin_counts([0.5], bin_width=1.0, end=3.0)
+        assert len(counts) == 4
+
+    def test_empty_input(self):
+        assert bin_counts([], 1.0) == []
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            bin_counts([1.0], 0.0)
+
+    def test_unsorted_input(self):
+        assert bin_counts([2.5, 0.5], 1.0) == [
+            (0.0, 1),
+            (1.0, 0),
+            (2.0, 1),
+        ]
+
+
+class TestQueueSeries:
+    TIMES = [0.0, 1.0, 2.0]
+    SAMPLES = [[5, 1, 3], [0, 0, 0], [8, 0, 2]]
+
+    def test_extrema(self):
+        series = queue_extrema_series(self.TIMES, self.SAMPLES)
+        assert series == [(0.0, 5, 1), (1.0, 0, 0), (2.0, 8, 0)]
+
+    def test_ratio_semantics(self):
+        series = queue_ratio_series(self.TIMES, self.SAMPLES)
+        assert series[0] == (0.0, 5.0)
+        assert series[1] == (1.0, 1.0)  # all empty: balanced
+        assert series[2] == (2.0, float("inf"))  # idle shard: imbalance
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            queue_extrema_series([0.0], [[1], [2]])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            queue_extrema_series([0.0], [[]])
+
+
+class TestDistribution:
+    def test_percentile_interpolates(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 50) == pytest.approx(5.0)
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 10.0
+
+    def test_percentile_single(self):
+        assert percentile([3.0], 75) == 3.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 150)
+
+    def test_fraction_below(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_below(values, 2.5) == 0.5
+        assert fraction_below(values, 0.5) == 0.0
+        assert fraction_below([], 1.0) == 0.0
+
+    def test_cdf_points_monotone(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        points = cdf_points(values, n_points=5)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_cdf_points_validation(self):
+        with pytest.raises(ConfigurationError):
+            cdf_points([1.0], 0)
+        assert cdf_points([], 5) == []
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(["a", "bb"], [[1, 2.345], [10, 0.5]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.35" in text  # float formatting
+        assert "0.50" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Title")
+        assert text.splitlines()[0] == "Title"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_special_floats(self):
+        text = format_table(["v"], [[float("inf")], [float("nan")]])
+        assert "inf" in text
+        assert "-" in text

@@ -1,0 +1,65 @@
+"""Tests for the simulation-result report rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.report import compare_results, summarize_result
+from repro.core.baselines import OmniLedgerRandomPlacer
+from repro.core.optchain import OptChainPlacer
+from repro.datasets.synthetic import GeneratorConfig, synthetic_stream
+from repro.simulator import SimulationConfig, run_simulation
+
+
+def run_once(placer):
+    stream = synthetic_stream(
+        400,
+        seed=2,
+        config=GeneratorConfig(
+            n_wallets=150, coinbase_interval=100, bootstrap_coinbase=20
+        ),
+    )
+    config = SimulationConfig(
+        n_shards=4,
+        tx_rate=100.0,
+        block_capacity=50,
+        block_size_bytes=25_000,
+        max_sim_time_s=2_000.0,
+    )
+    return run_simulation(stream, placer, config)
+
+
+class TestSummarize:
+    def test_contains_headline_metrics(self):
+        result = run_once(OmniLedgerRandomPlacer(4))
+        text = summarize_result(result)
+        assert "throughput" in text
+        assert "avg latency" in text
+        assert "cross-shard" in text
+        assert "400/400" in text
+
+    def test_custom_title(self):
+        result = run_once(OmniLedgerRandomPlacer(4))
+        text = summarize_result(result, title="My Run")
+        assert text.splitlines()[0] == "My Run"
+
+    def test_handles_empty_run(self):
+        from repro.simulator import run_simulation
+
+        config = SimulationConfig(n_shards=2, max_sim_time_s=10.0)
+        result = run_simulation([], OmniLedgerRandomPlacer(2), config)
+        text = summarize_result(result)
+        assert "0/0" in text
+
+
+class TestCompare:
+    def test_side_by_side(self):
+        results = {
+            "optchain": run_once(OptChainPlacer(4)),
+            "omniledger": run_once(OmniLedgerRandomPlacer(4)),
+        }
+        text = compare_results(results)
+        assert "optchain" in text
+        assert "omniledger" in text
+        assert "cross-shard" in text
+
+    def test_empty(self):
+        assert compare_results({}) == ""

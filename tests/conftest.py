@@ -1,0 +1,49 @@
+"""Shared fixtures for the OptChain reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import (
+    BitcoinLikeGenerator,
+    GeneratorConfig,
+    synthetic_stream,
+)
+from repro.txgraph.tan import TaNGraph
+
+
+SMALL_CONFIG = GeneratorConfig(
+    n_wallets=200,
+    coinbase_interval=100,
+    bootstrap_coinbase=20,
+)
+
+
+@pytest.fixture(scope="session")
+def small_stream():
+    """2k-transaction stream shared by read-only tests."""
+    return synthetic_stream(2_000, seed=7, config=SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_stream):
+    """TaN graph of the shared stream."""
+    return TaNGraph.from_transactions(small_stream)
+
+
+@pytest.fixture()
+def generator():
+    """A fresh small generator (mutable; function scope)."""
+    return BitcoinLikeGenerator(config=SMALL_CONFIG, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_stream():
+    """20k-transaction stream for statistics-sensitive tests."""
+    return synthetic_stream(
+        20_000,
+        seed=3,
+        config=GeneratorConfig(
+            n_wallets=2_000, coinbase_interval=500, bootstrap_coinbase=50
+        ),
+    )

@@ -1,0 +1,156 @@
+"""Unit tests for the L2S latency model (§IV-C)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.l2s import (
+    L2SEstimator,
+    ShardLatencyModel,
+    _expected_max_closed_form,
+    _expected_max_numeric,
+    acceptance_cdf,
+    expected_max_acceptance,
+)
+from repro.errors import ConfigurationError
+
+
+class TestShardLatencyModel:
+    def test_nonpositive_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardLatencyModel(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ShardLatencyModel(1.0, -1.0)
+
+    def test_expected_total(self):
+        model = ShardLatencyModel(lambda_c=10.0, lambda_v=0.2)
+        assert model.expected_total == pytest.approx(0.1 + 5.0)
+
+    def test_cdf_properties(self):
+        model = ShardLatencyModel(lambda_c=2.0, lambda_v=0.5)
+        assert model.cdf(0.0) == 0.0
+        assert model.cdf(-1.0) == 0.0
+        values = [model.cdf(t) for t in (0.1, 1.0, 5.0, 50.0)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert model.cdf(1000.0) == pytest.approx(1.0)
+
+    def test_cdf_equal_rates_erlang(self):
+        model = ShardLatencyModel(lambda_c=1.0, lambda_v=1.0)
+        # Erlang(2, 1): F(t) = 1 - e^-t (1 + t).
+        assert model.cdf(2.0) == pytest.approx(
+            1.0 - math.exp(-2.0) * 3.0
+        )
+
+    def test_pdf_integrates_to_cdf(self):
+        model = ShardLatencyModel(lambda_c=3.0, lambda_v=0.7)
+        # Midpoint integrate the density up to t=2.
+        step = 1e-4
+        total = sum(
+            model.pdf((i + 0.5) * step) * step for i in range(20_000)
+        )
+        assert total == pytest.approx(model.cdf(2.0), abs=1e-3)
+
+
+class TestExpectedMax:
+    def test_empty(self):
+        assert expected_max_acceptance([]) == 0.0
+
+    def test_single_shard_is_mean(self):
+        model = ShardLatencyModel(5.0, 0.5)
+        assert expected_max_acceptance([model]) == pytest.approx(
+            model.expected_total
+        )
+
+    def test_max_exceeds_each_mean(self):
+        models = [ShardLatencyModel(5.0, 0.5), ShardLatencyModel(8.0, 0.3)]
+        expected = expected_max_acceptance(models)
+        assert expected > max(m.expected_total for m in models)
+
+    def test_closed_form_matches_numeric(self):
+        models = [
+            ShardLatencyModel(10.0, 0.2),
+            ShardLatencyModel(7.0, 0.4),
+            ShardLatencyModel(12.0, 0.25),
+        ]
+        closed = _expected_max_closed_form(models)
+        numeric = _expected_max_numeric(models)
+        assert closed == pytest.approx(numeric, rel=1e-4)
+
+    def test_near_equal_rates_fall_back_to_numeric(self):
+        # lambda_c == lambda_v would blow up the closed form; the public
+        # entry point must stay finite and close to the Erlang answer.
+        models = [ShardLatencyModel(1.0, 1.0 + 1e-9)] * 2
+        value = expected_max_acceptance(models)
+        assert 2.0 < value < 4.0  # E[max of two Erlang(2,1)] ~ 2.63
+
+    def test_identical_shards_monotone_in_count(self):
+        model = ShardLatencyModel(10.0, 0.5)
+        values = [
+            expected_max_acceptance([model] * m) for m in range(1, 5)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_acceptance_cdf_is_product(self):
+        models = [ShardLatencyModel(2.0, 0.5), ShardLatencyModel(3.0, 0.4)]
+        t = 1.7
+        assert acceptance_cdf(models, t) == pytest.approx(
+            models[0].cdf(t) * models[1].cdf(t)
+        )
+
+
+class TestL2SEstimator:
+    def models(self):
+        return [
+            ShardLatencyModel(10.0, 1.0),   # fast shard
+            ShardLatencyModel(10.0, 0.1),   # slow shard (loaded queue)
+            ShardLatencyModel(10.0, 1.0),
+        ]
+
+    def test_needs_models(self):
+        with pytest.raises(ConfigurationError):
+            L2SEstimator([])
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            L2SEstimator(self.models(), mode="bogus")
+
+    def test_coinbase_costs_commit_only(self):
+        estimator = L2SEstimator(self.models())
+        assert estimator.score(0, []) == pytest.approx(0.1 + 1.0)
+
+    def test_same_shard_costs_commit_only(self):
+        estimator = L2SEstimator(self.models())
+        assert estimator.score(0, [0]) == pytest.approx(0.1 + 1.0)
+
+    def test_cross_shard_adds_acceptance(self):
+        estimator = L2SEstimator(self.models())
+        same = estimator.score(0, [0])
+        cross = estimator.score(0, [1])
+        assert cross > same
+
+    def test_slow_shard_scores_worse(self):
+        estimator = L2SEstimator(self.models())
+        scores = estimator.scores_all([])
+        assert scores[1] > scores[0]
+        assert scores[0] == pytest.approx(scores[2])
+
+    def test_accept_accept_mode(self):
+        models = self.models()
+        estimator = L2SEstimator(models, mode="accept_accept")
+        expected = 2.0 * expected_max_acceptance([models[1]])
+        assert estimator.score(0, [1]) == pytest.approx(expected)
+
+    def test_out_of_range_shard_rejected(self):
+        with pytest.raises(ConfigurationError):
+            L2SEstimator(self.models()).score(7, [])
+
+    def test_placement_prefers_input_shard_when_idle(self):
+        """With equal load, placing with the inputs avoids the
+        acceptance phase entirely - the L2S term alone reproduces the
+        'avoid cross-shard' preference."""
+        models = [ShardLatencyModel(10.0, 0.5)] * 4
+        estimator = L2SEstimator(models)
+        scores = estimator.scores_all([2])
+        assert min(range(4), key=scores.__getitem__) == 2

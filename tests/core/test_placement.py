@@ -1,0 +1,307 @@
+"""Tests for placement strategies: interface, baselines, OptChain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    GreedyPlacer,
+    MetisOfflinePlacer,
+    OmniLedgerRandomPlacer,
+    T2SOnlyPlacer,
+)
+from repro.core.fitness import TemporalFitness
+from repro.core.optchain import LoadProxyLatencyProvider, OptChainPlacer
+from repro.core.placement import PlacementStrategy, make_placer
+from repro.errors import ConfigurationError, PlacementError
+from repro.partition.quality import (
+    balance_ratio,
+    cross_shard_fraction,
+    validate_partition,
+)
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+
+def tx(txid, parents=()):
+    return Transaction(
+        txid=txid,
+        inputs=tuple(OutPoint(p, 0) for p in parents),
+        outputs=(TxOutput(1),),
+    )
+
+
+class TestInterface:
+    def test_factory_known_names(self):
+        for name in ("omniledger", "greedy", "t2s", "optchain"):
+            placer = make_placer(name, 4)
+            assert isinstance(placer, PlacementStrategy)
+            assert placer.n_shards == 4
+
+    def test_factory_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            make_placer("nope", 4)
+
+    def test_factory_metis_needs_precomputed(self):
+        with pytest.raises(ConfigurationError, match="precomputed"):
+            make_placer("metis", 4)
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            OmniLedgerRandomPlacer(0)
+
+    def test_out_of_order_placement_rejected(self):
+        placer = OmniLedgerRandomPlacer(4)
+        with pytest.raises(PlacementError):
+            placer.place(tx(5))
+
+    def test_place_records_assignment(self):
+        placer = OmniLedgerRandomPlacer(4)
+        shard = placer.place(tx(0))
+        assert placer.shard_of(0) == shard
+        assert placer.n_placed == 1
+        assert placer.assignment() == [shard]
+
+    def test_shard_sizes(self, small_stream):
+        placer = OmniLedgerRandomPlacer(4)
+        placer.place_stream(small_stream[:100])
+        assert sum(placer.shard_sizes()) == 100
+
+
+class TestOmniLedgerRandom:
+    def test_deterministic_by_content(self):
+        a = OmniLedgerRandomPlacer(16).place(tx(0))
+        b = OmniLedgerRandomPlacer(16).place(tx(0))
+        assert a == b
+
+    def test_roughly_uniform(self, small_stream):
+        placer = OmniLedgerRandomPlacer(4)
+        placer.place_stream(small_stream)
+        sizes = placer.shard_sizes()
+        n = len(small_stream)
+        assert all(abs(s - n / 4) < 0.1 * n for s in sizes)
+
+    def test_mostly_cross_shard(self, small_stream):
+        """The paper's headline: random placement makes nearly all
+        multi-input transactions cross-shard (about 94% at 16 shards)."""
+        placer = OmniLedgerRandomPlacer(16)
+        assignment = placer.place_stream(small_stream)
+        assert cross_shard_fraction(small_stream, assignment) > 0.80
+
+
+class TestGreedy:
+    def test_follows_single_parent(self):
+        placer = GreedyPlacer(4, tie_break="first")
+        placer.place(tx(0))
+        parent_shard = placer.shard_of(0)
+        assert placer.place(tx(1, [0])) == parent_shard
+
+    def test_cap_respected(self, small_stream):
+        placer = GreedyPlacer(4, expected_total=len(small_stream))
+        placer.place_stream(small_stream)
+        cap = 1.1 * (len(small_stream) // 4)
+        assert max(placer.shard_sizes()) <= cap
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            GreedyPlacer(4, epsilon=-0.5)
+
+    def test_bad_tie_break(self):
+        with pytest.raises(ConfigurationError):
+            GreedyPlacer(4, tie_break="bogus")
+
+    def test_bad_expected_total(self):
+        with pytest.raises(ConfigurationError):
+            GreedyPlacer(4, expected_total=0)
+
+
+class TestT2SOnly:
+    def test_beats_omniledger(self, small_stream):
+        t2s = T2SOnlyPlacer(8, expected_total=len(small_stream))
+        random_placer = OmniLedgerRandomPlacer(8)
+        t2s_frac = cross_shard_fraction(
+            small_stream, t2s.place_stream(small_stream)
+        )
+        random_frac = cross_shard_fraction(
+            small_stream, random_placer.place_stream(small_stream)
+        )
+        assert t2s_frac < 0.5 * random_frac
+
+    def test_cap_respected(self, small_stream):
+        placer = T2SOnlyPlacer(8, expected_total=len(small_stream))
+        placer.place_stream(small_stream)
+        assert max(placer.shard_sizes()) <= 1.1 * (len(small_stream) // 8)
+
+
+class TestMetisOffline:
+    def test_replays_assignment(self, small_stream):
+        precomputed = [tx.txid % 4 for tx in small_stream]
+        placer = MetisOfflinePlacer(4, precomputed=precomputed)
+        assert placer.place_stream(small_stream) == precomputed
+
+    def test_rejects_bad_precomputed(self):
+        with pytest.raises(ConfigurationError):
+            MetisOfflinePlacer(2, precomputed=[0, 5])
+
+    def test_rejects_overflow(self):
+        placer = MetisOfflinePlacer(2, precomputed=[0])
+        placer.place(tx(0))
+        with pytest.raises(PlacementError):
+            placer.place(tx(1))
+
+
+class TestOptChain:
+    def test_valid_assignment(self, small_stream):
+        placer = OptChainPlacer(8)
+        assignment = placer.place_stream(small_stream)
+        validate_partition(assignment, 8)
+
+    def test_beats_omniledger_on_cross(self, small_stream):
+        opt = OptChainPlacer(8)
+        random_placer = OmniLedgerRandomPlacer(8)
+        opt_frac = cross_shard_fraction(
+            small_stream, opt.place_stream(small_stream)
+        )
+        random_frac = cross_shard_fraction(
+            small_stream, random_placer.place_stream(small_stream)
+        )
+        assert opt_frac < 0.5 * random_frac
+
+    def test_balances_load(self, small_stream):
+        """Offline (proxy-driven) balance: the 2k-tx stream covers only
+        one activity-burst window, so the bound is loose; live-queue
+        balance is asserted in the simulator tests."""
+        placer = OptChainPlacer(8)
+        placer.place_stream(small_stream)
+        assert balance_ratio(placer.assignment(), 8) < 2.2
+
+    def test_pure_t2s_without_provider(self, small_stream):
+        placer = OptChainPlacer(8, latency_provider=None)
+        assignment = placer.place_stream(small_stream[:500])
+        validate_partition(assignment, 8)
+
+    def test_provider_count_mismatch_rejected(self):
+        from repro.core.l2s import ShardLatencyModel
+
+        bad_provider = lambda: [ShardLatencyModel(1.0, 1.0)]  # noqa: E731
+        placer = OptChainPlacer(4, latency_provider=bad_provider)
+        with pytest.raises(ConfigurationError):
+            placer.place(tx(0))
+
+    def test_load_proxy_decays(self):
+        proxy = LoadProxyLatencyProvider(2, window=10.0)
+        for _ in range(50):
+            proxy.record(0)
+        loaded = proxy()
+        assert loaded[0].lambda_v < loaded[1].lambda_v
+        # Shard 0 is slower (higher expected verification time).
+        assert loaded[0].expected_total > loaded[1].expected_total
+
+    def test_load_proxy_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadProxyLatencyProvider(0)
+        with pytest.raises(ConfigurationError):
+            LoadProxyLatencyProvider(2, window=0)
+        with pytest.raises(ConfigurationError):
+            LoadProxyLatencyProvider(2, block_capacity=0)
+
+
+class TestForcePlace:
+    def test_out_of_order_rejected(self):
+        placer = GreedyPlacer(4)
+        with pytest.raises(PlacementError):
+            placer.force_place(tx(3), 0)
+
+    def test_bad_shard_rejected(self):
+        placer = GreedyPlacer(4)
+        with pytest.raises(PlacementError):
+            placer.force_place(tx(0), 7)
+
+    def test_warm_start_equivalent_to_self_placement(self, small_stream):
+        """Force-placing a strategy's own decisions reproduces its
+        internal state: continuing the stream gives identical output.
+
+        Uses the deterministic tie-break - with random tie-breaking the
+        RNG stream position differs between the two runs by design.
+        """
+        kwargs = dict(
+            expected_total=len(small_stream), tie_break="lightest"
+        )
+        reference = T2SOnlyPlacer(4, **kwargs)
+        full = reference.place_stream(small_stream)
+
+        warm = T2SOnlyPlacer(4, **kwargs)
+        half = len(small_stream) // 2
+        for tx_obj, shard in zip(small_stream[:half], full[:half]):
+            warm.force_place(tx_obj, shard)
+        for tx_obj in small_stream[half:]:
+            warm.place(tx_obj)
+        assert warm.assignment() == full
+
+    def test_optchain_warm_start(self, small_stream):
+        placer = OptChainPlacer(4)
+        for tx_obj in small_stream[:50]:
+            placer.force_place(tx_obj, tx_obj.txid % 4)
+        for tx_obj in small_stream[50:100]:
+            placer.place(tx_obj)
+        assert placer.n_placed == 100
+
+
+class TestOutdegModes:
+    def test_optchain_outputs_mode_valid(self, small_stream):
+        placer = OptChainPlacer(4, outdeg_mode="outputs")
+        assignment = placer.place_stream(small_stream[:500])
+        validate_partition(assignment, 4)
+
+    def test_modes_can_differ(self, small_stream):
+        spenders = OptChainPlacer(4, outdeg_mode="spenders").place_stream(
+            small_stream
+        )
+        outputs = OptChainPlacer(4, outdeg_mode="outputs").place_stream(
+            small_stream
+        )
+        # Both valid; typically they diverge somewhere on a real stream.
+        assert len(spenders) == len(outputs)
+
+
+class TestTemporalFitness:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemporalFitness(latency_weight=-1)
+
+    def test_combines(self):
+        fitness = TemporalFitness(latency_weight=0.01)
+        combined = fitness.combine({0: 0.5}, [1.0, 2.0])
+        assert combined == pytest.approx([0.49, -0.02])
+
+    def test_best_shard_prefers_t2s(self):
+        fitness = TemporalFitness(latency_weight=0.01)
+        assert fitness.best_shard({1: 0.9}, [1.0, 1.0, 1.0]) == 1
+
+    def test_latency_breaks_ties(self):
+        fitness = TemporalFitness(latency_weight=0.01)
+        assert fitness.best_shard({}, [3.0, 1.0, 2.0]) == 1
+
+    def test_large_weight_flips_decision(self):
+        fitness = TemporalFitness(latency_weight=1.0)
+        # Shard 1 has the T2S mass but a terrible queue.
+        assert fitness.best_shard({1: 0.5}, [0.1, 10.0]) == 0
+
+
+class TestTieBreakAblation:
+    def test_first_tie_break_unbalances_time(self, small_stream):
+        """The paper-faithful argmax creates wave-filling: the first
+        quarter of the stream lands almost entirely in one shard."""
+        placer = GreedyPlacer(
+            4, expected_total=len(small_stream), tie_break="first"
+        )
+        assignment = placer.place_stream(small_stream)
+        quarter = assignment[: len(assignment) // 4]
+        dominant = max(set(quarter), key=quarter.count)
+        assert quarter.count(dominant) / len(quarter) > 0.9
+
+    def test_lightest_tie_break_balances(self, small_stream):
+        placer = GreedyPlacer(
+            4, expected_total=len(small_stream), tie_break="lightest"
+        )
+        assignment = placer.place_stream(small_stream)
+        assert balance_ratio(assignment, 4) <= 1.1 + 1e-9

@@ -1,0 +1,179 @@
+"""Unit tests for the incremental T2S scorer (§IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.t2s import T2SScorer, t2s_reference_dense
+from repro.errors import ConfigurationError, PlacementError
+
+
+class TestValidation:
+    def test_bad_shards(self):
+        with pytest.raises(ConfigurationError):
+            T2SScorer(0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            T2SScorer(4, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            T2SScorer(4, alpha=1.5)
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            T2SScorer(4, outdeg_mode="bogus")
+
+    def test_out_of_order_rejected(self):
+        scorer = T2SScorer(4)
+        with pytest.raises(PlacementError):
+            scorer.add_transaction(3, [])
+
+    def test_place_without_add_rejected(self):
+        scorer = T2SScorer(4)
+        with pytest.raises(PlacementError):
+            scorer.place(0, 1)
+
+    def test_double_add_without_place_rejected(self):
+        scorer = T2SScorer(4)
+        scorer.add_transaction(0, [])
+        with pytest.raises(PlacementError):
+            scorer.add_transaction(1, [])
+
+    def test_bad_shard_on_place_rejected(self):
+        scorer = T2SScorer(4)
+        scorer.add_transaction(0, [])
+        with pytest.raises(PlacementError):
+            scorer.place(0, 9)
+
+    def test_future_input_rejected(self):
+        scorer = T2SScorer(4)
+        scorer.add_transaction(0, [])
+        scorer.place(0, 0)
+        with pytest.raises(PlacementError):
+            scorer.add_transaction(1, [5])
+
+
+class TestRecurrence:
+    def test_coinbase_scores_zero(self):
+        scorer = T2SScorer(4, alpha=0.5)
+        assert scorer.add_transaction(0, []) == {}
+
+    def test_single_parent_chain(self):
+        """p'(child) = (1-a) * p'(parent) / 1 for a sole spender."""
+        scorer = T2SScorer(2, alpha=0.5)
+        scorer.add_transaction(0, [])
+        scorer.place(0, 1)  # p'(0) = {1: 0.5}
+        scores = scorer.add_transaction(1, [0])
+        # p'(1) = 0.5 * {1: 0.5} = {1: 0.25}; normalized by |S_1| = 1.
+        assert scores == pytest.approx({1: 0.25})
+        scorer.place(1, 1)
+        assert scorer.p_prime_of(1) == pytest.approx({1: 0.75})
+
+    def test_two_spenders_split_mass(self):
+        """|Nout(v)| divides the parent's contribution per spender."""
+        scorer = T2SScorer(2, alpha=0.5)
+        scorer.add_transaction(0, [])
+        scorer.place(0, 0)
+        scorer.add_transaction(1, [0])  # first spender: divisor 1
+        scorer.place(1, 0)
+        scores = scorer.add_transaction(2, [0])  # second spender: divisor 2
+        # p'(2) = 0.5 * p'(0)/2 = 0.5 * {0: 0.5}/2 = {0: 0.125};
+        # normalized by |S_0| = 2.
+        assert scores == pytest.approx({0: 0.0625})
+        scorer.place(2, 0)
+
+    def test_duplicate_inputs_collapse(self):
+        scorer = T2SScorer(2, alpha=0.5)
+        scorer.add_transaction(0, [])
+        scorer.place(0, 0)
+        scores = scorer.add_transaction(1, [0, 0, 0])
+        scorer.place(1, 0)
+        # Same as a single edge: 0.5 * 0.5 / 1, normalized by 1.
+        assert scores == pytest.approx({0: 0.25})
+
+    def test_normalization_uses_shard_sizes(self):
+        scorer = T2SScorer(2, alpha=1.0)
+        scorer.add_transaction(0, [])
+        scorer.place(0, 0)
+        scorer.add_transaction(1, [])
+        scorer.place(1, 0)
+        # alpha=1: children inherit nothing, but normalization still
+        # reflects |S_0|=2 for any raw mass.
+        scorer.add_transaction(2, [0])
+        scorer.place(2, 0)
+        assert scorer.shard_sizes == [3, 0]
+
+    def test_alpha_one_pure_placement(self):
+        scorer = T2SScorer(2, alpha=1.0)
+        scorer.add_transaction(0, [])
+        scorer.place(0, 1)
+        scores = scorer.add_transaction(1, [0])
+        # (1 - alpha) = 0: no inherited mass at all.
+        assert scores == {}
+        scorer.place(1, 0)
+
+    def test_outputs_mode_uses_output_count(self):
+        scorer = T2SScorer(2, alpha=0.5, outdeg_mode="outputs")
+        scorer.add_transaction(0, [], n_outputs=4)
+        scorer.place(0, 0)
+        scores = scorer.add_transaction(1, [0])
+        # Divisor is max(outputs, spenders) = 4, not spenders-so-far = 1.
+        assert scores == pytest.approx({0: 0.5 * 0.5 / 4})
+        scorer.place(1, 0)
+
+
+class TestAgainstDenseReference:
+    def _replay(self, stream, n_shards, outdeg_mode="spenders"):
+        scorer = T2SScorer(
+            n_shards, alpha=0.5, outdeg_mode=outdeg_mode, prune_epsilon=0.0
+        )
+        placements = []
+        arrivals = []
+        for tx in stream:
+            arrivals.append((tx.txid, tx.input_txids, len(tx.outputs)))
+            sparse = scorer.add_transaction(
+                tx.txid, tx.input_txids, len(tx.outputs)
+            )
+            shard = max(sparse, key=sparse.get) if sparse else (
+                tx.txid % n_shards
+            )
+            scorer.place(tx.txid, shard)
+            placements.append(shard)
+        return scorer, arrivals, placements
+
+    @pytest.mark.parametrize("outdeg_mode", ["spenders", "outputs"])
+    def test_sparse_equals_dense(self, small_stream, outdeg_mode):
+        """The sparse incremental engine reproduces the dense replay
+        exactly when pruning is off."""
+        n_shards = 4
+        scorer, arrivals, placements = self._replay(
+            small_stream[:600], n_shards, outdeg_mode
+        )
+        dense = t2s_reference_dense(
+            arrivals, placements, n_shards, alpha=0.5, outdeg_mode=outdeg_mode
+        )
+        for txid in range(len(arrivals)):
+            sparse = scorer.p_prime_of(txid)
+            for shard in range(n_shards):
+                assert sparse.get(shard, 0.0) == pytest.approx(
+                    dense[txid][shard], abs=1e-12
+                )
+
+    def test_pruning_changes_little(self, small_stream):
+        n_shards = 4
+        exact, _, placements_a = self._replay(small_stream[:600], n_shards)
+        pruned = T2SScorer(n_shards, alpha=0.5, prune_epsilon=1e-9)
+        placements_b = []
+        for tx in small_stream[:600]:
+            sparse = pruned.add_transaction(
+                tx.txid, tx.input_txids, len(tx.outputs)
+            )
+            shard = max(sparse, key=sparse.get) if sparse else (
+                tx.txid % n_shards
+            )
+            pruned.place(tx.txid, shard)
+            placements_b.append(shard)
+        agreement = sum(
+            1 for a, b in zip(placements_a, placements_b) if a == b
+        )
+        assert agreement / len(placements_a) > 0.999

@@ -1,0 +1,157 @@
+"""Tests for the SPV wallet / shard directory split of Algorithm 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.l2s import ShardLatencyModel
+from repro.core.optchain import OptChainPlacer
+from repro.core.wallet import ShardDirectory, SPVWallet
+from repro.errors import ConfigurationError, PlacementError
+
+N_SHARDS = 8
+
+
+def static_models(n_shards=N_SHARDS, slow=None):
+    models = []
+    for shard in range(n_shards):
+        lambda_v = 0.05 if shard == slow else 0.25
+        models.append(ShardLatencyModel(lambda_c=8.0, lambda_v=lambda_v))
+    return models
+
+
+class TestDirectory:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardDirectory(0)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(PlacementError):
+            ShardDirectory(4).parent_view(7)
+
+    def test_double_announce_rejected(self):
+        directory = ShardDirectory(4)
+        directory.announce(0, 1, {})
+        with pytest.raises(PlacementError):
+            directory.announce(0, 2, {})
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(PlacementError):
+            ShardDirectory(4).announce(0, 9, {})
+
+    def test_query_registers_spender(self):
+        directory = ShardDirectory(4)
+        directory.announce(0, 1, {1: 0.5})
+        first = directory.parent_view(0)
+        second = directory.parent_view(0)
+        assert first.spender_count == 1
+        assert second.spender_count == 2
+
+    def test_views_are_copies(self):
+        directory = ShardDirectory(4)
+        directory.announce(0, 1, {1: 0.5})
+        view = directory.parent_view(0)
+        view.p_prime[1] = 99.0
+        assert directory.parent_view(0).p_prime[1] == 0.5
+
+
+class TestSPVWallet:
+    def test_decisions_match_monolithic_placer(self, small_stream):
+        """The wallet-side protocol is exactly Algorithm 1: decisions
+        equal OptChainPlacer's, bit for bit, under identical latency
+        models."""
+        models = static_models(slow=3)
+        placer = OptChainPlacer(
+            N_SHARDS, latency_provider=lambda: models
+        )
+        directory = ShardDirectory(N_SHARDS)
+        wallet = SPVWallet(directory)
+        for tx in small_stream:
+            expected = placer.place(tx)
+            actual = wallet.decide_and_submit(tx, models)
+            assert actual == expected, tx.txid
+
+    def test_query_cost_is_fanin(self, small_stream):
+        """The paper's lightweight claim: |Nin(u)| parent queries plus
+        one shard-size read per transaction - no history download."""
+        directory = ShardDirectory(N_SHARDS)
+        wallet = SPVWallet(directory)
+        models = static_models()
+        total_fanin = 0
+        for tx in small_stream[:500]:
+            wallet.decide_and_submit(tx, models)
+            total_fanin += len(tx.input_txids)
+        assert directory.n_parent_queries == total_fanin
+        assert directory.n_size_queries == 500
+        assert wallet.n_submitted == 500
+
+    def test_congested_shard_avoided(self, small_stream):
+        directory = ShardDirectory(N_SHARDS)
+        wallet = SPVWallet(directory)
+        models = static_models(slow=2)
+        placements = [
+            wallet.decide_and_submit(tx, models)
+            for tx in small_stream[:1000]
+        ]
+        sizes = [placements.count(s) for s in range(N_SHARDS)]
+        assert sizes[2] < max(sizes)
+
+    def test_model_count_mismatch_rejected(self, small_stream):
+        wallet = SPVWallet(ShardDirectory(N_SHARDS))
+        with pytest.raises(ConfigurationError):
+            wallet.decide_and_submit(small_stream[0], static_models(3))
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SPVWallet(ShardDirectory(4), alpha=0.0)
+
+
+class TestSPVWalletPlacer:
+    def test_behaves_as_strategy(self, small_stream):
+        from repro.core.wallet import SPVWalletPlacer
+        from repro.partition.quality import (
+            cross_shard_fraction,
+            validate_partition,
+        )
+
+        placer = SPVWalletPlacer(N_SHARDS)
+        assignment = placer.place_stream(small_stream)
+        validate_partition(assignment, N_SHARDS)
+        assert cross_shard_fraction(small_stream, assignment) < 0.5
+
+    def test_matches_optchain_in_simulation(self, small_stream):
+        """End to end through the simulator, the decentralized wallet
+        deployment reproduces the monolithic OptChain placer exactly
+        (same live observer, same arithmetic)."""
+        from repro.core.wallet import SPVWalletPlacer
+        from repro.simulator import SimulationConfig, run_simulation
+
+        config = SimulationConfig(
+            n_shards=4,
+            tx_rate=150.0,
+            block_capacity=50,
+            block_size_bytes=25_000,
+            consensus_per_tx_s=0.002,
+            max_sim_time_s=2_000.0,
+        )
+        spv = run_simulation(
+            small_stream, SPVWalletPlacer(4), config
+        )
+        opt = run_simulation(
+            small_stream, OptChainPlacer(4), config
+        )
+        assert spv.drained and opt.drained
+        assert spv.n_cross == opt.n_cross
+        assert spv.latencies == opt.latencies
+
+    def test_force_place_feeds_directory(self, small_stream):
+        from repro.core.wallet import SPVWalletPlacer
+
+        placer = SPVWalletPlacer(N_SHARDS)
+        for tx in small_stream[:100]:
+            placer.force_place(tx, tx.txid % N_SHARDS)
+        assert placer.directory.n_records == 100
+        # Placement continues seamlessly after the warm start.
+        for tx in small_stream[100:200]:
+            placer.place(tx)
+        assert placer.n_placed == 200

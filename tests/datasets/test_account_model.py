@@ -1,0 +1,94 @@
+"""Tests for the account-model (Ethereum-style) workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.account_model import (
+    AccountModelConfig,
+    AccountModelGenerator,
+    account_model_stream,
+)
+from repro.errors import ConfigurationError
+from repro.txgraph.tan import TaNGraph
+from repro.txgraph.topo import is_topological_stream
+from repro.utxo.utxoset import UTXOSet
+
+
+CONFIG = AccountModelConfig(n_accounts=100, n_communities=8)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_accounts": 1},
+            {"merge_receiver_prob": 1.5},
+            {"tx_rate": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AccountModelConfig(**kwargs).validate()
+
+    def test_default_valid(self):
+        AccountModelConfig().validate()
+
+
+class TestValidity:
+    def test_stream_valid(self):
+        stream = account_model_stream(2_000, seed=3, config=CONFIG)
+        assert is_topological_stream(stream)
+        UTXOSet().apply_all(stream)
+
+    def test_deterministic(self):
+        a = account_model_stream(500, seed=9, config=CONFIG)
+        b = account_model_stream(500, seed=9, config=CONFIG)
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccountModelGenerator(CONFIG).generate(-1)
+
+
+class TestShape:
+    def test_fanin_at_most_two(self):
+        """Account transfers have 1-2 inputs (sender state, optionally
+        the receiver's state) - the paper's 'one input and one output'
+        account structure, encoded over UTXOs."""
+        stream = account_model_stream(2_000, seed=3, config=CONFIG)
+        for tx in stream:
+            assert len(tx.inputs) <= 2
+            assert len(tx.outputs) <= 2
+
+    def test_chains_dominate(self):
+        """Each account's states form a path: out-degree of a state
+        output is at most 1 spender per output, so TaN out-degree <= 2."""
+        stream = account_model_stream(2_000, seed=3, config=CONFIG)
+        graph = TaNGraph.from_transactions(stream)
+        assert max(
+            graph.out_degree(u) for u in graph.nodes()
+        ) <= 2
+
+    def test_placement_still_beats_random(self):
+        """OptChain's advantage survives the account model (fewer
+        parents, but chains still carry community locality)."""
+        from repro.core.baselines import OmniLedgerRandomPlacer
+        from repro.core.optchain import OptChainPlacer
+        from repro.partition.quality import cross_shard_fraction
+
+        stream = account_model_stream(4_000, seed=5, config=CONFIG)
+        opt = OptChainPlacer(8).place_stream(stream)
+        rand = OmniLedgerRandomPlacer(8).place_stream(stream)
+        assert cross_shard_fraction(stream, opt) < 0.5 * (
+            cross_shard_fraction(stream, rand)
+        )
+
+    def test_genesis_bootstraps_population(self):
+        stream = account_model_stream(300, seed=1, config=CONFIG)
+        coinbase = [tx for tx in stream if tx.is_coinbase]
+        assert len(coinbase) >= 2
+        # After bootstrap, transfers dominate.
+        tail = stream[-100:]
+        transfers = [tx for tx in tail if not tx.is_coinbase]
+        assert len(transfers) > 80

@@ -1,0 +1,145 @@
+"""Unit tests for dataset IO round-trips and the MIT-format loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.io import (
+    load_edge_list,
+    load_stream_jsonl,
+    save_edge_list,
+    save_stream_jsonl,
+)
+from repro.errors import DatasetError
+from repro.txgraph.tan import TaNGraph
+from repro.txgraph.topo import is_topological_stream
+from repro.utxo.utxoset import UTXOSet
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_exact(self, small_stream, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        written = save_stream_jsonl(small_stream, path)
+        assert written == len(small_stream)
+        loaded = list(load_stream_jsonl(path))
+        assert loaded == small_stream
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            '{"txid":0,"inputs":[],"outputs":[[5,0]]}\n'
+            "\n"
+            '{"txid":1,"inputs":[[0,0]],"outputs":[[5,0]]}\n'
+        )
+        assert len(list(load_stream_jsonl(path))) == 2
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"txid":0,"inputs":[],"outputs":[[5,0]]}\nnot json\n')
+        with pytest.raises(DatasetError, match=":2"):
+            list(load_stream_jsonl(path))
+
+    def test_out_of_order_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"txid":5,"inputs":[],"outputs":[[5,0]]}\n')
+        with pytest.raises(DatasetError, match="out of order"):
+            list(load_stream_jsonl(path))
+
+    def test_forward_spend_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"txid":0,"inputs":[[3,0]],"outputs":[[5,0]]}\n'
+        )
+        with pytest.raises(DatasetError, match="non-earlier"):
+            list(load_stream_jsonl(path))
+
+
+class TestEdgeList:
+    def test_round_trip_preserves_graph(self, small_stream, tmp_path):
+        path = tmp_path / "edges.txt"
+        save_edge_list(small_stream, path)
+        loaded = load_edge_list(path)
+        original = TaNGraph.from_transactions(small_stream)
+        rebuilt = TaNGraph.from_transactions(loaded)
+        assert rebuilt.n_nodes == original.n_nodes
+        assert rebuilt.n_edges == original.n_edges
+        for txid in range(0, original.n_nodes, 37):
+            assert rebuilt.inputs_of(txid) == original.inputs_of(txid)
+
+    def test_loaded_stream_is_valid(self, small_stream, tmp_path):
+        """Reconstructed transactions replay against a UTXO set."""
+        path = tmp_path / "edges.txt"
+        save_edge_list(small_stream, path)
+        loaded = load_edge_list(path)
+        assert is_topological_stream(loaded)
+        UTXOSet().apply_all(loaded)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n1 0\n2 0\n")
+        loaded = load_edge_list(path)
+        assert len(loaded) == 3
+
+    def test_forward_edge_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(DatasetError, match="backwards"):
+            load_edge_list(path)
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("42\n")
+        with pytest.raises(DatasetError, match="expected"):
+            load_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError, match="non-integer"):
+            load_edge_list(path)
+
+    def test_shared_parent_no_double_spend(self, tmp_path):
+        """Two spenders of the same parent consume different outputs."""
+        path = tmp_path / "edges.txt"
+        path.write_text("1 0\n2 0\n3 0\n")
+        loaded = load_edge_list(path)
+        UTXOSet().apply_all(loaded)
+
+
+class TestWallets:
+    def test_balance_and_utxo_count(self):
+        import random
+
+        from repro.datasets.wallets import WalletModel
+        from repro.utxo.transaction import OutPoint
+
+        model = WalletModel(10, random.Random(1))
+        model.deposit(3, OutPoint(0, 0), 100)
+        model.deposit(3, OutPoint(1, 0), 50)
+        assert model.balance_of(3) == 150
+        assert model.utxo_count(3) == 2
+        assert model.n_funded == 1
+        taken = model.withdraw(3, 5)
+        assert len(taken) == 2
+        assert model.n_funded == 0
+
+    def test_pick_spender_empty_population(self):
+        import random
+
+        from repro.datasets.wallets import WalletModel
+
+        model = WalletModel(5, random.Random(1))
+        assert model.pick_spender() is None
+
+    def test_bad_configs_rejected(self):
+        import random
+
+        from repro.datasets.wallets import WalletModel
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            WalletModel(1, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            WalletModel(5, random.Random(1), partner_stickiness=2.0)
+        with pytest.raises(ConfigurationError):
+            WalletModel(5, random.Random(1), recency_bias=1.0)

@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic Bitcoin-like generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import (
+    BitcoinLikeGenerator,
+    GeneratorConfig,
+    synthetic_stream,
+)
+from repro.errors import ConfigurationError
+from repro.txgraph.topo import is_topological_stream
+from repro.utxo.utxoset import UTXOSet
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_wallets": 1},
+            {"coinbase_interval": 0},
+            {"bootstrap_coinbase": 0},
+            {"max_inputs": 0},
+            {"batch_payment_prob": 1.5},
+            {"consolidation_prob": -0.1},
+            {"tx_rate": 0},
+            {"flood_start": -1},
+            {"fee": -1},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(**kwargs).validate()
+
+    def test_default_config_valid(self):
+        GeneratorConfig().validate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = synthetic_stream(500, seed=42)
+        b = synthetic_stream(500, seed=42)
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = synthetic_stream(500, seed=1)
+        b = synthetic_stream(500, seed=2)
+        assert a != b
+
+    def test_streaming_matches_batch(self, generator):
+        first = generator.generate(300)
+        second = generator.generate(200)
+        combined = BitcoinLikeGenerator(
+            config=generator.config, seed=11
+        ).generate(500)
+        assert first + second == combined
+
+
+class TestValidity:
+    def test_ids_dense_and_ordered(self, small_stream):
+        assert [tx.txid for tx in small_stream] == list(
+            range(len(small_stream))
+        )
+
+    def test_stream_topological(self, small_stream):
+        assert is_topological_stream(small_stream)
+
+    def test_no_double_spends(self, small_stream):
+        utxos = UTXOSet()
+        utxos.apply_all(small_stream)  # raises on any violation
+        assert utxos.n_applied == len(small_stream)
+
+    def test_timestamps_monotone(self, small_stream):
+        times = [tx.timestamp for tx in small_stream]
+        assert times == sorted(times)
+
+    def test_value_conservation(self, small_stream):
+        """Outputs + fee == inputs for every non-coinbase transaction."""
+        output_values: dict[tuple[int, int], int] = {}
+        for tx in small_stream:
+            for index, output in enumerate(tx.outputs):
+                output_values[(tx.txid, index)] = output.value
+        for tx in small_stream:
+            if tx.is_coinbase:
+                continue
+            total_in = sum(
+                output_values[(o.txid, o.index)] for o in tx.inputs
+            )
+            assert total_in == tx.total_output_value + tx.fee
+            assert tx.fee >= 0
+
+
+class TestShape:
+    def test_bootstrap_is_coinbase(self, small_stream):
+        bootstrap = 20  # SMALL_CONFIG.bootstrap_coinbase
+        assert all(tx.is_coinbase for tx in small_stream[:bootstrap])
+
+    def test_coinbase_cadence(self, small_stream):
+        interval = 100  # SMALL_CONFIG.coinbase_interval
+        for txid in range(0, len(small_stream), interval):
+            assert small_stream[txid].is_coinbase
+
+    def test_most_transactions_not_coinbase(self, small_stream):
+        coinbase = sum(1 for tx in small_stream if tx.is_coinbase)
+        assert coinbase < 0.05 * len(small_stream)
+
+    def test_flood_window_has_high_fanin(self):
+        config = GeneratorConfig(
+            n_wallets=500,
+            coinbase_interval=100,
+            bootstrap_coinbase=50,
+            flood_start=3_000,
+            flood_length=200,
+            flood_inputs=15,
+        )
+        stream = BitcoinLikeGenerator(config=config, seed=5).generate(4_000)
+        window = [
+            tx
+            for tx in stream[3_000:3_200]
+            if not tx.is_coinbase and tx.inputs
+        ]
+        normal = [
+            tx
+            for tx in stream[1_000:2_000]
+            if not tx.is_coinbase and tx.inputs
+        ]
+        avg_window = sum(len(t.inputs) for t in window) / len(window)
+        avg_normal = sum(len(t.inputs) for t in normal) / len(normal)
+        assert avg_window > 2 * avg_normal
+
+    def test_batch_payments_present(self, medium_stream):
+        assert any(len(tx.outputs) >= 5 for tx in medium_stream)
+
+    def test_wallet_locality_creates_edges(self, medium_stream):
+        """Non-coinbase transactions usually have at least one input from
+        a recent ancestor - the locality property placement exploits."""
+        spends = [tx for tx in medium_stream if not tx.is_coinbase]
+        recent = sum(
+            1
+            for tx in spends
+            if any(tx.txid - p.txid < 5_000 for p in tx.inputs)
+        )
+        assert recent / len(spends) > 0.5
+
+    def test_negative_count_rejected(self, generator):
+        with pytest.raises(ConfigurationError):
+            list(generator.stream(-1))

@@ -1,0 +1,155 @@
+"""Direct tests for the wallet population model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.wallets import WalletModel
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+from repro.utxo.transaction import OutPoint
+
+
+def funded_model(n=100, **kwargs) -> WalletModel:
+    model = WalletModel(n, make_rng(7), **kwargs)
+    for address in range(n):
+        model.deposit(address, OutPoint(address, 0), 1_000)
+    return model
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"partner_stickiness": -0.1},
+            {"recency_bias": 1.0},
+            {"n_communities": 0},
+            {"intra_community_prob": 1.5},
+            {"community_exponent": -1.0},
+            {"n_hubs": -1},
+            {"n_hubs": 100},
+            {"hub_payment_prob": 2.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WalletModel(100, make_rng(1), **kwargs)
+
+
+class TestCommunities:
+    def test_every_community_nonempty(self):
+        model = WalletModel(100, make_rng(1), n_communities=16)
+        sizes = [model.community_size(c) for c in range(16)]
+        assert all(size >= 1 for size in sizes)
+        assert sum(sizes) == 100
+
+    def test_zipf_sizes_are_skewed(self):
+        model = WalletModel(
+            2_000, make_rng(2), n_communities=32, community_exponent=1.3
+        )
+        sizes = sorted(
+            (model.community_size(c) for c in range(32)), reverse=True
+        )
+        assert sizes[0] > 5 * sizes[-1]
+
+    def test_more_communities_than_wallets_clamped(self):
+        model = WalletModel(5, make_rng(1), n_communities=50)
+        assert all(0 <= model.community_of(a) < 5 for a in range(5))
+
+    def test_intra_community_payees(self):
+        model = funded_model(
+            200, n_communities=8, intra_community_prob=1.0,
+            partner_stickiness=0.0,
+        )
+        for spender in range(0, 200, 17):
+            payee = model.pick_payee(spender)
+            assert model.community_of(payee) == model.community_of(spender)
+
+    def test_global_payees_when_intra_zero(self):
+        model = funded_model(
+            200, n_communities=8, intra_community_prob=0.0,
+            partner_stickiness=0.0,
+        )
+        communities = {
+            model.community_of(model.pick_payee(3)) for _ in range(100)
+        }
+        assert len(communities) > 1
+
+    def test_payee_never_self(self):
+        model = funded_model(50, intra_community_prob=1.0)
+        for spender in range(50):
+            assert model.pick_payee(spender) != spender
+
+
+class TestHotCommunities:
+    def test_spender_restricted_to_hot_set(self):
+        model = funded_model(200, n_communities=8)
+        for _ in range(50):
+            spender = model.pick_spender(hot_communities=[3])
+            assert spender is not None
+            assert model.community_of(spender) == 3
+
+    def test_falls_back_when_hot_unfunded(self):
+        model = WalletModel(100, make_rng(3), n_communities=8)
+        # Fund only community 0 members.
+        for address in range(100):
+            if model.community_of(address) == 0:
+                model.deposit(address, OutPoint(address, 0), 100)
+        spender = model.pick_spender(hot_communities=[5])
+        assert spender is not None  # global fallback
+
+    def test_none_when_nothing_funded(self):
+        model = WalletModel(50, make_rng(1))
+        assert model.pick_spender(hot_communities=[0]) is None
+
+
+class TestHubs:
+    def test_hub_flag(self):
+        model = funded_model(100, n_hubs=4)
+        hubs = [a for a in range(100) if model.is_hub(a)]
+        assert len(hubs) == 4
+
+    def test_hub_attracts_payments(self):
+        model = funded_model(
+            200, n_hubs=2, hub_payment_prob=1.0, partner_stickiness=0.0
+        )
+        for spender in range(10, 60):
+            if model.is_hub(spender):
+                continue
+            assert model.is_hub(model.pick_payee(spender))
+
+    def test_hub_pays_globally(self):
+        model = funded_model(
+            400, n_hubs=1, n_communities=8, intra_community_prob=1.0
+        )
+        hub = next(a for a in range(400) if model.is_hub(a))
+        communities = {
+            model.community_of(model.pick_payee(hub)) for _ in range(200)
+        }
+        assert len(communities) > 2
+
+
+class TestWithdrawRecency:
+    def test_recent_bias(self):
+        model = WalletModel(10, make_rng(5), recency_bias=0.99)
+        for index in range(20):
+            model.deposit(0, OutPoint(index, 0), index)
+        taken = model.withdraw(0, 1)
+        # Overwhelmingly the most recent coin.
+        assert taken[0][0].txid >= 15
+
+    def test_withdraw_more_than_held(self):
+        model = WalletModel(10, make_rng(5))
+        model.deposit(2, OutPoint(0, 0), 7)
+        taken = model.withdraw(2, 10)
+        assert len(taken) == 1
+        assert model.utxo_count(2) == 0
+
+    def test_withdraw_updates_funded_count(self):
+        model = WalletModel(10, make_rng(5))
+        model.deposit(1, OutPoint(0, 0), 7)
+        assert model.n_funded == 1
+        model.withdraw(1, 1)
+        assert model.n_funded == 0
+        model.deposit(1, OutPoint(1, 0), 7)
+        assert model.n_funded == 1

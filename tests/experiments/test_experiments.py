@@ -1,0 +1,166 @@
+"""Integration tests for the experiment runners at tiny scale.
+
+These verify mechanics (runners produce well-formed results, tables
+render, caches work) - shape assertions against the paper live in the
+benchmarks, which run the same code on the same scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import get_scale
+from repro.experiments.configs import SCALES
+from repro.experiments import (
+    fig2,
+    fig4,
+    fig5,
+    fig7,
+    fig10,
+    table1,
+    table2,
+)
+from repro.experiments.runner import (
+    build_placer,
+    clear_caches,
+    metis_assignment,
+    simulate,
+    stream_for,
+    tan_for,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_scale("tiny")
+
+
+class TestConfigs:
+    def test_scales_registered(self):
+        assert set(SCALES) == {"tiny", "default", "paper"}
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("huge")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert get_scale().name == "tiny"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert get_scale("default").name == "default"
+
+    def test_simulation_factory(self, tiny):
+        config = tiny.simulation(4, 100.0)
+        assert config.n_shards == 4
+        assert config.tx_rate == 100.0
+        assert config.block_capacity == tiny.block_capacity
+
+    def test_scales_internally_consistent(self):
+        for scale in SCALES.values():
+            assert scale.warm_prefix + 1 <= scale.n_transactions
+            assert scale.tx_rates == tuple(sorted(scale.tx_rates))
+            assert scale.shard_counts == tuple(sorted(scale.shard_counts))
+            scale.generator.validate()
+            scale.simulation(
+                max(scale.shard_counts), max(scale.tx_rates)
+            ).validate()
+
+
+class TestRunnerCaches:
+    def test_stream_cached(self, tiny):
+        a = stream_for(tiny)
+        b = stream_for(tiny)
+        assert a is b
+        assert len(a) == tiny.n_transactions
+
+    def test_tan_cached(self, tiny):
+        assert tan_for(tiny) is tan_for(tiny)
+
+    def test_metis_cached(self, tiny):
+        assert metis_assignment(tiny, 4) is metis_assignment(tiny, 4)
+
+    def test_simulate_cached(self, tiny):
+        a = simulate(tiny, "omniledger", 4, min(tiny.tx_rates))
+        b = simulate(tiny, "omniledger", 4, min(tiny.tx_rates))
+        assert a is b
+
+    def test_clear_caches(self, tiny):
+        a = stream_for(tiny)
+        clear_caches()
+        b = stream_for(tiny)
+        assert a is not b
+        assert a == b  # deterministic regeneration
+
+    def test_build_placer_unknown(self, tiny):
+        with pytest.raises(ConfigurationError):
+            build_placer("bogus", 4, tiny)
+
+
+class TestStaticExperiments:
+    def test_table1_structure(self, tiny):
+        results = table1.run(tiny)
+        assert set(results) == set(tiny.table_shard_counts)
+        for row in results.values():
+            assert set(row) == {"metis", "greedy", "omniledger", "t2s"}
+            assert all(0.0 <= v <= 1.0 for v in row.values())
+        text = table1.as_table(results)
+        assert "Table I" in text
+
+    def test_table2_structure(self, tiny):
+        results = table2.run(tiny)
+        window = min(
+            tiny.warm_window, tiny.n_transactions - tiny.warm_prefix
+        )
+        for row in results.values():
+            assert all(0 <= v <= window for v in row.values())
+        text = table2.as_table(results, window)
+        assert "Table II" in text
+
+    def test_fig2_structure(self, tiny):
+        result = fig2.run(tiny)
+        assert result.summary.n_nodes == tiny.n_transactions
+        assert result.degree_timeline
+        assert result.windowed_degree
+        assert "Fig. 2" in fig2.as_table(result)
+
+    def test_table3_structure(self, tiny):
+        from repro.experiments import table3
+
+        rows = table3.run(tiny)
+        assert rows["Transactions per block"] == "100"
+        text = table3.as_table(rows, "tiny")
+        assert "Table III" in text
+        assert "paper" in text
+
+
+class TestSimulationExperiments:
+    def test_fig4_series(self, tiny):
+        cells = fig4.run(tiny)
+        series = fig4.throughput_at_max_shards(cells)
+        assert set(series) == {"optchain", "omniledger", "greedy", "metis"}
+        for points in series.values():
+            assert len(points) == len(tiny.tx_rates)
+        best = fig4.max_throughput(cells)
+        assert all(v > 0 for v in best.values())
+
+    def test_fig5_conservation(self, tiny):
+        histograms = fig5.run(tiny)
+        for histogram in histograms.values():
+            assert sum(c for _, c in histogram) == tiny.n_transactions
+
+    def test_fig7_summaries(self, tiny):
+        series = fig7.run(tiny)
+        for points in series.values():
+            stats = fig7.summarize(points)
+            assert stats["median_ratio"] >= 1.0
+            assert 0.0 <= stats["fraction_idle_shard"] <= 1.0
+
+    def test_fig10_thresholds(self, tiny):
+        samples = fig10.run(tiny)
+        fractions = fig10.within(samples, 1e9)
+        assert all(f == 1.0 for f in fractions.values())
+        fractions = fig10.within(samples, 0.0)
+        assert all(f == 0.0 for f in fractions.values())

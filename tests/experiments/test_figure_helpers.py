@@ -1,0 +1,89 @@
+"""Unit tests for the per-figure post-processing helpers.
+
+These run on the tiny-scale cached grid (built once per session by the
+runner cache) and verify the *computations* each figure applies to raw
+simulation results; the shape assertions against the paper live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3, fig6, fig8, fig9, fig11, get_scale
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_scale("tiny")
+
+
+@pytest.fixture(scope="module")
+def grid(tiny):
+    return fig3.run(tiny)
+
+
+class TestFig3Cells:
+    def test_grid_complete(self, tiny, grid):
+        expected = (
+            4 * len(tiny.shard_counts) * len(tiny.tx_rates)
+        )  # 4 methods
+        assert len(grid) == expected
+
+    def test_cells_well_formed(self, grid):
+        for cell in grid:
+            assert cell.throughput >= 0
+            assert cell.average_latency >= 0
+            assert cell.max_latency >= cell.average_latency
+            assert 0.0 <= cell.cross_fraction <= 1.0
+
+    def test_table_renders_all_methods(self, grid):
+        text = fig3.as_table(grid)
+        for method in ("optchain", "omniledger", "greedy", "metis"):
+            assert method in text
+
+
+class TestFig6Helpers:
+    def test_worst_max_queue(self):
+        series = [(0.0, 5, 1), (1.0, 9, 0), (2.0, 3, 3)]
+        assert fig6.worst_max_queue(series) == 9
+
+    def test_worst_max_queue_empty(self):
+        assert fig6.worst_max_queue([]) == 0
+
+
+class TestFig8Helpers:
+    def test_series_sorted_by_rate(self, tiny, grid):
+        series = fig8.latency_at_max_shards(grid)
+        for points in series.values():
+            rates = [rate for rate, _ in points]
+            assert rates == sorted(rates)
+            assert len(points) == len(tiny.tx_rates)
+
+    def test_reduction_in_unit_range(self, grid):
+        reduction = fig8.reduction_vs(grid)
+        assert -1.0 <= reduction < 1.0
+
+
+class TestFig9Helpers:
+    def test_worst_case_covers_methods(self, grid):
+        worst = fig9.worst_case(grid)
+        assert set(worst) == {"optchain", "omniledger", "greedy", "metis"}
+        assert all(v > 0 for v in worst.values())
+
+    def test_worst_case_at_least_series_max(self, grid):
+        worst = fig9.worst_case(grid)
+        series = fig9.max_latency_at_max_shards(grid)
+        for method, points in series.items():
+            assert worst[method] >= max(latency for _, latency in points)
+
+
+class TestFig11Helpers:
+    def test_table_renders(self):
+        points = [
+            fig11.ScalePoint(4, 100.0, 5.0, 12.0),
+            fig11.ScalePoint(8, 210.0, 6.0, 14.0),
+        ]
+        text = fig11.as_table(points)
+        assert "Fig. 11" in text
+        assert "210" in text

@@ -1,0 +1,87 @@
+"""Unit tests for the static partitioning graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, MissingNodeError
+from repro.partition.graph import StaticGraph
+from repro.txgraph.tan import TaNGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = StaticGraph(0)
+        assert graph.n_nodes == 0
+        assert graph.n_edges == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            StaticGraph(-1)
+
+    def test_add_edge_symmetric(self):
+        graph = StaticGraph(3)
+        graph.add_edge(0, 1, 2)
+        assert graph.neighbors(0) == [(1, 2)]
+        assert graph.neighbors(1) == [(0, 2)]
+        assert graph.n_edges == 1
+
+    def test_parallel_edges_merge(self):
+        graph = StaticGraph(2)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 0, 3)
+        assert graph.neighbors(0) == [(1, 5)]
+        assert graph.n_edges == 1
+
+    def test_self_loop_ignored(self):
+        graph = StaticGraph(2)
+        graph.add_edge(1, 1)
+        assert graph.n_edges == 0
+
+    def test_zero_weight_rejected(self):
+        graph = StaticGraph(2)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, 0)
+
+    def test_bad_node_rejected(self):
+        graph = StaticGraph(2)
+        with pytest.raises(MissingNodeError):
+            graph.add_edge(0, 5)
+
+    def test_node_weights(self):
+        graph = StaticGraph(3, node_weights=[2, 3, 4])
+        assert graph.node_weight(1) == 3
+        assert graph.total_node_weight == 9
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(GraphError):
+            StaticGraph(3, node_weights=[1, 2])
+
+
+class TestQueries:
+    def test_degrees(self):
+        graph = StaticGraph(4)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(0, 2, 3)
+        assert graph.degree(0) == 2
+        assert graph.weighted_degree(0) == 5
+        assert graph.degree(3) == 0
+
+    def test_edges_iterated_once(self):
+        graph = StaticGraph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2, 4)
+        assert sorted(graph.edges()) == [(0, 1, 1), (1, 2, 4)]
+
+    def test_from_tan(self, small_graph):
+        static = StaticGraph.from_tan(small_graph)
+        assert static.n_nodes == small_graph.n_nodes
+        # A TaN edge (u spends v) becomes one undirected edge; different
+        # spender pairs never merge, so counts match exactly unless two
+        # TaN edges connect the same pair (impossible: inputs are
+        # distinct per node).
+        assert static.n_edges == small_graph.n_edges
+
+    def test_from_edges(self):
+        graph = StaticGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert graph.n_edges == 2

@@ -1,0 +1,211 @@
+"""Tests for the multilevel k-way partitioner and coarsening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.coarsen import (
+    build_hierarchy,
+    contract,
+    heavy_edge_matching,
+)
+from repro.partition.graph import StaticGraph
+from repro.partition.metis_like import (
+    MultilevelConfig,
+    metis_kway,
+    partition_tan,
+)
+from repro.partition.quality import (
+    balance_ratio,
+    edge_cut,
+    validate_partition,
+)
+from repro.rng import make_rng
+
+
+def two_cliques(size=6, bridge_weight=1):
+    """Two cliques joined by one weak edge - the canonical cut test."""
+    graph = StaticGraph(2 * size)
+    for base in (0, size):
+        for i in range(size):
+            for j in range(i + 1, size):
+                graph.add_edge(base + i, base + j, 10)
+    graph.add_edge(size - 1, size, bridge_weight)
+    return graph
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self):
+        graph = two_cliques()
+        match = heavy_edge_matching(graph, make_rng(1))
+        for u, partner in enumerate(match):
+            assert match[partner] == u
+
+    def test_isolated_nodes_self_match(self):
+        graph = StaticGraph(3)
+        graph.add_edge(0, 1)
+        match = heavy_edge_matching(graph, make_rng(1))
+        assert match[2] == 2
+
+    def test_contract_preserves_total_weight(self):
+        graph = two_cliques()
+        level = contract(graph, heavy_edge_matching(graph, make_rng(1)))
+        assert level.graph.total_node_weight == graph.total_node_weight
+        assert level.graph.n_nodes < graph.n_nodes
+
+    def test_hierarchy_stops_at_target(self):
+        graph = two_cliques(size=10)
+        coarsest, levels = build_hierarchy(
+            graph, make_rng(1), target_size=5
+        )
+        assert coarsest.n_nodes <= graph.n_nodes
+        assert levels  # at least one contraction happened
+
+
+class TestMetisKway:
+    def test_two_cliques_cut_on_bridge(self):
+        graph = two_cliques()
+        assignment = metis_kway(graph, 2, MultilevelConfig(seed=3))
+        validate_partition(assignment, 2)
+        assert edge_cut(graph, assignment) == 1  # only the bridge
+
+    def test_balance_respected(self, small_graph):
+        from repro.partition.graph import StaticGraph
+
+        graph = StaticGraph.from_tan(small_graph)
+        config = MultilevelConfig(epsilon=0.1, seed=1)
+        assignment = metis_kway(graph, 8, config)
+        validate_partition(assignment, 8)
+        # Cap is ceil(1.1 * ideal); ratio can exceed 1.1 by the ceiling
+        # rounding only.
+        assert balance_ratio(assignment, 8) <= 1.1 + 8 / small_graph.n_nodes
+
+    def test_beats_random_cut(self, small_graph):
+        import random
+
+        graph = StaticGraph.from_tan(small_graph)
+        assignment = metis_kway(graph, 4, MultilevelConfig(seed=1))
+        rng = random.Random(7)
+        random_assignment = [rng.randrange(4) for _ in range(graph.n_nodes)]
+        assert edge_cut(graph, assignment) < 0.5 * edge_cut(
+            graph, random_assignment
+        )
+
+    def test_single_part(self):
+        graph = two_cliques()
+        assert metis_kway(graph, 1) == [0] * graph.n_nodes
+
+    def test_empty_graph(self):
+        assert metis_kway(StaticGraph(0), 4) == []
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(PartitionError):
+            metis_kway(StaticGraph(2), 3)
+
+    def test_nonpositive_parts_rejected(self):
+        with pytest.raises(PartitionError):
+            metis_kway(StaticGraph(2), 0)
+
+    def test_deterministic(self, small_graph):
+        graph = StaticGraph.from_tan(small_graph)
+        a = metis_kway(graph, 4, MultilevelConfig(seed=5))
+        b = metis_kway(graph, 4, MultilevelConfig(seed=5))
+        assert a == b
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(PartitionError):
+            MultilevelConfig(epsilon=-1).validate()
+        with pytest.raises(PartitionError):
+            MultilevelConfig(min_coarsest=0).validate()
+
+    def test_partition_tan(self, small_graph):
+        assignment = partition_tan(small_graph, 4)
+        validate_partition(assignment, 4)
+        assert len(assignment) == small_graph.n_nodes
+
+
+class TestStreaming:
+    def test_hashing_covers_all_shards(self, small_graph):
+        from repro.partition.streaming import hashing_partition
+
+        assignment = hashing_partition(small_graph, 4, seed=1)
+        validate_partition(assignment, 4)
+        assert set(assignment) == {0, 1, 2, 3}
+
+    def test_chunking_round_robin(self, small_graph):
+        from repro.partition.streaming import chunking_partition
+
+        assignment = chunking_partition(small_graph, 2, chunk=10)
+        assert assignment[0:10] == [0] * 10
+        assert assignment[10:20] == [1] * 10
+
+    def test_chunking_bad_chunk(self, small_graph):
+        from repro.partition.streaming import chunking_partition
+
+        with pytest.raises(PartitionError):
+            chunking_partition(small_graph, 2, chunk=0)
+
+    def test_linear_greedy_cut_beats_hashing(self, small_graph):
+        from repro.partition.graph import StaticGraph
+        from repro.partition.quality import edge_cut
+        from repro.partition.streaming import (
+            hashing_partition,
+            linear_greedy_partition,
+        )
+
+        graph = StaticGraph.from_tan(small_graph)
+        greedy = linear_greedy_partition(small_graph, 4)
+        hashed = hashing_partition(small_graph, 4, seed=2)
+        validate_partition(greedy, 4)
+        assert edge_cut(graph, greedy) < edge_cut(graph, hashed)
+
+    def test_linear_greedy_balanced(self, small_graph):
+        from repro.partition.streaming import linear_greedy_partition
+
+        assignment = linear_greedy_partition(small_graph, 4, epsilon=0.1)
+        assert balance_ratio(assignment, 4) <= 1.35
+
+    def test_fennel_cut_beats_hashing(self, small_graph):
+        from repro.partition.graph import StaticGraph
+        from repro.partition.quality import edge_cut
+        from repro.partition.streaming import (
+            fennel_partition,
+            hashing_partition,
+        )
+
+        graph = StaticGraph.from_tan(small_graph)
+        fennel = fennel_partition(small_graph, 4)
+        hashed = hashing_partition(small_graph, 4, seed=2)
+        validate_partition(fennel, 4)
+        assert edge_cut(graph, fennel) < edge_cut(graph, hashed)
+
+    def test_fennel_reasonably_balanced(self, small_graph):
+        from repro.partition.streaming import fennel_partition
+
+        assignment = fennel_partition(small_graph, 4)
+        assert balance_ratio(assignment, 4) <= 2.5
+
+    def test_fennel_bad_gamma(self, small_graph):
+        from repro.partition.streaming import fennel_partition
+
+        with pytest.raises(PartitionError):
+            fennel_partition(small_graph, 4, gamma=1.0)
+
+    def test_exponential_greedy_valid(self, small_graph):
+        from repro.partition.streaming import exponential_greedy_partition
+
+        assignment = exponential_greedy_partition(small_graph, 4)
+        validate_partition(assignment, 4)
+
+    def test_balance_pressure_extremes(self, small_graph):
+        """High alpha forces balance; alpha ~ 0 follows edges only."""
+        from repro.partition.streaming import fennel_partition
+
+        forced = fennel_partition(
+            small_graph, 4, balance_pressure=1e9
+        )
+        loose = fennel_partition(
+            small_graph, 4, balance_pressure=1e-9
+        )
+        assert balance_ratio(forced, 4) < balance_ratio(loose, 4) + 1e-9

@@ -1,0 +1,126 @@
+"""Unit tests for partition quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.graph import StaticGraph
+from repro.partition.quality import (
+    balance_ratio,
+    cross_shard_count,
+    cross_shard_fraction,
+    edge_cut,
+    edge_cut_fraction,
+    input_shards,
+    involved_shards,
+    is_cross_shard,
+    shard_sizes,
+    validate_partition,
+)
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+
+def tx(txid, parents):
+    return Transaction(
+        txid=txid,
+        inputs=tuple(OutPoint(p, 0) for p in parents),
+        outputs=(TxOutput(1),),
+    )
+
+
+STREAM = [tx(0, []), tx(1, [0]), tx(2, [0, 1]), tx(3, [2])]
+
+
+class TestValidatePartition:
+    def test_valid(self):
+        validate_partition([0, 1, 0], 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PartitionError):
+            validate_partition([0, 2], 2)
+        with pytest.raises(PartitionError):
+            validate_partition([-1], 2)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(PartitionError):
+            validate_partition([], 0)
+
+
+class TestBalance:
+    def test_sizes(self):
+        assert shard_sizes([0, 1, 1, 0], 3) == [2, 2, 0]
+
+    def test_perfect_balance(self):
+        assert balance_ratio([0, 1, 0, 1], 2) == pytest.approx(1.0)
+
+    def test_imbalance(self):
+        assert balance_ratio([0, 0, 0, 1], 2) == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert balance_ratio([], 4) == 1.0
+
+
+class TestEdgeCut:
+    def graph(self):
+        graph = StaticGraph(4)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 3)
+        graph.add_edge(2, 3, 5)
+        return graph
+
+    def test_no_cut(self):
+        assert edge_cut(self.graph(), [0, 0, 0, 0]) == 0
+
+    def test_weighted_cut(self):
+        assert edge_cut(self.graph(), [0, 0, 1, 1]) == 3
+
+    def test_fraction(self):
+        assert edge_cut_fraction(self.graph(), [0, 0, 1, 1]) == pytest.approx(
+            0.3
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PartitionError):
+            edge_cut(self.graph(), [0, 0])
+
+    def test_empty_graph_fraction(self):
+        assert edge_cut_fraction(StaticGraph(2), [0, 0]) == 0.0
+
+
+class TestCrossShard:
+    def test_coinbase_never_cross(self):
+        assert not is_cross_shard(STREAM[0], [0, 1, 1, 1])
+
+    def test_same_shard_not_cross(self):
+        assert not is_cross_shard(STREAM[1], [0, 0, 0, 0])
+
+    def test_input_elsewhere_is_cross(self):
+        assert is_cross_shard(STREAM[1], [1, 0, 0, 0])
+
+    def test_partial_inputs_elsewhere_is_cross(self):
+        # tx 2 spends from 0 and 1; own shard holds only one of them.
+        assert is_cross_shard(STREAM[2], [0, 1, 1, 1])
+
+    def test_count_and_fraction(self):
+        assignment = [0, 0, 1, 1]
+        # tx2 is cross (inputs 0,1 in shard 0, tx2 in shard 1);
+        # tx3 is same-shard (input 2 in shard 1).
+        assert cross_shard_count(STREAM, assignment) == 1
+        assert cross_shard_fraction(STREAM, assignment) == pytest.approx(
+            0.25
+        )
+
+    def test_empty_stream(self):
+        assert cross_shard_fraction([], []) == 0.0
+
+    def test_short_assignment_rejected(self):
+        with pytest.raises(PartitionError):
+            cross_shard_count(STREAM, [0, 0])
+
+    def test_input_and_involved_shards(self):
+        assignment = [0, 1, 2, 2]
+        assert input_shards(STREAM[2], assignment) == {0, 1}
+        assert involved_shards(STREAM[2], assignment) == {0, 1, 2}
+        assert input_shards(STREAM[0], assignment) == set()
+        assert involved_shards(STREAM[0], assignment) == {0}

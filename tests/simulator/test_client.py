@@ -1,0 +1,100 @@
+"""Tests for the transaction issuer and engine edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import OmniLedgerRandomPlacer
+from repro.datasets.synthetic import GeneratorConfig, synthetic_stream
+from repro.errors import ConfigurationError
+from repro.simulator import SimulationConfig, run_simulation
+
+
+GEN = GeneratorConfig(
+    n_wallets=200, coinbase_interval=100, bootstrap_coinbase=20
+)
+
+
+def sim(**kwargs) -> SimulationConfig:
+    defaults = dict(
+        n_shards=4,
+        tx_rate=100.0,
+        block_capacity=50,
+        block_size_bytes=25_000,
+        max_sim_time_s=2_000.0,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestArrivals:
+    def test_deterministic_spacing(self):
+        stream = synthetic_stream(200, seed=1, config=GEN)
+        result = run_simulation(
+            stream, OmniLedgerRandomPlacer(4), sim(arrivals="deterministic")
+        )
+        # Last issue happens at (n-1)/rate; commits strictly after.
+        assert result.duration > (len(stream) - 1) / 100.0
+
+    def test_poisson_arrivals_complete(self):
+        stream = synthetic_stream(200, seed=1, config=GEN)
+        result = run_simulation(
+            stream, OmniLedgerRandomPlacer(4), sim(arrivals="poisson")
+        )
+        assert result.drained
+        assert result.n_committed == 200
+
+    def test_poisson_differs_from_deterministic(self):
+        stream = synthetic_stream(200, seed=1, config=GEN)
+        deterministic = run_simulation(
+            stream,
+            OmniLedgerRandomPlacer(4),
+            sim(arrivals="deterministic"),
+        )
+        poisson = run_simulation(
+            stream, OmniLedgerRandomPlacer(4), sim(arrivals="poisson")
+        )
+        assert deterministic.latencies != poisson.latencies
+
+
+class TestEdgeCases:
+    def test_empty_stream(self):
+        result = run_simulation([], OmniLedgerRandomPlacer(4), sim())
+        assert result.n_issued == 0
+        assert result.n_committed == 0
+        assert result.drained
+        assert result.throughput == 0.0
+        assert result.duration == 0.0
+
+    def test_single_transaction(self):
+        stream = synthetic_stream(1, seed=1, config=GEN)
+        result = run_simulation(stream, OmniLedgerRandomPlacer(4), sim())
+        assert result.n_committed == 1
+        assert len(result.latencies) == 1
+
+    def test_shard_count_mismatch_rejected(self):
+        stream = synthetic_stream(10, seed=1, config=GEN)
+        with pytest.raises(ConfigurationError):
+            run_simulation(stream, OmniLedgerRandomPlacer(8), sim())
+
+    def test_one_shard_everything_same_shard(self):
+        stream = synthetic_stream(300, seed=1, config=GEN)
+        result = run_simulation(
+            stream, OmniLedgerRandomPlacer(1), sim(n_shards=1)
+        )
+        assert result.n_cross == 0
+        assert result.cross_fraction == 0.0
+        assert result.drained
+
+    def test_result_properties_on_partial_run(self):
+        stream = synthetic_stream(500, seed=1, config=GEN)
+        result = run_simulation(
+            stream,
+            OmniLedgerRandomPlacer(4),
+            sim(max_sim_time_s=0.5),
+        )
+        assert not result.drained
+        assert result.n_committed < len(stream)
+        # Properties must not crash on partial data.
+        assert result.average_latency >= 0.0
+        assert result.max_latency >= 0.0

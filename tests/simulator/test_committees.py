@@ -1,0 +1,157 @@
+"""Tests for committee formation and epoch transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulator.committees import (
+    BFT_THRESHOLD,
+    CommitteeAssignment,
+    failure_probability_bound,
+)
+
+
+class TestValidation:
+    def test_bad_shards(self):
+        with pytest.raises(ConfigurationError):
+            CommitteeAssignment(0, 10)
+
+    def test_too_few_validators(self):
+        with pytest.raises(ConfigurationError):
+            CommitteeAssignment(4, 3)
+
+    def test_byzantine_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CommitteeAssignment(4, 100, byzantine_fraction=0.34)
+        with pytest.raises(ConfigurationError):
+            CommitteeAssignment(4, 100, byzantine_fraction=-0.1)
+
+
+class TestAssignment:
+    def test_partition_of_validators(self):
+        assignment = CommitteeAssignment(4, 103, seed=1)
+        all_ids = [
+            member.node_id
+            for committee in assignment.committees
+            for member in committee.members
+        ]
+        assert sorted(all_ids) == list(range(103))
+
+    def test_balanced_within_one(self):
+        assignment = CommitteeAssignment(4, 103, seed=1)
+        sizes = assignment.sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        a = CommitteeAssignment(4, 64, seed=5)
+        b = CommitteeAssignment(4, 64, seed=5)
+        assert [
+            [m.node_id for m in c.members] for c in a.committees
+        ] == [[m.node_id for m in c.members] for c in b.committees]
+
+    def test_committee_of_bounds(self):
+        assignment = CommitteeAssignment(4, 64)
+        with pytest.raises(ConfigurationError):
+            assignment.committee_of(4)
+
+
+class TestEpochs:
+    def test_shuffle_changes_membership(self):
+        assignment = CommitteeAssignment(4, 400, seed=1)
+        before = [m.node_id for m in assignment.committee_of(0).members]
+        assignment.next_epoch_shuffle()
+        after = [m.node_id for m in assignment.committee_of(0).members]
+        assert assignment.epoch == 1
+        assert before != after
+
+    def test_rotation_bounded_churn(self):
+        assignment = CommitteeAssignment(4, 400, seed=1)
+        before = {
+            shard: {m.node_id for m in assignment.committee_of(shard).members}
+            for shard in range(4)
+        }
+        assignment.next_epoch_rotate(swap_fraction=0.1)
+        for shard in range(4):
+            after = {
+                m.node_id
+                for m in assignment.committee_of(shard).members
+            }
+            stayed = len(before[shard] & after)
+            # At least ~80% of each committee stays put.
+            assert stayed >= 0.8 * len(before[shard])
+
+    def test_rotation_preserves_population(self):
+        assignment = CommitteeAssignment(4, 101, seed=2)
+        assignment.next_epoch_rotate(0.25)
+        all_ids = [
+            member.node_id
+            for committee in assignment.committees
+            for member in committee.members
+        ]
+        assert sorted(all_ids) == list(range(101))
+
+    def test_bad_swap_fraction(self):
+        assignment = CommitteeAssignment(4, 64)
+        with pytest.raises(ConfigurationError):
+            assignment.next_epoch_rotate(0.0)
+
+
+class TestSafety:
+    def test_no_byzantine_always_safe(self):
+        assignment = CommitteeAssignment(8, 400, byzantine_fraction=0.0)
+        assert assignment.all_safe()
+        assignment.require_safe()
+
+    def test_large_committees_safe_with_quarter_byzantine(self):
+        assignment = CommitteeAssignment(
+            4, 1600, byzantine_fraction=0.25, seed=3
+        )
+        # 400-member committees at 25% global: overwhelmingly safe.
+        assert assignment.all_safe()
+
+    def test_unsafe_detection(self):
+        # Tiny committees with near-threshold fraction will cross it for
+        # some seed; find one and confirm the detector fires.
+        tripped = False
+        for seed in range(40):
+            assignment = CommitteeAssignment(
+                8, 24, byzantine_fraction=0.3, seed=seed
+            )
+            if not assignment.all_safe():
+                with pytest.raises(SimulationError):
+                    assignment.require_safe()
+                tripped = True
+                break
+        assert tripped
+
+    def test_fraction_metric(self):
+        assignment = CommitteeAssignment(
+            2, 10, byzantine_fraction=0.2, seed=1
+        )
+        for committee in assignment.committees:
+            assert 0.0 <= committee.byzantine_fraction <= 1.0
+            assert committee.is_safe == (
+                committee.byzantine_fraction < BFT_THRESHOLD
+            )
+
+
+class TestFailureBound:
+    def test_zero_byzantine(self):
+        assert failure_probability_bound(400, 0.0) == 0.0
+
+    def test_decreases_with_size(self):
+        small = failure_probability_bound(50, 0.25)
+        large = failure_probability_bound(400, 0.25)
+        assert large < small
+
+    def test_paper_scale_committees_safe(self):
+        """400-validator committees at 25% global Byzantine: the bound
+        is tiny - why sharding protocols use committees this large."""
+        assert failure_probability_bound(400, 0.25) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            failure_probability_bound(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            failure_probability_bound(100, 0.4)

@@ -1,0 +1,249 @@
+"""Unit tests for network, consensus, shard, and metrics components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import make_rng
+from repro.simulator.config import SimulationConfig
+from repro.simulator.consensus import ConsensusModel
+from repro.simulator.events import EventQueue
+from repro.simulator.metrics import LatencyObserver, MetricsCollector
+from repro.simulator.network import Network
+from repro.simulator.shard import KIND_TX, Entry, Shard
+
+
+def config(**kwargs) -> SimulationConfig:
+    return SimulationConfig(**kwargs)
+
+
+class TestConfig:
+    def test_default_valid(self):
+        config().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_shards": 0},
+            {"tx_rate": 0},
+            {"block_capacity": 0},
+            {"bandwidth_mbps": 0},
+            {"validators_per_shard": 0},
+            {"gossip_fanout": 1},
+            {"consensus_base_s": -1},
+            {"protocol": "bogus"},
+            {"arrivals": "bogus"},
+            {"queue_sample_interval_s": 0},
+            {"latency_jitter": 1.0},
+            {"max_sim_time_s": 0},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            config(**kwargs).validate()
+
+    def test_bandwidth_conversion(self):
+        assert config(bandwidth_mbps=20).bandwidth_bytes_per_s == 2_500_000
+
+
+class TestNetwork:
+    def test_delay_components(self):
+        cfg = config(latency_jitter=0.0)
+        network = Network(cfg, make_rng(1))
+        base = network.delay(Network.CLIENT, 0, 0)
+        with_payload = network.delay(Network.CLIENT, 0, 2_500_000)
+        # 2.5 MB at 20 Mbps = 1 second of transmission.
+        assert with_payload - base == pytest.approx(1.0)
+
+    def test_propagation_in_configured_band(self):
+        cfg = config(latency_jitter=0.0)
+        network = Network(cfg, make_rng(1))
+        for shard in range(cfg.n_shards):
+            prop = network.propagation(Network.CLIENT, shard)
+            assert 0.5 * cfg.base_latency_s <= prop
+            assert prop <= 2.0 * cfg.base_latency_s
+
+    def test_jitter_bounded(self):
+        cfg = config(latency_jitter=0.1)
+        network = Network(cfg, make_rng(1))
+        base = network.propagation(Network.CLIENT, 0)
+        for _ in range(100):
+            delay = network.delay(Network.CLIENT, 0, 0)
+            assert 0.9 * base <= delay <= 1.1 * base
+
+    def test_negative_size_rejected(self):
+        network = Network(config(), make_rng(1))
+        with pytest.raises(ConfigurationError):
+            network.delay(Network.CLIENT, 0, -1)
+
+    def test_unknown_node_rejected(self):
+        network = Network(config(), make_rng(1))
+        with pytest.raises(ConfigurationError):
+            network.propagation(0, 99)
+
+    def test_rtt_is_twice_one_way(self):
+        network = Network(config(), make_rng(1))
+        assert network.expected_client_rtt(0) == pytest.approx(
+            2 * network.propagation(Network.CLIENT, 0)
+        )
+
+
+class TestConsensus:
+    def test_duration_increases_with_entries(self):
+        model = ConsensusModel(config())
+        assert model.duration(2000) > model.duration(1)
+
+    def test_block_bytes_caps_at_block_size(self):
+        cfg = config()
+        model = ConsensusModel(cfg)
+        assert model.block_bytes(cfg.block_capacity * 10) == (
+            1_000 + cfg.block_size_bytes
+        )
+
+    def test_default_capacity_calibration(self):
+        """A shard sustains 400-550 entries/s with paper defaults -
+        the calibration DESIGN.md documents."""
+        model = ConsensusModel(config())
+        assert 400 <= model.max_throughput() <= 550
+
+    def test_gossip_depth(self):
+        assert ConsensusModel(config(validators_per_shard=400)).gossip_depth == 3
+        assert ConsensusModel(config(validators_per_shard=8)).gossip_depth == 1
+
+
+class TestShard:
+    def _shard(self, committed, cfg=None):
+        cfg = cfg or config(block_capacity=10, latency_jitter=0.0)
+        events = EventQueue()
+        consensus = ConsensusModel(cfg)
+        shard = Shard(
+            0,
+            cfg,
+            consensus,
+            events,
+            lambda sid, entry: committed.append((events.now, entry)),
+        )
+        return shard, events
+
+    def test_processes_entries_in_blocks(self):
+        committed = []
+        shard, events = self._shard(committed)
+        # Queue everything while paused so batching is deterministic.
+        shard.pause()
+        for txid in range(25):
+            shard.enqueue(Entry(KIND_TX, txid))
+        shard.resume()
+        events.run()
+        assert len(committed) == 25
+        assert shard.n_blocks == 3  # 10 + 10 + 5
+        assert shard.queue_size == 0
+
+    def test_eager_first_block_is_small(self):
+        """An idle shard starts consensus immediately on arrival, so the
+        first block carries whatever was queued at that instant."""
+        committed = []
+        shard, events = self._shard(committed)
+        for txid in range(25):
+            shard.enqueue(Entry(KIND_TX, txid))
+        events.run()
+        assert len(committed) == 25
+        assert shard.n_blocks == 4  # 1 + 10 + 10 + 4
+
+    def test_fifo_order(self):
+        committed = []
+        shard, events = self._shard(committed)
+        for txid in range(15):
+            shard.enqueue(Entry(KIND_TX, txid))
+        events.run()
+        assert [entry.txid for _, entry in committed] == list(range(15))
+
+    def test_pause_and_resume(self):
+        committed = []
+        shard, events = self._shard(committed)
+        shard.pause()
+        shard.enqueue(Entry(KIND_TX, 0))
+        events.run()
+        assert committed == []
+        assert shard.queue_size == 1
+        shard.resume()
+        events.run()
+        assert len(committed) == 1
+
+    def test_expected_verification_grows_with_queue(self):
+        committed = []
+        shard, events = self._shard(committed)
+        idle = shard.expected_verification_time()
+        shard.pause()
+        for txid in range(40):
+            shard.enqueue(Entry(KIND_TX, txid))
+        assert shard.expected_verification_time() > idle
+
+
+class TestMetricsCollector:
+    def test_latency_accounting(self):
+        metrics = MetricsCollector(2)
+        metrics.record_issue(0, 1.0)
+        metrics.record_issue(1, 2.0)
+        metrics.record_commit(0, 5.0)
+        metrics.record_commit(1, 4.0)
+        assert metrics.latencies() == [4.0, 2.0]
+        assert metrics.is_complete()
+        assert metrics.throughput() == pytest.approx(2 / 4.0)
+
+    def test_double_issue_rejected(self):
+        metrics = MetricsCollector(1)
+        metrics.record_issue(0, 1.0)
+        with pytest.raises(SimulationError):
+            metrics.record_issue(0, 2.0)
+
+    def test_commit_without_issue_rejected(self):
+        metrics = MetricsCollector(1)
+        with pytest.raises(SimulationError):
+            metrics.record_commit(0, 1.0)
+
+    def test_double_commit_rejected(self):
+        metrics = MetricsCollector(1)
+        metrics.record_issue(0, 1.0)
+        metrics.record_commit(0, 2.0)
+        with pytest.raises(SimulationError):
+            metrics.record_commit(0, 3.0)
+
+    def test_abort_counts_toward_completion(self):
+        metrics = MetricsCollector(1)
+        metrics.record_issue(0, 1.0)
+        metrics.record_abort(0)
+        assert metrics.is_complete()
+
+    def test_empty_throughput(self):
+        assert MetricsCollector(0).throughput() == 0.0
+
+
+class TestLatencyObserver:
+    def test_produces_model_per_shard(self):
+        cfg = config(n_shards=3)
+        events = EventQueue()
+        consensus = ConsensusModel(cfg)
+        shards = [
+            Shard(i, cfg, consensus, events, lambda s, e: None)
+            for i in range(3)
+        ]
+        observer = LatencyObserver(cfg, Network(cfg, make_rng(1)), shards)
+        models = observer()
+        assert len(models) == 3
+        assert all(m.lambda_c > 0 and m.lambda_v > 0 for m in models)
+
+    def test_loaded_shard_slower(self):
+        cfg = config(n_shards=2, block_capacity=10)
+        events = EventQueue()
+        consensus = ConsensusModel(cfg)
+        shards = [
+            Shard(i, cfg, consensus, events, lambda s, e: None)
+            for i in range(2)
+        ]
+        shards[0].pause()
+        for txid in range(100):
+            shards[0].enqueue(Entry(KIND_TX, txid))
+        observer = LatencyObserver(cfg, Network(cfg, make_rng(1)), shards)
+        models = observer()
+        assert models[0].lambda_v < models[1].lambda_v

@@ -1,0 +1,93 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(3.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        queue = EventQueue()
+        order = []
+        for tag in range(5):
+            queue.schedule(1.0, lambda tag=tag: order.append(tag))
+        queue.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(1.5, lambda: times.append(queue.now))
+        queue.schedule(4.0, lambda: times.append(queue.now))
+        queue.run()
+        assert times == [1.5, 4.0]
+        assert queue.now == 4.0
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(2.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def chain(n):
+            seen.append(queue.now)
+            if n > 0:
+                queue.schedule(1.0, lambda: chain(n - 1))
+
+        queue.schedule(0.0, lambda: chain(3))
+        queue.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRunBounds:
+    def test_until_leaves_later_events(self):
+        queue = EventQueue()
+        ran = []
+        queue.schedule(1.0, lambda: ran.append(1))
+        queue.schedule(10.0, lambda: ran.append(10))
+        queue.run(until=5.0)
+        assert ran == [1]
+        assert queue.now == 5.0
+        assert queue.n_pending == 1
+
+    def test_max_events(self):
+        queue = EventQueue()
+        ran = []
+        for i in range(10):
+            queue.schedule(float(i), lambda i=i: ran.append(i))
+        queue.run(max_events=3)
+        assert ran == [0, 1, 2]
+
+    def test_counters(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.n_pending == 2
+        queue.run()
+        assert queue.n_processed == 2
+        assert queue.n_pending == 0
+
+    def test_step_on_empty(self):
+        assert EventQueue().step() is False

@@ -1,0 +1,172 @@
+"""Direct unit tests for the atomic-commit protocol state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rng import make_rng
+from repro.simulator.config import SimulationConfig
+from repro.simulator.consensus import ConsensusModel
+from repro.simulator.events import EventQueue
+from repro.simulator.network import Network
+from repro.simulator.protocol import AtomicCommitProtocol
+from repro.simulator.shard import KIND_COMMIT, KIND_LOCK, KIND_TX, Entry, Shard
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+
+def make_tx(txid=10, n_inputs=2):
+    return Transaction(
+        txid=txid,
+        inputs=tuple(OutPoint(i, 0) for i in range(n_inputs)),
+        outputs=(TxOutput(1),),
+    )
+
+
+class Harness:
+    def __init__(self, n_shards=3, protocol="omniledger"):
+        self.config = SimulationConfig(
+            n_shards=n_shards,
+            block_capacity=10,
+            protocol=protocol,
+            latency_jitter=0.0,
+        )
+        self.events = EventQueue()
+        self.network = Network(self.config, make_rng(1))
+        consensus = ConsensusModel(self.config)
+        self.confirmed: list[tuple[int, float]] = []
+        self.aborted: list[int] = []
+        self.shards = [
+            Shard(
+                shard_id,
+                self.config,
+                consensus,
+                self.events,
+                lambda sid, entry: self.protocol.entry_committed(sid, entry),
+            )
+            for shard_id in range(n_shards)
+        ]
+        self.protocol = AtomicCommitProtocol(
+            self.config,
+            self.network,
+            self.shards,
+            self.events,
+            on_confirmed=lambda txid: self.confirmed.append(
+                (txid, self.events.now)
+            ),
+            on_aborted=self.aborted.append,
+            abort_txids=set(),
+        )
+
+
+class TestSameShard:
+    def test_single_entry_lifecycle(self):
+        harness = Harness()
+        harness.protocol.submit(make_tx(), output_shard=1, input_shards={1})
+        harness.events.run()
+        assert [txid for txid, _ in harness.confirmed] == [10]
+        assert harness.protocol.n_same_shard == 1
+        assert harness.protocol.n_cross == 0
+        assert harness.shards[1].n_entries_committed == 1
+        assert harness.shards[0].n_entries_committed == 0
+
+    def test_coinbase_is_same_shard(self):
+        harness = Harness()
+        harness.protocol.submit(
+            make_tx(n_inputs=0), output_shard=2, input_shards=set()
+        )
+        harness.events.run()
+        assert harness.protocol.n_same_shard == 1
+
+
+class TestCrossShard:
+    def test_two_phase_lifecycle(self):
+        harness = Harness()
+        harness.protocol.submit(
+            make_tx(), output_shard=2, input_shards={0, 1}
+        )
+        harness.events.run()
+        assert [txid for txid, _ in harness.confirmed] == [10]
+        assert harness.protocol.n_cross == 1
+        # One lock entry per input shard, one commit at the output shard.
+        assert harness.shards[0].n_entries_committed == 1
+        assert harness.shards[1].n_entries_committed == 1
+        assert harness.shards[2].n_entries_committed == 1
+        assert harness.protocol.n_in_flight == 0
+
+    def test_output_shard_also_input(self):
+        """When the output shard holds an input it locks AND commits."""
+        harness = Harness()
+        harness.protocol.submit(
+            make_tx(), output_shard=1, input_shards={0, 1}
+        )
+        harness.events.run()
+        assert harness.shards[1].n_entries_committed == 2  # lock + commit
+        assert harness.shards[0].n_entries_committed == 1
+
+    def test_cross_confirms_after_same_shard(self):
+        """Two sequential block commits make cross-TXs slower."""
+        harness = Harness()
+        harness.protocol.submit(
+            make_tx(txid=10), output_shard=2, input_shards={0}
+        )
+        harness.protocol.submit(
+            make_tx(txid=11), output_shard=2, input_shards={2}
+        )
+        harness.events.run()
+        times = dict(harness.confirmed)
+        assert times[10] > times[11]
+
+    def test_abort_path(self):
+        harness = Harness()
+        harness.protocol._abort_txids = {10}
+        harness.protocol.submit(
+            make_tx(), output_shard=2, input_shards={0, 1}
+        )
+        harness.events.run()
+        assert harness.aborted == [10]
+        assert harness.confirmed == []
+        # The output shard never saw the transaction.
+        assert harness.shards[2].n_entries_committed == 0
+
+    def test_unknown_lock_rejected(self):
+        harness = Harness()
+        with pytest.raises(SimulationError):
+            harness.protocol.entry_committed(0, Entry(KIND_LOCK, 99))
+
+    def test_unknown_kind_rejected(self):
+        harness = Harness()
+        with pytest.raises(SimulationError):
+            harness.protocol.entry_committed(0, Entry("bogus", 1))
+
+
+class TestRapidChain:
+    def test_yank_lifecycle(self):
+        harness = Harness(protocol="rapidchain")
+        harness.protocol.submit(
+            make_tx(), output_shard=2, input_shards={0, 1}
+        )
+        harness.events.run()
+        assert [txid for txid, _ in harness.confirmed] == [10]
+        assert harness.shards[2].n_entries_committed == 1
+
+    def test_yank_skips_client_round_trip(self):
+        omni = Harness(protocol="omniledger")
+        omni.protocol.submit(make_tx(), output_shard=2, input_shards={0})
+        omni.events.run()
+        rapid = Harness(protocol="rapidchain")
+        rapid.protocol.submit(make_tx(), output_shard=2, input_shards={0})
+        rapid.events.run()
+        assert rapid.confirmed[0][1] < omni.confirmed[0][1]
+
+
+class TestEntryKinds:
+    def test_tx_and_commit_both_confirm(self):
+        harness = Harness()
+        harness.protocol.submit(make_tx(txid=1), 0, {0})
+        harness.protocol.submit(make_tx(txid=2), 1, {0})
+        harness.events.run()
+        assert sorted(txid for txid, _ in harness.confirmed) == [1, 2]
+
+    def test_kind_constants_distinct(self):
+        assert len({KIND_TX, KIND_LOCK, KIND_COMMIT}) == 3

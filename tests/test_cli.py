@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["place"])
+        assert args.method == "optchain"
+        assert args.shards == 16
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_place(self, capsys):
+        code = main(
+            [
+                "place",
+                "--method",
+                "t2s",
+                "--shards",
+                "4",
+                "--transactions",
+                "800",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cross-shard" in out
+        assert "balance" in out
+
+    def test_place_metis(self, capsys):
+        code = main(
+            ["place", "--method", "metis", "--shards", "4",
+             "--transactions", "500"]
+        )
+        assert code == 0
+        assert "metis" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--method",
+                "omniledger",
+                "--shards",
+                "4",
+                "--transactions",
+                "400",
+                "--rate",
+                "100",
+                "--block-capacity",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "400/400" in out
+        assert "throughput" in out
+
+    def test_generate_and_stats_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "stream.jsonl"
+        assert (
+            main(
+                [
+                    "generate",
+                    str(path),
+                    "--transactions",
+                    "300",
+                    "--format",
+                    "jsonl",
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["stats", str(path), "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:            300" in out
+
+    def test_generate_and_stats_edges(self, tmp_path, capsys):
+        path = tmp_path / "edges.txt"
+        assert (
+            main(
+                [
+                    "generate",
+                    str(path),
+                    "--transactions",
+                    "300",
+                    "--format",
+                    "edges",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", str(path), "--format", "edges"]) == 0
+        out = capsys.readouterr().out
+        assert "edges:" in out
+
+    def test_experiment_tiny(self, capsys, monkeypatch):
+        from repro.experiments.runner import clear_caches
+
+        clear_caches()
+        code = main(["experiment", "table1", "--scale", "tiny"])
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out

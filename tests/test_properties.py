@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the structural guarantees everything else leans on: DAG
+validity of arbitrary streams, double-spend freedom, exactness of the
+incremental T2S recurrence, partition-cover invariants, latency-model
+math, and event-queue ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.l2s import ShardLatencyModel, expected_max_acceptance
+from repro.core.t2s import T2SScorer, t2s_reference_dense
+from repro.datasets.synthetic import BitcoinLikeGenerator, GeneratorConfig
+from repro.partition.graph import StaticGraph
+from repro.partition.metis_like import MultilevelConfig, metis_kway
+from repro.partition.quality import shard_sizes, validate_partition
+from repro.simulator.events import EventQueue
+from repro.txgraph.tan import TaNGraph
+from repro.txgraph.topo import is_topological_stream, verify_dag
+from repro.utxo.utxoset import UTXOSet
+
+
+# -- strategies ------------------------------------------------------------
+
+def dag_edge_lists(max_nodes: int = 40):
+    """Random TaN-style edge lists: node i points at earlier nodes."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(1, n - 1) if n > 1 else st.just(1),
+                    st.integers(0, max(0, n - 2)),
+                ).filter(lambda edge: edge[1] < edge[0]),
+                max_size=3 * n,
+            ),
+        )
+    )
+
+
+generator_configs = st.builds(
+    GeneratorConfig,
+    n_wallets=st.integers(10, 200),
+    coinbase_interval=st.integers(10, 200),
+    bootstrap_coinbase=st.integers(2, 30),
+    max_inputs=st.integers(1, 8),
+    input_exponent=st.floats(1.0, 3.0),
+    batch_payment_prob=st.floats(0.0, 0.2),
+    consolidation_prob=st.floats(0.0, 0.2),
+    intra_community_prob=st.floats(0.0, 1.0),
+    n_communities=st.integers(1, 32),
+    community_exponent=st.floats(0.0, 2.0),
+    n_hubs=st.integers(0, 4),
+    hub_payment_prob=st.floats(0.0, 0.5),
+)
+
+
+# -- TaN / UTXO invariants ---------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(config=generator_configs, seed=st.integers(0, 2**16), n=st.integers(1, 400))
+def test_generated_stream_always_valid(config, seed, n):
+    """Any generator configuration yields topological, double-spend-free
+    streams whose TaN is a DAG."""
+    stream = BitcoinLikeGenerator(config=config, seed=seed).generate(n)
+    assert len(stream) == n
+    assert is_topological_stream(stream)
+    UTXOSet().apply_all(stream)  # raises on violations
+    graph = TaNGraph.from_transactions(stream)
+    verify_dag(graph)
+    assert graph.n_nodes == n
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=dag_edge_lists())
+def test_tan_degrees_consistent(data):
+    """Sum of in-degrees == sum of out-degrees == edge count, for any
+    backwards edge list."""
+    n, edges = data
+    graph = TaNGraph()
+    by_node: dict[int, list[int]] = {}
+    for spender, parent in edges:
+        by_node.setdefault(spender, []).append(parent)
+    for txid in range(n):
+        graph.add_node(txid, by_node.get(txid, []))
+    total_in = sum(graph.in_degree(u) for u in graph.nodes())
+    total_out = sum(graph.out_degree(u) for u in graph.nodes())
+    assert total_in == total_out == graph.n_edges
+    verify_dag(graph)
+
+
+# -- T2S -------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_shards=st.integers(1, 8),
+    alpha=st.floats(0.05, 1.0),
+)
+def test_t2s_incremental_matches_dense(seed, n_shards, alpha):
+    """The sparse engine equals the dense oracle on random workloads."""
+    stream = BitcoinLikeGenerator(
+        config=GeneratorConfig(
+            n_wallets=50, coinbase_interval=20, bootstrap_coinbase=5
+        ),
+        seed=seed,
+    ).generate(120)
+    scorer = T2SScorer(n_shards, alpha=alpha, prune_epsilon=0.0)
+    arrivals = []
+    placements = []
+    for tx in stream:
+        arrivals.append((tx.txid, tx.input_txids, len(tx.outputs)))
+        sparse = scorer.add_transaction(
+            tx.txid, tx.input_txids, len(tx.outputs)
+        )
+        shard = max(sparse, key=sparse.get) if sparse else (
+            tx.txid % n_shards
+        )
+        scorer.place(tx.txid, shard)
+        placements.append(shard)
+    dense = t2s_reference_dense(arrivals, placements, n_shards, alpha=alpha)
+    for txid in range(len(stream)):
+        sparse = scorer.p_prime_of(txid)
+        for shard in range(n_shards):
+            assert math.isclose(
+                sparse.get(shard, 0.0),
+                dense[txid][shard],
+                rel_tol=1e-9,
+                abs_tol=1e-12,
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), alpha=st.floats(0.1, 1.0))
+def test_t2s_support_confined_to_ancestor_shards(seed, alpha):
+    """The random-walk semantics: a transaction's T2S mass can only sit
+    on shards that hold one of its ancestors (or its own shard, after
+    placement). Mass is non-negative everywhere."""
+    stream = BitcoinLikeGenerator(
+        config=GeneratorConfig(
+            n_wallets=40, coinbase_interval=25, bootstrap_coinbase=5
+        ),
+        seed=seed,
+    ).generate(150)
+    scorer = T2SScorer(4, alpha=alpha, prune_epsilon=0.0)
+    ancestor_shards: list[set[int]] = []
+    placements: list[int] = []
+    for tx in stream:
+        sparse = scorer.add_transaction(
+            tx.txid, tx.input_txids, len(tx.outputs)
+        )
+        ancestors: set[int] = set()
+        for parent in tx.input_txids:
+            ancestors |= ancestor_shards[parent]
+            ancestors.add(placements[parent])
+        assert all(mass >= 0.0 for mass in sparse.values())
+        assert set(sparse) <= ancestors
+        shard = max(sparse, key=sparse.get) if sparse else 0
+        scorer.place(tx.txid, shard)
+        placements.append(shard)
+        ancestor_shards.append(ancestors)
+        support = set(scorer.p_prime_of(tx.txid))
+        assert support <= ancestors | {shard}
+
+
+# -- partitioning -------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_parts=st.integers(1, 6),
+    n=st.integers(8, 60),
+)
+def test_metis_partition_is_cover(seed, n_parts, n):
+    """Any multilevel partition is a disjoint cover with valid ids and
+    every part non-trivially bounded."""
+    stream = BitcoinLikeGenerator(
+        config=GeneratorConfig(
+            n_wallets=30, coinbase_interval=15, bootstrap_coinbase=4
+        ),
+        seed=seed,
+    ).generate(n)
+    graph = StaticGraph.from_tan(TaNGraph.from_transactions(stream))
+    if n_parts > graph.n_nodes:
+        return
+    assignment = metis_kway(
+        graph, n_parts, MultilevelConfig(seed=seed, epsilon=0.2)
+    )
+    assert len(assignment) == graph.n_nodes
+    validate_partition(assignment, n_parts)
+    sizes = shard_sizes(assignment, n_parts)
+    assert sum(sizes) == graph.n_nodes
+
+
+# -- L2S ---------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rates=st.lists(
+        st.tuples(st.floats(0.1, 50.0), st.floats(0.01, 10.0)),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_expected_max_bounds(rates):
+    """max_i E[T_i] <= E[max T_i] <= sum_i E[T_i] for any rate set."""
+    models = [ShardLatencyModel(lc, lv) for lc, lv in rates]
+    expected = expected_max_acceptance(models)
+    individual = [m.expected_total for m in models]
+    assert expected >= max(individual) - 1e-6 * max(individual)
+    assert expected <= sum(individual) + 1e-6 * sum(individual)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lc=st.floats(0.1, 50.0),
+    lv=st.floats(0.01, 10.0),
+    t=st.floats(0.0, 100.0),
+)
+def test_cdf_in_unit_interval(lc, lv, t):
+    model = ShardLatencyModel(lc, lv)
+    value = model.cdf(t)
+    assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+# -- event queue ---------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+def test_event_queue_executes_in_order(delays):
+    queue = EventQueue()
+    seen: list[float] = []
+    for delay in delays:
+        queue.schedule(delay, lambda d=delay: seen.append(queue.now))
+    queue.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

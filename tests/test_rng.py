@@ -1,0 +1,117 @@
+"""Unit tests for the deterministic RNG utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import (
+    ZipfSampler,
+    bounded_power_law,
+    derive_rng,
+    exponential,
+    make_rng,
+    weighted_choice,
+)
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_none_is_fixed(self):
+        assert make_rng(None).random() == make_rng(0).random()
+
+    def test_derive_independent_streams(self):
+        base = make_rng(1)
+        a = derive_rng(base, "alpha")
+        base2 = make_rng(1)
+        b = derive_rng(base2, "beta")
+        assert a.random() != b.random()
+
+    def test_derive_deterministic(self):
+        a = derive_rng(make_rng(1), "x").random()
+        b = derive_rng(make_rng(1), "x").random()
+        assert a == b
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0, 1.0, make_rng(1))
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(5, -1.0, make_rng(1))
+
+    def test_range(self):
+        sampler = ZipfSampler(10, 1.0, make_rng(2))
+        for _ in range(200):
+            assert 0 <= sampler.sample() < 10
+
+    def test_skew(self):
+        """Rank 0 is drawn far more often than rank n-1 for exponent 1."""
+        sampler = ZipfSampler(50, 1.0, make_rng(3))
+        counts = [0] * 50
+        for _ in range(5_000):
+            counts[sampler.sample()] += 1
+        assert counts[0] > 5 * max(1, counts[-1])
+
+    def test_uniform_at_zero_exponent(self):
+        sampler = ZipfSampler(4, 0.0, make_rng(4))
+        counts = [0] * 4
+        for _ in range(4_000):
+            counts[sampler.sample()] += 1
+        assert max(counts) < 1.3 * min(counts)
+
+    def test_n_property(self):
+        assert ZipfSampler(7, 1.0, make_rng(1)).n == 7
+
+
+class TestBoundedPowerLaw:
+    def test_validation(self):
+        rng = make_rng(1)
+        with pytest.raises(ConfigurationError):
+            bounded_power_law(rng, 0, 5, 2.0)
+        with pytest.raises(ConfigurationError):
+            bounded_power_law(rng, 5, 2, 2.0)
+
+    def test_degenerate_range(self):
+        assert bounded_power_law(make_rng(1), 3, 3, 2.0) == 3
+
+    def test_bounds(self):
+        rng = make_rng(2)
+        for _ in range(200):
+            assert 1 <= bounded_power_law(rng, 1, 6, 2.1) <= 6
+
+    def test_heavier_head(self):
+        rng = make_rng(3)
+        draws = [bounded_power_law(rng, 1, 10, 2.0) for _ in range(2_000)]
+        assert draws.count(1) > 3 * draws.count(5)
+
+
+class TestWeightedChoice:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_choice(make_rng(1), [1.0, -0.5])
+
+    def test_zero_weights_uniform(self):
+        rng = make_rng(2)
+        draws = {weighted_choice(rng, [0.0, 0.0, 0.0]) for _ in range(100)}
+        assert draws == {0, 1, 2}
+
+    def test_respects_weights(self):
+        rng = make_rng(3)
+        counts = [0, 0]
+        for _ in range(2_000):
+            counts[weighted_choice(rng, [9.0, 1.0])] += 1
+        assert counts[0] > 5 * counts[1]
+
+
+class TestExponential:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            exponential(make_rng(1), 0.0)
+
+    def test_mean(self):
+        rng = make_rng(4)
+        draws = [exponential(rng, 2.0) for _ in range(20_000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.5, rel=0.05)

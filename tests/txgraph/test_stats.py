@@ -1,0 +1,163 @@
+"""Unit tests for TaN statistics (Figure 2 quantities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.txgraph.stats import (
+    average_degree_timeline,
+    cumulative_degree_distribution,
+    degree_distribution,
+    fraction_below,
+    graph_summary,
+)
+from repro.txgraph.tan import TaNGraph
+
+
+def chain(n=5) -> TaNGraph:
+    graph = TaNGraph()
+    graph.add_node(0, [])
+    for i in range(1, n):
+        graph.add_node(i, [i - 1])
+    return graph
+
+
+class TestDegreeDistribution:
+    def test_chain_in_degrees(self):
+        histogram = degree_distribution(chain(), "in")
+        assert histogram == {0: 1, 1: 4}
+
+    def test_chain_out_degrees(self):
+        histogram = degree_distribution(chain(), "out")
+        assert histogram == {0: 1, 1: 4}
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            degree_distribution(chain(), "sideways")
+
+    def test_counts_sum_to_nodes(self, small_graph):
+        histogram = degree_distribution(small_graph, "in")
+        assert sum(histogram.values()) == small_graph.n_nodes
+
+    def test_mean_matches_edge_count(self, small_graph):
+        histogram = degree_distribution(small_graph, "in")
+        total = sum(deg * count for deg, count in histogram.items())
+        assert total == small_graph.n_edges
+
+
+class TestCumulativeDistribution:
+    def test_monotone_and_ends_at_one(self, small_graph):
+        series = cumulative_degree_distribution(small_graph, "out")
+        fractions = [fraction for _, fraction in series]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert cumulative_degree_distribution(TaNGraph(), "in") == []
+
+
+class TestFractionBelow:
+    def test_chain(self):
+        assert fraction_below(chain(5), "in", 1) == pytest.approx(0.2)
+        assert fraction_below(chain(5), "in", 2) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert fraction_below(TaNGraph(), "in", 3) == 0.0
+
+
+class TestTimeline:
+    def test_final_point_is_global_average(self, small_graph):
+        timeline = average_degree_timeline(small_graph, n_points=50)
+        n, avg = timeline[-1]
+        assert n == small_graph.n_nodes
+        assert avg == pytest.approx(small_graph.n_edges / small_graph.n_nodes)
+
+    def test_positions_increasing(self, small_graph):
+        timeline = average_degree_timeline(small_graph, n_points=20)
+        positions = [n for n, _ in timeline]
+        assert positions == sorted(positions)
+
+    def test_empty(self):
+        assert average_degree_timeline(TaNGraph()) == []
+        assert average_degree_timeline(chain(), n_points=0) == []
+
+
+class TestWindowedDegree:
+    def test_windows_cover_stream(self, small_graph):
+        from repro.txgraph.stats import windowed_average_degree
+
+        samples = windowed_average_degree(small_graph, window=100)
+        assert samples[-1][0] == small_graph.n_nodes
+        positions = [n for n, _ in samples]
+        assert positions == sorted(positions)
+
+    def test_window_mean_matches_global(self, small_graph):
+        from repro.txgraph.stats import windowed_average_degree
+
+        samples = windowed_average_degree(
+            small_graph, window=small_graph.n_nodes
+        )
+        assert len(samples) == 1
+        assert samples[0][1] == pytest.approx(
+            small_graph.n_edges / small_graph.n_nodes
+        )
+
+    def test_bad_window(self, small_graph):
+        from repro.txgraph.stats import windowed_average_degree
+
+        with pytest.raises(ValueError):
+            windowed_average_degree(small_graph, window=0)
+
+    def test_flood_spike_visible(self):
+        """The windowed series exposes the flooding window sharply."""
+        from repro.datasets.synthetic import (
+            BitcoinLikeGenerator,
+            GeneratorConfig,
+        )
+        from repro.txgraph.stats import windowed_average_degree
+        from repro.txgraph.tan import TaNGraph
+
+        config = GeneratorConfig(
+            n_wallets=500,
+            coinbase_interval=100,
+            bootstrap_coinbase=50,
+            flood_start=4_000,
+            flood_length=500,
+            flood_inputs=20,
+        )
+        stream = BitcoinLikeGenerator(config=config, seed=3).generate(8_000)
+        graph = TaNGraph.from_transactions(stream)
+        samples = windowed_average_degree(graph, window=500)
+        by_position = dict(samples)
+        flood_value = by_position[4_500]
+        background = by_position[2_500]
+        assert flood_value > 1.5 * background
+
+
+class TestSummary:
+    def test_chain_summary(self):
+        summary = graph_summary(chain(5))
+        assert summary.n_nodes == 5
+        assert summary.n_edges == 4
+        assert summary.n_coinbase == 1
+        assert summary.n_unspent_frontier == 1
+        assert summary.n_isolated == 0
+        assert summary.average_degree == pytest.approx(0.8)
+
+    def test_isolated_node(self):
+        graph = TaNGraph()
+        graph.add_node(0, [])
+        summary = graph_summary(graph)
+        assert summary.n_isolated == 1
+
+    def test_paper_shape_on_synthetic(self, medium_stream):
+        """The synthetic workload matches the paper's Bitcoin TaN shape:
+        average degree near 2.3, most in-degrees < 3, most out-degrees
+        < 10 (paper: 2.3, 93.1%, 97.6%)."""
+        from repro.txgraph.tan import TaNGraph
+
+        graph = TaNGraph.from_transactions(medium_stream)
+        summary = graph_summary(graph)
+        assert 1.2 <= summary.average_degree <= 3.5
+        assert summary.fraction_in_degree_below_3 >= 0.80
+        assert summary.fraction_out_degree_below_10 >= 0.90

@@ -1,0 +1,114 @@
+"""Unit tests for the TaN online DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CycleError, DuplicateNodeError, MissingNodeError
+from repro.txgraph.tan import TaNGraph
+
+
+def diamond() -> TaNGraph:
+    """0 <- 1, 0 <- 2, {1,2} <- 3 (3 spends from both 1 and 2)."""
+    graph = TaNGraph()
+    graph.add_node(0, [])
+    graph.add_node(1, [0])
+    graph.add_node(2, [0])
+    graph.add_node(3, [1, 2])
+    return graph
+
+
+class TestConstruction:
+    def test_counts(self):
+        graph = diamond()
+        assert graph.n_nodes == 4
+        assert graph.n_edges == 4
+        assert len(graph) == 4
+
+    def test_duplicate_node_rejected(self):
+        graph = diamond()
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node(2, [])
+
+    def test_gap_in_ids_rejected(self):
+        graph = diamond()
+        with pytest.raises(MissingNodeError):
+            graph.add_node(10, [])
+
+    def test_forward_edge_rejected(self):
+        graph = diamond()
+        with pytest.raises(CycleError):
+            graph.add_node(4, [4])
+        with pytest.raises(CycleError):
+            graph.add_node(4, [5])
+
+    def test_negative_input_rejected(self):
+        graph = TaNGraph()
+        with pytest.raises(MissingNodeError):
+            graph.add_node(0, [-1])
+
+    def test_duplicate_inputs_collapse(self):
+        graph = TaNGraph()
+        graph.add_node(0, [])
+        graph.add_node(1, [0, 0, 0])
+        assert graph.in_degree(1) == 1
+        assert graph.n_edges == 1
+
+
+class TestQueries:
+    def test_inputs_and_spenders(self):
+        graph = diamond()
+        assert graph.inputs_of(3) == (1, 2)
+        assert graph.spenders_of(0) == (1, 2)
+        assert graph.spenders_of(3) == ()
+
+    def test_degrees(self):
+        graph = diamond()
+        assert graph.in_degree(0) == 0
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(3) == 2
+        assert graph.out_degree(3) == 0
+
+    def test_coinbase_detection(self):
+        graph = diamond()
+        assert graph.is_coinbase(0)
+        assert not graph.is_coinbase(3)
+        assert graph.coinbase_nodes() == [0]
+
+    def test_unspent_frontier(self):
+        assert diamond().unspent_frontier() == [3]
+
+    def test_undirected_neighbors(self):
+        graph = diamond()
+        assert sorted(graph.undirected_neighbors(1)) == [0, 3]
+
+    def test_edges_iteration(self):
+        assert sorted(diamond().edges()) == [(1, 0), (2, 0), (3, 1), (3, 2)]
+
+    def test_missing_node_raises(self):
+        graph = diamond()
+        with pytest.raises(MissingNodeError):
+            graph.inputs_of(7)
+        with pytest.raises(MissingNodeError):
+            graph.out_degree(-1)
+
+    def test_contains(self):
+        graph = diamond()
+        assert 3 in graph
+        assert 4 not in graph
+        assert -1 not in graph
+
+
+class TestFromTransactions:
+    def test_matches_stream(self, small_stream, small_graph):
+        assert small_graph.n_nodes == len(small_stream)
+        for tx in small_stream[:200]:
+            assert small_graph.inputs_of(tx.txid) == tx.input_txids
+
+    def test_out_degree_counts_spenders(self, small_stream, small_graph):
+        spender_counts: dict[int, int] = {}
+        for tx in small_stream:
+            for parent in tx.input_txids:
+                spender_counts[parent] = spender_counts.get(parent, 0) + 1
+        for txid in range(0, small_graph.n_nodes, 97):
+            assert small_graph.out_degree(txid) == spender_counts.get(txid, 0)

@@ -1,0 +1,75 @@
+"""Unit tests for topological verification helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CycleError
+from repro.txgraph.tan import TaNGraph
+from repro.txgraph.topo import (
+    is_topological_stream,
+    kahn_topological_order,
+    topological_positions,
+    verify_dag,
+)
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+
+def tx(txid, parents):
+    return Transaction(
+        txid=txid,
+        inputs=tuple(OutPoint(p, 0) for p in parents),
+        outputs=(TxOutput(1),),
+    )
+
+
+class TestStreamCheck:
+    def test_valid_stream(self):
+        assert is_topological_stream([tx(0, []), tx(1, [0]), tx(2, [0])])
+
+    def test_forward_reference_fails(self):
+        # tx 1 spends from tx 2 which has not appeared yet.
+        stream = [
+            tx(0, []),
+            Transaction(
+                txid=1, inputs=(OutPoint(2, 0),), outputs=(TxOutput(1),)
+            ),
+            tx(2, [0]),
+        ]
+        # Transaction's own validation does not see the stream; the
+        # stream checker must catch the ordering violation.
+        assert not is_topological_stream(stream)
+
+    def test_generated_stream_topological(self, small_stream):
+        assert is_topological_stream(small_stream)
+
+    def test_empty_stream(self):
+        assert is_topological_stream([])
+
+
+class TestVerifyDag:
+    def test_valid_graph_passes(self, small_graph):
+        verify_dag(small_graph)
+
+    def test_empty_graph_passes(self):
+        verify_dag(TaNGraph())
+
+
+class TestKahn:
+    def test_order_is_topological(self, small_graph):
+        order = kahn_topological_order(small_graph)
+        assert len(order) == small_graph.n_nodes
+        position = topological_positions(order)
+        for u in small_graph.nodes():
+            for parent in small_graph.inputs_of(u):
+                assert position[parent] < position[u]
+
+    def test_chain_order(self):
+        graph = TaNGraph()
+        graph.add_node(0, [])
+        graph.add_node(1, [0])
+        graph.add_node(2, [1])
+        assert kahn_topological_order(graph) == [0, 1, 2]
+
+    def test_empty(self):
+        assert kahn_topological_order(TaNGraph()) == []

@@ -1,0 +1,116 @@
+"""Unit tests for transactions, outpoints, and the builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utxo.transaction import (
+    OutPoint,
+    Transaction,
+    TransactionBuilder,
+    TxOutput,
+)
+
+
+def make_tx(txid=5, inputs=((1, 0), (2, 1)), outputs=((100, 7), (50, 8))):
+    return Transaction(
+        txid=txid,
+        inputs=tuple(OutPoint(t, i) for t, i in inputs),
+        outputs=tuple(TxOutput(v, a) for v, a in outputs),
+    )
+
+
+class TestOutPoint:
+    def test_fields(self):
+        op = OutPoint(3, 1)
+        assert op.txid == 3
+        assert op.index == 1
+
+    def test_negative_txid_rejected(self):
+        with pytest.raises(ValidationError):
+            OutPoint(-1, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            OutPoint(0, -1)
+
+    def test_hashable_and_equal(self):
+        assert OutPoint(1, 2) == OutPoint(1, 2)
+        assert len({OutPoint(1, 2), OutPoint(1, 2), OutPoint(1, 3)}) == 2
+
+
+class TestTxOutput:
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValidationError):
+            TxOutput(-5)
+
+    def test_zero_value_allowed(self):
+        assert TxOutput(0).value == 0
+
+
+class TestTransaction:
+    def test_is_coinbase(self):
+        coinbase = Transaction(txid=0, inputs=(), outputs=(TxOutput(10),))
+        assert coinbase.is_coinbase
+        assert not make_tx().is_coinbase
+
+    def test_input_txids_distinct_ordered(self):
+        tx = make_tx(inputs=((2, 0), (1, 0), (2, 1)))
+        assert tx.input_txids == (2, 1)
+
+    def test_total_output_value(self):
+        assert make_tx().total_output_value == 150
+
+    def test_negative_txid_rejected(self):
+        with pytest.raises(ValidationError):
+            make_tx(txid=-1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValidationError):
+            Transaction(txid=1, inputs=(), outputs=(), size_bytes=0)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(ValidationError):
+            Transaction(txid=1, inputs=(), outputs=(), fee=-1)
+
+    def test_digest_deterministic(self):
+        assert make_tx().digest() == make_tx().digest()
+
+    def test_digest_sensitive_to_content(self):
+        assert make_tx().digest() != make_tx(txid=6).digest()
+        assert (
+            make_tx().digest()
+            != make_tx(outputs=((100, 7), (51, 8))).digest()
+        )
+
+    def test_shard_hash_in_range(self):
+        for k in (1, 2, 4, 16, 64):
+            assert 0 <= make_tx().shard_hash(k) < k
+
+    def test_shard_hash_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            make_tx().shard_hash(0)
+
+    def test_immutability(self):
+        tx = make_tx()
+        with pytest.raises(AttributeError):
+            tx.txid = 99  # type: ignore[misc]
+
+
+class TestTransactionBuilder:
+    def test_builds_equivalent_transaction(self):
+        built = (
+            TransactionBuilder(txid=5)
+            .spend(1, 0)
+            .spend(2, 1)
+            .pay(100, 7)
+            .pay(50, 8)
+            .build()
+        )
+        assert built == make_tx()
+
+    def test_chaining_returns_builder(self):
+        builder = TransactionBuilder(txid=1)
+        assert builder.spend(0, 0) is builder
+        assert builder.pay(1) is builder

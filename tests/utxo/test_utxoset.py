@@ -1,0 +1,114 @@
+"""Unit tests for the UTXO set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DoubleSpendError, UnknownOutputError, ValidationError
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+from repro.utxo.utxoset import UTXOSet
+
+
+def coinbase(txid, value=100, address=0):
+    return Transaction(
+        txid=txid, inputs=(), outputs=(TxOutput(value, address),)
+    )
+
+
+def spend(txid, outpoints, values):
+    return Transaction(
+        txid=txid,
+        inputs=tuple(OutPoint(t, i) for t, i in outpoints),
+        outputs=tuple(TxOutput(v) for v in values),
+    )
+
+
+class TestApply:
+    def test_coinbase_creates_outputs(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        assert OutPoint(0, 0) in utxos
+        assert len(utxos) == 1
+        assert utxos.value_of(OutPoint(0, 0)) == 100
+
+    def test_spend_consumes_and_creates(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        utxos.apply(spend(1, [(0, 0)], [60, 40]))
+        assert OutPoint(0, 0) not in utxos
+        assert utxos.value_of(OutPoint(1, 0)) == 60
+        assert utxos.value_of(OutPoint(1, 1)) == 40
+        assert utxos.spender_of(OutPoint(0, 0)) == 1
+
+    def test_double_spend_rejected(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        utxos.apply(spend(1, [(0, 0)], [100]))
+        with pytest.raises(DoubleSpendError):
+            utxos.apply(spend(2, [(0, 0)], [100]))
+
+    def test_internal_double_spend_rejected(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        with pytest.raises(DoubleSpendError):
+            utxos.apply(spend(1, [(0, 0), (0, 0)], [100]))
+
+    def test_unknown_output_rejected(self):
+        utxos = UTXOSet()
+        with pytest.raises(UnknownOutputError):
+            utxos.apply(spend(1, [(0, 0)], [100]))
+
+    def test_replay_rejected(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        with pytest.raises(ValidationError):
+            utxos.apply(coinbase(0))
+
+    def test_rejection_does_not_mutate(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        bad = spend(1, [(0, 0), (9, 0)], [100])
+        with pytest.raises(UnknownOutputError):
+            utxos.apply(bad)
+        # The valid input must not have been consumed by the failed apply.
+        assert OutPoint(0, 0) in utxos
+        assert utxos.n_applied == 1
+
+    def test_apply_all(self):
+        utxos = UTXOSet()
+        utxos.apply_all([coinbase(0), spend(1, [(0, 0)], [100])])
+        assert utxos.n_applied == 2
+
+
+class TestQueries:
+    def test_counts(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        utxos.apply(spend(1, [(0, 0)], [50, 50]))
+        assert len(utxos) == 2
+        assert utxos.n_spent == 1
+        assert utxos.n_applied == 2
+
+    def test_value_of_spent_raises_double_spend(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        utxos.apply(spend(1, [(0, 0)], [100]))
+        with pytest.raises(DoubleSpendError):
+            utxos.value_of(OutPoint(0, 0))
+
+    def test_address_of(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0, address=42))
+        assert utxos.address_of(OutPoint(0, 0)) == 42
+
+    def test_snapshot_is_copy(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        snapshot = utxos.snapshot_unspent()
+        snapshot.clear()
+        assert len(utxos) == 1
+
+    def test_iteration(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0))
+        assert list(utxos) == [OutPoint(0, 0)]

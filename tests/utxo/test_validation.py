@@ -1,0 +1,115 @@
+"""Unit tests for transaction validation rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+from repro.utxo.utxoset import UTXOSet
+from repro.utxo.validation import (
+    MAX_TX_SIZE_BYTES,
+    MAX_VALUE,
+    validate_balance,
+    validate_structure,
+    validate_transaction,
+)
+
+
+def coinbase(txid=0, value=100):
+    return Transaction(txid=txid, inputs=(), outputs=(TxOutput(value),))
+
+
+class TestStructure:
+    def test_valid_passes(self):
+        validate_structure(coinbase())
+
+    def test_oversize_rejected(self):
+        tx = Transaction(
+            txid=0,
+            inputs=(),
+            outputs=(TxOutput(1),),
+            size_bytes=MAX_TX_SIZE_BYTES + 1,
+        )
+        with pytest.raises(ValidationError, match="size"):
+            validate_structure(tx)
+
+    def test_empty_transaction_rejected(self):
+        tx = Transaction(txid=0, inputs=(), outputs=())
+        with pytest.raises(ValidationError, match="neither"):
+            validate_structure(tx)
+
+    def test_output_exceeding_supply_rejected(self):
+        tx = Transaction(
+            txid=0, inputs=(), outputs=(TxOutput(MAX_VALUE + 1),)
+        )
+        with pytest.raises(ValidationError, match="supply"):
+            validate_structure(tx)
+
+    def test_total_exceeding_supply_rejected(self):
+        tx = Transaction(
+            txid=0,
+            inputs=(),
+            outputs=(TxOutput(MAX_VALUE), TxOutput(1)),
+        )
+        with pytest.raises(ValidationError, match="total"):
+            validate_structure(tx)
+
+    def test_forward_spend_rejected(self):
+        tx = Transaction(
+            txid=1, inputs=(OutPoint(1, 0),), outputs=(TxOutput(1),)
+        )
+        with pytest.raises(ValidationError, match="topological"):
+            validate_structure(tx)
+
+
+class TestBalance:
+    def test_coinbase_exempt(self):
+        validate_balance(coinbase(value=10**9), UTXOSet())
+
+    def test_sufficient_inputs_pass(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0, value=100))
+        tx = Transaction(
+            txid=1,
+            inputs=(OutPoint(0, 0),),
+            outputs=(TxOutput(90),),
+            fee=10,
+        )
+        validate_balance(tx, utxos)
+
+    def test_overdraft_rejected(self):
+        utxos = UTXOSet()
+        utxos.apply(coinbase(0, value=100))
+        tx = Transaction(
+            txid=1,
+            inputs=(OutPoint(0, 0),),
+            outputs=(TxOutput(95),),
+            fee=10,
+        )
+        with pytest.raises(ValidationError, match="spends"):
+            validate_balance(tx, utxos)
+
+
+class TestFullValidation:
+    def test_chain_of_valid_transactions(self):
+        utxos = UTXOSet()
+        cb = coinbase(0, value=100)
+        validate_transaction(cb, utxos)
+        utxos.apply(cb)
+        tx = Transaction(
+            txid=1,
+            inputs=(OutPoint(0, 0),),
+            outputs=(TxOutput(40), TxOutput(55)),
+            fee=5,
+        )
+        validate_transaction(tx, utxos)
+        utxos.apply(tx)
+        assert utxos.n_applied == 2
+
+    def test_generated_stream_fully_valid(self, small_stream):
+        """Every synthetic transaction passes full validation in order."""
+        utxos = UTXOSet()
+        for tx in small_stream:
+            validate_transaction(tx, utxos)
+            utxos.apply(tx)
