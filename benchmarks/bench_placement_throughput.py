@@ -1,0 +1,322 @@
+"""Placement throughput benchmark - the perf trajectory for the hot path.
+
+Measures transactions-per-second of each placement strategy over a fixed
+synthetic stream, including the ``*_seed`` reference implementations
+(the pre-optimization code paths preserved in
+``repro.core._seed_reference``) so speedups are recorded against an
+honest baseline *in the same file*. Results land in
+``BENCH_placement.json``.
+
+Not a pytest-benchmark module: throughput benches want explicit warmup,
+repeats, and a machine-readable artifact. Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_placement_throughput.py
+    PYTHONPATH=src python benchmarks/bench_placement_throughput.py \
+        --txs 1000000 --shards 16 --strategies optchain,optchain_seed
+    PYTHONPATH=src python benchmarks/bench_placement_throughput.py \
+        --txs 20000 --repeats 1 --check   # CI smoke
+
+``--check`` enforces the acceptance gates:
+
+- ``optchain`` >= 5x ``optchain_seed`` at 16 shards (constant-factor
+  win: no per-transaction model objects, estimators, or dense scans);
+- the load proxy's ``record`` cost stays roughly flat from 4 to 64
+  shards (O(1) lazy decay - the seed proxy decayed every shard on every
+  placement).
+
+See PERFORMANCE.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.core._seed_reference  # noqa: F401  (registers *_seed strategies)
+from repro.core.optchain import LoadProxyLatencyProvider
+from repro.core.placement import make_placer
+from repro.core._seed_reference import EagerLoadProxy
+from repro.datasets.synthetic import synthetic_stream
+
+DEFAULT_STRATEGIES = (
+    "optchain",
+    "optchain_seed",
+    "t2s",
+    "t2s_seed",
+    "greedy",
+    "greedy_seed",
+    "omniledger",
+)
+DEFAULT_SHARDS = (4, 16, 64)
+STREAM_SEED = 42
+
+
+def _make(name: str, n_shards: int, n_tx: int):
+    if name in ("t2s", "t2s_seed", "greedy", "greedy_seed"):
+        return make_placer(name, n_shards, expected_total=n_tx)
+    return make_placer(name, n_shards)
+
+
+def bench_strategy(name, n_shards, stream, repeats):
+    """Best-of-``repeats`` wall time placing the whole stream."""
+    best = float("inf")
+    assignment = None
+    for _ in range(repeats):
+        placer = _make(name, n_shards, len(stream))
+        start = time.perf_counter()
+        assignment = placer.place_stream(stream)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, assignment
+
+
+def bench_proxy_record(n_shards, n_records, proxy_cls):
+    """Seconds per record() call, best of 3 - the O(1)-vs-O(n) probe."""
+    pattern = [i % n_shards for i in range(n_records)]
+    best = float("inf")
+    for _ in range(3):
+        proxy = proxy_cls(n_shards)
+        start = time.perf_counter()
+        record = proxy.record
+        for shard in pattern:
+            record(shard)
+        best = min(best, time.perf_counter() - start)
+    return best / n_records
+
+
+def run(args):
+    t0 = time.perf_counter()
+    stream = synthetic_stream(args.txs, seed=STREAM_SEED)
+    gen_seconds = time.perf_counter() - t0
+
+    # Warm the allocator and code paths so the first strategy measured
+    # is not penalized.
+    warm = stream[: min(5_000, args.txs)]
+    for name in args.strategies:
+        _make(name, args.shards[0], len(warm)).place_stream(warm)
+
+    results = []
+    equivalences = []
+    for n_shards in args.shards:
+        assignments = {}
+        for name in args.strategies:
+            elapsed, assignment = bench_strategy(
+                name, n_shards, stream, args.repeats
+            )
+            assignments[name] = assignment
+            tx_per_s = args.txs / elapsed
+            results.append(
+                {
+                    "strategy": name,
+                    "n_shards": n_shards,
+                    "n_tx": args.txs,
+                    "seconds": round(elapsed, 4),
+                    "tx_per_s": round(tx_per_s, 1),
+                }
+            )
+            print(
+                f"  {name:<14} k={n_shards:<3} {tx_per_s:>12,.0f} tx/s "
+                f"({elapsed:.2f}s)",
+                flush=True,
+            )
+        for fast, seed in (
+            ("optchain", "optchain_seed"),
+            ("t2s", "t2s_seed"),
+            ("greedy", "greedy_seed"),
+        ):
+            if fast in assignments and seed in assignments:
+                identical = assignments[fast] == assignments[seed]
+                equivalences.append(
+                    {
+                        "fast": fast,
+                        "seed": seed,
+                        "n_shards": n_shards,
+                        "n_tx": args.txs,
+                        "identical_placements": identical,
+                    }
+                )
+                if not identical:
+                    print(
+                        f"  !! {fast} != {seed} at k={n_shards}",
+                        file=sys.stderr,
+                    )
+
+    # Speedups vs the seed measurement in this same run.
+    by_key = {(r["strategy"], r["n_shards"], r["n_tx"]): r for r in results}
+    for r in results:
+        seed_row = by_key.get(
+            (r["strategy"] + "_seed", r["n_shards"], r["n_tx"])
+        )
+        if seed_row is not None:
+            r["speedup_vs_seed"] = round(
+                r["tx_per_s"] / seed_row["tx_per_s"], 2
+            )
+
+    previous = None
+    if args.append and Path(args.out).exists():
+        previous = json.loads(Path(args.out).read_text())
+
+    # When appending, reuse the already-recorded record() scaling rows
+    # instead of burning time re-measuring and then discarding them.
+    proxy_scaling = (
+        previous.get("proxy_record_scaling") if previous else None
+    )
+    if not proxy_scaling:
+        proxy_scaling = []
+        for n_shards in (4, 16, 64):
+            lazy_ns = bench_proxy_record(
+                n_shards, args.proxy_records, LoadProxyLatencyProvider
+            )
+            eager_ns = bench_proxy_record(
+                n_shards, args.proxy_records, EagerLoadProxy
+            )
+            proxy_scaling.append(
+                {
+                    "n_shards": n_shards,
+                    "lazy_record_us": round(lazy_ns * 1e6, 4),
+                    "eager_record_us": round(eager_ns * 1e6, 4),
+                }
+            )
+            print(
+                f"  proxy.record   k={n_shards:<3} "
+                f"lazy {lazy_ns*1e9:7.1f} ns"
+                f"  eager {eager_ns*1e9:7.1f} ns"
+            )
+
+    payload = {
+        "meta": {
+            "stream_seed": STREAM_SEED,
+            "n_tx": args.txs,
+            "repeats": args.repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "stream_generation_seconds": round(gen_seconds, 2),
+        },
+        "results": results,
+        "golden_equivalence": equivalences,
+        "proxy_record_scaling": proxy_scaling,
+    }
+    out = Path(args.out)
+    if previous is not None:
+        keep = [
+            r
+            for r in previous.get("results", [])
+            if not any(
+                r["strategy"] == n["strategy"]
+                and r["n_shards"] == n["n_shards"]
+                and r["n_tx"] == n["n_tx"]
+                for n in results
+            )
+        ]
+        payload["results"] = keep + results
+        keep_eq = [
+            e
+            for e in previous.get("golden_equivalence", [])
+            if not any(
+                e["fast"] == n["fast"]
+                and e["n_shards"] == n["n_shards"]
+                and e.get("n_tx") == n["n_tx"]
+                for n in equivalences
+            )
+        ]
+        payload["golden_equivalence"] = keep_eq + equivalences
+        payload["meta"] = previous.get("meta", payload["meta"])
+        payload["meta"][f"appended_run_{args.txs}tx"] = {
+            "repeats": args.repeats,
+            "shards": list(args.shards),
+        }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        failures = check(payload, args)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("all checks passed")
+    return 0
+
+
+def check(payload, args):
+    """The acceptance gates; returns a list of failure messages."""
+    failures = []
+    for eq in payload["golden_equivalence"]:
+        if not eq["identical_placements"]:
+            failures.append(
+                f"{eq['fast']} placements diverge from {eq['seed']} at "
+                f"k={eq['n_shards']}"
+            )
+    # Gate on this run's scale only: merged files may hold rows for
+    # other transaction counts with different expected ratios.
+    by_key = {
+        (r["strategy"], r["n_shards"], r["n_tx"]): r
+        for r in payload["results"]
+    }
+    gate_shards = 16 if 16 in args.shards else args.shards[0]
+    fast = by_key.get(("optchain", gate_shards, args.txs))
+    seed = by_key.get(("optchain_seed", gate_shards, args.txs))
+    if fast and seed:
+        speedup = fast["tx_per_s"] / seed["tx_per_s"]
+        if speedup < args.min_speedup:
+            failures.append(
+                f"optchain speedup at k={gate_shards} is {speedup:.2f}x "
+                f"< {args.min_speedup}x"
+            )
+    scaling = {
+        row["n_shards"]: row["lazy_record_us"]
+        for row in payload["proxy_record_scaling"]
+    }
+    if 4 in scaling and 64 in scaling:
+        ratio = scaling[64] / scaling[4]
+        if ratio > args.max_record_ratio:
+            failures.append(
+                f"lazy record() time grows {ratio:.2f}x from 4 to 64 "
+                f"shards (> {args.max_record_ratio}x); decay is no "
+                "longer O(1)"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--txs", type=int, default=100_000)
+    parser.add_argument(
+        "--shards",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=DEFAULT_SHARDS,
+    )
+    parser.add_argument(
+        "--strategies",
+        type=lambda s: tuple(s.split(",")),
+        default=DEFAULT_STRATEGIES,
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--proxy-records", type=int, default=200_000)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_placement.json"
+        ),
+    )
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="merge results into an existing --out file (e.g. add a 1M-tx "
+        "row to the default 100k run)",
+    )
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--max-record-ratio", type=float, default=3.0)
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

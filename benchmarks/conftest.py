@@ -2,7 +2,9 @@
 
 Benchmarks default to the ``tiny`` experiment scale so the whole suite
 regenerates every table and figure in minutes. Set ``REPRO_SCALE=default``
-(or ``paper``) for the scales EXPERIMENTS.md reports.
+(or ``paper``) for the full-size runs (see the scale definitions in
+``repro.experiments.configs``; PERFORMANCE.md documents the placement
+throughput bench, which does not use pytest).
 
 Each benchmark runs its experiment exactly once (``pedantic`` with one
 round): the measured quantity is "time to regenerate the artifact", and

@@ -1,0 +1,70 @@
+"""cProfile the placement hot path of one strategy.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_placement.py
+    PYTHONPATH=src python scripts/profile_placement.py \
+        --strategy optchain_seed --txs 50000 --shards 64 \
+        --sort cumulative --stats-out /tmp/optchain.pstats
+
+Stream generation happens before profiling starts, so the report shows
+only placement work. Load the ``--stats-out`` file with
+``pstats.Stats`` (or snakeviz, if installed) for interactive digging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.core._seed_reference  # noqa: F401  (registers *_seed strategies)
+from repro.core.placement import PlacementStrategy, make_placer
+from repro.datasets.synthetic import synthetic_stream
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--strategy",
+        default="optchain",
+        choices=sorted(PlacementStrategy.registry) + ["optchain"],
+    )
+    parser.add_argument("--txs", type=int, default=100_000)
+    parser.add_argument("--shards", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--lines", type=int, default=25)
+    parser.add_argument(
+        "--sort", default="tottime", choices=["tottime", "cumulative"]
+    )
+    parser.add_argument("--stats-out", default=None)
+    args = parser.parse_args(argv)
+
+    print(f"generating {args.txs} transactions (seed {args.seed})...")
+    stream = synthetic_stream(args.txs, seed=args.seed)
+    kwargs = (
+        {"expected_total": args.txs}
+        if args.strategy in ("t2s", "t2s_seed", "greedy", "greedy_seed")
+        else {}
+    )
+    placer = make_placer(args.strategy, args.shards, **kwargs)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    placer.place_stream(stream)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.lines)
+    if args.stats_out:
+        stats.dump_stats(args.stats_out)
+        print(f"wrote {args.stats_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,11 @@ from repro.core.baselines import (
 )
 from repro.core.fitness import TemporalFitness
 from repro.core.l2s import L2SEstimator, ShardLatencyModel
-from repro.core.optchain import OptChainPlacer
+from repro.core.optchain import (
+    USE_LOAD_PROXY,
+    LoadProxyLatencyProvider,
+    OptChainPlacer,
+)
 from repro.core.placement import PlacementStrategy, make_placer
 from repro.core.t2s import T2SScorer
 from repro.datasets.synthetic import BitcoinLikeGenerator, synthetic_stream
@@ -51,7 +55,9 @@ __all__ = [
     "L2SEstimator",
     "MetisOfflinePlacer",
     "OmniLedgerRandomPlacer",
+    "LoadProxyLatencyProvider",
     "OptChainPlacer",
+    "USE_LOAD_PROXY",
     "PlacementStrategy",
     "ShardLatencyModel",
     "T2SOnlyPlacer",

@@ -1,0 +1,57 @@
+"""Lazy argmin over a monotonically increasing value array.
+
+Several hot paths need "which shard is smallest right now" where the
+per-shard quantity only ever grows (placement counts, decayed-load
+accumulators within one scale epoch). A full scan is O(n_shards) per
+query; this helper answers in amortized O(log n_shards) with the classic
+lazy-deletion heap: every increase pushes a fresh ``(value, index)``
+entry, and queries pop entries whose value no longer matches the backing
+array. Ties break toward the lower index, matching the ``min(range(n),
+key=values.__getitem__)`` idiom the scans it replaces used.
+
+The helper holds a *reference* to the caller's value list; the caller
+mutates the list and then calls :meth:`bump` for the touched index.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Sequence
+
+
+class LazyArgmin:
+    """Amortized O(log n) argmin over an increase-only value list."""
+
+    __slots__ = ("_values", "_heap", "_compact_limit")
+
+    def __init__(self, values: Sequence) -> None:
+        self._values = values
+        self._heap = [(value, index) for index, value in enumerate(values)]
+        heapify(self._heap)
+        self._compact_limit = max(64, 4 * len(values))
+
+    def bump(self, index: int) -> None:
+        """Record that ``values[index]`` increased (push the new key)."""
+        heappush(self._heap, (self._values[index], index))
+        if len(self._heap) > self._compact_limit:
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Drop stale entries (also call after rescaling every value).
+
+        In place, so callers holding the heap list stay consistent.
+        """
+        self._heap[:] = [
+            (value, index) for index, value in enumerate(self._values)
+        ]
+        heapify(self._heap)
+
+    def peek(self):
+        """``(value, index)`` of the minimum, lowest index among ties."""
+        heap = self._heap
+        values = self._values
+        while True:
+            value, index = heap[0]
+            if values[index] == value:
+                return value, index
+            heappop(heap)

@@ -85,7 +85,9 @@ class _CappedPlacer(PlacementStrategy):
         self.expected_total = expected_total
         self.tie_break = tie_break
         self._rng = make_rng(seed)
-        self._sizes = [0] * n_shards
+        # Lightest-shard queries (the all-capped fallback and the check
+        # that some shard is still under the cap) are O(log n_shards).
+        self.size_argmin()
 
     def _cap(self) -> float:
         if self.expected_total is not None:
@@ -100,7 +102,7 @@ class _CappedPlacer(PlacementStrategy):
         return (1.0 + self.epsilon) * math.ceil(total / self.n_shards) + 1.0
 
     def _under_cap(self, shard: int) -> bool:
-        return self._sizes[shard] + 1 <= self._cap()
+        return self._shard_sizes[shard] + 1 <= self._cap()
 
     def _best_allowed(self, scores: Sequence[float]) -> int:
         """Highest score among shards under the cap.
@@ -108,22 +110,64 @@ class _CappedPlacer(PlacementStrategy):
         Falls back to the smallest shard when every shard is at the cap
         (possible early in a run when ``floor(n / k)`` is small).
         """
-        allowed = [s for s in range(self.n_shards) if self._under_cap(s)]
+        cap = self._cap()
+        sizes = self._shard_sizes
+        allowed = [
+            s for s in range(self.n_shards) if sizes[s] + 1 <= cap
+        ]
         if not allowed:
-            return min(range(self.n_shards), key=self._sizes.__getitem__)
+            _, lightest = self.size_argmin().peek()
+            return lightest
         top = max(scores[s] for s in allowed)
         tied = [s for s in allowed if scores[s] == top]
+        return self._pick_tied(tied)
+
+    def _best_allowed_sparse(self, sparse_scores: dict[int, float]) -> int:
+        """``_best_allowed`` over a sparse score map; missing shards = 0.
+
+        Fast path for the common case of a unique positive maximum: only
+        the sparse support is inspected and the RNG is untouched, exactly
+        as the dense scan behaves when ``len(tied) == 1``. Whenever a
+        zero score could win (empty support, every scored shard capped,
+        or a zero top), the dense scan runs instead so tie enumeration -
+        and therefore RNG consumption - is byte-for-byte identical.
+        """
+        cap = self._cap()
+        sizes = self._shard_sizes
+        top = 0.0
+        tied_count = 0
+        for shard, score in sparse_scores.items():
+            if sizes[shard] + 1 > cap:
+                continue
+            if score > top:
+                top = score
+                tied_count = 1
+            elif score == top and top > 0.0:
+                tied_count += 1
+        if tied_count == 0 or top <= 0.0:
+            # A zero score (some unscored shard) ties for the max, or
+            # everything scored is capped: delegate to the dense scan.
+            scores = [0.0] * self.n_shards
+            for shard, score in sparse_scores.items():
+                scores[shard] = score
+            return self._best_allowed(scores)
+        if tied_count == 1:
+            for shard, score in sparse_scores.items():
+                if score == top and sizes[shard] + 1 <= cap:
+                    return shard
+        tied = sorted(
+            shard
+            for shard, score in sparse_scores.items()
+            if score == top and sizes[shard] + 1 <= cap
+        )
+        return self._pick_tied(tied)
+
+    def _pick_tied(self, tied: Sequence[int]) -> int:
         if len(tied) == 1 or self.tie_break == "first":
             return tied[0]
         if self.tie_break == "lightest":
-            return min(tied, key=self._sizes.__getitem__)
+            return min(tied, key=self._shard_sizes.__getitem__)
         return tied[self._rng.randrange(len(tied))]
-
-    def _record(self, shard: int) -> None:
-        self._sizes[shard] += 1
-
-    def _on_forced(self, tx: Transaction, shard: int) -> None:
-        self._record(shard)
 
 
 class GreedyPlacer(_CappedPlacer):
@@ -139,12 +183,13 @@ class GreedyPlacer(_CappedPlacer):
     name = "greedy"
 
     def _choose(self, tx: Transaction) -> int:
-        scores = [0.0] * self.n_shards
+        assignment = self._assignment
+        counts: dict[int, float] = {}
+        get = counts.get
         for parent in tx.input_txids:
-            scores[self.shard_of(parent)] += 1.0
-        shard = self._best_allowed(scores)
-        self._record(shard)
-        return shard
+            shard = assignment[parent]
+            counts[shard] = get(shard, 0.0) + 1.0
+        return self._best_allowed_sparse(counts)
 
 
 class T2SOnlyPlacer(_CappedPlacer):
@@ -178,21 +223,23 @@ class T2SOnlyPlacer(_CappedPlacer):
         )
 
     def _choose(self, tx: Transaction) -> int:
-        sparse = self.scorer.add_transaction(
+        raw = self.scorer.add_transaction_raw(
             tx.txid, tx.input_txids, len(tx.outputs)
         )
-        scores = [0.0] * self.n_shards
-        for shard, value in sparse.items():
-            scores[shard] = value
-        shard = self._best_allowed(scores)
+        scorer_sizes = self.scorer._shard_sizes
+        sparse = {
+            shard: mass / (scorer_sizes[shard] or 1)
+            for shard, mass in raw.items()
+        }
+        shard = self._best_allowed_sparse(sparse)
         self.scorer.place(tx.txid, shard)
-        self._record(shard)
         return shard
 
     def _on_forced(self, tx: Transaction, shard: int) -> None:
-        self.scorer.add_transaction(tx.txid, tx.input_txids, len(tx.outputs))
+        self.scorer.add_transaction_raw(
+            tx.txid, tx.input_txids, len(tx.outputs)
+        )
         self.scorer.place(tx.txid, shard)
-        self._record(shard)
 
 
 class MetisOfflinePlacer(PlacementStrategy):

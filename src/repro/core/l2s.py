@@ -17,7 +17,8 @@ total::
 
 **Mode choice.** The paper's formula (Alg. 1 line 6) convolves
 ``f_v^{(j)}`` with itself; the prose suggests an accept-then-commit
-pipeline. Three readings are implemented (DESIGN.md §4, substitution 4):
+pipeline. Three readings of that ambiguity are implemented and compared
+in ``benchmarks/bench_ablation.py``:
 
 - ``"shard_load"`` (OptChain's default): ``E(j)`` is shard ``j``'s own
   hypoexponential traversed once for a same-shard placement and twice
@@ -165,14 +166,33 @@ def _expected_max_numeric(
     # E[max] = integral over t of (1 - prod F_i). The integrand decays
     # like the slowest shard's tail; 40 mean-lifetimes of the slowest
     # shard bounds the truncation error far below the integration error.
+    # With widely separated time scales (one shard orders of magnitude
+    # faster than the slowest) a single uniform grid under-resolves the
+    # fast shard's rise near t=0, so the integral is split there and each
+    # panel gets its own Simpson grid.
     horizon = 40.0 * max(model.expected_total for model in models)
-    step = horizon / n_points
-    # Composite Simpson needs an even interval count.
-    total = 1.0 - acceptance_cdf(models, 0.0)
-    total += 1.0 - acceptance_cdf(models, horizon)
+    split = 10.0 * min(model.expected_total for model in models)
+    if split >= horizon / 2.0:
+        return _simpson_tail_integral(models, 0.0, horizon, n_points)
+    return _simpson_tail_integral(
+        models, 0.0, split, n_points // 2
+    ) + _simpson_tail_integral(models, split, horizon, n_points // 2)
+
+
+def _simpson_tail_integral(
+    models: Sequence[ShardLatencyModel],
+    start: float,
+    end: float,
+    n_points: int,
+) -> float:
+    # Composite Simpson over [start, end] of (1 - prod F_i); needs an
+    # even interval count.
+    step = (end - start) / n_points
+    total = 1.0 - acceptance_cdf(models, start)
+    total += 1.0 - acceptance_cdf(models, end)
     for index in range(1, n_points):
         weight = 4.0 if index % 2 == 1 else 2.0
-        total += weight * (1.0 - acceptance_cdf(models, index * step))
+        total += weight * (1.0 - acceptance_cdf(models, start + index * step))
     return total * step / 3.0
 
 
@@ -186,27 +206,85 @@ class L2SEstimator:
     placement choice.
     """
 
+    __slots__ = ("_models", "_totals", "mode")
+
     def __init__(
         self,
         models: Sequence[ShardLatencyModel],
         mode: str = "accept_commit",
     ) -> None:
-        if not models:
-            raise ConfigurationError("L2SEstimator needs at least one shard")
         if mode not in L2S_MODES:
             raise ConfigurationError(
                 f"mode must be one of {L2S_MODES}, got {mode!r}"
             )
-        self._models = list(models)
         self.mode = mode
+        self._models: list[ShardLatencyModel] | None = None
+        self._totals: list[float] = []
+        self.update(models)
+
+    def update(self, models: Sequence[ShardLatencyModel]) -> None:
+        """Refresh the per-shard models in place.
+
+        The estimator is long-lived: construct it once and feed it fresh
+        models each placement instead of rebuilding the object (and
+        re-validating every dataclass) per transaction. ``expected_total``
+        of each model is memoized here so the scoring loops never touch
+        model attributes.
+        """
+        if not models:
+            raise ConfigurationError("L2SEstimator needs at least one shard")
+        self._models = list(models)
+        self._totals = [model.expected_total for model in models]
+
+    def update_rates(
+        self,
+        comm_times: Sequence[float],
+        verify_times: Sequence[float],
+    ) -> None:
+        """Raw-rates refresh for ``shard_load`` mode: no model objects.
+
+        ``shard_load`` scoring only reads the per-shard expected total,
+        so providers can push plain expected communication / verification
+        times and skip constructing (and validating) one
+        :class:`ShardLatencyModel` per shard per transaction. The totals
+        are computed through the same double inversion the dataclass
+        would apply (``1/(1/t)``), keeping scores bit-identical to the
+        model-object path.
+        """
+        if self.mode != "shard_load":
+            raise ConfigurationError(
+                "update_rates is only valid in shard_load mode; "
+                f"mode is {self.mode!r} (it needs full models for the "
+                "acceptance CDF)"
+            )
+        if not comm_times or len(comm_times) != len(verify_times):
+            raise ConfigurationError(
+                f"update_rates needs matching non-empty sequences, got "
+                f"{len(comm_times)} comm and {len(verify_times)} verify"
+            )
+        self._models = None
+        self._totals = [
+            1.0 / (1.0 / comm) + 1.0 / (1.0 / verify)
+            for comm, verify in zip(comm_times, verify_times)
+        ]
 
     @property
     def n_shards(self) -> int:
         """Number of shards covered by the models."""
-        return len(self._models)
+        return len(self._totals)
+
+    @property
+    def expected_totals(self) -> list[float]:
+        """Memoized ``expected_total`` per shard (copy)."""
+        return list(self._totals)
 
     def model_of(self, shard: int) -> ShardLatencyModel:
         """The latency model of one shard."""
+        if self._models is None:
+            raise ConfigurationError(
+                "estimator was fed raw rates (update_rates); full models "
+                "are not available"
+            )
         return self._models[shard]
 
     def score(self, shard: int, input_shards: Iterable[int]) -> float:
@@ -217,20 +295,22 @@ class L2SEstimator:
         ``shard`` (same-shard transaction) there is no acceptance phase.
         """
         acceptance = {s for s in input_shards}
-        if not 0 <= shard < len(self._models):
+        totals = self._totals
+        if not 0 <= shard < len(totals):
             raise ConfigurationError(
-                f"shard {shard} out of range [0, {len(self._models)})"
+                f"shard {shard} out of range [0, {len(totals)})"
             )
         is_cross = bool(acceptance) and acceptance != {shard}
         if not is_cross:
-            return self._models[shard].expected_total
+            return totals[shard]
         if self.mode == "shard_load":
-            return 2.0 * self._models[shard].expected_total
-        acceptance_models = [self._models[s] for s in sorted(acceptance)]
+            return 2.0 * totals[shard]
+        models = self._require_models()
+        acceptance_models = [models[s] for s in sorted(acceptance)]
         expected_accept = expected_max_acceptance(acceptance_models)
         if self.mode == "accept_accept":
             return 2.0 * expected_accept
-        return expected_accept + self._models[shard].expected_total
+        return expected_accept + totals[shard]
 
     def scores_all(self, input_shards: Iterable[int]) -> list[float]:
         """``E(j)`` for every shard ``j`` (one call per arriving tx).
@@ -240,24 +320,36 @@ class L2SEstimator:
         same-shard special case (``Sin == {j}``) skips it.
         """
         shards = set(input_shards)
-        n = len(self._models)
+        totals = self._totals
+        n = len(totals)
         if not shards:
-            return [self._models[j].expected_total for j in range(n)]
+            return list(totals)
         if self.mode == "shard_load":
-            return [
-                self._models[j].expected_total * (1.0 if shards == {j} else 2.0)
-                for j in range(n)
-            ]
-        acceptance_models = [self._models[s] for s in sorted(shards)]
+            if len(shards) == 1:
+                only = next(iter(shards))
+                return [
+                    total * (1.0 if j == only else 2.0)
+                    for j, total in enumerate(totals)
+                ]
+            return [total * 2.0 for total in totals]
+        models = self._require_models()
+        acceptance_models = [models[s] for s in sorted(shards)]
         expected_accept = expected_max_acceptance(acceptance_models)
         scores = []
         for j in range(n):
             if shards == {j}:
-                scores.append(self._models[j].expected_total)
+                scores.append(totals[j])
             elif self.mode == "accept_accept":
                 scores.append(2.0 * expected_accept)
             else:
-                scores.append(
-                    expected_accept + self._models[j].expected_total
-                )
+                scores.append(expected_accept + totals[j])
         return scores
+
+    def _require_models(self) -> list[ShardLatencyModel]:
+        models = self._models
+        if models is None:
+            raise ConfigurationError(
+                "estimator was fed raw rates (update_rates); "
+                f"{self.mode!r} scoring needs full models"
+            )
+        return models

@@ -16,6 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable
 
+from repro.core._argmin import LazyArgmin
 from repro.errors import ConfigurationError, PlacementError
 from repro.utxo.transaction import Transaction
 
@@ -39,6 +40,15 @@ class PlacementStrategy(ABC):
             raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
         self.n_shards = n_shards
         self._assignment: list[int] = []
+        self._shard_sizes: list[int] = [0] * n_shards
+        self._size_argmin: LazyArgmin | None = None
+        # Exact running minimum of the shard sizes, O(1) amortized:
+        # sizes only grow by one, so when the last shard leaves the
+        # current minimum the new minimum is exactly one higher (that
+        # shard now sits there), and the recount is O(n_shards) at most
+        # once per full level - O(1) per placement overall.
+        self._min_shard_size = 0
+        self._min_size_count = n_shards
 
     # -- contract ----------------------------------------------------------
 
@@ -60,6 +70,7 @@ class PlacementStrategy(ABC):
                 f"range is [0, {self.n_shards})"
             )
         self._assignment.append(shard)
+        self._bump_shard_size(shard)
         return shard
 
     def place_stream(self, txs: Iterable[Transaction]) -> list[int]:
@@ -87,6 +98,7 @@ class PlacementStrategy(ABC):
             )
         self._on_forced(tx, shard)
         self._assignment.append(shard)
+        self._bump_shard_size(shard)
 
     def _on_forced(self, tx: Transaction, shard: int) -> None:
         """Subclass hook: absorb a forced placement into internal state.
@@ -115,11 +127,41 @@ class PlacementStrategy(ABC):
         return {self._assignment[parent] for parent in tx.input_txids}
 
     def shard_sizes(self) -> list[int]:
-        """Current transaction count per shard."""
-        sizes = [0] * self.n_shards
-        for shard in self._assignment:
-            sizes[shard] += 1
-        return sizes
+        """Current transaction count per shard (maintained incrementally,
+        O(n_shards) only for the returned copy - never O(n_placed))."""
+        return list(self._shard_sizes)
+
+    @property
+    def min_shard_size(self) -> int:
+        """Exact size of the currently smallest shard, O(1)."""
+        return self._min_shard_size
+
+    def _bump_shard_size(self, shard: int) -> None:
+        sizes = self._shard_sizes
+        old = sizes[shard]
+        sizes[shard] = old + 1
+        if old == self._min_shard_size:
+            count = self._min_size_count - 1
+            if count == 0:
+                # The bumped shard now sits exactly one level up, so the
+                # recount can never come back zero.
+                self._min_shard_size = old + 1
+                count = sizes.count(old + 1)
+            self._min_size_count = count
+        if self._size_argmin is not None:
+            self._size_argmin.bump(shard)
+
+    def size_argmin(self) -> LazyArgmin:
+        """Lazy argmin over the shard sizes, created on first use.
+
+        Strategies that need "the lightest shard" per placement (OptChain
+        without a latency provider, the capped baselines' fallback) ask
+        for this once and then get amortized O(log n_shards) queries
+        instead of an O(n_shards) scan per transaction.
+        """
+        if self._size_argmin is None:
+            self._size_argmin = LazyArgmin(self._shard_sizes)
+        return self._size_argmin
 
 
 def make_placer(

@@ -30,6 +30,7 @@ ablation bench.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.errors import ConfigurationError, PlacementError
@@ -50,6 +51,21 @@ class T2SScorer:
     ``place`` must be called exactly once per added transaction before
     the next one is added.
     """
+
+    __slots__ = (
+        "n_shards",
+        "alpha",
+        "outdeg_mode",
+        "prune_epsilon",
+        "_p_prime",
+        "_spender_count",
+        "_output_count",
+        "_shard_sizes",
+        "_pending",
+        "_scale",
+        "_spenders_divisor",
+        "_min_mass",
+    )
 
     def __init__(
         self,
@@ -81,10 +97,19 @@ class T2SScorer:
         self._p_prime: list[dict[int, float]] = []
         # Spender count observed so far, per transaction.
         self._spender_count: list[int] = []
-        # Output (UTXO) count, per transaction - for outdeg_mode="outputs".
+        # Output (UTXO) count, per transaction. Only maintained (and
+        # only read) when outdeg_mode="outputs"; the default "spenders"
+        # divisor never consults it, so the bookkeeping is skipped.
         self._output_count: list[int] = []
         self._shard_sizes = [0] * n_shards
         self._pending: int | None = None
+        # Lower bound on the smallest mass of each vector (inf when
+        # empty). When ``bound * factor`` clears prune_epsilon, a child
+        # vector can skip the entry-by-entry pruning filter entirely.
+        self._min_mass: list[float] = []
+        # Hot-loop constants, hoisted out of add_transaction_raw.
+        self._scale = 1.0 - alpha
+        self._spenders_divisor = outdeg_mode == "spenders"
 
     # -- queries ---------------------------------------------------------
 
@@ -116,51 +141,136 @@ class T2SScorer:
         (missing shards score 0). Registers ``u`` as a spender of each
         input, which is what advances ``|Nout(v)|`` for later arrivals.
         """
+        self.add_transaction_raw(txid, input_txids, n_outputs)
+        return self.normalized(txid)
+
+    def add_transaction_raw(
+        self,
+        txid: int,
+        input_txids: Sequence[int],
+        n_outputs: int = 1,
+    ) -> dict[int, float]:
+        """Like :meth:`add_transaction` but returns the *unnormalized*
+        ``p'(u)`` map, borrowed (not copied) from internal state.
+
+        Callers must not mutate the returned dict; normalize an entry on
+        the fly as ``mass / max(1, shard_sizes[shard])``. This is the
+        placement hot path: it skips the normalized-dict allocation that
+        :meth:`add_transaction` pays.
+        """
         if self._pending is not None:
             raise PlacementError(
                 f"transaction {self._pending} was added but never placed"
             )
-        if txid != len(self._p_prime):
+        all_p_prime = self._p_prime
+        if txid != len(all_p_prime):
             raise PlacementError(
                 f"transactions must arrive in dense order: got {txid}, "
-                f"expected {len(self._p_prime)}"
+                f"expected {len(all_p_prime)}"
             )
+        spender_count = self._spender_count
+        scale = self._scale
+        epsilon = self.prune_epsilon
         # Register u as a spender of each distinct input *before* reading
         # the divisor, so |Nout(v)| includes the edge that u itself just
         # created (a walk from u can only re-enter v's spenders through
         # an edge that exists).
-        distinct: dict[int, None] = {}
-        for parent in input_txids:
+        if len(input_txids) == 1:
+            # Average TaN degree is ~2.3 with deduplicated parents, so a
+            # single input is the dominant case: no distinct-dict, no
+            # accumulation dict - one scaled copy of the parent vector.
+            parent = input_txids[0]
             if not 0 <= parent < txid:
                 raise PlacementError(
                     f"transaction {txid} has invalid input {parent}"
                 )
-            distinct.setdefault(parent, None)
-        for parent in distinct:
-            self._spender_count[parent] += 1
-
-        p_prime: dict[int, float] = {}
-        scale = 1.0 - self.alpha
-        if scale > 0.0:
+            spender_count[parent] += 1
+            p_prime: dict[int, float] = {}
+            bound = math.inf
+            if scale > 0.0:
+                parent_vector = all_p_prime[parent]
+                if parent_vector:
+                    if self._spenders_divisor:
+                        divisor = spender_count[parent]
+                    else:
+                        divisor = max(
+                            self._output_count[parent],
+                            spender_count[parent],
+                        )
+                    factor = scale / divisor
+                    bound = self._min_mass[parent] * factor
+                    if epsilon > 0.0 and bound <= epsilon:
+                        # Something may fall below the pruning floor:
+                        # filter entry by entry, then refresh the bound
+                        # so descendants regain the fast path.
+                        p_prime = {
+                            shard: mass
+                            for shard, raw in parent_vector.items()
+                            if (mass := raw * factor) > epsilon
+                        }
+                        bound = (
+                            min(p_prime.values()) if p_prime else math.inf
+                        )
+                    else:
+                        # Every scaled mass provably clears the floor
+                        # (scaling by a positive factor is monotone even
+                        # after rounding), so the filter would keep
+                        # everything - skip it.
+                        p_prime = {
+                            shard: raw * factor
+                            for shard, raw in parent_vector.items()
+                        }
+        else:
+            distinct: dict[int, None] = {}
+            for parent in input_txids:
+                if not 0 <= parent < txid:
+                    raise PlacementError(
+                        f"transaction {txid} has invalid input {parent}"
+                    )
+                distinct.setdefault(parent, None)
             for parent in distinct:
-                divisor = self._divisor(parent)
-                parent_vector = self._p_prime[parent]
-                if not parent_vector:
-                    continue
-                factor = scale / divisor
-                for shard, mass in parent_vector.items():
-                    p_prime[shard] = p_prime.get(shard, 0.0) + mass * factor
-        if self.prune_epsilon > 0.0 and p_prime:
-            p_prime = {
-                shard: mass
-                for shard, mass in p_prime.items()
-                if mass > self.prune_epsilon
-            }
-        self._p_prime.append(p_prime)
-        self._spender_count.append(0)
-        self._output_count.append(max(1, n_outputs))
+                spender_count[parent] += 1
+
+            p_prime = {}
+            if scale > 0.0:
+                get = None
+                for parent in distinct:
+                    parent_vector = all_p_prime[parent]
+                    if not parent_vector:
+                        continue
+                    if self._spenders_divisor:
+                        divisor = spender_count[parent]
+                    else:
+                        divisor = max(
+                            self._output_count[parent],
+                            spender_count[parent],
+                        )
+                    factor = scale / divisor
+                    if get is None:
+                        # First contributing parent: a C-level dictcomp
+                        # (0.0 + m*factor == m*factor bitwise).
+                        p_prime = {
+                            shard: mass * factor
+                            for shard, mass in parent_vector.items()
+                        }
+                        get = p_prime.get
+                    else:
+                        for shard, mass in parent_vector.items():
+                            p_prime[shard] = get(shard, 0.0) + mass * factor
+            if epsilon > 0.0 and p_prime:
+                p_prime = {
+                    shard: mass
+                    for shard, mass in p_prime.items()
+                    if mass > epsilon
+                }
+            bound = min(p_prime.values()) if p_prime else math.inf
+        all_p_prime.append(p_prime)
+        self._min_mass.append(bound)
+        spender_count.append(0)
+        if not self._spenders_divisor:
+            self._output_count.append(n_outputs if n_outputs > 1 else 1)
         self._pending = txid
-        return self.normalized(txid)
+        return p_prime
 
     def normalized(self, txid: int) -> dict[int, float]:
         """Normalized scores ``p(u)[i] = p'(u)[i] / |S_i|``.
@@ -185,7 +295,10 @@ class T2SScorer:
                 f"shard {shard} out of range [0, {self.n_shards})"
             )
         vector = self._p_prime[txid]
-        vector[shard] = vector.get(shard, 0.0) + self.alpha
+        vector[shard] = value = vector.get(shard, 0.0) + self.alpha
+        min_mass = self._min_mass
+        if value < min_mass[txid]:
+            min_mass[txid] = value
         self._shard_sizes[shard] += 1
         self._pending = None
 

@@ -136,6 +136,7 @@ class LatencyObserver:
             + tx_bytes / config.bandwidth_bytes_per_s
             for shard in shards
         ]
+        self._totals_buf = [0.0] * len(shards)
 
     def __call__(self) -> list[ShardLatencyModel]:
         models = []
@@ -148,3 +149,22 @@ class LatencyObserver:
                 )
             )
         return models
+
+    def expected_totals(self) -> list[float]:
+        """Per-shard expected confirmation totals, without model objects.
+
+        Same numbers as ``[m.expected_total for m in self()]`` - the
+        double inversions mirror how :class:`ShardLatencyModel` stores
+        rates, so placements driven by this raw path are bit-identical to
+        the model-object path - but with zero allocations: the buffer is
+        reused across calls, which matters because OptChain's
+        ``shard_load`` scoring reads it once per placed transaction.
+        Callers must not hold on to the returned list.
+        """
+        buf = self._totals_buf
+        for index, (shard, comm_time) in enumerate(
+            zip(self._shards, self._comm_time)
+        ):
+            verify_time = shard.expected_verification_time()
+            buf[index] = 1.0 / (1.0 / comm_time) + 1.0 / (1.0 / verify_time)
+        return buf

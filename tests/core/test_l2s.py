@@ -154,3 +154,60 @@ class TestL2SEstimator:
         estimator = L2SEstimator(models)
         scores = estimator.scores_all([2])
         assert min(range(4), key=scores.__getitem__) == 2
+
+
+class TestLongLivedEstimator:
+    def models(self, verify=1.0):
+        return [
+            ShardLatencyModel(10.0, verify),
+            ShardLatencyModel(10.0, 0.1),
+        ]
+
+    def test_update_refreshes_scores(self):
+        estimator = L2SEstimator(self.models(), mode="shard_load")
+        before = estimator.scores_all([])
+        estimator.update(self.models(verify=0.5))
+        after = estimator.scores_all([])
+        assert after[0] > before[0]
+        assert after[1] == before[1]
+
+    def test_update_rejects_empty(self):
+        estimator = L2SEstimator(self.models())
+        with pytest.raises(ConfigurationError):
+            estimator.update([])
+
+    def test_expected_totals_memoized(self):
+        models = self.models()
+        estimator = L2SEstimator(models)
+        assert estimator.expected_totals == [
+            m.expected_total for m in models
+        ]
+
+    def test_update_rates_matches_models(self):
+        models = self.models()
+        by_models = L2SEstimator(models, mode="shard_load")
+        by_rates = L2SEstimator(models, mode="shard_load")
+        by_rates.update_rates(
+            [1.0 / m.lambda_c for m in models],
+            [1.0 / m.lambda_v for m in models],
+        )
+        for inputs in ([], [0], [1], [0, 1]):
+            assert by_models.scores_all(inputs) == by_rates.scores_all(
+                inputs
+            )
+
+    def test_update_rates_needs_shard_load_mode(self):
+        estimator = L2SEstimator(self.models(), mode="accept_commit")
+        with pytest.raises(ConfigurationError, match="shard_load"):
+            estimator.update_rates([0.1, 0.1], [1.0, 1.0])
+
+    def test_update_rates_rejects_mismatch(self):
+        estimator = L2SEstimator(self.models(), mode="shard_load")
+        with pytest.raises(ConfigurationError):
+            estimator.update_rates([0.1], [1.0, 1.0])
+
+    def test_model_of_unavailable_after_rates(self):
+        estimator = L2SEstimator(self.models(), mode="shard_load")
+        estimator.update_rates([0.1, 0.1], [1.0, 10.0])
+        with pytest.raises(ConfigurationError, match="raw rates"):
+            estimator.model_of(0)

@@ -1,0 +1,180 @@
+"""Lazy-decay load proxy vs an eager-decay reference.
+
+:class:`~repro.core.optchain.LoadProxyLatencyProvider` keeps one global
+decay exponent and per-shard scaled values; the eager reference
+(:class:`~repro.core._seed_reference.EagerLoadProxy`) multiplies every
+shard by the decay factor on every placement. The two accumulate
+different rounding, so loads are compared with tight tolerances
+(placement-level equivalence is asserted exactly in
+``test_golden_equivalence.py``). The property tests drive random
+placement sequences, including long horizons with tiny windows where the
+global exponent must be renormalized to stay inside double range.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core._seed_reference import EagerLoadProxy
+from repro.core.optchain import LoadProxyLatencyProvider
+
+
+def assert_loads_close(lazy_loads, eager_loads, block=2_000):
+    assert len(lazy_loads) == len(eager_loads)
+    for lazy, eager in zip(lazy_loads, eager_loads):
+        # Relative agreement for live loads; absolute slack covers the
+        # exact-zero demotion of loads that have decayed below the
+        # verify-time formula's resolution (~block * 2^-53).
+        assert lazy == pytest.approx(
+            eager, rel=1e-9, abs=block * 2.0 ** -50
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    n_shards=st.integers(1, 12),
+    window=st.floats(0.2, 500.0),
+)
+def test_matches_eager_reference(data, n_shards, window):
+    lazy = LoadProxyLatencyProvider(n_shards, window=window)
+    eager = EagerLoadProxy(n_shards, window=window)
+    shards = data.draw(
+        st.lists(st.integers(0, n_shards - 1), min_size=1, max_size=300)
+    )
+    for shard in shards:
+        lazy.record(shard)
+        eager.record(shard)
+    assert_loads_close(lazy.loads, eager.loads)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_long_horizon_with_renormalization(seed):
+    """A tiny window forces renormalization every ~100 placements; the
+    loads must sail through unchanged (the eager reference underflows
+    its stale shards to ~0, the lazy one demotes them to exactly 0)."""
+    import random
+
+    rng = random.Random(seed)
+    n_shards = 6
+    window = 0.4
+    lazy = LoadProxyLatencyProvider(n_shards, window=window)
+    eager = EagerLoadProxy(n_shards, window=window)
+    renorms = 0
+    for step in range(2_000):
+        shard = rng.randrange(n_shards)
+        offset_before = lazy._offset
+        lazy.record(shard)
+        eager.record(shard)
+        if lazy._offset != offset_before:
+            renorms += 1
+        if step % 101 == 0:
+            assert_loads_close(lazy.loads, eager.loads)
+    assert renorms >= 2, "window=0.4 over 2000 steps must renormalize"
+    assert_loads_close(lazy.loads, eager.loads)
+
+
+def test_models_match_eager_reference():
+    lazy = LoadProxyLatencyProvider(4, window=50.0)
+    eager = EagerLoadProxy(4, window=50.0)
+    for shard in [0, 1, 1, 2, 1, 0, 3, 1]:
+        lazy.record(shard)
+        eager.record(shard)
+    for ours, ref in zip(lazy(), eager()):
+        assert ours.lambda_c == ref.lambda_c
+        assert ours.lambda_v == pytest.approx(ref.lambda_v, rel=1e-9)
+        assert ours.expected_total == pytest.approx(
+            ref.expected_total, rel=1e-9
+        )
+
+
+def test_expected_total_of_matches_models():
+    proxy = LoadProxyLatencyProvider(5, window=80.0)
+    for shard in [0, 2, 2, 4, 2, 0]:
+        proxy.record(shard)
+    models = proxy()
+    for shard in range(5):
+        assert proxy.expected_total_of(shard) == (
+            models[shard].expected_total
+        )
+
+
+def test_record_touches_one_shard():
+    """O(1) record: one placement changes exactly one scaled entry."""
+    proxy = LoadProxyLatencyProvider(8)
+    proxy.record(3)
+    before = list(proxy._scaled)
+    proxy.record(5)
+    after = list(proxy._scaled)
+    changed = [i for i in range(8) if before[i] != after[i]]
+    assert changed == [5]
+
+
+def test_lightest_excluding_orders_by_total_then_id():
+    proxy = LoadProxyLatencyProvider(4, window=10.0)
+    for shard in [1, 1, 1, 2]:
+        proxy.record(shard)
+    # Shards 0 and 3 are idle: lightest is the lower id.
+    shard, total = proxy.lightest_excluding(set())
+    assert shard == 0
+    assert total == proxy.expected_total_of(0)
+    shard, _ = proxy.lightest_excluding({0})
+    assert shard == 3
+    shard, _ = proxy.lightest_excluding({0, 3})
+    assert shard == 2  # one placement beats three
+    shard, total = proxy.lightest_excluding({0, 1, 2, 3})
+    assert shard == -1
+    assert total == math.inf
+
+
+def test_lightest_excluding_direct_and_heap_agree():
+    proxy_a = LoadProxyLatencyProvider(9, window=30.0)
+    proxy_b = LoadProxyLatencyProvider(9, window=30.0)
+    import random
+
+    rng = random.Random(5)
+    for _ in range(400):
+        shard = rng.randrange(9)
+        proxy_a.record(shard)
+        proxy_b.record(shard)
+    small = {1, 7}  # heap path
+    big = set(range(9)) - {0, 4}  # direct-scan path
+    assert proxy_a.lightest_excluding(small) == (
+        proxy_b._lightest_direct(small)
+    )
+    assert proxy_a.lightest_excluding(big) == (
+        proxy_b._lightest_direct(big)
+    )
+
+
+def test_stale_shards_demote_to_zero_cohort():
+    """After ~40 windows of inactivity a shard's load is below the
+    verify-time resolution; the spill query demotes it to exact zero."""
+    proxy = LoadProxyLatencyProvider(3, window=5.0, block_capacity=100)
+    proxy.record(0)
+    for _ in range(600):
+        proxy.record(1)
+    assert proxy._scaled[0] != 0.0
+    shard, total = proxy.lightest_excluding(set())
+    # Shard 0's decayed remnant is latency-identical to idle shard 2,
+    # so the lower id wins.
+    assert shard == 0
+    assert total == proxy.expected_total_of(2)
+    assert proxy._scaled[0] == 0.0  # demoted
+
+
+def test_loads_property_decays():
+    proxy = LoadProxyLatencyProvider(2, window=10.0)
+    proxy.record(0)
+    first = proxy.loads[0]
+    for _ in range(20):
+        proxy.record(1)
+    assert proxy.loads[0] < first
+    assert proxy.loads[0] == pytest.approx(
+        first * math.exp(-20 / 10.0), rel=1e-9
+    )

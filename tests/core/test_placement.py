@@ -305,3 +305,41 @@ class TestTieBreakAblation:
         )
         assignment = placer.place_stream(small_stream)
         assert balance_ratio(assignment, 4) <= 1.1 + 1e-9
+
+
+class TestProviderSentinel:
+    def test_default_builds_proxy(self):
+        placer = OptChainPlacer(4)
+        assert placer.latency_provider is placer._proxy
+        assert placer._proxy is not None
+
+    def test_sentinel_explicit(self):
+        from repro.core.optchain import USE_LOAD_PROXY
+
+        placer = OptChainPlacer(4, latency_provider=USE_LOAD_PROXY)
+        assert placer._proxy is not None
+
+    def test_proxy_string_still_accepted(self):
+        placer = OptChainPlacer(4, latency_provider="proxy")
+        assert placer._proxy is not None
+
+    def test_none_means_pure_t2s(self):
+        placer = OptChainPlacer(4, latency_provider=None)
+        assert placer._proxy is None
+        assert placer.latency_provider is None
+
+
+class TestIncrementalSizes:
+    def test_min_shard_size_tracks_exactly(self, small_stream):
+        placer = OmniLedgerRandomPlacer(5)
+        for tx_obj in small_stream[:500]:
+            placer.place(tx_obj)
+            assert placer.min_shard_size == min(placer.shard_sizes())
+
+    def test_shard_sizes_match_assignment(self, small_stream):
+        placer = OptChainPlacer(8)
+        placer.place_stream(small_stream[:800])
+        recount = [0] * 8
+        for shard in placer.assignment():
+            recount[shard] += 1
+        assert placer.shard_sizes() == recount
