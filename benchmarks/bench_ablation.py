@@ -17,7 +17,6 @@ from conftest import run_once
 from repro.analysis.tables import format_table
 from repro.core.baselines import GreedyPlacer, T2SOnlyPlacer
 from repro.core.l2s import (
-    L2SEstimator,
     ShardLatencyModel,
     _expected_max_closed_form,
     _expected_max_numeric,

@@ -1,0 +1,89 @@
+"""Profile the simulator event loop (cProfile, sorted by self-time).
+
+Complements ``scripts/profile_placement.py`` (which covers static
+placement): this drives a full discrete-event simulation at a chosen
+configuration and prints where the loop spends its time - the tool the
+event-loop overhaul was steered with.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_simulator.py
+    PYTHONPATH=src python scripts/profile_simulator.py \
+        --txs 40000 --shards 16 --rate 500 --method optchain
+    PYTHONPATH=src python scripts/profile_simulator.py --seed-loop
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core._seed_reference import SeedOmniLedgerRandomPlacer
+from repro.core.baselines import OmniLedgerRandomPlacer
+from repro.core.optchain import OptChainPlacer
+from repro.experiments.configs import get_scale
+from repro.experiments.runner import stream_for
+from repro.simulator._seed_reference import run_simulation_seed
+from repro.simulator.engine import run_simulation
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--txs", type=int, default=20_000)
+    parser.add_argument("--scale", default="default")
+    parser.add_argument("--shards", type=int, default=16)
+    parser.add_argument("--rate", type=float, default=500.0)
+    parser.add_argument(
+        "--method", default="omniledger", choices=("omniledger", "optchain")
+    )
+    parser.add_argument(
+        "--seed-loop",
+        action="store_true",
+        help="profile the preserved seed loop instead of the fast loop",
+    )
+    parser.add_argument("--lines", type=int, default=30)
+    parser.add_argument("--sort", default="tottime")
+    args = parser.parse_args(argv)
+
+    scale = get_scale(args.scale)
+    stream = stream_for(scale, 1)[: args.txs]
+    config = scale.simulation(args.shards, args.rate)
+    if args.seed_loop:
+        runner = run_simulation_seed
+        placer = (
+            SeedOmniLedgerRandomPlacer(args.shards)
+            if args.method == "omniledger"
+            else OptChainPlacer(args.shards)
+        )
+    else:
+        runner = run_simulation
+        placer = (
+            OmniLedgerRandomPlacer(args.shards)
+            if args.method == "omniledger"
+            else OptChainPlacer(args.shards)
+        )
+
+    loop = "seed" if args.seed_loop else "fast"
+    print(
+        f"profiling {loop} loop: {args.method}, k={args.shards}, "
+        f"rate={args.rate}, {len(stream)} txs ({scale.name} scale)"
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = runner(stream, placer, config)
+    profiler.disable()
+    print(
+        f"committed {result.n_committed}/{result.n_issued}, "
+        f"sim duration {result.duration:.1f}s, drained={result.drained}"
+    )
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.lines)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

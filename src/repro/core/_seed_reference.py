@@ -334,3 +334,65 @@ class SeedT2SOnlyPlacer(_SeedCappedPlacer):
         self.scorer.add_transaction(tx.txid, tx.input_txids, len(tx.outputs))
         self.scorer.place(tx.txid, shard)
         self._record(shard)
+
+
+def digest_seed(tx: Transaction) -> bytes:
+    """The seed Transaction.digest: one hasher + update per field.
+
+    The optimized digest assembles a single buffer and hashes it with
+    one update on a copied prototype hasher; a streaming hash over the
+    concatenation is the same hash, which this reference documents (and
+    the golden test asserts).
+    """
+    import hashlib
+
+    hasher = hashlib.blake2b(digest_size=20)
+    hasher.update(tx.txid.to_bytes(8, "big"))
+    for outpoint in tx.inputs:
+        hasher.update(outpoint.txid.to_bytes(8, "big"))
+        hasher.update(outpoint.index.to_bytes(4, "big"))
+    for output in tx.outputs:
+        hasher.update(output.value.to_bytes(8, "big", signed=False))
+        hasher.update(output.address.to_bytes(8, "big", signed=True))
+    return hasher.digest()
+
+
+class SeedOmniLedgerRandomPlacer(PlacementStrategy):
+    """Seed-cost OmniLedger random placement: ``hash(tx) mod k``.
+
+    Same decisions as :class:`repro.core.baselines.OmniLedgerRandomPlacer`
+    - the golden test asserts identical assignments - but running the
+    seed implementations of everything the simulator-overhaul PR touched
+    on the issue path: per-field streaming digest, the dict+tuple
+    ``input_txids`` detour in ``input_shards``, and the original
+    ``place`` wrapper with its helper-frame size bump. The simulator
+    throughput benchmark pairs this with the seed event loop so its
+    before/after ratio charges the seed lane its true historical cost.
+    """
+
+    name = "omniledger_seed"
+
+    def _choose(self, tx: Transaction) -> int:
+        # n_shards > 0 is enforced by PlacementStrategy.__init__.
+        return int.from_bytes(digest_seed(tx)[:8], "big") % self.n_shards
+
+    def place(self, tx: Transaction) -> int:
+        # The seed place() wrapper: helper-frame _bump_shard_size call.
+        if tx.txid != len(self._assignment):
+            raise PlacementError(
+                f"transactions must be placed in dense stream order: got "
+                f"{tx.txid}, expected {len(self._assignment)}"
+            )
+        shard = self._choose(tx)
+        if not 0 <= shard < self.n_shards:
+            raise PlacementError(
+                f"{type(self).__name__} produced shard {shard}, valid "
+                f"range is [0, {self.n_shards})"
+            )
+        self._assignment.append(shard)
+        self._bump_shard_size(shard)
+        return shard
+
+    def input_shards(self, tx: Transaction) -> set[int]:
+        # The seed derivation via the deduplicated input_txids tuple.
+        return {self._assignment[parent] for parent in tx.input_txids}

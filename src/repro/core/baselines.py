@@ -32,7 +32,30 @@ class OmniLedgerRandomPlacer(PlacementStrategy):
     name = "omniledger"
 
     def _choose(self, tx: Transaction) -> int:
-        return tx.shard_hash(self.n_shards)
+        # Transaction.shard_hash inlined (same digest, same modulus):
+        # n_shards > 0 is already enforced at construction.
+        return int.from_bytes(tx.digest()[:8], "big") % self.n_shards
+
+    def place(self, tx: Transaction) -> int:
+        """Place one transaction; returns its shard.
+
+        Overrides the base wrapper with the hash choice inlined - this
+        is the per-issued-transaction path of every random-placement
+        simulation, and the choice cannot go out of range, so the
+        wrapper's range re-check and the ``_choose`` frame are skipped.
+        Decisions and bookkeeping are identical to the base class (the
+        simulator equivalence tests pin this).
+        """
+        assignment = self._assignment
+        if tx.txid != len(assignment):
+            raise PlacementError(
+                f"transactions must be placed in dense stream order: got "
+                f"{tx.txid}, expected {len(assignment)}"
+            )
+        shard = int.from_bytes(tx.digest()[:8], "big") % self.n_shards
+        assignment.append(shard)
+        self._bump_shard_size(shard)
+        return shard
 
 
 TIE_BREAKS = ("first", "lightest", "random")

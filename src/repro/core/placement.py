@@ -58,10 +58,11 @@ class PlacementStrategy(ABC):
 
     def place(self, tx: Transaction) -> int:
         """Place one transaction; returns its shard."""
-        if tx.txid != len(self._assignment):
+        assignment = self._assignment
+        if tx.txid != len(assignment):
             raise PlacementError(
                 f"transactions must be placed in dense stream order: got "
-                f"{tx.txid}, expected {len(self._assignment)}"
+                f"{tx.txid}, expected {len(assignment)}"
             )
         shard = self._choose(tx)
         if not 0 <= shard < self.n_shards:
@@ -69,7 +70,7 @@ class PlacementStrategy(ABC):
                 f"{type(self).__name__} produced shard {shard}, valid "
                 f"range is [0, {self.n_shards})"
             )
-        self._assignment.append(shard)
+        assignment.append(shard)
         self._bump_shard_size(shard)
         return shard
 
@@ -123,8 +124,24 @@ class PlacementStrategy(ABC):
         return list(self._assignment)
 
     def input_shards(self, tx: Transaction) -> set[int]:
-        """``Sin(u)`` given the placements made so far."""
-        return {self._assignment[parent] for parent in tx.input_txids}
+        """``Sin(u)`` given the placements made so far.
+
+        Iterates the raw inputs rather than the deduplicated
+        ``tx.input_txids`` tuple (which allocates a dict and a tuple per
+        call). The set's insertion sequence of *new* shards is unchanged
+        - duplicate parents re-insert an element already present, which
+        leaves set layout untouched - so iteration order, and with it
+        every downstream tie-break, is identical.
+        """
+        assignment = self._assignment
+        shards: set[int] = set()
+        add = shards.add
+        # A plain loop, not a set comprehension: comprehensions cost an
+        # extra frame per call on 3.11, and this runs once per issued
+        # transaction inside the simulator.
+        for outpoint in tx.inputs:
+            add(assignment[outpoint.txid])
+        return shards
 
     def shard_sizes(self) -> list[int]:
         """Current transaction count per shard (maintained incrementally,

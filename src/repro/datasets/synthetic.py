@@ -22,7 +22,6 @@ Every stream is reproducible from its seed.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Iterator
 

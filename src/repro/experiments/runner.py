@@ -4,10 +4,22 @@ Caches are process-wide and keyed by scale, so the 8 simulation-derived
 figures (3-10) share one grid of simulation runs instead of re-simulating
 per figure, and the static tables share one workload and one Metis
 partition per shard count.
+
+:func:`simulate_grid` runs the (method x shards x rate) grid behind
+Figs. 3-10. Grid points are independent simulations, so missing points
+are dispatched to a process pool (``REPRO_JOBS`` or the machine's CPU
+count) and folded back into the process-wide cache; each worker reuses
+its per-process workload cache across the points it serves, and Metis
+partitions are computed once in the parent and shipped to workers
+instead of re-partitioning the TaN per process. Results are identical
+to a serial run - every simulation is seeded and self-contained - which
+``tests/experiments/test_parallel_grid.py`` pins.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from functools import lru_cache
 
 from repro.core.baselines import (
@@ -110,20 +122,96 @@ def simulate(
     return _SIM_CACHE[key]
 
 
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker-count policy: explicit arg > ``REPRO_JOBS`` > CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _simulate_point(
+    scale: ExperimentScale,
+    method: str,
+    n_shards: int,
+    tx_rate: float,
+    seed: int,
+    metis: list[int] | None,
+) -> SimulationResult:
+    """One grid point, self-contained for process-pool dispatch.
+
+    Workers inherit (fork) or rebuild the per-process stream cache; the
+    parent ships the Metis partition so workers never re-partition.
+    """
+    if metis is not None:
+        _METIS_CACHE.setdefault((scale.name, seed, n_shards), metis)
+    return run_simulation(
+        stream_for(scale, seed),
+        build_placer(method, n_shards, scale, seed=seed),
+        scale.simulation(n_shards, tx_rate),
+    )
+
+
 def simulate_grid(
     scale: ExperimentScale,
     methods=METHODS,
     seed: int = 1,
+    jobs: int | None = None,
 ) -> dict[tuple[str, int, float], SimulationResult]:
-    """The full (method x shards x rate) grid behind Figs. 3-10."""
-    grid = {}
-    for method in methods:
-        for n_shards in scale.shard_counts:
-            for tx_rate in scale.tx_rates:
-                grid[(method, n_shards, tx_rate)] = simulate(
-                    scale, method, n_shards, tx_rate, seed
+    """The full (method x shards x rate) grid behind Figs. 3-10.
+
+    Cached points are served from the process-wide cache; missing points
+    run in parallel across ``jobs`` worker processes (all cores by
+    default, ``REPRO_JOBS`` to override, 1 to force the serial path).
+    """
+    points = [
+        (method, n_shards, tx_rate)
+        for method in methods
+        for n_shards in scale.shard_counts
+        for tx_rate in scale.tx_rates
+    ]
+    missing = [
+        point
+        for point in points
+        if (scale.name, *point, seed) not in _SIM_CACHE
+    ]
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(missing) > 1:
+        # Materialize shared inputs once in the parent: the workload
+        # stream (inherited by forked workers through the cache) and
+        # any Metis partitions the grid needs.
+        stream_for(scale, seed)
+        metis_by_shards = {
+            n_shards: metis_assignment(scale, n_shards, seed)
+            for n_shards in {p[1] for p in points}
+            if "metis" in methods
+        }
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(missing))
+        ) as pool:
+            futures = {
+                point: pool.submit(
+                    _simulate_point,
+                    scale,
+                    *point,
+                    seed,
+                    metis_by_shards.get(point[1])
+                    if point[0] == "metis"
+                    else None,
                 )
-    return grid
+                for point in missing
+            }
+            for point, future in futures.items():
+                _SIM_CACHE[(scale.name, *point, seed)] = future.result()
+    else:
+        for method, n_shards, tx_rate in missing:
+            simulate(scale, method, n_shards, tx_rate, seed)
+    return {
+        point: simulate(scale, *point, seed)
+        for point in points
+    }
 
 
 def clear_caches() -> None:

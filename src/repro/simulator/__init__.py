@@ -20,7 +20,10 @@ protocol dynamics:
   queue-size time series - and the live latency observer that feeds
   OptChain's L2S score (:mod:`repro.simulator.metrics`).
 
-Entry point: :func:`repro.simulator.engine.run_simulation`.
+Entry point: :func:`repro.simulator.engine.run_simulation`. The
+pre-overhaul event loop is preserved as
+:func:`repro.simulator._seed_reference.run_simulation_seed` for the
+equivalence tests and the throughput benchmark.
 """
 
 from repro.simulator.committees import (

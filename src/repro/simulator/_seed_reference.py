@@ -1,0 +1,760 @@
+"""Seed (pre-optimization) simulator loop, preserved verbatim.
+
+These are the closure-per-event components the repository shipped with
+before the typed-event overhaul of the hot loop: a heap of ``(time,
+sequence, callback)`` thunks, per-message coordinate math in the network
+model, and dict-based metric bookkeeping. They are kept as the golden
+reference the equivalence tests (and the throughput benchmark) compare
+against - the same discipline ``repro.core._seed_reference`` applies to
+the placement hot path.
+
+Nothing here is exported for production use; call
+:func:`run_simulation_seed` to run a full simulation on the seed loop
+and compare its :class:`~repro.simulator.engine.SimulationResult` with
+the optimized :func:`~repro.simulator.engine.run_simulation`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.placement import PlacementStrategy
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import derive_rng, make_rng
+from repro.simulator.committees import CommitteeAssignment
+from repro.simulator.config import SimulationConfig
+from repro.simulator.consensus import ConsensusModel
+from repro.simulator.ledger import CONFLICT, MISSING, OK, ShardLedger
+from repro.simulator.metrics import LatencyObserver
+from repro.simulator.protocol import (
+    PROOF_BYTES,
+    UNLOCK_BYTES,
+    YANK_BYTES,
+    _TxInfo,
+)
+from repro.simulator.shard import KIND_COMMIT, KIND_LOCK, KIND_TX
+from repro.utxo.transaction import OutPoint, Transaction
+
+Callback = Callable[[], Any]
+
+
+@dataclass(slots=True)
+class _PendingCrossTx:
+    """Client-side state for one in-flight cross-shard transaction.
+
+    The optimized protocol replaced this with a plain 4-slot list; the
+    seed protocol keeps the original dataclass.
+    """
+
+    output_shard: int
+    awaiting: int
+    rejected: bool = False
+    #: shards whose locks succeeded (must be unlocked on abort)
+    accepted_shards: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """The seed's entry record (the pre-overhaul frozen dataclass).
+
+    The optimized loop replaced this with a named tuple; the seed loop
+    keeps the original class so benchmark comparisons charge the seed
+    its true historical allocation cost. Consumers unpack positionally
+    nowhere in this module, so the shapes never mix.
+    """
+
+    kind: str
+    txid: int
+
+    def __iter__(self):
+        # Positional unpacking parity with the optimized Entry tuple,
+        # used only if seed entries ever cross into optimized consumers.
+        yield self.kind
+        yield self.txid
+
+
+class SeedEventQueue:
+    """The seed heap: one freshly allocated callback thunk per event."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callback]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def n_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(
+            self._heap, (self._now + delay, self._sequence, callback)
+        )
+        self._sequence += 1
+
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, clock is at {self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def step(self) -> bool:
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self._now = time
+        self._processed += 1
+        callback()
+        return True
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+
+
+class SeedNetwork:
+    """The seed latency oracle: coordinate math on every message."""
+
+    CLIENT = -1
+
+    def __init__(self, config: SimulationConfig, rng: random.Random) -> None:
+        self._config = config
+        self._rng = rng
+        self._coords: dict[int, tuple[float, float]] = {
+            self.CLIENT: (0.5, 0.5)
+        }
+        for shard in range(config.n_shards):
+            self._coords[shard] = (rng.random(), rng.random())
+
+    def coordinates_of(self, node: int) -> tuple[float, float]:
+        try:
+            return self._coords[node]
+        except KeyError:
+            raise ConfigurationError(f"unknown network node {node}")
+
+    def propagation(self, src: int, dst: int) -> float:
+        sx, sy = self.coordinates_of(src)
+        dx, dy = self.coordinates_of(dst)
+        distance = math.hypot(sx - dx, sy - dy)
+        return self._config.base_latency_s * (0.5 + distance)
+
+    def delay(self, src: int, dst: int, size_bytes: int) -> float:
+        if size_bytes < 0:
+            raise ConfigurationError(
+                f"message size must be >= 0, got {size_bytes}"
+            )
+        transmission = size_bytes / self._config.bandwidth_bytes_per_s
+        base = self.propagation(src, dst) + transmission
+        jitter = self._config.latency_jitter
+        if jitter == 0.0:
+            return base
+        return base * (1.0 + self._rng.uniform(-jitter, jitter))
+
+    def expected_client_rtt(self, shard: int) -> float:
+        one_way = self.propagation(self.CLIENT, shard)
+        return 2.0 * one_way
+
+
+class SeedMetricsCollector:
+    """The seed collector: per-event dict bookkeeping, derived at end."""
+
+    def __init__(self, n_transactions: int) -> None:
+        if n_transactions < 0:
+            raise SimulationError(
+                f"n_transactions must be >= 0, got {n_transactions}"
+            )
+        self.n_transactions = n_transactions
+        self._issue_time: dict[int, float] = {}
+        self._commit_time: dict[int, float] = {}
+        self._aborted: set[int] = set()
+        self.queue_sample_times: list[float] = []
+        self.queue_samples: list[list[int]] = []
+
+    def record_issue(self, txid: int, time: float) -> None:
+        if txid in self._issue_time:
+            raise SimulationError(f"transaction {txid} issued twice")
+        self._issue_time[txid] = time
+
+    def record_commit(self, txid: int, time: float) -> None:
+        if txid not in self._issue_time:
+            raise SimulationError(
+                f"transaction {txid} committed but never issued"
+            )
+        if txid in self._commit_time:
+            raise SimulationError(f"transaction {txid} committed twice")
+        self._commit_time[txid] = time
+
+    def record_abort(self, txid: int) -> None:
+        self._aborted.add(txid)
+
+    def record_queue_sample(self, time: float, sizes: list[int]) -> None:
+        self.queue_sample_times.append(time)
+        self.queue_samples.append(sizes)
+
+    @property
+    def n_issued(self) -> int:
+        return len(self._issue_time)
+
+    @property
+    def n_committed(self) -> int:
+        return len(self._commit_time)
+
+    @property
+    def n_aborted(self) -> int:
+        return len(self._aborted)
+
+    def is_complete(self) -> bool:
+        return (
+            self.n_issued == self.n_transactions
+            and self.n_committed + self.n_aborted == self.n_issued
+        )
+
+    def latencies(self) -> list[float]:
+        return [
+            self._commit_time[txid] - self._issue_time[txid]
+            for txid in sorted(self._commit_time)
+        ]
+
+    def commit_times(self) -> list[float]:
+        return sorted(self._commit_time.values())
+
+    def throughput(self) -> float:
+        if not self._commit_time:
+            return 0.0
+        start = min(self._issue_time.values())
+        end = max(self._commit_time.values())
+        if end <= start:
+            return 0.0
+        return self.n_committed / (end - start)
+
+    def issue_time_of(self, txid: int) -> float:
+        return self._issue_time[txid]
+
+
+class SeedShard:
+    """The seed shard: a closure per block-commit event."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: SimulationConfig,
+        consensus: ConsensusModel,
+        events: SeedEventQueue,
+        on_committed: Callable[[int, Entry], None],
+    ) -> None:
+        self.shard_id = shard_id
+        self._config = config
+        self._consensus = consensus
+        self._events = events
+        self._on_committed = on_committed
+        self._mempool: deque[Entry] = deque()
+        self._busy = False
+        self.n_blocks = 0
+        self.n_entries_committed = 0
+        self.paused = False
+        self.recent_block_duration = consensus.duration(
+            config.block_capacity
+        )
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._mempool)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def enqueue(self, entry: Entry) -> None:
+        self._mempool.append(entry)
+        self._maybe_start_block()
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+        self._maybe_start_block()
+
+    def expected_verification_time(self) -> float:
+        blocks_ahead = 1.0 + (
+            len(self._mempool) / self._config.block_capacity
+        )
+        return blocks_ahead * self.recent_block_duration
+
+    def _maybe_start_block(self) -> None:
+        if self._busy or self.paused or not self._mempool:
+            return
+        self._busy = True
+        batch_size = min(len(self._mempool), self._config.block_capacity)
+        batch = [self._mempool.popleft() for _ in range(batch_size)]
+        duration = self._consensus.duration(batch_size)
+        self._events.schedule(
+            duration, lambda: self._commit_block(batch, duration)
+        )
+
+    def _commit_block(self, batch: list[Entry], duration: float) -> None:
+        self._busy = False
+        self.n_blocks += 1
+        self.n_entries_committed += len(batch)
+        self.recent_block_duration = (
+            0.7 * self.recent_block_duration + 0.3 * duration
+        )
+        for entry in batch:
+            self._on_committed(self.shard_id, entry)
+        self._maybe_start_block()
+
+
+class SeedAtomicCommitProtocol:
+    """The seed protocol: one closure per network hop."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        network: SeedNetwork,
+        shards: Sequence[SeedShard],
+        events: SeedEventQueue,
+        on_confirmed: Callable[[int], None],
+        on_aborted: Callable[[int], None] | None = None,
+        abort_txids: set[int] | None = None,
+    ) -> None:
+        self._config = config
+        self._network = network
+        self._shards = shards
+        self._events = events
+        self._on_confirmed = on_confirmed
+        self._on_aborted = on_aborted or (lambda txid: None)
+        self._abort_txids = abort_txids or set()
+        self._pending: dict[int, _PendingCrossTx] = {}
+        self.n_cross = 0
+        self.n_same_shard = 0
+        self.n_aborted = 0
+        self.n_parked = 0
+        self.bytes_same_shard = 0
+        self.bytes_cross = 0
+        self.validate_ledger = config.validate_ledger
+        self.ledgers: list[ShardLedger] = [
+            ShardLedger(shard.shard_id) for shard in shards
+        ]
+        self._tx_info: dict[int, _TxInfo] = {}
+        self._parked: list[dict[OutPoint, list[Entry]]] = [
+            {} for _ in shards
+        ]
+
+    def submit(
+        self,
+        tx: Transaction,
+        output_shard: int,
+        input_shards: set[int],
+        inputs_by_shard: dict[int, list[OutPoint]] | None = None,
+    ) -> None:
+        if self.validate_ledger:
+            if inputs_by_shard is None:
+                raise SimulationError(
+                    "ledger validation needs inputs_by_shard per submit"
+                )
+            self._tx_info[tx.txid] = _TxInfo(
+                n_outputs=len(tx.outputs),
+                output_shard=output_shard,
+                inputs_by_shard=inputs_by_shard,
+            )
+        cross = bool(input_shards) and input_shards != {output_shard}
+        if not cross:
+            self.n_same_shard += 1
+            self.bytes_same_shard += tx.size_bytes
+            self._send_to_shard(
+                output_shard, Entry(KIND_TX, tx.txid), tx.size_bytes
+            )
+            return
+        self.n_cross += 1
+        self.bytes_cross += len(input_shards) * tx.size_bytes
+        self._pending[tx.txid] = _PendingCrossTx(
+            output_shard=output_shard, awaiting=len(input_shards)
+        )
+        for shard in input_shards:
+            self._send_to_shard(
+                shard, Entry(KIND_LOCK, tx.txid), tx.size_bytes
+            )
+
+    def entry_committed(self, shard_id: int, entry: Entry) -> None:
+        if entry.kind == KIND_TX:
+            if self.validate_ledger and not self._apply_same_shard(
+                shard_id, entry.txid
+            ):
+                return
+            self._on_confirmed(entry.txid)
+            return
+        if entry.kind == KIND_COMMIT:
+            if self.validate_ledger:
+                self._register_outputs(shard_id, entry.txid)
+                self._tx_info.pop(entry.txid, None)
+            self._on_confirmed(entry.txid)
+            return
+        if entry.kind != KIND_LOCK:
+            raise SimulationError(f"unknown entry kind {entry.kind!r}")
+        state = self._pending.get(entry.txid)
+        if state is None:
+            raise SimulationError(
+                f"lock committed for unknown transaction {entry.txid}"
+            )
+        accepted = entry.txid not in self._abort_txids
+        if accepted and self.validate_ledger:
+            accepted = self._lock_inputs(shard_id, entry.txid)
+        self._route_proof(shard_id, entry.txid, accepted)
+
+    def _route_proof(self, shard_id: int, txid: int, accepted: bool) -> None:
+        state = self._require_pending(txid)
+        if self._config.protocol == "omniledger":
+            self.bytes_cross += PROOF_BYTES
+            delay = self._network.delay(
+                shard_id, SeedNetwork.CLIENT, PROOF_BYTES
+            )
+        else:
+            self.bytes_cross += YANK_BYTES
+            delay = self._network.delay(
+                shard_id, state.output_shard, YANK_BYTES
+            )
+        self._events.schedule(
+            delay,
+            lambda: self._proof_collected(txid, shard_id, accepted),
+        )
+
+    def _proof_collected(
+        self, txid: int, shard_id: int, accepted: bool
+    ) -> None:
+        state = self._require_pending(txid)
+        state.awaiting -= 1
+        if accepted:
+            state.accepted_shards.append(shard_id)
+        else:
+            state.rejected = True
+        if state.awaiting > 0:
+            return
+        del self._pending[txid]
+        if state.rejected:
+            self._abort_and_unlock(txid, state)
+            return
+        if self._config.protocol == "omniledger":
+            self.bytes_cross += UNLOCK_BYTES
+            self._send_to_shard(
+                state.output_shard, Entry(KIND_COMMIT, txid), UNLOCK_BYTES
+            )
+        else:
+            self._try_enqueue(state.output_shard, Entry(KIND_COMMIT, txid))
+
+    def _abort_and_unlock(self, txid: int, state: _PendingCrossTx) -> None:
+        self.n_aborted += 1
+        if self.validate_ledger and state.accepted_shards:
+            info = self._tx_info[txid]
+            source = (
+                SeedNetwork.CLIENT
+                if self._config.protocol == "omniledger"
+                else state.output_shard
+            )
+            for shard_id in state.accepted_shards:
+                outpoints = list(info.inputs_by_shard.get(shard_id, []))
+                self.bytes_cross += UNLOCK_BYTES
+                delay = self._network.delay(
+                    source, shard_id, UNLOCK_BYTES
+                )
+                self._events.schedule(
+                    delay,
+                    lambda s=shard_id, ops=outpoints: self.ledgers[
+                        s
+                    ].unspend(ops, txid),
+                )
+        self._tx_info.pop(txid, None)
+        self._on_aborted(txid)
+
+    def _apply_same_shard(self, shard_id: int, txid: int) -> bool:
+        info = self._tx_info[txid]
+        outpoints = info.inputs_by_shard.get(shard_id, [])
+        ledger = self.ledgers[shard_id]
+        if ledger.classify(outpoints) != OK:
+            self.n_aborted += 1
+            self._tx_info.pop(txid, None)
+            delay = self._network.delay(
+                shard_id, SeedNetwork.CLIENT, PROOF_BYTES
+            )
+            self._events.schedule(delay, lambda: self._on_aborted(txid))
+            return False
+        ledger.spend(outpoints, txid)
+        self._register_outputs(shard_id, txid)
+        self._tx_info.pop(txid, None)
+        return True
+
+    def _lock_inputs(self, shard_id: int, txid: int) -> bool:
+        info = self._tx_info[txid]
+        outpoints = info.inputs_by_shard.get(shard_id, [])
+        ledger = self.ledgers[shard_id]
+        verdict = ledger.classify(outpoints)
+        if verdict == CONFLICT:
+            return False
+        if verdict == MISSING:
+            raise SimulationError(
+                f"lock for tx {txid} reached consensus with unregistered "
+                f"inputs; parking must happen at enqueue time"
+            )
+        ledger.spend(outpoints, txid)
+        return True
+
+    def _register_outputs(self, shard_id: int, txid: int) -> None:
+        info = self._tx_info.get(txid)
+        if info is None:
+            raise SimulationError(
+                f"no ledger bookkeeping for committed transaction {txid}"
+            )
+        created = self.ledgers[shard_id].register_outputs(
+            txid, info.n_outputs
+        )
+        parked_here = self._parked[shard_id]
+        for outpoint in created:
+            for entry in parked_here.pop(outpoint, []):
+                self._try_enqueue(shard_id, entry)
+
+    def _send_to_shard(
+        self, shard_id: int, entry: Entry, size_bytes: int
+    ) -> None:
+        delay = self._network.delay(SeedNetwork.CLIENT, shard_id, size_bytes)
+        self._events.schedule(
+            delay, lambda: self._try_enqueue(shard_id, entry)
+        )
+
+    def _try_enqueue(self, shard_id: int, entry: Entry) -> None:
+        if not self.validate_ledger or entry.kind == KIND_COMMIT:
+            self._shards[shard_id].enqueue(entry)
+            return
+        info = self._tx_info.get(entry.txid)
+        if info is None:
+            raise SimulationError(
+                f"no ledger bookkeeping for entry {entry}"
+            )
+        outpoints = info.inputs_by_shard.get(shard_id, [])
+        ledger = self.ledgers[shard_id]
+        verdict = ledger.classify(outpoints)
+        if verdict == OK:
+            self._shards[shard_id].enqueue(entry)
+            return
+        if verdict == MISSING:
+            anchor = ledger.first_missing(outpoints)
+            assert anchor is not None
+            self._parked[shard_id].setdefault(anchor, []).append(entry)
+            self.n_parked += 1
+            return
+        if entry.kind == KIND_TX:
+            self.n_aborted += 1
+            self._tx_info.pop(entry.txid, None)
+            delay = self._network.delay(
+                shard_id, SeedNetwork.CLIENT, PROOF_BYTES
+            )
+            self._events.schedule(
+                delay, lambda: self._on_aborted(entry.txid)
+            )
+            return
+        self._route_proof(shard_id, entry.txid, accepted=False)
+
+    def _require_pending(self, txid: int) -> _PendingCrossTx:
+        state = self._pending.get(txid)
+        if state is None:
+            raise SimulationError(
+                f"protocol event for non-pending transaction {txid}"
+            )
+        return state
+
+    @property
+    def n_in_flight(self) -> int:
+        return len(self._pending)
+
+    def bandwidth_ratio(self) -> float:
+        if not self.n_cross or not self.n_same_shard:
+            return 0.0
+        per_cross = self.bytes_cross / self.n_cross
+        per_same = self.bytes_same_shard / self.n_same_shard
+        return per_cross / per_same if per_same else 0.0
+
+
+class SeedTransactionIssuer:
+    """The seed issuer: rebuilds per-call state on every issue event."""
+
+    def __init__(
+        self,
+        stream: Sequence[Transaction],
+        placer: PlacementStrategy,
+        config: SimulationConfig,
+        events: SeedEventQueue,
+        protocol: SeedAtomicCommitProtocol,
+        metrics: SeedMetricsCollector,
+    ) -> None:
+        if placer.n_shards != config.n_shards:
+            raise ConfigurationError(
+                f"placer has {placer.n_shards} shards, simulation has "
+                f"{config.n_shards}"
+            )
+        self._stream = stream
+        self._placer = placer
+        self._config = config
+        self._events = events
+        self._protocol = protocol
+        self._metrics = metrics
+        self._rng = make_rng(config.seed)
+        self._cursor = 0
+
+    def start(self) -> None:
+        if self._stream:
+            self._events.schedule(0.0, self._issue_next)
+
+    @property
+    def n_issued(self) -> int:
+        return self._cursor
+
+    def _issue_next(self) -> None:
+        tx = self._stream[self._cursor]
+        self._cursor += 1
+        now = self._events.now
+        shard = self._placer.place(tx)
+        input_shards = self._placer.input_shards(tx)
+        inputs_by_shard = None
+        if self._protocol.validate_ledger:
+            inputs_by_shard = {}
+            for outpoint in tx.inputs:
+                owner = self._placer.shard_of(outpoint.txid)
+                inputs_by_shard.setdefault(owner, []).append(outpoint)
+        self._metrics.record_issue(tx.txid, now)
+        self._protocol.submit(tx, shard, input_shards, inputs_by_shard)
+        if self._cursor < len(self._stream):
+            self._events.schedule(self._next_gap(), self._issue_next)
+
+    def _next_gap(self) -> float:
+        if self._config.arrivals == "poisson":
+            return self._rng.expovariate(self._config.tx_rate)
+        return 1.0 / self._config.tx_rate
+
+
+def run_simulation_seed(
+    stream: list[Transaction],
+    placer: PlacementStrategy,
+    config: SimulationConfig,
+    abort_txids: set[int] | None = None,
+    outages: list[tuple[int, float, float]] | None = None,
+):
+    """Run one simulation on the preserved seed loop.
+
+    Mirrors :func:`repro.simulator.engine.run_simulation` exactly; the
+    equivalence tests assert the two produce bit-identical
+    :class:`~repro.simulator.engine.SimulationResult` series.
+    """
+    from repro.simulator.engine import SimulationResult
+
+    config.validate()
+    if placer.n_placed:
+        raise SimulationError(
+            "placer has prior placements; use a fresh placer per run"
+        )
+    events = SeedEventQueue()
+    rng = make_rng(config.seed)
+    network = SeedNetwork(config, derive_rng(rng, "network"))
+    consensus = ConsensusModel(config)
+    metrics = SeedMetricsCollector(len(stream))
+    if config.byzantine_fraction > 0.0:
+        committees = CommitteeAssignment(
+            config.n_shards,
+            config.n_shards * config.validators_per_shard,
+            byzantine_fraction=config.byzantine_fraction,
+            seed=config.seed,
+        )
+        committees.require_safe()
+
+    protocol: SeedAtomicCommitProtocol | None = None
+
+    def on_committed(shard_id: int, entry) -> None:
+        assert protocol is not None
+        protocol.entry_committed(shard_id, entry)
+
+    shards = [
+        SeedShard(shard_id, config, consensus, events, on_committed)
+        for shard_id in range(config.n_shards)
+    ]
+    protocol = SeedAtomicCommitProtocol(
+        config,
+        network,
+        shards,
+        events,
+        on_confirmed=lambda txid: metrics.record_commit(txid, events.now),
+        on_aborted=metrics.record_abort,
+        abort_txids=abort_txids,
+    )
+    if hasattr(placer, "use_latency_provider"):
+        placer.use_latency_provider(LatencyObserver(config, network, shards))
+    issuer = SeedTransactionIssuer(
+        stream, placer, config, events, protocol, metrics
+    )
+
+    def sample_queues() -> None:
+        metrics.record_queue_sample(
+            events.now, [shard.queue_size for shard in shards]
+        )
+        if not metrics.is_complete():
+            events.schedule(config.queue_sample_interval_s, sample_queues)
+
+    issuer.start()
+    if stream:
+        events.schedule(0.0, sample_queues)
+    for shard_id, start, end in outages or []:
+        if not 0 <= shard_id < config.n_shards or end <= start:
+            raise SimulationError(
+                f"bad outage spec ({shard_id}, {start}, {end})"
+            )
+        events.schedule_at(start, shards[shard_id].pause)
+        events.schedule_at(end, shards[shard_id].resume)
+
+    events.run(until=config.max_sim_time_s)
+
+    return SimulationResult(
+        config=config,
+        placer_name=getattr(placer, "name", type(placer).__name__),
+        n_issued=metrics.n_issued,
+        n_committed=metrics.n_committed,
+        n_aborted=metrics.n_aborted,
+        n_cross=protocol.n_cross,
+        n_same_shard=protocol.n_same_shard,
+        n_parked=protocol.n_parked,
+        duration=events.now,
+        throughput=metrics.throughput(),
+        latencies=metrics.latencies(),
+        commit_times=metrics.commit_times(),
+        queue_sample_times=metrics.queue_sample_times,
+        queue_samples=metrics.queue_samples,
+        blocks_per_shard=[shard.n_blocks for shard in shards],
+        entries_per_shard=[shard.n_entries_committed for shard in shards],
+        bytes_same_shard=protocol.bytes_same_shard,
+        bytes_cross=protocol.bytes_cross,
+        bandwidth_ratio=protocol.bandwidth_ratio(),
+        drained=metrics.is_complete(),
+    )

@@ -5,6 +5,17 @@ derived from: per-transaction issue/commit times (latency, throughput,
 Fig. 5/8/9/10), periodic queue-size samples (Figs. 6/7), and per-shard
 block statistics.
 
+The per-commit hot path writes into preallocated ``array('d')`` slots
+instead of growing dicts: workload generators assign dense integer
+transaction ids (arrival order), so the engine passes ``txid_base`` and
+every record becomes one bounds check plus one indexed store, with a NaN
+sentinel standing in for "not recorded yet". Callers that construct a
+collector directly with arbitrary (possibly sparse) ids - unit tests,
+ad-hoc harnesses - omit ``txid_base`` and get the seed's dict-based
+bookkeeping; both modes derive bit-identical series
+(:class:`repro.simulator._seed_reference.SeedMetricsCollector` is the
+golden reference).
+
 :class:`LatencyObserver` is the bridge between the simulator and
 OptChain's L2S score: it plays the role of the wallet software that
 samples shard round trips and watches queue sizes (§IV-C), producing one
@@ -13,26 +24,69 @@ samples shard round trips and watches queue sizes (§IV-C), producing one
 
 from __future__ import annotations
 
+from array import array
 from typing import Sequence
 
 from repro.core.l2s import ShardLatencyModel
 from repro.errors import SimulationError
 from repro.simulator.config import SimulationConfig
+from repro.simulator.events import EventQueue
 from repro.simulator.network import Network
 from repro.simulator.shard import Shard
+
+_NAN = float("nan")
 
 
 class MetricsCollector:
     """Accumulates the raw measurement series of one simulation run."""
 
-    def __init__(self, n_transactions: int) -> None:
+    __slots__ = (
+        "n_transactions",
+        "_base",
+        "_clock",
+        "_issue_arr",
+        "_commit_arr",
+        "_issue_time",
+        "_commit_time",
+        "_n_issued",
+        "_n_committed",
+        "_min_issue",
+        "_max_commit",
+        "_aborted",
+        "queue_sample_times",
+        "queue_samples",
+    )
+
+    def __init__(
+        self,
+        n_transactions: int,
+        txid_base: int | None = None,
+        clock: EventQueue | None = None,
+    ) -> None:
         if n_transactions < 0:
             raise SimulationError(
                 f"n_transactions must be >= 0, got {n_transactions}"
             )
         self.n_transactions = n_transactions
-        self._issue_time: dict[int, float] = {}
-        self._commit_time: dict[int, float] = {}
+        self._base = txid_base
+        self._clock = clock
+        if txid_base is None:
+            # Sparse ids: dict bookkeeping, the seed behaviour.
+            self._issue_arr = None
+            self._commit_arr = None
+            self._issue_time: dict[int, float] = {}
+            self._commit_time: dict[int, float] = {}
+        else:
+            # Dense ids [txid_base, txid_base + n): preallocated slots,
+            # NaN = not recorded yet (0.0 is a legitimate timestamp).
+            self._issue_arr = array("d", [_NAN]) * n_transactions
+            self._commit_arr = array("d", [_NAN]) * n_transactions
+            self._issue_time = None
+            self._commit_time = None
+        self._n_issued = 0
+        self._n_committed = 0
+        self._min_issue = _NAN
+        self._max_commit = _NAN
         self._aborted: set[int] = set()
         self.queue_sample_times: list[float] = []
         self.queue_samples: list[list[int]] = []
@@ -41,19 +95,85 @@ class MetricsCollector:
 
     def record_issue(self, txid: int, time: float) -> None:
         """A client handed the transaction to the network."""
-        if txid in self._issue_time:
-            raise SimulationError(f"transaction {txid} issued twice")
-        self._issue_time[txid] = time
+        arr = self._issue_arr
+        if arr is not None:
+            slot = txid - self._base
+            if not 0 <= slot < self.n_transactions:
+                raise SimulationError(
+                    f"transaction {txid} outside the dense id range"
+                )
+            if arr[slot] == arr[slot]:  # not NaN: already recorded
+                raise SimulationError(f"transaction {txid} issued twice")
+            arr[slot] = time
+        else:
+            if txid in self._issue_time:
+                raise SimulationError(f"transaction {txid} issued twice")
+            self._issue_time[txid] = time
+        self._n_issued += 1
+        if not time >= self._min_issue:  # first record or a new minimum
+            self._min_issue = time
 
     def record_commit(self, txid: int, time: float) -> None:
         """The transaction is confirmed on its output shard."""
-        if txid not in self._issue_time:
+        commits = self._commit_arr
+        if commits is not None:
+            slot = txid - self._base
+            issues = self._issue_arr
+            if (
+                not 0 <= slot < self.n_transactions
+                or issues[slot] != issues[slot]
+            ):
+                raise SimulationError(
+                    f"transaction {txid} committed but never issued"
+                )
+            if commits[slot] == commits[slot]:
+                raise SimulationError(f"transaction {txid} committed twice")
+            commits[slot] = time
+        else:
+            if txid not in self._issue_time:
+                raise SimulationError(
+                    f"transaction {txid} committed but never issued"
+                )
+            if txid in self._commit_time:
+                raise SimulationError(f"transaction {txid} committed twice")
+            self._commit_time[txid] = time
+        self._n_committed += 1
+        if not time <= self._max_commit:  # first record or a new maximum
+            self._max_commit = time
+
+    def record_commit_now(self, txid: int) -> None:
+        """Commit ``txid`` at the bound clock's current time.
+
+        The protocol's per-commit hot path: one indexed store, no
+        closure reading ``events.now`` through a property per commit.
+        The dense branch duplicates :meth:`record_commit` to stay a
+        single frame.
+        """
+        clock = self._clock
+        if clock is None:
+            raise SimulationError(
+                "record_commit_now needs a clock (pass clock= at init)"
+            )
+        time = clock._now
+        commits = self._commit_arr
+        if commits is None:
+            self.record_commit(txid, time)
+            return
+        slot = txid - self._base
+        issues = self._issue_arr
+        if (
+            not 0 <= slot < self.n_transactions
+            or issues[slot] != issues[slot]
+        ):
             raise SimulationError(
                 f"transaction {txid} committed but never issued"
             )
-        if txid in self._commit_time:
+        if commits[slot] == commits[slot]:
             raise SimulationError(f"transaction {txid} committed twice")
-        self._commit_time[txid] = time
+        commits[slot] = time
+        self._n_committed += 1
+        if not time <= self._max_commit:  # first record or a new maximum
+            self._max_commit = time
 
     def record_abort(self, txid: int) -> None:
         """The transaction was rejected (failure injection)."""
@@ -69,12 +189,12 @@ class MetricsCollector:
     @property
     def n_issued(self) -> int:
         """Transactions issued so far."""
-        return len(self._issue_time)
+        return self._n_issued
 
     @property
     def n_committed(self) -> int:
         """Transactions confirmed so far."""
-        return len(self._commit_time)
+        return self._n_committed
 
     @property
     def n_aborted(self) -> int:
@@ -84,12 +204,20 @@ class MetricsCollector:
     def is_complete(self) -> bool:
         """All issued transactions reached a terminal state."""
         return (
-            self.n_issued == self.n_transactions
-            and self.n_committed + self.n_aborted == self.n_issued
+            self._n_issued == self.n_transactions
+            and self._n_committed + self.n_aborted == self._n_issued
         )
 
     def latencies(self) -> list[float]:
         """Confirmation latency per committed transaction (issue order)."""
+        commits = self._commit_arr
+        if commits is not None:
+            issues = self._issue_arr
+            return [
+                commit - issues[slot]
+                for slot, commit in enumerate(commits)
+                if commit == commit
+            ]
         return [
             self._commit_time[txid] - self._issue_time[txid]
             for txid in sorted(self._commit_time)
@@ -97,20 +225,29 @@ class MetricsCollector:
 
     def commit_times(self) -> list[float]:
         """Commit timestamps, sorted (Fig. 5 input)."""
+        commits = self._commit_arr
+        if commits is not None:
+            return sorted(time for time in commits if time == time)
         return sorted(self._commit_time.values())
 
     def throughput(self) -> float:
         """Committed transactions over the active time window."""
-        if not self._commit_time:
+        if not self._n_committed:
             return 0.0
-        start = min(self._issue_time.values())
-        end = max(self._commit_time.values())
+        start = self._min_issue
+        end = self._max_commit
         if end <= start:
             return 0.0
-        return self.n_committed / (end - start)
+        return self._n_committed / (end - start)
 
     def issue_time_of(self, txid: int) -> float:
         """Issue timestamp of one transaction."""
+        arr = self._issue_arr
+        if arr is not None:
+            slot = txid - self._base
+            if not 0 <= slot < self.n_transactions or arr[slot] != arr[slot]:
+                raise KeyError(txid)
+            return arr[slot]
         return self._issue_time[txid]
 
 

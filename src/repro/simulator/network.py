@@ -15,6 +15,16 @@ square, so the propagation factor spans roughly [0.5, 1.9] - matching the
 "distance between nodes affects the communication latency" setup without
 simulating 400 x k individual validators (their effect is folded into the
 consensus-time model instead).
+
+Coordinates never move, so the propagation term of every (src, dst) pair
+is computed once at construction into a dense table; :meth:`delay` - the
+per-message hot path, called several times per transaction - is a table
+read, one division, and (when jitter is on) one RNG draw. The table rows
+are indexed by node id directly, with the client pseudo-node ``-1``
+landing on Python's native last-element index, and hold exactly the
+floats the per-call ``math.hypot`` formula produced, so delays are
+bit-identical to the seed model
+(:class:`repro.simulator._seed_reference.SeedNetwork`).
 """
 
 from __future__ import annotations
@@ -31,16 +41,55 @@ class Network:
 
     CLIENT = -1  # pseudo-node id for the aggregated client population
 
+    __slots__ = (
+        "_config",
+        "_rng",
+        "_coords",
+        "_prop",
+        "_bandwidth",
+        "_jitter",
+        "_jitter_lo",
+        "_jitter_span",
+        "_random",
+        "_n_shards",
+    )
+
     def __init__(self, config: SimulationConfig, rng: random.Random) -> None:
         self._config = config
         self._rng = rng
         # Shard leader coordinates; clients sit at the square's center,
         # the average position of a uniformly spread user population.
+        # RNG draw order (per shard, x then y) matches the seed model so
+        # downstream draws see an identical generator state.
         self._coords: dict[int, tuple[float, float]] = {
             self.CLIENT: (0.5, 0.5)
         }
         for shard in range(config.n_shards):
             self._coords[shard] = (rng.random(), rng.random())
+        # Dense propagation table: row/column i is shard i, row/column
+        # -1 (the last one) is the client, so ids index it natively.
+        base = config.base_latency_s
+        nodes = list(range(config.n_shards)) + [self.CLIENT]
+        self._prop: list[list[float]] = []
+        for src in nodes:
+            sx, sy = self._coords[src]
+            self._prop.append(
+                [
+                    base * (0.5 + math.hypot(sx - dx, sy - dy))
+                    for dx, dy in (self._coords[dst] for dst in nodes)
+                ]
+            )
+        self._bandwidth = config.bandwidth_bytes_per_s
+        jitter = config.latency_jitter
+        self._jitter = jitter
+        # ``rng.uniform(-j, j)`` unrolled: ``lo + span * random()`` with
+        # the same operand order and precomputed span, so the draws are
+        # bit-identical to the seed model's uniform() calls while
+        # skipping a Python frame per message.
+        self._jitter_lo = -jitter
+        self._jitter_span = jitter - (-jitter)
+        self._random = rng.random
+        self._n_shards = config.n_shards
 
     def coordinates_of(self, node: int) -> tuple[float, float]:
         """Unit-square coordinates of a shard leader (or the client)."""
@@ -51,10 +100,13 @@ class Network:
 
     def propagation(self, src: int, dst: int) -> float:
         """Distance-scaled propagation delay in seconds (no jitter)."""
-        sx, sy = self.coordinates_of(src)
-        dx, dy = self.coordinates_of(dst)
-        distance = math.hypot(sx - dx, sy - dy)
-        return self._config.base_latency_s * (0.5 + distance)
+        if not (
+            self.CLIENT <= src < self._n_shards
+            and self.CLIENT <= dst < self._n_shards
+        ):
+            bad = src if not self.CLIENT <= src < self._n_shards else dst
+            raise ConfigurationError(f"unknown network node {bad}")
+        return self._prop[src][dst]
 
     def delay(self, src: int, dst: int, size_bytes: int) -> float:
         """Total message delay: propagation + transmission + jitter."""
@@ -62,12 +114,20 @@ class Network:
             raise ConfigurationError(
                 f"message size must be >= 0, got {size_bytes}"
             )
-        transmission = size_bytes / self._config.bandwidth_bytes_per_s
-        base = self.propagation(src, dst) + transmission
-        jitter = self._config.latency_jitter
-        if jitter == 0.0:
+        if not (
+            self.CLIENT <= src < self._n_shards
+            and self.CLIENT <= dst < self._n_shards
+        ):
+            bad = src if not self.CLIENT <= src < self._n_shards else dst
+            raise ConfigurationError(f"unknown network node {bad}")
+        base = self._prop[src][dst] + size_bytes / self._bandwidth
+        if self._jitter == 0.0:
             return base
-        return base * (1.0 + self._rng.uniform(-jitter, jitter))
+        # Parenthesized like the seed's ``1.0 + uniform(...)`` - float
+        # addition is not associative, so grouping is part of bit-identity.
+        return base * (
+            1.0 + (self._jitter_lo + self._jitter_span * self._random())
+        )
 
     def expected_client_rtt(self, shard: int) -> float:
         """Mean client<->shard round trip for one small message pair.

@@ -25,11 +25,19 @@ paper's cost model (a 2-input/1-output cross-TX triples communication and
 computation). Validity is guaranteed upstream by the workload generator,
 so proof-of-rejection paths exist only for failure injection
 (``abort_txids``).
+
+Every network hop is a typed event record whose handler is a bound
+method cached at construction (accepted and rejected proofs get separate
+handlers so the payload fits the two record slots); without ledger
+validation, deliveries go straight to the destination shard's cached
+``enqueue``. The seed protocol - one closure per hop - is preserved in
+:class:`repro.simulator._seed_reference.SeedAtomicCommitProtocol`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappush
 from typing import Callable, Sequence
 
 from repro.errors import SimulationError
@@ -45,15 +53,14 @@ UNLOCK_BYTES = 300  # unlock-to-commit / unlock-to-abort message
 YANK_BYTES = 600  # yanked inputs + transaction
 
 
-@dataclass(slots=True)
-class _PendingCrossTx:
-    """Client-side state for one in-flight cross-shard transaction."""
-
-    output_shard: int
-    awaiting: int
-    rejected: bool = False
-    #: shards whose locks succeeded (must be unlocked on abort)
-    accepted_shards: list[int] = field(default_factory=list)
+# Client-side state for one in-flight cross-shard transaction is a
+# plain 4-slot list (one allocation, no dataclass __init__ frame on the
+# submit hot path); these constants name the slots. The seed protocol
+# keeps the original dataclass.
+_P_OUTPUT = 0  # output shard id
+_P_AWAITING = 1  # proofs still outstanding
+_P_REJECTED = 2  # any proof-of-rejection seen
+_P_ACCEPTED = 3  # shards whose locks succeeded (unlocked on abort)
 
 
 @dataclass(slots=True)
@@ -68,6 +75,47 @@ class _TxInfo:
 
 class AtomicCommitProtocol:
     """Routes transactions through shards and reports confirmations."""
+
+    __slots__ = (
+        "_config",
+        "_network",
+        "_shards",
+        "_events",
+        "_on_confirmed",
+        "_on_aborted",
+        "_abort_txids",
+        "_pending",
+        "_omniledger",
+        "_delay",
+        "_schedule",
+        "_heap",
+        "_seq",
+        "_prop",
+        "_prop_client",
+        "_bandwidth",
+        "_no_jitter",
+        "_jitter_lo",
+        "_jitter_span",
+        "_rand",
+        "_proof_trans",
+        "_unlock_trans",
+        "_yank_trans",
+        "_enqueue_direct",
+        "_h_try_enqueue",
+        "_h_proof_accepted",
+        "_h_proof_rejected",
+        "_h_deliver_abort",
+        "n_cross",
+        "n_same_shard",
+        "n_aborted",
+        "n_parked",
+        "bytes_same_shard",
+        "bytes_cross",
+        "validate_ledger",
+        "ledgers",
+        "_tx_info",
+        "_parked",
+    )
 
     def __init__(
         self,
@@ -86,7 +134,9 @@ class AtomicCommitProtocol:
         self._on_confirmed = on_confirmed
         self._on_aborted = on_aborted or (lambda txid: None)
         self._abort_txids = abort_txids or set()
-        self._pending: dict[int, _PendingCrossTx] = {}
+        #: txid -> [_P_OUTPUT, _P_AWAITING, _P_REJECTED, _P_ACCEPTED]
+        self._pending: dict[int, list] = {}
+        self._omniledger = config.protocol == "omniledger"
         self.n_cross = 0
         self.n_same_shard = 0
         self.n_aborted = 0
@@ -106,6 +156,37 @@ class AtomicCommitProtocol:
         self._parked: list[dict[OutPoint, list[Entry]]] = [
             {} for _ in shards
         ]
+        # Long-lived typed-event handlers: allocated once here, reused
+        # for every scheduled record. Without ledger validation a
+        # delivery is exactly ``shard.enqueue(entry)``, so the record
+        # can target the destination shard's cached bound method and
+        # skip the admission-control frame entirely.
+        self._delay = network.delay
+        self._schedule = events.schedule_event
+        # The per-message fast paths compile the network model and the
+        # event queue into this object: propagation rows, precomputed
+        # transmission times for the protocol's fixed-size messages, the
+        # jitter unroll, and direct access to the typed-record heap.
+        # Every inlined expression mirrors Network.delay /
+        # EventQueue.schedule_event term for term (grouping included),
+        # so delays and orderings stay bit-identical to the seed loop.
+        self._heap = events._heap
+        self._seq = events._sequence
+        self._prop = network._prop
+        self._prop_client = network._prop[Network.CLIENT]
+        self._bandwidth = network._bandwidth
+        self._no_jitter = config.latency_jitter == 0.0
+        self._jitter_lo = network._jitter_lo
+        self._jitter_span = network._jitter_span
+        self._rand = network._random
+        self._proof_trans = PROOF_BYTES / network._bandwidth
+        self._unlock_trans = UNLOCK_BYTES / network._bandwidth
+        self._yank_trans = YANK_BYTES / network._bandwidth
+        self._enqueue_direct = [shard.enqueue for shard in shards]
+        self._h_try_enqueue = self._try_enqueue
+        self._h_proof_accepted = self._proof_accepted
+        self._h_proof_rejected = self._proof_rejected
+        self._h_deliver_abort = self._deliver_abort
 
     # -- submission --------------------------------------------------------
 
@@ -131,122 +212,246 @@ class AtomicCommitProtocol:
                 output_shard=output_shard,
                 inputs_by_shard=inputs_by_shard,
             )
-        cross = bool(input_shards) and input_shards != {output_shard}
+        size_bytes = tx.size_bytes
+        txid = tx.txid
+        cross = bool(input_shards) and (
+            len(input_shards) != 1 or output_shard not in input_shards
+        )
+        if self.validate_ledger:
+            # Admission control per message: take the generic path.
+            if not cross:
+                self.n_same_shard += 1
+                self.bytes_same_shard += size_bytes
+                self._send_to_shard(
+                    output_shard, (KIND_TX, txid), size_bytes
+                )
+                return
+            self.n_cross += 1
+            self.bytes_cross += len(input_shards) * size_bytes
+            self._pending[txid] = [output_shard, len(input_shards), False, []]
+            for shard in input_shards:
+                self._send_to_shard(shard, (KIND_LOCK, txid), size_bytes)
+            return
+        # Fast path (the paper's evaluation mode): client -> shard
+        # deliveries inlined - Network.delay and the typed-record push,
+        # term for term.
+        now = self._events._now
+        prop_client = self._prop_client
+        transmission = size_bytes / self._bandwidth
+        heap = self._heap
+        seq = self._seq
+        enqueue = self._enqueue_direct
         if not cross:
             self.n_same_shard += 1
-            self.bytes_same_shard += tx.size_bytes
-            self._send_to_shard(
-                output_shard, Entry(KIND_TX, tx.txid), tx.size_bytes
+            self.bytes_same_shard += size_bytes
+            base = prop_client[output_shard] + transmission
+            if not self._no_jitter:
+                base = base * (
+                    1.0
+                    + (self._jitter_lo + self._jitter_span * self._rand())
+                )
+            heappush(
+                heap,
+                (now + base, next(seq), enqueue[output_shard],
+                 (KIND_TX, txid), None),
             )
             return
         self.n_cross += 1
-        self.bytes_cross += len(input_shards) * tx.size_bytes
-        self._pending[tx.txid] = _PendingCrossTx(
-            output_shard=output_shard, awaiting=len(input_shards)
-        )
+        self.bytes_cross += len(input_shards) * size_bytes
+        self._pending[txid] = [output_shard, len(input_shards), False, []]
+        entry = (KIND_LOCK, txid)
         for shard in input_shards:
-            self._send_to_shard(
-                shard, Entry(KIND_LOCK, tx.txid), tx.size_bytes
+            base = prop_client[shard] + transmission
+            if not self._no_jitter:
+                base = base * (
+                    1.0
+                    + (self._jitter_lo + self._jitter_span * self._rand())
+                )
+            heappush(
+                heap, (now + base, next(seq), enqueue[shard], entry, None)
             )
 
     # -- shard callbacks -----------------------------------------------------
 
     def entry_committed(self, shard_id: int, entry: Entry) -> None:
-        """A shard committed a block entry; advance the state machine."""
-        if entry.kind == KIND_TX:
-            if self.validate_ledger and not self._apply_same_shard(
-                shard_id, entry.txid
-            ):
-                return  # conflict: the abort path already ran
-            self._on_confirmed(entry.txid)
-            return
-        if entry.kind == KIND_COMMIT:
-            if self.validate_ledger:
-                self._register_outputs(shard_id, entry.txid)
-                self._tx_info.pop(entry.txid, None)
-            self._on_confirmed(entry.txid)
-            return
-        if entry.kind != KIND_LOCK:
-            raise SimulationError(f"unknown entry kind {entry.kind!r}")
-        state = self._pending.get(entry.txid)
-        if state is None:
-            raise SimulationError(
-                f"lock committed for unknown transaction {entry.txid}"
+        """A shard committed a block entry; advance the state machine.
+
+        Branches are ordered by frequency under the paper's random
+        placement (locks > commits > same-shard transactions); the lock
+        branch inlines the proof delivery of :meth:`_route_proof`.
+        """
+        kind, txid = entry  # positional: Entry or a plain (kind, txid)
+        if kind == KIND_LOCK:
+            state = self._pending.get(txid)
+            if state is None:
+                raise SimulationError(
+                    f"lock committed for unknown transaction {txid}"
+                )
+            accepted = txid not in self._abort_txids
+            if accepted and self.validate_ledger:
+                accepted = self._lock_inputs(shard_id, txid)
+            if self._omniledger:
+                # Proof travels shard -> client; the client reacts.
+                # (-1 is Network.CLIENT, indexing the table's last row.)
+                self.bytes_cross += PROOF_BYTES
+                base = self._prop[shard_id][-1] + self._proof_trans
+            else:  # rapidchain: yank input shard -> output shard
+                self.bytes_cross += YANK_BYTES
+                base = (
+                    self._prop[shard_id][state[_P_OUTPUT]]
+                    + self._yank_trans
+                )
+            if not self._no_jitter:
+                base = base * (
+                    1.0
+                    + (self._jitter_lo + self._jitter_span * self._rand())
+                )
+            heappush(
+                self._heap,
+                (
+                    self._events._now + base,
+                    next(self._seq),
+                    self._h_proof_accepted
+                    if accepted
+                    else self._h_proof_rejected,
+                    txid,
+                    shard_id,
+                ),
             )
-        accepted = entry.txid not in self._abort_txids
-        if accepted and self.validate_ledger:
-            accepted = self._lock_inputs(shard_id, entry.txid)
-        self._route_proof(shard_id, entry.txid, accepted)
+            return
+        if kind == KIND_COMMIT:
+            if self.validate_ledger:
+                self._register_outputs(shard_id, txid)
+                self._tx_info.pop(txid, None)
+            self._on_confirmed(txid)
+            return
+        if kind != KIND_TX:
+            raise SimulationError(f"unknown entry kind {kind!r}")
+        if self.validate_ledger and not self._apply_same_shard(
+            shard_id, txid
+        ):
+            return  # conflict: the abort path already ran
+        self._on_confirmed(txid)
 
     def _route_proof(self, shard_id: int, txid: int, accepted: bool) -> None:
-        """Deliver a proof-of-acceptance/rejection for one lock."""
-        state = self._require_pending(txid)
-        if self._config.protocol == "omniledger":
+        """Deliver a proof-of-acceptance/rejection for one lock.
+
+        The common case runs inlined inside ``entry_committed``; this
+        method serves the rarer validation-mode rejections
+        (``_try_enqueue`` conflicts).
+        """
+        state = self._pending.get(txid)
+        if state is None:
+            raise SimulationError(
+                f"protocol event for non-pending transaction {txid}"
+            )
+        if self._omniledger:
             # Proof travels shard -> client; the client reacts.
             self.bytes_cross += PROOF_BYTES
-            delay = self._network.delay(
-                shard_id, Network.CLIENT, PROOF_BYTES
-            )
+            base = self._prop[shard_id][Network.CLIENT] + self._proof_trans
         else:  # rapidchain: yank directly input shard -> output shard
             self.bytes_cross += YANK_BYTES
-            delay = self._network.delay(
-                shard_id, state.output_shard, YANK_BYTES
+            base = (
+                self._prop[shard_id][state[_P_OUTPUT]] + self._yank_trans
             )
-        self._events.schedule(
-            delay,
-            lambda: self._proof_collected(txid, shard_id, accepted),
+        if not self._no_jitter:
+            base = base * (
+                1.0 + (self._jitter_lo + self._jitter_span * self._rand())
+            )
+        heappush(
+            self._heap,
+            (
+                self._events._now + base,
+                next(self._seq),
+                self._h_proof_accepted if accepted else self._h_proof_rejected,
+                txid,
+                shard_id,
+            ),
         )
 
     # -- coordinator state machine ---------------------------------------------
     # (the client under OmniLedger, the output shard under RapidChain)
 
-    def _proof_collected(
-        self, txid: int, shard_id: int, accepted: bool
-    ) -> None:
-        state = self._require_pending(txid)
-        state.awaiting -= 1
-        if accepted:
-            state.accepted_shards.append(shard_id)
-        else:
-            state.rejected = True
-        if state.awaiting > 0:
+    def _proof_accepted(self, txid: int, shard_id: int) -> None:
+        state = self._pending.get(txid)
+        if state is None:
+            raise SimulationError(
+                f"protocol event for non-pending transaction {txid}"
+            )
+        awaiting = state[_P_AWAITING] - 1
+        state[_P_AWAITING] = awaiting
+        state[_P_ACCEPTED].append(shard_id)
+        if awaiting > 0:
             return
+        self._all_proofs_in(txid, state)
+
+    def _proof_rejected(self, txid: int, shard_id: int) -> None:
+        state = self._pending.get(txid)
+        if state is None:
+            raise SimulationError(
+                f"protocol event for non-pending transaction {txid}"
+            )
+        awaiting = state[_P_AWAITING] - 1
+        state[_P_AWAITING] = awaiting
+        state[_P_REJECTED] = True
+        if awaiting > 0:
+            return
+        self._all_proofs_in(txid, state)
+
+    def _all_proofs_in(self, txid: int, state: list) -> None:
         del self._pending[txid]
-        if state.rejected:
+        if state[_P_REJECTED]:
             self._abort_and_unlock(txid, state)
             return
-        if self._config.protocol == "omniledger":
-            # Client sends unlock-to-commit to the output shard.
-            self.bytes_cross += UNLOCK_BYTES
-            self._send_to_shard(
-                state.output_shard, Entry(KIND_COMMIT, txid), UNLOCK_BYTES
-            )
-        else:
+        output_shard = state[_P_OUTPUT]
+        if not self._omniledger:
             # Output shard already holds the yanked inputs: enqueue
             # the final transaction directly.
-            self._try_enqueue(state.output_shard, Entry(KIND_COMMIT, txid))
+            self._try_enqueue(output_shard, (KIND_COMMIT, txid))
+            return
+        # Client sends unlock-to-commit to the output shard.
+        self.bytes_cross += UNLOCK_BYTES
+        if self.validate_ledger:
+            self._send_to_shard(
+                output_shard, (KIND_COMMIT, txid), UNLOCK_BYTES
+            )
+            return
+        base = self._prop_client[output_shard] + self._unlock_trans
+        if not self._no_jitter:
+            base = base * (
+                1.0 + (self._jitter_lo + self._jitter_span * self._rand())
+            )
+        heappush(
+            self._heap,
+            (
+                self._events._now + base,
+                next(self._seq),
+                self._enqueue_direct[output_shard],
+                (KIND_COMMIT, txid),
+                None,
+            ),
+        )
 
-    def _abort_and_unlock(self, txid: int, state: _PendingCrossTx) -> None:
+    def _deliver_abort(self, txid: int, _b: object = None) -> None:
+        """Typed-record delivery of a proof-of-rejection to the client."""
+        self._on_aborted(txid)
+
+    def _abort_and_unlock(self, txid: int, state: list) -> None:
         """Proof-of-rejection: reclaim every successfully locked input."""
         self.n_aborted += 1
-        if self.validate_ledger and state.accepted_shards:
+        if self.validate_ledger and state[_P_ACCEPTED]:
             info = self._tx_info[txid]
             source = (
-                Network.CLIENT
-                if self._config.protocol == "omniledger"
-                else state.output_shard
+                Network.CLIENT if self._omniledger else state[_P_OUTPUT]
             )
-            for shard_id in state.accepted_shards:
+            for shard_id in state[_P_ACCEPTED]:
                 outpoints = list(info.inputs_by_shard.get(shard_id, []))
                 self.bytes_cross += UNLOCK_BYTES
                 delay = self._network.delay(
                     source, shard_id, UNLOCK_BYTES
                 )
-                self._events.schedule(
-                    delay,
-                    lambda s=shard_id, ops=outpoints: self.ledgers[
-                        s
-                    ].unspend(ops, txid),
+                self._events.schedule_event(
+                    delay, self.ledgers[shard_id].unspend, outpoints, txid
                 )
         self._tx_info.pop(txid, None)
         self._on_aborted(txid)
@@ -266,7 +471,7 @@ class AtomicCommitProtocol:
             delay = self._network.delay(
                 shard_id, Network.CLIENT, PROOF_BYTES
             )
-            self._events.schedule(delay, lambda: self._on_aborted(txid))
+            self._events.schedule_event(delay, self._h_deliver_abort, txid)
             return False
         ledger.spend(outpoints, txid)
         self._register_outputs(shard_id, txid)
@@ -309,10 +514,13 @@ class AtomicCommitProtocol:
     def _send_to_shard(
         self, shard_id: int, entry: Entry, size_bytes: int
     ) -> None:
-        delay = self._network.delay(Network.CLIENT, shard_id, size_bytes)
-        self._events.schedule(
-            delay, lambda: self._try_enqueue(shard_id, entry)
-        )
+        delay = self._delay(Network.CLIENT, shard_id, size_bytes)
+        if self.validate_ledger:
+            self._schedule(delay, self._h_try_enqueue, shard_id, entry)
+        else:
+            # Admission control is a plain enqueue here: target the
+            # destination shard's cached bound method directly.
+            self._schedule(delay, self._enqueue_direct[shard_id], entry)
 
     def _try_enqueue(self, shard_id: int, entry: Entry) -> None:
         """Admission control: validate/park before consuming block slots.
@@ -322,10 +530,10 @@ class AtomicCommitProtocol:
         commits (mempool-orphan behaviour); provably conflicting entries
         are rejected immediately without consuming consensus capacity.
         """
-        if not self.validate_ledger or entry.kind == KIND_COMMIT:
+        if not self.validate_ledger or entry[0] == KIND_COMMIT:
             self._shards[shard_id].enqueue(entry)
             return
-        info = self._tx_info.get(entry.txid)
+        info = self._tx_info.get(entry[1])
         if info is None:
             raise SimulationError(
                 f"no ledger bookkeeping for entry {entry}"
@@ -343,25 +551,13 @@ class AtomicCommitProtocol:
             self.n_parked += 1
             return
         # CONFLICT: reject without consensus.
-        if entry.kind == KIND_TX:
+        if entry[0] == KIND_TX:
             self.n_aborted += 1
-            self._tx_info.pop(entry.txid, None)
-            delay = self._network.delay(
-                shard_id, Network.CLIENT, PROOF_BYTES
-            )
-            self._events.schedule(
-                delay, lambda: self._on_aborted(entry.txid)
-            )
+            self._tx_info.pop(entry[1], None)
+            delay = self._delay(shard_id, Network.CLIENT, PROOF_BYTES)
+            self._schedule(delay, self._h_deliver_abort, entry[1])
             return
-        self._route_proof(shard_id, entry.txid, accepted=False)
-
-    def _require_pending(self, txid: int) -> _PendingCrossTx:
-        state = self._pending.get(txid)
-        if state is None:
-            raise SimulationError(
-                f"protocol event for non-pending transaction {txid}"
-            )
-        return state
+        self._route_proof(shard_id, entry[1], accepted=False)
 
     @property
     def n_in_flight(self) -> int:

@@ -8,13 +8,18 @@ immediately starts consensus on the next batch (up to ``block_capacity``
 entries); block duration comes from the
 :class:`~repro.simulator.consensus.ConsensusModel`. Queue size, the
 paper's Fig. 6 metric, is the mempool length.
+
+Block commits ride the typed event queue: the in-flight batch and its
+duration live on the shard (production is strictly sequential per shard,
+so one slot suffices) and the scheduled record reuses the bound handler
+cached at construction - no closure per block, unlike the seed shard
+(:class:`repro.simulator._seed_reference.SeedShard`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.simulator.config import SimulationConfig
 from repro.simulator.consensus import ConsensusModel
@@ -26,9 +31,14 @@ KIND_LOCK = "lock"  # cross-shard input lock (proof-of-acceptance source)
 KIND_COMMIT = "commit"  # cross-shard unlock-to-commit at the output shard
 
 
-@dataclass(frozen=True, slots=True)
-class Entry:
-    """One block-slot of work: (kind, transaction id)."""
+class Entry(NamedTuple):
+    """One block-slot of work: (kind, transaction id).
+
+    A named tuple rather than a dataclass so entries cost one tuple
+    allocation; the protocol's hot path builds plain ``(kind, txid)``
+    tuples with the same layout, and consumers unpack positionally, so
+    both spellings interoperate.
+    """
 
     kind: str
     txid: int
@@ -36,6 +46,25 @@ class Entry:
 
 class Shard:
     """One shard committee: a mempool and a sequential block pipeline."""
+
+    __slots__ = (
+        "shard_id",
+        "_config",
+        "_consensus",
+        "_events",
+        "_on_committed",
+        "_mempool",
+        "_mempool_append",
+        "_busy",
+        "_block_capacity",
+        "_inflight_batch",
+        "_inflight_duration",
+        "_commit_handler",
+        "n_blocks",
+        "n_entries_committed",
+        "paused",
+        "recent_block_duration",
+    )
 
     def __init__(
         self,
@@ -51,7 +80,14 @@ class Shard:
         self._events = events
         self._on_committed = on_committed
         self._mempool: deque[Entry] = deque()
+        self._mempool_append = self._mempool.append
         self._busy = False
+        self._block_capacity = config.block_capacity
+        # One in-flight block at a time (sequential pipeline), so its
+        # batch and duration live here instead of in a per-event closure.
+        self._inflight_batch: list[Entry] | None = None
+        self._inflight_duration = 0.0
+        self._commit_handler = self._commit_block
         # Stats / observer state.
         self.n_blocks = 0
         self.n_entries_committed = 0
@@ -73,10 +109,15 @@ class Shard:
         """True while a block is in consensus."""
         return self._busy
 
-    def enqueue(self, entry: Entry) -> None:
+    def set_on_committed(self, on_committed: Callable[[int, Entry], None]) -> None:
+        """Rebind the commit callback (engine wiring after construction)."""
+        self._on_committed = on_committed
+
+    def enqueue(self, entry: Entry, _b: object = None) -> None:
         """Add an entry to the mempool and kick the pipeline."""
-        self._mempool.append(entry)
-        self._maybe_start_block()
+        self._mempool_append(entry)
+        if not (self._busy or self.paused):
+            self._start_block()
 
     def pause(self) -> None:
         """Failure injection: stop producing blocks (outage)."""
@@ -85,7 +126,8 @@ class Shard:
     def resume(self) -> None:
         """End an outage and restart the pipeline."""
         self.paused = False
-        self._maybe_start_block()
+        if self._mempool and not self._busy:
+            self._start_block()
 
     def expected_verification_time(self) -> float:
         """What a wallet would estimate: queue drain time for a new entry.
@@ -98,22 +140,28 @@ class Shard:
         ratcheting at block boundaries.
         """
         blocks_ahead = 1.0 + (
-            len(self._mempool) / self._config.block_capacity
+            len(self._mempool) / self._block_capacity
         )
         return blocks_ahead * self.recent_block_duration
 
-    def _maybe_start_block(self) -> None:
-        if self._busy or self.paused or not self._mempool:
-            return
+    def _start_block(self) -> None:
+        mempool = self._mempool
         self._busy = True
-        batch_size = min(len(self._mempool), self._config.block_capacity)
-        batch = [self._mempool.popleft() for _ in range(batch_size)]
-        duration = self._consensus.duration(batch_size)
-        self._events.schedule(
-            duration, lambda: self._commit_block(batch, duration)
-        )
+        if len(mempool) <= self._block_capacity:
+            batch = list(mempool)
+            mempool.clear()
+        else:
+            popleft = mempool.popleft
+            batch = [popleft() for _ in range(self._block_capacity)]
+        duration = self._consensus.duration(len(batch))
+        self._inflight_batch = batch
+        self._inflight_duration = duration
+        self._events.schedule_event(duration, self._commit_handler)
 
-    def _commit_block(self, batch: list[Entry], duration: float) -> None:
+    def _commit_block(self, _a: object = None, _b: object = None) -> None:
+        batch = self._inflight_batch
+        duration = self._inflight_duration
+        self._inflight_batch = None
         self._busy = False
         self.n_blocks += 1
         self.n_entries_committed += len(batch)
@@ -122,6 +170,9 @@ class Shard:
         self.recent_block_duration = (
             0.7 * self.recent_block_duration + 0.3 * duration
         )
+        on_committed = self._on_committed
+        shard_id = self.shard_id
         for entry in batch:
-            self._on_committed(self.shard_id, entry)
-        self._maybe_start_block()
+            on_committed(shard_id, entry)
+        if self._mempool and not (self._busy or self.paused):
+            self._start_block()

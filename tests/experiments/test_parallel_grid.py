@@ -1,0 +1,96 @@
+"""Parallel simulate_grid must be bit-identical to the serial path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import GeneratorConfig
+from repro.errors import ConfigurationError
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import clear_caches, resolve_jobs, simulate_grid
+
+#: A deliberately tiny grid (2 methods x 1 shard count x 2 rates) so the
+#: process-pool path stays fast enough for the unit suite.
+MINI = ExperimentScale(
+    name="mini-parallel",
+    n_transactions=600,
+    generator=GeneratorConfig(
+        n_wallets=200, coinbase_interval=100, bootstrap_coinbase=25
+    ),
+    tx_rates=(100.0, 150.0),
+    shard_counts=(4,),
+    table_shard_counts=(4,),
+    block_capacity=50,
+    block_size_bytes=25_000,
+    consensus_per_tx_s=0.01,
+    commit_bin_s=5.0,
+    max_sim_time_s=500.0,
+    warm_prefix=400,
+    warm_window=200,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def as_comparable(grid):
+    return {
+        point: (
+            result.latencies,
+            result.commit_times,
+            result.queue_samples,
+            result.duration,
+            result.n_cross,
+            result.bytes_cross,
+            result.drained,
+        )
+        for point, result in grid.items()
+    }
+
+
+class TestParallelGrid:
+    def test_parallel_equals_serial(self):
+        methods = ("omniledger", "metis")
+        serial = as_comparable(simulate_grid(MINI, methods, seed=1, jobs=1))
+        clear_caches()
+        parallel = as_comparable(
+            simulate_grid(MINI, methods, seed=1, jobs=2)
+        )
+        assert serial == parallel
+
+    def test_parallel_populates_cache(self):
+        simulate_grid(MINI, ("omniledger",), seed=1, jobs=2)
+        # A second call must be served from cache (serial fast path).
+        grid = simulate_grid(MINI, ("omniledger",), seed=1, jobs=2)
+        assert len(grid) == 2
+
+    def test_grid_covers_every_point(self):
+        grid = simulate_grid(MINI, ("omniledger",), seed=1, jobs=2)
+        assert set(grid) == {
+            ("omniledger", 4, 100.0),
+            ("omniledger", 4, 150.0),
+        }
+        assert all(result.drained for result in grid.values())
+
+
+class TestJobsPolicy:
+    def test_explicit_jobs_win(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import GraphError, MissingNodeError
 from repro.partition.graph import StaticGraph
-from repro.txgraph.tan import TaNGraph
 
 
 class TestConstruction:

