@@ -1,0 +1,427 @@
+"""Placement-service benchmark - serving throughput + bounded memory.
+
+This is where the repo's two perf frontiers meet a serving interface:
+
+- **throughput**: placements/s through the engine's batched in-process
+  path (validation + truncation bookkeeping + the fused ``place_batch``
+  hot path) at k=16, with the raw placer lane alongside so the serving
+  overhead is measured, not guessed;
+- **snapshot**: checkpoint cost at the midpoint plus a
+  restore-then-continue equivalence check;
+- **memory bound**: a 1M+ transaction stream through the epoch/horizon
+  truncation policy, sampling live T2S vectors per epoch - the gated
+  claim is that the live count is bounded by the horizon window, not
+  O(total transactions) like the seed store;
+- **quality drift**: cross-shard fraction of horizon-truncated vs exact
+  placements (what the bounded memory costs in placement quality);
+- **loadgen**: end-to-end placements/s over real sockets (server +
+  closed-loop load generator in one process).
+
+Results land in ``BENCH_service.json``. Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --check
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \
+        --txs 20000 --memory-txs 60000 --loadgen-txs 5000 \
+        --epoch-length 5000 --min-throughput 40000 \
+        --check --out /tmp/smoke.json                          # CI smoke
+
+``--check`` enforces the acceptance gates: engine throughput >=
+``--min-throughput`` (100k/s by default) at k=16, live vectors bounded
+by the horizon window over the memory stream, snapshot round-trip
+bit-identical, engine placements identical to the raw placer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.placement import make_placer
+from repro.datasets.replay import chunk_stream
+from repro.datasets.synthetic import BitcoinLikeGenerator, synthetic_stream
+from repro.partition.quality import cross_shard_fraction
+from repro.service.engine import PlacementEngine
+from repro.service.loadgen import run_loadgen_async
+from repro.service.server import PlacementServer
+from repro.service.state import load_engine_snapshot
+
+STREAM_SEED = 42
+N_SHARDS = 16
+
+
+def rss_kb() -> int:
+    """Resident set size in kB (Linux; 0 where unsupported)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def bench_throughput(stream, batch_size, repeats, epoch_length):
+    """Best-of engine placements/s + raw placer lane + snapshot probe.
+
+    Lanes alternate and the *gated* figure uses best-of CPU time
+    (``process_time``), the same protocol the simulator bench adopted:
+    wall-clock on this shared single-vCPU container fluctuates ±20%
+    across runs with neighbor load, which is noise about the machine,
+    not the code. Wall-clock is recorded alongside for context.
+    """
+    raw_cpu = raw_wall = float("inf")
+    engine_cpu = engine_wall = float("inf")
+    raw_assignment = None
+    engine_assignment = None
+    final_engine = None
+    for _ in range(repeats):
+        gc.collect()
+        placer = make_placer("optchain", N_SHARDS)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        raw_assignment = placer.place_stream(stream)
+        raw_cpu = min(raw_cpu, time.process_time() - cpu0)
+        raw_wall = min(raw_wall, time.perf_counter() - wall0)
+
+        gc.collect()
+        engine = PlacementEngine(
+            make_placer("optchain", N_SHARDS), epoch_length=epoch_length
+        )
+        shards = []
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        for offset in range(0, len(stream), batch_size):
+            shards.extend(
+                engine.place_batch(stream[offset : offset + batch_size])
+            )
+        engine_cpu = min(engine_cpu, time.process_time() - cpu0)
+        engine_wall = min(engine_wall, time.perf_counter() - wall0)
+        engine_assignment = shards
+        final_engine = engine
+
+    n_tx = len(stream)
+    stats = final_engine.stats()
+    return {
+        "n_tx": n_tx,
+        "n_shards": N_SHARDS,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "engine_tx_per_s": round(n_tx / engine_cpu, 1),
+        "raw_placer_tx_per_s": round(n_tx / raw_cpu, 1),
+        "engine_tx_per_s_wall": round(n_tx / engine_wall, 1),
+        "raw_placer_tx_per_s_wall": round(n_tx / raw_wall, 1),
+        "serving_overhead_pct": round(
+            100.0 * (engine_cpu / raw_cpu - 1.0), 1
+        ),
+        "identical_to_raw_placer": engine_assignment == raw_assignment,
+        "live_vectors": stats.live_vectors,
+        "released_vectors": stats.released_vectors,
+    }, raw_assignment
+
+
+def bench_snapshot(stream, tmp_dir, epoch_length):
+    """Checkpoint cost at the midpoint + restore equivalence."""
+    split = len(stream) // 2
+    reference = make_placer("optchain", N_SHARDS)
+    expected = reference.place_stream(stream)
+
+    engine = PlacementEngine(
+        make_placer("optchain", N_SHARDS), epoch_length=epoch_length
+    )
+    head = engine.place_batch(stream[:split])
+    path = Path(tmp_dir) / "bench_service.snap"
+    start = time.perf_counter()
+    size = engine.checkpoint(path)
+    save_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    restored = load_engine_snapshot(path)
+    load_seconds = time.perf_counter() - start
+    tail = restored.place_batch(stream[split:])
+    loads_identical = (
+        restored.placer._proxy.loads == reference._proxy.loads
+    )
+    path.unlink()
+    return {
+        "snapshot_at_tx": split,
+        "bytes": size,
+        "save_ms": round(save_seconds * 1e3, 2),
+        "load_ms": round(load_seconds * 1e3, 2),
+        "roundtrip_identical": head + tail == expected
+        and loads_identical,
+    }
+
+
+def bench_memory_bound(n_tx, batch_size, epoch_length, horizon_epochs):
+    """Stream n_tx through horizon truncation; sample live vectors."""
+    generator = BitcoinLikeGenerator(seed=STREAM_SEED)
+    engine = PlacementEngine(
+        make_placer("optchain", N_SHARDS),
+        epoch_length=epoch_length,
+        horizon_epochs=horizon_epochs,
+    )
+    gc.collect()
+    rss_start = rss_kb()
+    samples = []
+    sample_every = max(epoch_length, n_tx // 20)
+    next_sample = sample_every
+    start = time.perf_counter()
+    for chunk in chunk_stream(generator.stream(n_tx), batch_size):
+        engine.place_batch(chunk)
+        if engine.n_placed >= next_sample:
+            stats = engine.stats()
+            samples.append(
+                {
+                    "n_placed": stats.n_placed,
+                    "live_vectors": stats.live_vectors,
+                    "rss_kb": rss_kb(),
+                }
+            )
+            next_sample += sample_every
+    elapsed = time.perf_counter() - start
+    gc.collect()
+    stats = engine.stats()
+    live_bound = (horizon_epochs + 2) * epoch_length
+    return {
+        "n_tx": n_tx,
+        "n_shards": N_SHARDS,
+        "epoch_length": epoch_length,
+        "horizon_epochs": horizon_epochs,
+        "tx_per_s": round(n_tx / elapsed, 1),
+        "final_live_vectors": stats.live_vectors,
+        "peak_live_vectors": stats.peak_live_vectors,
+        "released_vectors": stats.released_vectors,
+        "live_vector_bound": live_bound,
+        "rss_start_kb": rss_start,
+        "rss_end_kb": rss_kb(),
+        "samples": samples,
+        # RSS caveat: the generator's wallet/UTXO model shares the
+        # process and grows with the stream; the *gated* memory claim
+        # is the live-vector bound, RSS is context.
+    }
+
+
+def bench_quality_drift(stream, raw_assignment, batch_size):
+    """What the horizon policy costs in placement quality."""
+    engine = PlacementEngine(
+        make_placer("optchain", N_SHARDS),
+        epoch_length=max(1_000, len(stream) // 20),
+        horizon_epochs=4,
+    )
+    truncated = []
+    for offset in range(0, len(stream), batch_size):
+        truncated.extend(
+            engine.place_batch(stream[offset : offset + batch_size])
+        )
+    exact_cross = cross_shard_fraction(stream, raw_assignment)
+    truncated_cross = cross_shard_fraction(stream, truncated)
+    changed = sum(
+        1 for a, b in zip(raw_assignment, truncated) if a != b
+    )
+    return {
+        "n_tx": len(stream),
+        "epoch_length": engine.stats().epoch_length,
+        "horizon_epochs": 4,
+        "exact_cross_shard": round(exact_cross, 6),
+        "truncated_cross_shard": round(truncated_cross, 6),
+        "cross_shard_delta": round(truncated_cross - exact_cross, 6),
+        "placements_changed_fraction": round(
+            changed / len(stream), 6
+        ),
+    }
+
+
+def bench_loadgen(n_tx, n_users, chunk_size):
+    """End-to-end socket path: server + closed-loop loadgen."""
+    stream = synthetic_stream(n_tx, seed=STREAM_SEED)
+
+    async def run():
+        engine = PlacementEngine(
+            make_placer("optchain", N_SHARDS), epoch_length=25_000
+        )
+        server = PlacementServer(engine, port=0)
+        await server.start()
+        try:
+            report = await run_loadgen_async(
+                port=server.port,
+                stream=stream,
+                n_users=n_users,
+                chunk_size=chunk_size,
+            )
+        finally:
+            await server.stop()
+        return report
+
+    report = asyncio.run(run())
+    payload = report.as_dict()
+    payload["transport"] = "tcp-localhost"
+    return payload
+
+
+def run(args):
+    t0 = time.perf_counter()
+    stream = synthetic_stream(args.txs, seed=STREAM_SEED)
+    gen_seconds = time.perf_counter() - t0
+
+    # Warm both lanes (allocator arenas + code paths) so the first
+    # measured repeat is not penalized; 20k tx is enough to stabilize.
+    warm = stream[: min(20_000, args.txs)]
+    make_placer("optchain", N_SHARDS).place_stream(warm)
+    warm_engine = PlacementEngine(make_placer("optchain", N_SHARDS))
+    warm_engine.place_batch(warm)
+
+    print(f"throughput (k={N_SHARDS}, {args.txs} tx) ...", flush=True)
+    throughput, raw_assignment = bench_throughput(
+        stream, args.batch_size, args.repeats, args.epoch_length
+    )
+    print(
+        f"  engine {throughput['engine_tx_per_s']:>12,.0f} tx/s   "
+        f"raw {throughput['raw_placer_tx_per_s']:>12,.0f} tx/s   "
+        f"overhead {throughput['serving_overhead_pct']}%",
+        flush=True,
+    )
+
+    print("snapshot ...", flush=True)
+    snapshot = bench_snapshot(stream, args.tmp_dir, args.epoch_length)
+    print(
+        f"  {snapshot['bytes']:,} bytes, save {snapshot['save_ms']}ms, "
+        f"load {snapshot['load_ms']}ms, identical="
+        f"{snapshot['roundtrip_identical']}",
+        flush=True,
+    )
+
+    print("quality drift (horizon truncation) ...", flush=True)
+    drift = bench_quality_drift(stream, raw_assignment, args.batch_size)
+    print(
+        f"  cross-shard {drift['exact_cross_shard']:.4f} -> "
+        f"{drift['truncated_cross_shard']:.4f} "
+        f"(delta {drift['cross_shard_delta']:+.4f})",
+        flush=True,
+    )
+
+    print(f"memory bound ({args.memory_txs} tx stream) ...", flush=True)
+    memory = bench_memory_bound(
+        args.memory_txs,
+        args.batch_size,
+        args.epoch_length,
+        args.horizon_epochs,
+    )
+    print(
+        f"  {memory['tx_per_s']:,.0f} tx/s, live vectors "
+        f"{memory['final_live_vectors']:,} (peak "
+        f"{memory['peak_live_vectors']:,}, bound "
+        f"{memory['live_vector_bound']:,}) of {args.memory_txs:,} tx; "
+        f"rss {memory['rss_start_kb']//1024}->"
+        f"{memory['rss_end_kb']//1024} MB",
+        flush=True,
+    )
+
+    print(f"loadgen over sockets ({args.loadgen_txs} tx) ...", flush=True)
+    loadgen = bench_loadgen(
+        args.loadgen_txs, args.loadgen_users, args.loadgen_chunk
+    )
+    print(
+        f"  {loadgen['placements_per_s']:,.0f} placements/s, "
+        f"p50 {loadgen['latency_ms_p50']}ms "
+        f"p95 {loadgen['latency_ms_p95']}ms",
+        flush=True,
+    )
+
+    payload = {
+        "meta": {
+            "stream_seed": STREAM_SEED,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "stream_generation_seconds": round(gen_seconds, 2),
+        },
+        "throughput": throughput,
+        "snapshot": snapshot,
+        "quality_drift": drift,
+        "memory_bound": memory,
+        "loadgen": loadgen,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        failures = check(payload, args)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("all checks passed")
+    return 0
+
+
+def check(payload, args):
+    """The acceptance gates; returns a list of failure messages."""
+    failures = []
+    throughput = payload["throughput"]
+    if throughput["engine_tx_per_s"] < args.min_throughput:
+        failures.append(
+            f"engine throughput {throughput['engine_tx_per_s']:,.0f} "
+            f"tx/s < {args.min_throughput:,.0f} at k={N_SHARDS}"
+        )
+    if not throughput["identical_to_raw_placer"]:
+        failures.append(
+            "engine placements diverge from the raw placer (exact "
+            "truncation must be invisible)"
+        )
+    if not payload["snapshot"]["roundtrip_identical"]:
+        failures.append("snapshot restore-then-continue diverged")
+    memory = payload["memory_bound"]
+    if memory["peak_live_vectors"] > memory["live_vector_bound"]:
+        failures.append(
+            f"peak live vectors {memory['peak_live_vectors']:,} "
+            f"exceed the horizon bound {memory['live_vector_bound']:,}"
+        )
+    if memory["final_live_vectors"] > 0.5 * memory["n_tx"]:
+        failures.append(
+            "live vectors are not meaningfully below the stream "
+            "length - truncation is not bounding memory"
+        )
+    if payload["loadgen"]["errors"]:
+        failures.append(
+            f"loadgen saw {payload['loadgen']['errors']} errors"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--txs", type=int, default=100_000)
+    parser.add_argument("--memory-txs", type=int, default=1_000_000)
+    parser.add_argument("--loadgen-txs", type=int, default=20_000)
+    parser.add_argument("--loadgen-users", type=int, default=8)
+    parser.add_argument("--loadgen-chunk", type=int, default=256)
+    # 8192 matches the server's max_batch_txs coalescing ceiling and
+    # measures best on this container (see PERFORMANCE.md).
+    parser.add_argument("--batch-size", type=int, default=8_192)
+    parser.add_argument("--epoch-length", type=int, default=25_000)
+    parser.add_argument("--horizon-epochs", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-throughput", type=float, default=100_000)
+    parser.add_argument("--tmp-dir", default="/tmp")
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        ),
+    )
+    parser.add_argument("--check", action="store_true")
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,10 @@ Subcommands:
   (``table1 table2 fig2 ... fig11`` or ``all``).
 - ``generate``   - write a synthetic workload to JSONL or edge-list.
 - ``stats``      - TaN statistics of a stream file.
+- ``serve``      - run the long-lived placement service (NDJSON over
+  TCP, checkpoint/restore, epoch-bounded T2S memory).
+- ``loadgen``    - replay a synthetic stream against a running service
+  from many simulated users (open or closed loop).
 """
 
 from __future__ import annotations
@@ -103,6 +107,62 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--format", choices=("jsonl", "edges"), default="jsonl"
     )
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived placement service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9171)
+    serve.add_argument("--method", default="optchain")
+    serve.add_argument("--shards", type=int, default=16)
+    serve.add_argument(
+        "--epoch-length",
+        type=int,
+        default=25_000,
+        help="placements per truncation epoch",
+    )
+    serve.add_argument(
+        "--horizon-epochs",
+        type=int,
+        default=None,
+        help="drop T2S vectors older than this many epochs (bounded "
+        "memory; omit for the exact fully-spent-only policy)",
+    )
+    serve.add_argument(
+        "--no-truncate-spent",
+        action="store_true",
+        help="keep even fully-spent vectors (measurement baseline)",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="snapshot file: restored on startup when it exists, "
+        "written on shutdown (SIGTERM/SIGINT/shutdown op)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8192, dest="max_batch",
+        help="micro-batch / request size ceiling in transactions",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen", help="replay a synthetic stream against a service"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=9171)
+    loadgen.add_argument("--transactions", type=int, default=20_000)
+    loadgen.add_argument("--users", type=int, default=8)
+    loadgen.add_argument("--chunk-size", type=int, default=256)
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed"
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load in tx/s (open mode)",
+    )
+    loadgen.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -207,12 +267,116 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from repro.core.placement import make_placer
+    from repro.service.engine import PlacementEngine
+    from repro.service.server import PlacementServer
+
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        engine = PlacementEngine.restore(args.checkpoint)
+        print(
+            f"restored {engine.n_placed} placements from "
+            f"{args.checkpoint}",
+            flush=True,
+        )
+        # The snapshot's configuration wins on restore (the placer's
+        # identity is baked into its state); flag any CLI flags it
+        # silently overrides so an operator expecting, say, a new
+        # horizon policy finds out at startup, not from memory graphs.
+        restored_config = dict(
+            engine.export_config(),
+            method=type(engine.placer).name,
+            shards=engine.n_shards,
+        )
+        requested = {
+            "method": args.method,
+            "shards": args.shards,
+            "epoch_length": args.epoch_length,
+            "horizon_epochs": args.horizon_epochs,
+            "truncate_spent": not args.no_truncate_spent,
+        }
+        for key, wanted in requested.items():
+            have = restored_config[key]
+            if wanted != have:
+                print(
+                    f"warning: --{key.replace('_', '-')}={wanted} "
+                    f"ignored; the checkpoint was taken with {have} "
+                    "(delete the checkpoint to reconfigure)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+    else:
+        engine = PlacementEngine(
+            make_placer(args.method, args.shards),
+            epoch_length=args.epoch_length,
+            horizon_epochs=args.horizon_epochs,
+            truncate_spent=not args.no_truncate_spent,
+        )
+
+    async def _run() -> None:
+        server = PlacementServer(
+            engine,
+            args.host,
+            args.port,
+            max_batch_txs=args.max_batch,
+            checkpoint_path=args.checkpoint,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: loop.create_task(server.stop())
+            )
+        print(
+            f"serving {args.method} (k={engine.n_shards}) on "
+            f"{args.host}:{server.port}",
+            flush=True,
+        )
+        await server.wait_stopped()
+        stats = engine.stats()
+        print(
+            f"stopped after {stats.n_placed} placements"
+            + (
+                f"; checkpoint written to {args.checkpoint}"
+                if args.checkpoint
+                else ""
+            ),
+            flush=True,
+        )
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.service.loadgen import run_loadgen
+
+    report = run_loadgen(
+        host=args.host,
+        port=args.port,
+        n_txs=args.transactions,
+        n_users=args.users,
+        chunk_size=args.chunk_size,
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+    )
+    print(report.summary())
+    return 0
+
+
 _HANDLERS = {
     "place": _cmd_place,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
     "generate": _cmd_generate,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

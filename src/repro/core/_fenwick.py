@@ -1,0 +1,64 @@
+"""Fenwick (binary-indexed) tree over 0/1 flags: count + order-select.
+
+The capped baselines need two queries about the *allowed* set (shards
+still under the size cap) to place a zero-score transaction exactly as
+the dense enumeration would: how many shards are allowed, and which is
+the i-th allowed shard in id order (the dense tied list is exactly the
+allowed ids ascending). Both are O(log n) here; maintaining the flags
+is O(log n) per cap transition, of which each shard has O(1) per cap
+level.
+"""
+
+from __future__ import annotations
+
+
+class FenwickFlags:
+    """0/1 flags over ``[0, n)`` with popcount and select."""
+
+    __slots__ = ("_tree", "_n", "_log", "total")
+
+    def __init__(self, n: int, initial: bool = True) -> None:
+        self._n = n
+        self._log = n.bit_length()
+        self.total = n if initial else 0
+        tree = [0] * (n + 1)
+        if initial:
+            # O(n) all-ones build: set each leaf, push into the parent.
+            for index in range(1, n + 1):
+                tree[index] += 1
+                parent = index + (index & -index)
+                if parent <= n:
+                    tree[parent] += tree[index]
+        self._tree = tree
+
+    def add(self, index: int, delta: int) -> None:
+        """Adjust the flag at ``index`` by ``delta`` (+1 set, -1 clear).
+
+        The caller keeps flags in {0, 1}; the tree does not re-check.
+        """
+        self.total += delta
+        position = index + 1
+        tree = self._tree
+        n = self._n
+        while position <= n:
+            tree[position] += delta
+            position += position & -position
+
+    def select(self, k: int) -> int:
+        """Index of the ``k``-th (0-based) set flag, ascending order."""
+        if not 0 <= k < self.total:
+            raise IndexError(
+                f"select({k}) out of range (total={self.total})"
+            )
+        tree = self._tree
+        n = self._n
+        position = 0
+        remaining = k + 1
+        bit = 1 << self._log
+        while bit:
+            probe = position + bit
+            if probe <= n and tree[probe] < remaining:
+                position = probe
+                remaining -= tree[probe]
+            bit >>= 1
+        return position

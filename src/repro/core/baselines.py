@@ -15,8 +15,9 @@
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Any, Sequence
 
+from repro.core._fenwick import FenwickFlags
 from repro.core.placement import PlacementStrategy
 from repro.core.t2s import T2SScorer
 from repro.errors import ConfigurationError, PlacementError
@@ -111,6 +112,7 @@ class _CappedPlacer(PlacementStrategy):
         # Lightest-shard queries (the all-capped fallback and the check
         # that some shard is still under the cap) are O(log n_shards).
         self.size_argmin()
+        self._rebuild_allowed()
 
     def _cap(self) -> float:
         if self.expected_total is not None:
@@ -153,8 +155,12 @@ class _CappedPlacer(PlacementStrategy):
         as the dense scan behaves when ``len(tied) == 1``. Whenever a
         zero score could win (empty support, every scored shard capped,
         or a zero top), the dense scan runs instead so tie enumeration -
-        and therefore RNG consumption - is byte-for-byte identical.
+        and therefore RNG consumption - is byte-for-byte identical. The
+        empty support (coinbase) case short-circuits further: see
+        :meth:`_zero_support_choice`.
         """
+        if not sparse_scores:
+            return self._zero_support_choice()
         cap = self._cap()
         sizes = self._shard_sizes
         top = 0.0
@@ -185,12 +191,136 @@ class _CappedPlacer(PlacementStrategy):
         )
         return self._pick_tied(tied)
 
+    def _zero_support_choice(self) -> int:
+        """Placement of a transaction with no scored shard (coinbase).
+
+        Every shard ties at score zero, so the dense scan's tied list is
+        exactly the under-cap ("allowed") shards in id order. That set
+        is maintained incrementally as 0/1 flags in a Fenwick tree
+        (:class:`~repro.core._fenwick.FenwickFlags`): its popcount is
+        the dense ``len(tied)`` and ``select(i)`` its ``tied[i]``, so
+        every tie-break reproduces the dense enumeration - including
+        its RNG consumption - in O(log k) instead of the seed's
+        O(n_shards) list builds per coinbase (measurable in bootstrap
+        bursts at 256+ shards; see tests/core/test_capped_fallback.py):
+
+        - ``random``: ``randrange(count)`` then ``select(i)`` - the
+          same draw, and the i-th allowed shard *is* ``tied[i]``;
+        - ``first``: ``select(0)``, the lowest allowed id;
+        - ``lightest``: the lazy size-argmin's minimum. The globally
+          smallest shard is always allowed while any shard is (its
+          size is the minimum), and both structures break size ties
+          toward the lower id, exactly like
+          ``min(tied, key=sizes.__getitem__)``.
+
+        With *every* shard capped (possible under a known-total cap on
+        tiny prefixes) the dense scan falls back to the lightest shard;
+        so does this.
+        """
+        self._sync_cap_limit()
+        allowed = self._allowed
+        count = allowed.total
+        if count == 0:
+            # All shards at the cap: the dense scan's explicit fallback.
+            return self.size_argmin().peek()[1]
+        if count == 1:
+            # len(tied) == 1 never touches the RNG in the dense path.
+            return allowed.select(0)
+        tie_break = self.tie_break
+        if tie_break == "random":
+            return allowed.select(self._rng.randrange(count))
+        if tie_break == "lightest":
+            return self.size_argmin().peek()[1]
+        return allowed.select(0)
+
+    # -- allowed-set maintenance (under-cap shards) ------------------------
+
+    def _rebuild_allowed(self) -> None:
+        """Recompute the allowed flags from sizes + cap (init/restore).
+
+        ``_cap_limit`` is the largest size a shard may hold and still
+        accept one more transaction (``size + 1 <= cap``), i.e. the
+        integer threshold the float cap collapses to; -1 means the cap
+        admits nothing. Shards above it are parked in per-size buckets
+        so a later cap rise can readmit exactly the levels it uncaps.
+        """
+        cap = self._cap()
+        limit = -1
+        if cap >= 1.0:
+            limit = max(0, math.floor(cap - 1.0))
+            while limit + 2 <= cap:
+                limit += 1
+            while limit >= 0 and limit + 1 > cap:
+                limit -= 1
+        self._cap_limit = limit
+        sizes = self._shard_sizes
+        capped_at: dict[int, set[int]] = {}
+        if self.n_placed == 0 and limit >= 0:
+            allowed = FenwickFlags(self.n_shards, initial=True)
+        else:
+            allowed = FenwickFlags(self.n_shards, initial=False)
+            for shard, size in enumerate(sizes):
+                if size <= limit:
+                    allowed.add(shard, 1)
+                else:
+                    capped_at.setdefault(size, set()).add(shard)
+        self._allowed = allowed
+        self._capped_at = capped_at
+
+    def _sync_cap_limit(self) -> None:
+        """Raise the integer cap threshold to match the (monotone) cap,
+        readmitting the size levels it uncapped. Amortized O(1): the
+        online cap rises ~(1 + epsilon) per n_shards placements and
+        each shard re-enters at most once per level."""
+        cap = self._cap()
+        limit = self._cap_limit
+        if limit + 2 > cap:
+            return
+        allowed = self._allowed
+        capped_at = self._capped_at
+        while limit + 2 <= cap:
+            limit += 1
+            bucket = capped_at.pop(limit, None)
+            if bucket:
+                for shard in bucket:
+                    allowed.add(shard, 1)
+        self._cap_limit = limit
+
+    def _bump_shard_size(self, shard: int) -> None:
+        super()._bump_shard_size(shard)
+        new_size = self._shard_sizes[shard]
+        limit = self._cap_limit
+        if new_size > limit:
+            old_size = new_size - 1
+            if old_size <= limit:
+                self._allowed.add(shard, -1)
+            else:
+                self._capped_at[old_size].discard(shard)
+            self._capped_at.setdefault(new_size, set()).add(shard)
+
     def _pick_tied(self, tied: Sequence[int]) -> int:
         if len(tied) == 1 or self.tie_break == "first":
             return tied[0]
         if self.tie_break == "lightest":
             return min(tied, key=self._shard_sizes.__getitem__)
         return tied[self._rng.randrange(len(tied))]
+
+    # -- snapshot/restore --------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        state = super().export_state()
+        # getstate() is (version, (625 uint32 words...), gauss_next).
+        state["rng_state"] = self._rng.getstate()
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        version, internal, gauss = state["rng_state"]
+        self._rng.setstate((version, tuple(internal), gauss))
+        # The allowed set is a pure function of sizes + cap (Fenwick
+        # sums commute, so rebuild order cannot perturb it) - derived,
+        # not serialized.
+        self._rebuild_allowed()
 
 
 class GreedyPlacer(_CappedPlacer):
@@ -263,6 +393,15 @@ class T2SOnlyPlacer(_CappedPlacer):
             tx.txid, tx.input_txids, len(tx.outputs)
         )
         self.scorer.place(tx.txid, shard)
+
+    def export_state(self) -> dict[str, Any]:
+        state = super().export_state()
+        state["scorer"] = self.scorer.export_state()
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self.scorer.restore_state(state["scorer"])
 
 
 class MetisOfflinePlacer(PlacementStrategy):

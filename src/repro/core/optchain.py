@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from heapq import heapify, heappop, heappush, heapreplace
-from typing import Callable, Final, Sequence
+from typing import Any, Callable, Final, Sequence
 
 from repro.core.fitness import PAPER_LATENCY_WEIGHT, TemporalFitness
 from repro.core.l2s import L2SEstimator, ShardLatencyModel
@@ -335,6 +335,41 @@ class LoadProxyLatencyProvider:
             )
         return models
 
+    # -- snapshot/restore --------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Plain-data dump of the proxy state (see service.state).
+
+        The decay clock (``step``/``offset``/``scale``) and both lazy
+        heaps are exported verbatim: the heaps' exact layout (including
+        stale entries) decides the traversal order of lightest-shard
+        queries and when sub-resolution shards get demoted, so they are
+        state, not a cache.
+        """
+        return {
+            "scaled": list(self._scaled),
+            "step": self._step,
+            "offset": self._offset,
+            "scale": self._scale,
+            "heap": [(value, index) for value, index in self._heap],
+            "zero_heap": list(self._zero_heap),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Load a dump produced by :meth:`export_state` (same config)."""
+        scaled = state["scaled"]
+        if len(scaled) != len(self._scaled):
+            raise ConfigurationError(
+                f"snapshot has {len(scaled)} shards, proxy has "
+                f"{len(self._scaled)}"
+            )
+        self._scaled[:] = scaled
+        self._step = state["step"]
+        self._offset = state["offset"]
+        self._scale = state["scale"]
+        self._heap[:] = [(value, index) for value, index in state["heap"]]
+        self._zero_heap[:] = list(state["zero_heap"])
+
     # -- internals ---------------------------------------------------------
 
     def _total_of_load(self, load: float) -> float:
@@ -449,7 +484,7 @@ class OptChainPlacer(PlacementStrategy):
             # so the scalar min-size tracker is not enough).
             self.size_argmin()
 
-    def place_stream(self, txs) -> list[int]:
+    def place_batch(self, txs) -> list[int]:
         """Batch placement with the per-transaction overhead hoisted out.
 
         For the default configuration (offline load proxy, ``shard_load``
@@ -459,12 +494,13 @@ class OptChainPlacer(PlacementStrategy):
         Decisions and final state are identical to calling
         :meth:`~repro.core.placement.PlacementStrategy.place` in a loop -
         the golden equivalence tests compare both against the reference
-        implementation.
+        implementation. Returns the shards of this batch only;
+        ``place_stream`` layers the full-assignment copy on top.
         """
         if self._path != _PATH_FUSED or self._size_argmin is not None:
             # The lazy argmin (enabled by other paths) expects a bump per
             # placement; the generic loop provides it.
-            return super().place_stream(txs)
+            return super().place_batch(txs)
         proxy = self._proxy
         scorer = self.scorer
         if scorer._pending is not None:
@@ -476,6 +512,7 @@ class OptChainPlacer(PlacementStrategy):
         assignment = self._assignment
         strat_sizes = self._shard_sizes
         min_size_val = self._min_shard_size
+        max_size_val = self._max_shard_size
         # Scorer state.
         p_prime_list = scorer._p_prime
         spender_count = scorer._spender_count
@@ -505,6 +542,7 @@ class OptChainPlacer(PlacementStrategy):
         has_scale = one_minus_alpha > 0.0
         has_eps = epsilon > 0.0
         n_placed = len(assignment)
+        batch_start = n_placed
 
         for tx in txs:
             txid = tx.txid
@@ -793,6 +831,11 @@ class OptChainPlacer(PlacementStrategy):
             n_placed += 1
             old_size = strat_sizes[shard]
             strat_sizes[shard] = old_size + 1
+            if old_size + 1 > max_size_val:
+                # Written through immediately (not at loop exit) so an
+                # exception mid-batch cannot strand a stale attribute.
+                max_size_val = old_size + 1
+                self._max_shard_size = max_size_val
             if old_size == min_size_val:
                 count = self._min_size_count - 1
                 if count == 0:
@@ -814,7 +857,7 @@ class OptChainPlacer(PlacementStrategy):
                 proxy._renormalize()
             elif len(heap) > heap_limit:
                 proxy._compact()
-        return list(assignment)
+        return assignment[batch_start:]
 
     def _choose(self, tx: Transaction) -> int:
         scorer = self.scorer
@@ -852,6 +895,43 @@ class OptChainPlacer(PlacementStrategy):
         self.scorer.place(tx.txid, shard)
         if self._proxy is not None:
             self._proxy.record(shard)
+
+    # -- snapshot/restore --------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Strategy + scorer + proxy state (see service.state).
+
+        Only the self-contained configurations are snapshotable: the
+        offline load proxy or no provider at all. A live latency
+        observer (the simulator's) reads external queues that no
+        placement snapshot could restore.
+        """
+        if self._proxy is None and self.latency_provider is not None:
+            raise PlacementError(
+                "only the offline load proxy or no latency provider "
+                "can be snapshotted; live observers hold external state"
+            )
+        state = super().export_state()
+        state["scorer"] = self.scorer.export_state()
+        if self._proxy is not None:
+            state["proxy"] = self._proxy.export_state()
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self.scorer.restore_state(state["scorer"])
+        if self._proxy is not None:
+            if "proxy" not in state:
+                raise PlacementError(
+                    "snapshot was taken without a load proxy but this "
+                    "placer has one"
+                )
+            self._proxy.restore_state(state["proxy"])
+        elif "proxy" in state:
+            raise PlacementError(
+                "snapshot carries load-proxy state but this placer "
+                "has no proxy"
+            )
 
     # -- decision paths ----------------------------------------------------
 

@@ -14,7 +14,7 @@ assignment so later transactions can see their inputs' shards via
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.core._argmin import LazyArgmin
 from repro.errors import ConfigurationError, PlacementError
@@ -49,6 +49,11 @@ class PlacementStrategy(ABC):
         # once per full level - O(1) per placement overall.
         self._min_shard_size = 0
         self._min_size_count = n_shards
+        # Exact running maximum, O(1): sizes only grow, so the maximum
+        # can only be advanced by the shard just bumped. The capped
+        # baselines use it to answer "is every shard under the cap?"
+        # without scanning (the coinbase-burst fast path).
+        self._max_shard_size = 0
 
     # -- contract ----------------------------------------------------------
 
@@ -75,10 +80,21 @@ class PlacementStrategy(ABC):
         return shard
 
     def place_stream(self, txs: Iterable[Transaction]) -> list[int]:
-        """Place a whole stream; returns the assignment list."""
-        for tx in txs:
-            self.place(tx)
+        """Place a whole stream; returns the *full* assignment so far."""
+        self.place_batch(txs)
         return list(self._assignment)
+
+    def place_batch(self, txs: Iterable[Transaction]) -> list[int]:
+        """Place a batch; returns the shards of *these* transactions only.
+
+        The long-lived serving path (:mod:`repro.service`): a server
+        placing millions of transactions in micro-batches must not pay
+        the O(n_placed) full-assignment copy that :meth:`place_stream`
+        returns per call. Decisions and state are identical to calling
+        :meth:`place` in a loop.
+        """
+        place = self.place
+        return [place(tx) for tx in txs]
 
     def force_place(self, tx: Transaction, shard: int) -> None:
         """Record an externally decided placement (warm starts).
@@ -153,10 +169,17 @@ class PlacementStrategy(ABC):
         """Exact size of the currently smallest shard, O(1)."""
         return self._min_shard_size
 
+    @property
+    def max_shard_size(self) -> int:
+        """Exact size of the currently largest shard, O(1)."""
+        return self._max_shard_size
+
     def _bump_shard_size(self, shard: int) -> None:
         sizes = self._shard_sizes
         old = sizes[shard]
         sizes[shard] = old + 1
+        if old + 1 > self._max_shard_size:
+            self._max_shard_size = old + 1
         if old == self._min_shard_size:
             count = self._min_size_count - 1
             if count == 0:
@@ -179,6 +202,58 @@ class PlacementStrategy(ABC):
         if self._size_argmin is None:
             self._size_argmin = LazyArgmin(self._shard_sizes)
         return self._size_argmin
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Plain-data dump of the mutable placement state.
+
+        Together with the constructor arguments this is everything a
+        fresh instance needs to continue the stream *bit-identically*
+        (see :mod:`repro.service.state` for the on-disk format and the
+        golden restore-then-continue test). Lazy heap contents are
+        exported verbatim: heap layout decides the traversal order of
+        tie-handling queries, so "semantically equal" rebuilt heaps are
+        not enough for the bit-identical contract.
+        """
+        state: dict[str, Any] = {
+            "assignment": list(self._assignment),
+            "shard_sizes": list(self._shard_sizes),
+            "min_shard_size": self._min_shard_size,
+            "min_size_count": self._min_size_count,
+            "max_shard_size": self._max_shard_size,
+        }
+        if self._size_argmin is not None:
+            state["size_argmin_heap"] = [
+                (value, index) for value, index in self._size_argmin._heap
+            ]
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Load a dump produced by :meth:`export_state`.
+
+        Must be called on an instance constructed with the same
+        parameters the exporting instance was. Backing lists are
+        mutated in place so long-lived references (lazy argmin heaps)
+        stay attached.
+        """
+        sizes = state["shard_sizes"]
+        if len(sizes) != self.n_shards:
+            raise PlacementError(
+                f"snapshot has {len(sizes)} shards, placer has "
+                f"{self.n_shards}"
+            )
+        self._assignment[:] = state["assignment"]
+        self._shard_sizes[:] = sizes
+        self._min_shard_size = state["min_shard_size"]
+        self._min_size_count = state["min_size_count"]
+        self._max_shard_size = state["max_shard_size"]
+        heap = state.get("size_argmin_heap")
+        if heap is not None:
+            argmin = self.size_argmin()
+            argmin._heap[:] = [(value, index) for value, index in heap]
+        elif self._size_argmin is not None:
+            self._size_argmin.rebuild()
 
 
 def make_placer(

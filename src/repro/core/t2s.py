@@ -31,7 +31,7 @@ ablation bench.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.errors import ConfigurationError, PlacementError
 
@@ -65,6 +65,7 @@ class T2SScorer:
         "_scale",
         "_spenders_divisor",
         "_min_mass",
+        "_released",
     )
 
     def __init__(
@@ -93,8 +94,10 @@ class T2SScorer:
         self.alpha = alpha
         self.outdeg_mode = outdeg_mode
         self.prune_epsilon = prune_epsilon
-        # p'(v) as sparse dict shard -> mass, per transaction.
-        self._p_prime: list[dict[int, float]] = []
+        # p'(v) as sparse dict shard -> mass, per transaction. A slot
+        # is None once the vector has been released (see
+        # :meth:`release_vector`).
+        self._p_prime: list[dict[int, float] | None] = []
         # Spender count observed so far, per transaction.
         self._spender_count: list[int] = []
         # Output (UTXO) count, per transaction. Only maintained (and
@@ -107,6 +110,10 @@ class T2SScorer:
         # empty). When ``bound * factor`` clears prune_epsilon, a child
         # vector can skip the entry-by-entry pruning filter entirely.
         self._min_mass: list[float] = []
+        # Vectors dropped by the truncation policy (repro.service): the
+        # slot holds None, which every read path treats as an empty
+        # vector (zero ancestry mass).
+        self._released = 0
         # Hot-loop constants, hoisted out of add_transaction_raw.
         self._scale = 1.0 - alpha
         self._spenders_divisor = outdeg_mode == "spenders"
@@ -123,9 +130,29 @@ class T2SScorer:
         """Copy of the per-shard placement counts ``|S_i|``."""
         return list(self._shard_sizes)
 
+    @property
+    def released_count(self) -> int:
+        """Vectors dropped so far by :meth:`release_vector`."""
+        return self._released
+
+    @property
+    def live_vector_count(self) -> int:
+        """Vectors still held in memory (added minus released).
+
+        This is the quantity the service-layer truncation policy bounds:
+        without truncation it equals :attr:`n_transactions` and the
+        store grows without limit (~1.5 GB at 10M transactions).
+        """
+        return len(self._p_prime) - self._released
+
     def p_prime_of(self, txid: int) -> dict[int, float]:
         """Copy of the unnormalized vector of a transaction."""
-        return dict(self._p_prime[txid])
+        vector = self._p_prime[txid]
+        if vector is None:
+            raise PlacementError(
+                f"vector of transaction {txid} was released"
+            )
+        return dict(vector)
 
     # -- the incremental recurrence ---------------------------------------
 
@@ -278,9 +305,14 @@ class T2SScorer:
         Empty shards divide by 1: a shard that holds nothing cannot hold
         ancestry, and its raw mass is necessarily 0 anyway.
         """
+        vector = self._p_prime[txid]
+        if vector is None:
+            raise PlacementError(
+                f"vector of transaction {txid} was released"
+            )
         return {
             shard: mass / max(1, self._shard_sizes[shard])
-            for shard, mass in self._p_prime[txid].items()
+            for shard, mass in vector.items()
         }
 
     def place(self, txid: int, shard: int) -> None:
@@ -306,6 +338,113 @@ class T2SScorer:
         if self.outdeg_mode == "spenders":
             return self._spender_count[parent]
         return max(self._output_count[parent], self._spender_count[parent])
+
+    # -- truncation (the epoch policy of repro.service) --------------------
+
+    def release_vector(self, txid: int) -> None:
+        """Drop the sparse vector of ``txid``; its slot reads as empty.
+
+        The service layer calls this for transactions that can never be
+        read again - fully-spent transactions whose spender counts have
+        frozen (every read of ``p'(v)`` happens when a new child spends
+        ``v``, and a fully-spent ``v`` admits no new children on a valid
+        stream) - and, in horizon mode, for transactions that have aged
+        out of the configured spend horizon. A released slot behaves as
+        a vector of all zeros on every scoring path, so releasing a
+        vector that *is* read later degrades the walk's ancestry signal
+        instead of crashing; the exactness guarantee (placements
+        bit-identical to an untruncated run) holds precisely when no
+        released vector would have been read.
+
+        Spender/output counts and the placement itself are kept - they
+        are O(1) scalars per transaction, and later arrivals still need
+        ``|Nout(v)|`` bookkeeping and ``assignment[v]``.
+        """
+        if not 0 <= txid < len(self._p_prime):
+            raise PlacementError(
+                f"cannot release unknown transaction {txid}"
+            )
+        if self._pending == txid:
+            raise PlacementError(
+                f"cannot release pending transaction {txid}"
+            )
+        if self._p_prime[txid] is not None:
+            self._p_prime[txid] = None
+            self._released += 1
+
+    def release_vectors(self, txids) -> None:
+        """Bulk :meth:`release_vector`: one call per truncation sweep.
+
+        The service engine releases thousands of vectors per epoch
+        boundary; per-txid method dispatch was ~5% of serving CPU, so
+        the sweep loop lives inside the scorer with the hot state bound
+        to locals.
+        """
+        p_prime = self._p_prime
+        n = len(p_prime)
+        pending = self._pending
+        released = 0
+        for txid in txids:
+            if not 0 <= txid < n:
+                raise PlacementError(
+                    f"cannot release unknown transaction {txid}"
+                )
+            if txid == pending:
+                raise PlacementError(
+                    f"cannot release pending transaction {txid}"
+                )
+            if p_prime[txid] is not None:
+                p_prime[txid] = None
+                released += 1
+        self._released += released
+
+    # -- snapshot/restore --------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Plain-data dump of the scorer state (see service.state).
+
+        Requires a quiescent scorer (no transaction added but not yet
+        placed); the serving layer only snapshots between batches, where
+        that always holds.
+        """
+        if self._pending is not None:
+            raise PlacementError(
+                f"cannot snapshot with transaction {self._pending} "
+                "pending placement"
+            )
+        state: dict[str, Any] = {
+            "p_prime": [
+                None if vector is None else dict(vector)
+                for vector in self._p_prime
+            ],
+            "spender_count": list(self._spender_count),
+            "min_mass": list(self._min_mass),
+            "shard_sizes": list(self._shard_sizes),
+            "released": self._released,
+        }
+        if not self._spenders_divisor:
+            state["output_count"] = list(self._output_count)
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Load a dump produced by :meth:`export_state` (same config)."""
+        sizes = state["shard_sizes"]
+        if len(sizes) != self.n_shards:
+            raise PlacementError(
+                f"snapshot has {len(sizes)} shards, scorer has "
+                f"{self.n_shards}"
+            )
+        self._p_prime[:] = [
+            None if vector is None else dict(vector)
+            for vector in state["p_prime"]
+        ]
+        self._spender_count[:] = state["spender_count"]
+        self._min_mass[:] = state["min_mass"]
+        self._shard_sizes[:] = sizes
+        self._released = state["released"]
+        if not self._spenders_divisor:
+            self._output_count[:] = state["output_count"]
+        self._pending = None
 
 
 def t2s_reference_dense(

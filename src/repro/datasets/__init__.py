@@ -21,6 +21,7 @@ from repro.datasets.io import (
     save_edge_list,
     save_stream_jsonl,
 )
+from repro.datasets.replay import chunk_stream, round_robin_chunks
 from repro.datasets.synthetic import (
     BitcoinLikeGenerator,
     GeneratorConfig,
@@ -35,6 +36,8 @@ __all__ = [
     "GeneratorConfig",
     "WalletModel",
     "account_model_stream",
+    "chunk_stream",
+    "round_robin_chunks",
     "load_edge_list",
     "load_stream_jsonl",
     "save_edge_list",

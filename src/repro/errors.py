@@ -63,3 +63,19 @@ class SimulationError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset file or stream is malformed."""
+
+
+class ServiceError(ReproError):
+    """Base class for placement-service (repro.service) failures."""
+
+
+class EngineError(ServiceError):
+    """A batch violates the serving contract (order, unknown/spent input)."""
+
+
+class SnapshotError(ServiceError):
+    """A snapshot file is missing, corrupt, or incompatible."""
+
+
+class ProtocolError(ServiceError):
+    """A wire request is malformed or exceeds server limits."""

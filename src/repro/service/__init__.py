@@ -1,0 +1,50 @@
+"""Long-lived placement serving layer.
+
+The paper frames OptChain as an *online* component that shards consult
+per incoming transaction (§IV, Alg. 1); everything else in this repo
+runs it inside one-shot experiment scripts. This package turns the
+placement engine into a stateful service that can survive a stream of
+millions of transactions:
+
+- :mod:`repro.service.engine` - :class:`PlacementEngine`, the
+  long-lived wrapper: batch validation against the serving contract,
+  and the epoch/truncation policy that bounds the T2S store's memory
+  (the seed store kept every sparse vector forever, ~1.5 GB at 10M
+  transactions).
+- :mod:`repro.service.state` - versioned snapshot/restore of the full
+  placement state (T2S vectors, lazy-decay load-proxy clocks, shard
+  sizes, RNG state) to a compact binary file, such that
+  restore-then-continue is bit-identical to an uninterrupted run.
+- :mod:`repro.service.server` - an asyncio server speaking
+  newline-delimited JSON with micro-batched dispatch into the fused
+  ``place_batch`` hot path, graceful drain and checkpoint-on-shutdown.
+- :mod:`repro.service.client` - sync and async clients.
+- :mod:`repro.service.loadgen` - an open/closed-loop load generator
+  replaying :mod:`repro.datasets.synthetic` streams from many simulated
+  users.
+
+Quickstart (in-process)::
+
+    from repro import OptChainPlacer
+    from repro.service import PlacementEngine
+
+    engine = PlacementEngine(
+        OptChainPlacer(n_shards=16), epoch_length=25_000, horizon_epochs=8
+    )
+    shards = engine.place_batch(batch_of_transactions)
+    engine.checkpoint("placement.snap")          # restartable
+    engine = PlacementEngine.restore("placement.snap")
+
+Over the wire: ``repro serve`` / ``repro loadgen`` (see the CLI), or
+``examples/placement_service.py`` for a scripted walkthrough.
+"""
+
+from repro.service.engine import EngineStats, PlacementEngine
+from repro.service.state import load_engine_snapshot, save_engine_snapshot
+
+__all__ = [
+    "EngineStats",
+    "PlacementEngine",
+    "load_engine_snapshot",
+    "save_engine_snapshot",
+]

@@ -1,0 +1,239 @@
+"""Clients for the placement service: blocking and asyncio.
+
+:class:`PlacementClient` is the simple blocking client - one socket,
+one request in flight, good for scripts, ops, and tests.
+
+:class:`AsyncPlacementClient` pipelines: requests are written as they
+are made and a background reader task resolves responses by ``id``, so
+an open-loop load generator can keep the wire full without waiting for
+each response (see :mod:`repro.service.loadgen`).
+
+Both speak the NDJSON protocol of :mod:`repro.service.wire` and raise
+:class:`~repro.errors.ServiceError` subclasses on failure responses:
+``code: "protocol"`` maps to :class:`~repro.errors.ProtocolError`,
+everything else to :class:`~repro.errors.EngineError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Sequence
+
+from repro.errors import EngineError, ProtocolError, ServiceError
+from repro.service.wire import encode_batch
+from repro.utxo.transaction import Transaction
+
+
+def _raise_for(response: dict) -> dict:
+    if not isinstance(response, dict):
+        raise ServiceError(f"malformed server response: {response!r}")
+    if response.get("ok"):
+        return response
+    error = response.get("error", "unknown server error")
+    if response.get("code") == "protocol":
+        raise ProtocolError(error)
+    raise EngineError(error)
+
+
+class PlacementClient:
+    """Blocking client; usable as a context manager."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 9171, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def request(self, message: dict[str, Any]) -> dict:
+        """Send one request and wait for its response (raises on error)."""
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        self._file.write(
+            json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != self._next_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        return _raise_for(response)
+
+    # -- operations --------------------------------------------------------
+
+    def place(
+        self, txs: Sequence[Transaction], full_outputs: bool = False
+    ) -> list[int]:
+        """Place a contiguous batch; returns its shard assignment."""
+        response = self.request(
+            {"op": "place", "txs": encode_batch(txs, full_outputs)}
+        )
+        return response["shards"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def checkpoint(self, path: "str | None" = None) -> dict:
+        message: dict[str, Any] = {"op": "checkpoint"}
+        if path is not None:
+            message["path"] = str(path)
+        return self.request(message)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PlacementClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncPlacementClient:
+    """Pipelining asyncio client.
+
+    Create with :meth:`connect`; every public operation may be issued
+    concurrently from many tasks over one connection.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._inflight: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 9171,
+        limit: int = 8 * 1024 * 1024,
+    ) -> "AsyncPlacementClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=limit
+        )
+        return cls(reader, writer)
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._inflight.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError, ValueError):
+            pass
+        finally:
+            # Mark closed *before* failing in-flight futures, so a
+            # submit() racing this shutdown cannot register a future
+            # that would never resolve.
+            self._closed = True
+            for future in self._inflight.values():
+                if not future.done():
+                    future.set_exception(
+                        ServiceError("connection closed before response")
+                    )
+            self._inflight.clear()
+
+    def submit(self, message: dict[str, Any]) -> "asyncio.Future[dict]":
+        """Write a request now; returns a future for its raw response.
+
+        The open-loop load generator uses this directly to decouple the
+        send schedule from response arrival.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        message = dict(message, id=request_id)
+        future: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        if self._closed:
+            # The reader already drained _inflight; writing to a dead
+            # transport would not raise, so the future would hang
+            # forever if we registered it.
+            future.set_exception(
+                ServiceError("connection closed before response")
+            )
+            return future
+        self._inflight[request_id] = future
+        self._writer.write(
+            json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        )
+        return future
+
+    async def request(self, message: dict[str, Any]) -> dict:
+        future = self.submit(message)
+        await self._writer.drain()
+        return _raise_for(await future)
+
+    # -- operations --------------------------------------------------------
+
+    async def place(
+        self, txs: Sequence[Transaction], full_outputs: bool = False
+    ) -> list[int]:
+        response = await self.request(
+            {"op": "place", "txs": encode_batch(txs, full_outputs)}
+        )
+        return response["shards"]
+
+    def place_nowait(
+        self, txs: Sequence[Transaction], full_outputs: bool = False
+    ) -> "asyncio.Future[dict]":
+        """Pipelined place: returns the raw-response future."""
+        return self.submit(
+            {"op": "place", "txs": encode_batch(txs, full_outputs)}
+        )
+
+    async def stats(self) -> dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def checkpoint(self, path: "str | None" = None) -> dict:
+        message: dict[str, Any] = {"op": "checkpoint"}
+        if path is not None:
+            message["path"] = str(path)
+        return await self.request(message)
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def shutdown(self) -> None:
+        await self.request({"op": "shutdown"})
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass

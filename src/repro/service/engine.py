@@ -1,0 +1,404 @@
+"""The long-lived placement engine: validation + epoch-bounded memory.
+
+:class:`PlacementEngine` wraps a :class:`~repro.core.placement.
+PlacementStrategy` for serving. It adds exactly what a one-shot
+experiment script never needed:
+
+**The serving contract.** Batches are validated *atomically* before any
+state advances: transactions must arrive in dense stream order, and
+every input must reference a known, not-fully-spent output. A rejected
+batch leaves the engine byte-identical to before the call, so a server
+can return an error to one client and keep serving the rest.
+
+**The epoch/truncation policy.** The T2S store keeps one sparse vector
+per transaction, read only when a later transaction spends one of its
+outputs. Two observations bound that memory:
+
+1. A *fully-spent* transaction can never be read again on a valid
+   stream - its spender count has frozen - so its vector is released
+   (dropped) at the next epoch boundary. This is **exact**: placements
+   are bit-identical to an untruncated run (the golden truncation test
+   pins this).
+2. With ``horizon_epochs`` set, vectors older than the horizon are
+   released even if outputs remain unspent, which caps live vectors at
+   roughly ``(horizon_epochs + 1) * epoch_length`` regardless of stream
+   length. Spends that reach behind the horizon are still *accepted* -
+   a released slot scores as zero ancestry mass, so the walk degrades
+   gracefully instead of failing - but they can no longer be validated
+   or contribute T2S signal. The random-walk mass of an ancestor
+   ``d`` generations back carries a ``(1 - alpha)^d`` factor, so for
+   the paper's ``alpha = 0.5`` the signal lost with a generous horizon
+   is far below ``prune_epsilon`` in almost all cases; the measured
+   placement-quality drift is recorded in BENCH_service.json.
+
+Both releases are batched at epoch boundaries (every ``epoch_length``
+placements), amortizing the sweep to O(1) per transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.core.placement import PlacementStrategy
+from repro.core.t2s import T2SScorer
+from repro.errors import ConfigurationError, EngineError
+from repro.utxo.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import pathlib
+
+
+@dataclass(frozen=True, slots=True)
+class EngineStats:
+    """A consistent point-in-time view of the engine's counters."""
+
+    strategy: str
+    n_shards: int
+    n_placed: int
+    #: Sparse T2S vectors currently held in memory (None for strategies
+    #: without a T2S scorer, e.g. ``omniledger``).
+    live_vectors: int | None
+    #: Vectors dropped so far by the truncation policy.
+    released_vectors: int | None
+    #: Largest live-vector count ever observed at an epoch boundary.
+    peak_live_vectors: int | None
+    #: First txid still inside the spend horizon (0 = no horizon drop yet).
+    horizon_start: int
+    #: Completed epochs (``n_placed // epoch_length``).
+    epoch: int
+    #: Transactions with unspent outputs currently tracked for
+    #: validation (the engine-side analogue of the UTXO set size).
+    tracked_unspent: int
+    epoch_length: int
+    horizon_epochs: int | None
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump (the server's ``stats`` op)."""
+        return {
+            "strategy": self.strategy,
+            "n_shards": self.n_shards,
+            "n_placed": self.n_placed,
+            "live_vectors": self.live_vectors,
+            "released_vectors": self.released_vectors,
+            "peak_live_vectors": self.peak_live_vectors,
+            "horizon_start": self.horizon_start,
+            "epoch": self.epoch,
+            "tracked_unspent": self.tracked_unspent,
+            "epoch_length": self.epoch_length,
+            "horizon_epochs": self.horizon_epochs,
+        }
+
+
+class PlacementEngine:
+    """Long-lived, checkpointable wrapper around a placement strategy.
+
+    Parameters:
+
+    - ``placer``: a fresh strategy (no placements yet); restored engines
+      come from :meth:`restore` instead.
+    - ``epoch_length``: placements per epoch; truncation sweeps run at
+      epoch boundaries.
+    - ``horizon_epochs``: if set, vectors older than this many epochs
+      are dropped even when not fully spent (bounded memory, graceful
+      signal loss - see the module docstring). ``None`` keeps the exact
+      fully-spent-only policy, whose memory bound is the stream's
+      unspent frontier.
+    - ``truncate_spent``: release fully-spent vectors (exact). Disable
+      only to measure the untruncated baseline.
+    """
+
+    def __init__(
+        self,
+        placer: PlacementStrategy,
+        *,
+        epoch_length: int = 25_000,
+        horizon_epochs: int | None = None,
+        truncate_spent: bool = True,
+        _preplaced_ok: bool = False,
+    ) -> None:
+        if epoch_length < 1:
+            raise ConfigurationError(
+                f"epoch_length must be >= 1, got {epoch_length}"
+            )
+        if horizon_epochs is not None and horizon_epochs < 1:
+            raise ConfigurationError(
+                f"horizon_epochs must be >= 1 (or None), got "
+                f"{horizon_epochs}"
+            )
+        if placer.n_placed and not _preplaced_ok:
+            raise ConfigurationError(
+                "PlacementEngine needs a fresh placer: it must observe "
+                "every placement to track spendable outputs (restore a "
+                "snapshot with PlacementEngine.restore instead)"
+            )
+        self._placer = placer
+        self._epoch_length = epoch_length
+        self._horizon_epochs = horizon_epochs
+        self._truncate_spent = truncate_spent
+        scorer = getattr(placer, "scorer", None)
+        self._scorer: T2SScorer | None = (
+            scorer if isinstance(scorer, T2SScorer) else None
+        )
+        self._collect_spent = self._scorer is not None and truncate_spent
+        # txid -> bitmask of still-unspent output indexes, for every
+        # in-horizon transaction that has any (bit i set = output i
+        # spendable), so validation is per-outpoint: double-spending
+        # output 0 while output 1 is unspent is caught, and so is a
+        # fabricated output index. Entries are dropped the moment the
+        # mask hits zero (which is also what flags the vector for
+        # release) or when the horizon passes them.
+        self._remaining: dict[int, int] = {}
+        # A placer failure mid-batch (after validation committed) would
+        # leave bookkeeping and placements out of step; the engine
+        # poisons itself rather than serve from inconsistent state.
+        self._poisoned = False
+        # Fully-spent txids awaiting the next epoch-boundary release.
+        self._pending_release: list[int] = []
+        self._horizon_start = 0
+        self._epoch = 0
+        self._peak_live = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def placer(self) -> PlacementStrategy:
+        """The wrapped strategy (read-only use: assignments, sizes)."""
+        return self._placer
+
+    @property
+    def n_placed(self) -> int:
+        """Transactions placed so far."""
+        return self._placer.n_placed
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards served."""
+        return self._placer.n_shards
+
+    @property
+    def horizon_start(self) -> int:
+        """First txid whose vector the horizon policy still retains."""
+        return self._horizon_start
+
+    def stats(self) -> EngineStats:
+        scorer = self._scorer
+        live = scorer.live_vector_count if scorer is not None else None
+        if live is not None and live > self._peak_live:
+            self._peak_live = live
+        return EngineStats(
+            strategy=type(self._placer).name or type(self._placer).__name__,
+            n_shards=self._placer.n_shards,
+            n_placed=self._placer.n_placed,
+            live_vectors=live,
+            released_vectors=(
+                scorer.released_count if scorer is not None else None
+            ),
+            peak_live_vectors=(
+                self._peak_live if scorer is not None else None
+            ),
+            horizon_start=self._horizon_start,
+            epoch=self._epoch,
+            tracked_unspent=len(self._remaining),
+            epoch_length=self._epoch_length,
+            horizon_epochs=self._horizon_epochs,
+        )
+
+    # -- the serving hot path ----------------------------------------------
+
+    def place_batch(self, txs: Iterable[Transaction]) -> list[int]:
+        """Validate and place one batch; returns its shard assignment.
+
+        Validation is atomic: on :class:`~repro.errors.EngineError`
+        nothing has changed and the engine keeps serving. After a batch
+        commits, any epoch boundaries it crossed run the truncation
+        sweeps.
+        """
+        if self._poisoned:
+            raise EngineError(
+                "engine is poisoned: a placement failure after batch "
+                "validation left bookkeeping and placements out of "
+                "step; restore the last checkpoint"
+            )
+        batch = txs if isinstance(txs, list) else list(txs)
+        self._apply_inputs(batch)
+        try:
+            shards = self._placer.place_batch(batch)
+        except Exception:
+            # Validation passed, so this is a placer bug (or a placer
+            # violating the snapshotable contract); the spent-output
+            # journal was already committed and partial placements
+            # cannot be unwound, so refuse further service instead of
+            # serving from a desynced state.
+            self._poisoned = True
+            raise
+        if (
+            self._placer.n_placed // self._epoch_length != self._epoch
+        ):
+            self._advance_epochs()
+        return shards
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, path: "str | pathlib.Path") -> int:
+        """Write a snapshot to ``path``; returns the byte size written.
+
+        The engine must be quiescent (between batches) - always true
+        from the single-threaded server loop and from straight-line
+        client code.
+        """
+        from repro.service.state import save_engine_snapshot
+
+        return save_engine_snapshot(self, path)
+
+    @classmethod
+    def restore(cls, path: "str | pathlib.Path") -> "PlacementEngine":
+        """Rebuild an engine from a snapshot; continuing the stream is
+        bit-identical to never having stopped (the golden restore test
+        pins this across processes)."""
+        from repro.service.state import load_engine_snapshot
+
+        return load_engine_snapshot(path)
+
+    # -- snapshot plumbing (plain-data state, serialized by state.py) ------
+
+    def export_config(self) -> dict[str, Any]:
+        """Constructor arguments (placer excluded)."""
+        return {
+            "epoch_length": self._epoch_length,
+            "horizon_epochs": self._horizon_epochs,
+            "truncate_spent": self._truncate_spent,
+        }
+
+    def export_state(self) -> dict[str, Any]:
+        """Mutable engine bookkeeping as plain data."""
+        return {
+            "remaining": dict(self._remaining),
+            "pending_release": list(self._pending_release),
+            "horizon_start": self._horizon_start,
+            "epoch": self._epoch,
+            "peak_live": self._peak_live,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Load a dump produced by :meth:`export_state` (same config)."""
+        self._remaining = dict(state["remaining"])
+        self._pending_release = list(state["pending_release"])
+        self._horizon_start = state["horizon_start"]
+        self._epoch = state["epoch"]
+        self._peak_live = state["peak_live"]
+
+    # -- internals ---------------------------------------------------------
+
+    def _apply_inputs(self, batch: Sequence[Transaction]) -> None:
+        """Validate and advance the unspent-output bookkeeping.
+
+        One journaled pass (this brackets the fused placement loop on
+        the serving hot path, so it is written like one): mutations are
+        applied eagerly while an undo log records each entry's previous
+        value, and an :class:`~repro.errors.EngineError` rolls the log
+        back before propagating - the caller observes atomic
+        all-or-nothing batches either way.
+        """
+        first_txid = self._placer.n_placed
+        next_txid = first_txid
+        horizon_start = self._horizon_start
+        remaining = self._remaining
+        remaining_get = remaining.get
+        collect = self._collect_spent
+        pending = self._pending_release
+        pending_mark = len(pending)
+        # (txid, previous_mask) pairs for *spent* entries only. Entries
+        # the batch itself created need no journal: their keys are
+        # exactly [first_txid, failure point), so rollback pops that
+        # range after restoring the spend journal (which may include
+        # batch-created parents - restore order handles it).
+        undo: list[tuple[int, int]] = []
+        record = undo.append
+        try:
+            for tx in batch:
+                txid = tx.txid
+                if txid != next_txid:
+                    raise EngineError(
+                        f"transactions must arrive in dense stream "
+                        f"order: got {txid}, expected {next_txid}"
+                    )
+                next_txid += 1
+                for outpoint in tx.inputs:
+                    parent = outpoint.txid
+                    if parent >= txid:
+                        raise EngineError(
+                            f"transaction {txid} references a "
+                            f"non-earlier transaction {parent}"
+                        )
+                    if parent < horizon_start:
+                        # Beyond the spend horizon: accepted (zero
+                        # ancestry mass), but no longer validatable -
+                        # the horizon traded that bookkeeping away for
+                        # bounded memory.
+                        continue
+                    mask = remaining_get(parent)
+                    if mask is None:
+                        raise EngineError(
+                            f"transaction {txid} spends an unknown or "
+                            f"fully-spent transaction {parent}"
+                        )
+                    bit = 1 << outpoint.index
+                    if not mask & bit:
+                        raise EngineError(
+                            f"transaction {txid} spends output "
+                            f"{outpoint.index} of transaction {parent}, "
+                            f"which does not exist or is already spent"
+                        )
+                    record((parent, mask))
+                    mask ^= bit
+                    if mask:
+                        remaining[parent] = mask
+                    else:
+                        del remaining[parent]
+                        if collect:
+                            pending.append(parent)
+                n_outputs = len(tx.outputs)
+                if n_outputs:
+                    remaining[txid] = (1 << n_outputs) - 1
+                elif collect:
+                    # Zero outputs: nothing to spend, the vector can
+                    # never be read - release at the next boundary like
+                    # any fully-spent transaction.
+                    pending.append(txid)
+        except EngineError:
+            del pending[pending_mark:]
+            for key, previous in reversed(undo):
+                remaining[key] = previous
+            for key in range(first_txid, next_txid):
+                remaining.pop(key, None)
+            raise
+
+    def _advance_epochs(self) -> None:
+        """Run the truncation sweeps for every boundary just crossed."""
+        self._epoch = epoch = self._placer.n_placed // self._epoch_length
+        scorer = self._scorer
+        if scorer is None:
+            if self._horizon_epochs is not None:
+                self._drop_horizon(epoch)
+            return
+        if self._collect_spent and self._pending_release:
+            scorer.release_vectors(self._pending_release)
+            self._pending_release.clear()
+        if self._horizon_epochs is not None:
+            self._drop_horizon(epoch)
+        live = scorer.live_vector_count
+        if live > self._peak_live:
+            self._peak_live = live
+
+    def _drop_horizon(self, epoch: int) -> None:
+        new_start = (epoch - self._horizon_epochs) * self._epoch_length
+        if new_start <= self._horizon_start:
+            return
+        remaining = self._remaining
+        scorer = self._scorer
+        if scorer is not None:
+            scorer.release_vectors(range(self._horizon_start, new_start))
+        for txid in range(self._horizon_start, new_start):
+            remaining.pop(txid, None)
+        self._horizon_start = new_start

@@ -1,0 +1,408 @@
+"""Asyncio placement server: NDJSON protocol, micro-batched dispatch.
+
+Architecture (single process, single event loop):
+
+- **Connection handlers** parse one JSON request per line and spawn a
+  task per request, so one slow ``place`` does not stall a pipelining
+  client's later lines (responses carry the request ``id``).
+- **The sequencer** keys every ``place`` request by its first txid in a
+  reorder buffer. Clients replay disjoint chunks of one global stream
+  (see :mod:`repro.datasets.replay`); whichever order their requests
+  arrive in, only the contiguous run starting at the engine's
+  ``n_placed`` cursor is dispatchable.
+- **The dispatcher** (one task) pops that contiguous run, *coalesces*
+  consecutive requests into a single micro-batch (up to
+  ``max_batch_txs``), and feeds it to
+  :meth:`~repro.service.engine.PlacementEngine.place_batch` - one entry
+  into the fused allocation-free hot path for many small requests. If a
+  merged batch is rejected, it is replayed request-by-request so only
+  the offending request fails (engine validation is atomic, so the
+  retry is exact).
+- **Shutdown** (``shutdown`` op, SIGTERM, or SIGINT via the CLI) stops
+  accepting work, drains every dispatchable request, answers the rest
+  with a ``shutdown`` error, writes a checkpoint when a path is
+  configured, and only then closes - a restarted server resumes from
+  the checkpoint bit-identically.
+
+Placement is CPU-bound Python, so it intentionally runs *on* the event
+loop: a worker thread would serialize on the GIL anyway and add
+handoff latency. Micro-batches keep each blocking stretch short.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import EngineError, ProtocolError
+from repro.service.engine import PlacementEngine
+from repro.service.wire import OPS, PROTOCOL_VERSION, decode_batch
+from repro.utxo.transaction import Transaction
+
+DEFAULT_PORT = 9171
+
+
+class _Pending:
+    """One enqueued ``place`` request waiting for dispatch."""
+
+    __slots__ = ("txs", "future")
+
+    def __init__(
+        self, txs: list[Transaction], future: "asyncio.Future[dict]"
+    ) -> None:
+        self.txs = txs
+        self.future = future
+
+    def resolve(self, shards: list[int]) -> None:
+        if not self.future.done():
+            self.future.set_result({"ok": True, "shards": shards})
+
+    def fail(self, code: str, error: str) -> None:
+        if not self.future.done():
+            self.future.set_result(
+                {"ok": False, "code": code, "error": error}
+            )
+
+
+class PlacementServer:
+    """A long-lived placement service over one :class:`PlacementEngine`."""
+
+    def __init__(
+        self,
+        engine: PlacementEngine,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        max_batch_txs: int = 8192,
+        max_reorder_requests: int = 1024,
+        max_line_bytes: int = 8 * 1024 * 1024,
+        checkpoint_path: "str | None" = None,
+    ) -> None:
+        self._engine = engine
+        self._host = host
+        self._port = port
+        self._max_batch_txs = max_batch_txs
+        self._max_reorder = max_reorder_requests
+        self._max_line_bytes = max_line_bytes
+        self._checkpoint_path = checkpoint_path
+        self._pending: dict[int, _Pending] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._dispatch_event = asyncio.Event()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._line_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def engine(self) -> PlacementEngine:
+        return self._engine
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self._port
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self._host,
+            self._port,
+            limit=self._max_line_bytes,
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Drain, checkpoint (if configured), close. Idempotent."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        self._dispatch_event.set()
+        if self._dispatcher is not None:
+            try:
+                await self._dispatcher
+            except Exception:  # noqa: BLE001 - a dead dispatcher must
+                # not block the drain/checkpoint sequence below.
+                pass
+        for key in sorted(self._pending):
+            self._pending.pop(key).fail(
+                "shutdown",
+                "server shut down before the txid gap before this "
+                "request was filled",
+            )
+        if self._checkpoint_path is not None:
+            self._engine.checkpoint(self._checkpoint_path)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._line_tasks:
+            await asyncio.gather(
+                *list(self._line_tasks), return_exceptions=True
+            )
+        for writer in list(self._writers):
+            writer.close()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Line overran the stream limit; the framing is now
+                    # unrecoverable on this connection.
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {
+                            "id": None,
+                            "ok": False,
+                            "code": "protocol",
+                            "error": (
+                                "request line exceeds "
+                                f"{self._max_line_bytes} bytes"
+                            ),
+                        },
+                    )
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break
+                data = line.strip()
+                if not data:
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(data, writer, write_lock)
+                )
+                self._line_tasks.add(task)
+                task.add_done_callback(self._line_tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            # In-flight requests from this connection stay in the
+            # sequencer: their txids are part of the global order, so
+            # they are placed (or failed) normally - only the response
+            # write is skipped once the peer is gone.
+            if not writer.is_closing():
+                writer.close()
+
+    async def _serve_line(
+        self,
+        data: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: Any = None
+        try:
+            try:
+                message = json.loads(data)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"request is not valid JSON: {exc}")
+            if isinstance(message, dict):
+                request_id = message.get("id")
+            response = await self._handle(message)
+        except ProtocolError as exc:
+            response = {"ok": False, "code": "protocol", "error": str(exc)}
+        except EngineError as exc:
+            response = {"ok": False, "code": "engine", "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - one bad line must not
+            # take the server down; report and keep serving.
+            response = {
+                "ok": False,
+                "code": "protocol",
+                "error": f"internal error handling request: {exc!r}",
+            }
+        response["id"] = request_id
+        await self._write(writer, write_lock, response)
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: dict,
+    ) -> None:
+        payload = json.dumps(response, separators=(",", ":")).encode()
+        try:
+            async with write_lock:
+                writer.write(payload + b"\n")
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            # Peer vanished mid-response; nothing to do - state already
+            # advanced and the stream stays consistent for everyone else.
+            pass
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, message: Any) -> dict:
+        if not isinstance(message, dict):
+            raise ProtocolError("request must be a JSON object")
+        op = message.get("op")
+        if op not in OPS:
+            raise ProtocolError(
+                f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+            )
+        if op == "place":
+            return await self._handle_place(message)
+        if op == "stats":
+            return {"ok": True, "stats": self._engine.stats().as_dict()}
+        if op == "checkpoint":
+            path = message.get("path") or self._checkpoint_path
+            if not path:
+                raise ProtocolError(
+                    "no checkpoint path: pass \"path\" or start the "
+                    "server with one"
+                )
+            size = self._engine.checkpoint(path)
+            return {"ok": True, "path": str(path), "bytes": size}
+        if op == "ping":
+            return {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "n_placed": self._engine.n_placed,
+            }
+        # shutdown: ack first, then stop out-of-band so this handler
+        # (a line task stop() would otherwise wait on) can finish.
+        asyncio.get_running_loop().create_task(self.stop())
+        return {"ok": True}
+
+    async def _handle_place(self, message: dict) -> dict:
+        if self._stopping:
+            return {
+                "ok": False,
+                "code": "shutdown",
+                "error": "server is shutting down",
+            }
+        txs = decode_batch(message.get("txs"))
+        if len(txs) > self._max_batch_txs:
+            raise ProtocolError(
+                f"batch of {len(txs)} exceeds max_batch_txs="
+                f"{self._max_batch_txs}"
+            )
+        first = txs[0].txid
+        if first < self._engine.n_placed:
+            raise EngineError(
+                f"transactions from {first} were already placed "
+                f"(next expected: {self._engine.n_placed})"
+            )
+        if first in self._pending:
+            raise ProtocolError(
+                f"a request starting at txid {first} is already queued"
+            )
+        if len(self._pending) >= self._max_reorder:
+            raise ProtocolError(
+                f"reorder buffer full ({self._max_reorder} requests "
+                "waiting for earlier txids)"
+            )
+        future: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[first] = _Pending(txs, future)
+        self._dispatch_event.set()
+        return await future
+
+    # -- the dispatcher ----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._dispatch_event.wait()
+            self._dispatch_event.clear()
+            await self._dispatch_ready()
+            if self._stopping:
+                return
+
+    async def _dispatch_ready(self) -> None:
+        """Place every currently dispatchable request.
+
+        Yields to the event loop between coalesced micro-batches so a
+        large dispatchable backlog cannot starve pings, new lines, or
+        the blocking client's socket timeout; the engine is quiescent
+        at every yield point, which is what keeps mid-backlog
+        checkpoints consistent.
+        """
+        engine = self._engine
+        pending = self._pending
+        while pending:
+            next_txid = engine.n_placed
+            entry = pending.pop(next_txid, None)
+            if entry is None:
+                # Requests the cursor has passed (their range overlaps
+                # something already placed) can never dispatch: fail
+                # them now instead of leaking reorder slots + hanging
+                # their clients until shutdown.
+                stale = [key for key in pending if key < next_txid]
+                for key in stale:
+                    pending.pop(key).fail(
+                        "engine",
+                        f"transactions from {key} were already placed "
+                        f"(next expected: {next_txid})",
+                    )
+                if not stale:
+                    return
+                continue
+            group = [entry]
+            batch = list(entry.txs)
+            run_next = next_txid + len(batch)
+            while len(batch) < self._max_batch_txs:
+                follower = pending.pop(run_next, None)
+                if follower is None:
+                    break
+                group.append(follower)
+                batch.extend(follower.txs)
+                run_next += len(follower.txs)
+            try:
+                shards = engine.place_batch(batch)
+            except EngineError as exc:
+                if len(group) == 1:
+                    entry.fail("engine", str(exc))
+                    continue
+                # Atomic validation means nothing was placed; replay
+                # one request at a time so only the offender fails
+                # (later requests then fail on the txid gap it left,
+                # which is the honest outcome).
+                for member in group:
+                    try:
+                        member.resolve(engine.place_batch(member.txs))
+                    except EngineError as member_exc:
+                        member.fail("engine", str(member_exc))
+                continue
+            except Exception as exc:  # noqa: BLE001 - a placer bug must
+                # fail these requests, not kill the dispatcher: every
+                # later request (and the shutdown drain) still needs it.
+                for member in group:
+                    member.fail(
+                        "engine",
+                        f"internal error placing batch: {exc!r}",
+                    )
+                continue
+            offset = 0
+            for member in group:
+                count = len(member.txs)
+                member.resolve(shards[offset : offset + count])
+                offset += count
+            await asyncio.sleep(0)
+
+
+async def start_server(
+    engine: PlacementEngine,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    **kwargs: Any,
+) -> PlacementServer:
+    """Construct and start a :class:`PlacementServer`."""
+    server = PlacementServer(engine, host, port, **kwargs)
+    await server.start()
+    return server

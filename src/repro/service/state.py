@@ -1,0 +1,466 @@
+"""Versioned snapshot/restore of the full placement-engine state.
+
+Restoring a snapshot and continuing the stream is **bit-identical** to
+an uninterrupted run (pinned across processes by
+``tests/service/test_golden_restore.py``). Everything that decides a
+future placement is captured exactly:
+
+- the T2S store: every live sparse vector *in insertion order* (dict
+  iteration order feeds the multi-parent accumulation order, so it is
+  part of the arithmetic), spender counts, min-mass pruning bounds;
+- the load proxy's lazy-decay clock (``step``/``offset``/``scale``) and
+  both lazy heaps *verbatim* - heap layout (including stale entries)
+  decides tie-traversal order and when sub-resolution shards demote;
+- the strategy bookkeeping (assignment, shard sizes, min/max trackers,
+  optional size-argmin heap) and the capped baselines' Mersenne state;
+- the engine's truncation bookkeeping (unspent-output counts, pending
+  releases, horizon cursor).
+
+On-disk layout (version 1)::
+
+    8 bytes   magic  b"OCSNAP" + version u16 (little-endian)
+    4 bytes   header length u32 (little-endian)
+    N bytes   header JSON (configs, scalars, section table)
+    ...       raw array sections, concatenated in table order
+
+Numeric bulk state lives in typed array sections (``array`` module
+native layout: 4-byte ids/counts, 8-byte doubles/sizes), which is what
+makes the format compact - a 25k-transaction OptChain snapshot is a few
+hundred KB where a pickled object graph is several MB. Doubles are
+stored as raw IEEE-754 bytes, so floats round-trip exactly (including
+``inf`` min-mass sentinels). The format records the host byte order
+and refuses to load a foreign one: checkpoints are a service-restart
+mechanism, not an interchange format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Any
+
+from repro import __version__
+from repro.core.baselines import (
+    GreedyPlacer,
+    OmniLedgerRandomPlacer,
+    T2SOnlyPlacer,
+)
+from repro.core.optchain import USE_LOAD_PROXY, OptChainPlacer
+from repro.core.placement import PlacementStrategy
+from repro.errors import SnapshotError
+from repro.service.engine import PlacementEngine
+
+MAGIC = b"OCSNAP"
+FORMAT_VERSION = 1
+
+#: Section typecodes: ids/counts are 4-byte, sizes 8-byte (a shard can
+#: outgrow 2^31 placements long before a txid list would), masses are
+#: raw doubles.
+_ALLOWED_TYPECODES = ("i", "q", "d", "I", "B")
+
+
+# -- serialization helpers -------------------------------------------------
+
+
+class _SectionWriter:
+    """Accumulates named typed-array sections plus the header table."""
+
+    def __init__(self) -> None:
+        self.table: list[dict[str, Any]] = []
+        self.blobs: list[bytes] = []
+
+    def add(self, name: str, typecode: str, values) -> None:
+        data = array(typecode, values)
+        self.table.append(
+            {"name": name, "typecode": typecode, "count": len(data)}
+        )
+        self.blobs.append(data.tobytes())
+
+
+class _SectionReader:
+    def __init__(self, table: list[dict[str, Any]], payload: bytes) -> None:
+        self._sections: dict[str, array] = {}
+        offset = 0
+        for entry in table:
+            typecode = entry["typecode"]
+            if typecode not in _ALLOWED_TYPECODES:
+                raise SnapshotError(
+                    f"snapshot section {entry['name']!r} has unsupported "
+                    f"typecode {typecode!r}"
+                )
+            data = array(typecode)
+            nbytes = entry["count"] * data.itemsize
+            chunk = payload[offset : offset + nbytes]
+            if len(chunk) != nbytes:
+                raise SnapshotError(
+                    f"snapshot truncated in section {entry['name']!r}"
+                )
+            data.frombytes(chunk)
+            self._sections[entry["name"]] = data
+            offset += nbytes
+        if offset != len(payload):
+            raise SnapshotError(
+                f"snapshot has {len(payload) - offset} trailing bytes"
+            )
+
+    def get(self, name: str) -> array:
+        try:
+            return self._sections[name]
+        except KeyError:
+            raise SnapshotError(f"snapshot is missing section {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+
+# -- placer spec (reconstruction recipe) -----------------------------------
+
+
+def _placer_spec(placer: PlacementStrategy) -> dict[str, Any]:
+    """Constructor recipe for the supported strategies."""
+    name = type(placer).name
+    if isinstance(placer, OptChainPlacer) and name == "optchain":
+        return {
+            "strategy": "optchain",
+            "n_shards": placer.n_shards,
+            "alpha": placer.scorer.alpha,
+            "latency_weight": placer.fitness.latency_weight,
+            "l2s_mode": placer.l2s_mode,
+            "outdeg_mode": placer.scorer.outdeg_mode,
+            "has_proxy": placer._proxy is not None,
+        }
+    if isinstance(placer, T2SOnlyPlacer) and name == "t2s":
+        return {
+            "strategy": "t2s",
+            "n_shards": placer.n_shards,
+            "epsilon": placer.epsilon,
+            "expected_total": placer.expected_total,
+            "tie_break": placer.tie_break,
+            "alpha": placer.scorer.alpha,
+            "outdeg_mode": placer.scorer.outdeg_mode,
+        }
+    if isinstance(placer, GreedyPlacer) and name == "greedy":
+        return {
+            "strategy": "greedy",
+            "n_shards": placer.n_shards,
+            "epsilon": placer.epsilon,
+            "expected_total": placer.expected_total,
+            "tie_break": placer.tie_break,
+        }
+    if isinstance(placer, OmniLedgerRandomPlacer) and name == "omniledger":
+        return {"strategy": "omniledger", "n_shards": placer.n_shards}
+    raise SnapshotError(
+        f"strategy {name or type(placer).__name__!r} is not snapshotable "
+        "(supported: optchain, t2s, greedy, omniledger)"
+    )
+
+
+def _build_placer(spec: dict[str, Any]) -> PlacementStrategy:
+    strategy = spec.get("strategy")
+    n_shards = spec["n_shards"]
+    if strategy == "optchain":
+        return OptChainPlacer(
+            n_shards,
+            alpha=spec["alpha"],
+            latency_weight=spec["latency_weight"],
+            latency_provider=(
+                USE_LOAD_PROXY if spec["has_proxy"] else None
+            ),
+            l2s_mode=spec["l2s_mode"],
+            outdeg_mode=spec["outdeg_mode"],
+        )
+    if strategy == "t2s":
+        return T2SOnlyPlacer(
+            n_shards,
+            epsilon=spec["epsilon"],
+            expected_total=spec["expected_total"],
+            tie_break=spec["tie_break"],
+            alpha=spec["alpha"],
+            outdeg_mode=spec["outdeg_mode"],
+        )
+    if strategy == "greedy":
+        return GreedyPlacer(
+            n_shards,
+            epsilon=spec["epsilon"],
+            expected_total=spec["expected_total"],
+            tie_break=spec["tie_break"],
+        )
+    if strategy == "omniledger":
+        return OmniLedgerRandomPlacer(n_shards)
+    raise SnapshotError(f"snapshot names unknown strategy {strategy!r}")
+
+
+# -- state <-> sections ----------------------------------------------------
+
+
+def _write_placer_state(
+    writer: _SectionWriter, state: dict[str, Any], header: dict[str, Any]
+) -> None:
+    writer.add("assignment", "i", state["assignment"])
+    writer.add("shard_sizes", "q", state["shard_sizes"])
+    header["placer_scalars"] = {
+        "min_shard_size": state["min_shard_size"],
+        "min_size_count": state["min_size_count"],
+        "max_shard_size": state["max_shard_size"],
+    }
+    heap = state.get("size_argmin_heap")
+    if heap is not None:
+        writer.add("argmin_value", "q", (value for value, _ in heap))
+        writer.add("argmin_index", "i", (index for _, index in heap))
+
+    scorer = state.get("scorer")
+    header["has_scorer"] = scorer is not None
+    if scorer is not None:
+        nnz = array("i")
+        shards = array("i")
+        mass = array("d")
+        for vector in scorer["p_prime"]:
+            if vector is None:
+                nnz.append(-1)
+            else:
+                nnz.append(len(vector))
+                for shard, value in vector.items():
+                    shards.append(shard)
+                    mass.append(value)
+        writer.add("t2s_nnz", "i", nnz)
+        writer.add("t2s_shards", "i", shards)
+        writer.add("t2s_mass", "d", mass)
+        writer.add("t2s_spenders", "i", scorer["spender_count"])
+        writer.add("t2s_min_mass", "d", scorer["min_mass"])
+        writer.add("t2s_shard_sizes", "q", scorer["shard_sizes"])
+        header["t2s_released"] = scorer["released"]
+        if "output_count" in scorer:
+            writer.add("t2s_outputs", "i", scorer["output_count"])
+
+    proxy = state.get("proxy")
+    header["has_proxy_state"] = proxy is not None
+    if proxy is not None:
+        writer.add("proxy_scaled", "d", proxy["scaled"])
+        writer.add(
+            "proxy_heap_value", "d", (value for value, _ in proxy["heap"])
+        )
+        writer.add(
+            "proxy_heap_index", "i", (index for _, index in proxy["heap"])
+        )
+        writer.add("proxy_zero_heap", "i", proxy["zero_heap"])
+        header["proxy_scalars"] = {
+            "step": proxy["step"],
+            "offset": proxy["offset"],
+            "scale": proxy["scale"],
+        }
+
+    rng = state.get("rng_state")
+    header["has_rng"] = rng is not None
+    if rng is not None:
+        version, words, gauss = rng
+        writer.add("rng_words", "I", words)
+        header["rng_scalars"] = {"version": version, "gauss": gauss}
+
+
+def _read_placer_state(
+    reader: _SectionReader, header: dict[str, Any]
+) -> dict[str, Any]:
+    scalars = header["placer_scalars"]
+    state: dict[str, Any] = {
+        "assignment": reader.get("assignment").tolist(),
+        "shard_sizes": reader.get("shard_sizes").tolist(),
+        "min_shard_size": scalars["min_shard_size"],
+        "min_size_count": scalars["min_size_count"],
+        "max_shard_size": scalars["max_shard_size"],
+    }
+    if "argmin_value" in reader:
+        state["size_argmin_heap"] = list(
+            zip(
+                reader.get("argmin_value").tolist(),
+                reader.get("argmin_index").tolist(),
+            )
+        )
+    if header["has_scorer"]:
+        nnz = reader.get("t2s_nnz")
+        shards = reader.get("t2s_shards").tolist()
+        mass = reader.get("t2s_mass").tolist()
+        p_prime: list[dict[int, float] | None] = []
+        cursor = 0
+        for count in nnz:
+            if count < 0:
+                p_prime.append(None)
+            else:
+                end = cursor + count
+                p_prime.append(
+                    dict(zip(shards[cursor:end], mass[cursor:end]))
+                )
+                cursor = end
+        if cursor != len(shards):
+            raise SnapshotError(
+                "t2s_nnz does not account for every stored entry"
+            )
+        scorer: dict[str, Any] = {
+            "p_prime": p_prime,
+            "spender_count": reader.get("t2s_spenders").tolist(),
+            "min_mass": reader.get("t2s_min_mass").tolist(),
+            "shard_sizes": reader.get("t2s_shard_sizes").tolist(),
+            "released": header["t2s_released"],
+        }
+        if "t2s_outputs" in reader:
+            scorer["output_count"] = reader.get("t2s_outputs").tolist()
+        state["scorer"] = scorer
+    if header["has_proxy_state"]:
+        proxy_scalars = header["proxy_scalars"]
+        state["proxy"] = {
+            "scaled": reader.get("proxy_scaled").tolist(),
+            "heap": list(
+                zip(
+                    reader.get("proxy_heap_value").tolist(),
+                    reader.get("proxy_heap_index").tolist(),
+                )
+            ),
+            "zero_heap": reader.get("proxy_zero_heap").tolist(),
+            "step": proxy_scalars["step"],
+            "offset": proxy_scalars["offset"],
+            "scale": proxy_scalars["scale"],
+        }
+    if header["has_rng"]:
+        rng_scalars = header["rng_scalars"]
+        state["rng_state"] = (
+            rng_scalars["version"],
+            tuple(reader.get("rng_words").tolist()),
+            rng_scalars["gauss"],
+        )
+    return state
+
+
+# -- public API ------------------------------------------------------------
+
+
+def save_engine_snapshot(
+    engine: PlacementEngine, path: "str | Path"
+) -> int:
+    """Serialize ``engine`` to ``path``; returns bytes written.
+
+    The write goes through a temporary sibling file and an atomic
+    rename, so an interrupted checkpoint never corrupts the previous
+    one.
+    """
+    placer = engine.placer
+    header: dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "byteorder": sys.byteorder,
+        "repro_version": __version__,
+        "placer": _placer_spec(placer),
+        "engine_config": engine.export_config(),
+        "n_placed": placer.n_placed,
+    }
+    writer = _SectionWriter()
+    _write_placer_state(writer, placer.export_state(), header)
+
+    engine_state = engine.export_state()
+    remaining = engine_state["remaining"]
+    # Values are unspent-output bitmasks of arbitrary width (one bit
+    # per output; batch payouts can exceed 63 outputs), so they travel
+    # as length-prefixed big-endian byte strings.
+    mask_bytes = [
+        mask.to_bytes((mask.bit_length() + 7) // 8, "big")
+        for mask in remaining.values()
+    ]
+    writer.add("remaining_txid", "q", remaining.keys())
+    writer.add("remaining_nbytes", "i", (len(b) for b in mask_bytes))
+    writer.add("remaining_masks", "B", b"".join(mask_bytes))
+    writer.add("pending_release", "q", engine_state["pending_release"])
+    header["engine_scalars"] = {
+        "horizon_start": engine_state["horizon_start"],
+        "epoch": engine_state["epoch"],
+        "peak_live": engine_state["peak_live"],
+    }
+
+    header["sections"] = writer.table
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<H", FORMAT_VERSION))
+        fh.write(struct.pack("<I", len(header_bytes)))
+        fh.write(header_bytes)
+        for blob in writer.blobs:
+            fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+        size = fh.tell()
+    os.replace(tmp, path)
+    return size
+
+
+def load_engine_snapshot(path: "str | Path") -> PlacementEngine:
+    """Rebuild a :class:`PlacementEngine` from a snapshot file."""
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}")
+    if len(raw) < 14 or raw[:6] != MAGIC:
+        raise SnapshotError(f"{path} is not an OptChain snapshot")
+    (version,) = struct.unpack_from("<H", raw, 6)
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format {version} is not supported (this build "
+            f"reads format {FORMAT_VERSION})"
+        )
+    (header_len,) = struct.unpack_from("<I", raw, 8)
+    header_end = 12 + header_len
+    if header_end > len(raw):
+        raise SnapshotError(f"{path} is truncated inside the header")
+    try:
+        header = json.loads(raw[12:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path} has a corrupt header: {exc}")
+    if header.get("byteorder") != sys.byteorder:
+        raise SnapshotError(
+            f"snapshot was written on a {header.get('byteorder')}-endian "
+            f"host; this host is {sys.byteorder}-endian"
+        )
+    reader = _SectionReader(header["sections"], raw[header_end:])
+
+    placer = _build_placer(header["placer"])
+    placer.restore_state(_read_placer_state(reader, header))
+    if placer.n_placed != header["n_placed"]:
+        raise SnapshotError(
+            f"snapshot claims {header['n_placed']} placements but "
+            f"carries {placer.n_placed}"
+        )
+
+    config = header["engine_config"]
+    engine = PlacementEngine(
+        placer,
+        epoch_length=config["epoch_length"],
+        horizon_epochs=config["horizon_epochs"],
+        truncate_spent=config["truncate_spent"],
+        _preplaced_ok=True,
+    )
+    scalars = header["engine_scalars"]
+    mask_blob = reader.get("remaining_masks").tobytes()
+    masks = []
+    cursor = 0
+    for nbytes in reader.get("remaining_nbytes"):
+        masks.append(
+            int.from_bytes(mask_blob[cursor : cursor + nbytes], "big")
+        )
+        cursor += nbytes
+    if cursor != len(mask_blob):
+        raise SnapshotError(
+            "remaining_nbytes does not account for every mask byte"
+        )
+    engine.restore_state(
+        {
+            "remaining": dict(
+                zip(reader.get("remaining_txid").tolist(), masks)
+            ),
+            "pending_release": reader.get("pending_release").tolist(),
+            "horizon_start": scalars["horizon_start"],
+            "epoch": scalars["epoch"],
+            "peak_live": scalars["peak_live"],
+        }
+    )
+    return engine

@@ -1,0 +1,158 @@
+"""Wire codec for the placement service (newline-delimited JSON).
+
+One request or response per line. Every request carries an ``op`` and a
+client-chosen ``id`` that the response echoes, so clients may pipeline.
+
+Transactions travel in a compact array form::
+
+    [txid, [[parent_txid, output_index], ...], n_outputs]
+
+``n_outputs`` may instead be a list of ``[value, address]`` pairs
+(``encode_tx(..., full_outputs=True)``) when output *content* matters -
+placement itself only reads the output count, but hash-based strategies
+(``omniledger``) fold output values into the transaction digest, so
+replaying through the wire with bare counts would change their
+placements. OptChain and the capped baselines are count-only.
+
+Requests::
+
+    {"op": "place",      "id": 1, "txs": [...]}        -> {"id": 1, "ok": true, "shards": [...]}
+    {"op": "stats",      "id": 2}                      -> {"id": 2, "ok": true, "stats": {...}}
+    {"op": "checkpoint", "id": 3, "path": "x.snap"?}   -> {"id": 3, "ok": true, "path": ..., "bytes": n}
+    {"op": "ping",       "id": 4}                      -> {"id": 4, "ok": true, "n_placed": n}
+    {"op": "shutdown",   "id": 5}                      -> {"id": 5, "ok": true}  (then drain + close)
+
+Errors: ``{"id": ..., "ok": false, "error": "...", "code": "protocol" |
+"engine" | "shutdown"}``. Protocol errors are the client's fault (bad
+JSON, unknown op, oversized batch); engine errors are serving-contract
+violations (out-of-order txids, double spends) - both leave the server
+serving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ProtocolError
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+#: Wire-format/protocol revision, echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Output-count ceiling per transaction: far above any real workload
+#: (the generator's exchange payouts top out at 40) while keeping a
+#: hostile count from ballooning the decoded tuple and the engine's
+#: per-output spend bitmask.
+MAX_OUTPUTS_PER_TX = 65_536
+
+OPS = ("place", "stats", "checkpoint", "ping", "shutdown")
+
+
+def encode_tx(tx: Transaction, full_outputs: bool = False) -> list[Any]:
+    """Compact array form of one transaction."""
+    outputs: Any
+    if full_outputs:
+        outputs = [[out.value, out.address] for out in tx.outputs]
+    else:
+        outputs = len(tx.outputs)
+    return [
+        tx.txid,
+        [[op.txid, op.index] for op in tx.inputs],
+        outputs,
+    ]
+
+
+def decode_tx(obj: Any) -> Transaction:
+    """Rebuild a :class:`Transaction` from the wire form.
+
+    Raises :class:`~repro.errors.ProtocolError` on malformed input; the
+    message is safe to echo back to the client.
+    """
+    if not isinstance(obj, (list, tuple)) or len(obj) != 3:
+        raise ProtocolError(
+            "transaction must be [txid, inputs, outputs], got "
+            f"{type(obj).__name__}"
+        )
+    txid, inputs, outputs = obj
+    if not isinstance(txid, int) or isinstance(txid, bool) or txid < 0:
+        raise ProtocolError(f"txid must be a non-negative int, got {txid!r}")
+    if not isinstance(inputs, (list, tuple)):
+        raise ProtocolError("inputs must be a list of [txid, index] pairs")
+    decoded_inputs = []
+    for entry in inputs:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not isinstance(entry[0], int)
+            or not isinstance(entry[1], int)
+            or isinstance(entry[0], bool)
+            or isinstance(entry[1], bool)
+            or entry[0] < 0
+            or entry[1] < 0
+        ):
+            raise ProtocolError(
+                f"input must be [parent_txid, output_index], got {entry!r}"
+            )
+        decoded_inputs.append(OutPoint(entry[0], entry[1]))
+    if isinstance(outputs, int) and not isinstance(outputs, bool):
+        if not 0 <= outputs <= MAX_OUTPUTS_PER_TX:
+            raise ProtocolError(
+                f"n_outputs must be in [0, {MAX_OUTPUTS_PER_TX}], "
+                f"got {outputs}"
+            )
+        decoded_outputs = tuple(TxOutput(0) for _ in range(outputs))
+    elif isinstance(outputs, (list, tuple)):
+        if len(outputs) > MAX_OUTPUTS_PER_TX:
+            raise ProtocolError(
+                f"transaction has {len(outputs)} outputs; the limit "
+                f"is {MAX_OUTPUTS_PER_TX}"
+            )
+        decoded = []
+        for entry in outputs:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], int)
+                or not isinstance(entry[1], int)
+            ):
+                raise ProtocolError(
+                    f"output must be [value, address], got {entry!r}"
+                )
+            decoded.append(TxOutput(value=entry[0], address=entry[1]))
+        decoded_outputs = tuple(decoded)
+    else:
+        raise ProtocolError(
+            "outputs must be an int count or a list of [value, address]"
+        )
+    return Transaction(
+        txid=txid, inputs=tuple(decoded_inputs), outputs=decoded_outputs
+    )
+
+
+def decode_batch(objs: Any) -> list[Transaction]:
+    """Decode a ``place`` payload; enforces a contiguous txid run.
+
+    The server's reorder buffer keys each request by its first txid and
+    merges contiguous runs, so a request with internal gaps could never
+    be dispatched - rejected here with a precise message instead.
+    """
+    if not isinstance(objs, (list, tuple)):
+        raise ProtocolError("txs must be a list")
+    if not objs:
+        raise ProtocolError("txs must not be empty")
+    batch = [decode_tx(entry) for entry in objs]
+    first = batch[0].txid
+    for index, tx in enumerate(batch):
+        if tx.txid != first + index:
+            raise ProtocolError(
+                f"txs must form a contiguous txid run: position {index} "
+                f"has txid {tx.txid}, expected {first + index}"
+            )
+    return batch
+
+
+def encode_batch(
+    txs: Sequence[Transaction], full_outputs: bool = False
+) -> list[list[Any]]:
+    """Encode a batch for a ``place`` request."""
+    return [encode_tx(tx, full_outputs) for tx in txs]

@@ -1,0 +1,99 @@
+"""The capped baselines' coinbase/empty-support fast path.
+
+ROADMAP item: the dense fallback in ``_best_allowed_sparse`` built an
+O(n_shards) score list per coinbase, measurable during bootstrap bursts
+at 256+ shards. The fix answers the empty-support case in O(1) (random
+/ first tie-breaks) or O(log k) (lightest) when every shard is under
+the cap, and must stay *byte-identical* - same placements, same RNG
+consumption - to the dense enumeration it replaces, which the seed
+implementations still use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core._seed_reference import SeedGreedyPlacer, SeedT2SOnlyPlacer
+from repro.core.baselines import GreedyPlacer, T2SOnlyPlacer
+from repro.datasets.synthetic import GeneratorConfig, synthetic_stream
+
+N_SHARDS = 256
+
+
+@pytest.fixture(scope="module")
+def burst_stream():
+    """A coinbase-heavy stream: long bootstrap era plus a tight
+    coinbase cadence keeps the empty-support path hot throughout."""
+    config = GeneratorConfig(
+        n_wallets=300,
+        coinbase_interval=5,
+        bootstrap_coinbase=400,
+    )
+    return synthetic_stream(3_000, seed=99, config=config)
+
+
+@pytest.mark.parametrize("tie_break", ["random", "first", "lightest"])
+@pytest.mark.parametrize(
+    "fast_cls,seed_cls",
+    [(GreedyPlacer, SeedGreedyPlacer), (T2SOnlyPlacer, SeedT2SOnlyPlacer)],
+)
+def test_256_shard_coinbase_burst_matches_seed(
+    burst_stream, fast_cls, seed_cls, tie_break
+):
+    fast = fast_cls(N_SHARDS, tie_break=tie_break, seed=5)
+    seed = seed_cls(N_SHARDS, tie_break=tie_break, seed=5)
+    assert fast.place_stream(burst_stream) == seed.place_stream(
+        burst_stream
+    )
+    # Same RNG consumption, not just same placements: the generators
+    # must sit at the same point of the Mersenne sequence.
+    assert fast._rng.random() == seed._rng.random()
+
+
+@pytest.mark.parametrize("tie_break", ["random", "first", "lightest"])
+def test_known_total_cap_still_matches_seed(burst_stream, tie_break):
+    """With expected_total set, tiny caps force the capped fallback -
+    the fast path must detect the at-cap shard and fall back densely."""
+    total = len(burst_stream)
+    fast = GreedyPlacer(
+        8, expected_total=total, tie_break=tie_break, seed=2
+    )
+    seed = SeedGreedyPlacer(
+        8, expected_total=total, tie_break=tie_break, seed=2
+    )
+    assert fast.place_stream(burst_stream) == seed.place_stream(
+        burst_stream
+    )
+    assert fast._rng.random() == seed._rng.random()
+
+
+def test_single_shard_consumes_no_rng(burst_stream):
+    """k=1: the dense tied list has one element, so the seed never
+    touches the RNG - the fast path must not either."""
+    fast = GreedyPlacer(1, tie_break="random", seed=3)
+    seed = SeedGreedyPlacer(1, tie_break="random", seed=3)
+    fast.place_stream(burst_stream[:500])
+    seed.place_stream(burst_stream[:500])
+    assert fast._rng.random() == seed._rng.random()
+
+
+def test_empty_support_is_sublinear_in_shards(burst_stream):
+    """The structural claim behind the fix: a coinbase placement no
+    longer enumerates shards. Instrument ``_best_allowed`` (the dense
+    fallback) and count how often a pure-coinbase prefix reaches it."""
+    placer = GreedyPlacer(N_SHARDS, tie_break="random", seed=7)
+    calls = 0
+    original = placer._best_allowed
+
+    def counting(scores):
+        nonlocal calls
+        calls += 1
+        return original(scores)
+
+    placer._best_allowed = counting
+    coinbase_prefix = burst_stream[:400]
+    assert all(tx.is_coinbase for tx in coinbase_prefix)
+    placer.place_stream(coinbase_prefix)
+    assert calls == 0, (
+        f"{calls} coinbase placements fell back to the dense scan"
+    )

@@ -1,0 +1,88 @@
+"""The golden restore test (ISSUE 3 satellite).
+
+Place 50k synthetic transactions; snapshot at 25k; restore the snapshot
+in a **fresh process**; continue to 50k. The shard assignments and the
+load proxy's decayed per-shard loads must be bit-identical to the
+uninterrupted run - not close, identical - which is what makes
+checkpoint/restart an invisible operational event rather than a
+behavioral one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.placement import make_placer
+from repro.datasets.synthetic import synthetic_stream
+from repro.service.engine import PlacementEngine
+
+N_TX = 50_000
+SPLIT = 25_000
+SEED = 2024
+N_SHARDS = 16
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.datasets.synthetic import synthetic_stream
+from repro.service.engine import PlacementEngine
+
+snapshot_path, n_tx, split, seed = sys.argv[1:5]
+stream = synthetic_stream(int(n_tx), seed=int(seed))
+engine = PlacementEngine.restore(snapshot_path)
+assert engine.n_placed == int(split), engine.n_placed
+tail = engine.place_batch(stream[int(split):])
+loads = [value.hex() for value in engine.placer._proxy.loads]
+json.dump({"tail": tail, "loads": loads}, sys.stdout)
+"""
+
+
+def test_snapshot_restore_fresh_process_bit_identical(tmp_path):
+    stream = synthetic_stream(N_TX, seed=SEED)
+
+    # The uninterrupted reference run.
+    reference = make_placer("optchain", N_SHARDS)
+    expected = reference.place_stream(stream)
+    expected_loads = [value.hex() for value in reference._proxy.loads]
+
+    # Interrupted run: place half, checkpoint, abandon the process
+    # state entirely.
+    engine = PlacementEngine(
+        make_placer("optchain", N_SHARDS), epoch_length=5_000
+    )
+    head = engine.place_batch(stream[:SPLIT])
+    assert head == expected[:SPLIT]
+    snapshot = tmp_path / "golden.snap"
+    engine.checkpoint(snapshot)
+
+    # Fresh interpreter: restore and continue.
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(src)
+    )
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD_SCRIPT,
+            str(snapshot),
+            str(N_TX),
+            str(SPLIT),
+            str(SEED),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+
+    assert head + payload["tail"] == expected
+    assert payload["loads"] == expected_loads

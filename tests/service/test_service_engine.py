@@ -1,0 +1,200 @@
+"""PlacementEngine: serving contract + epoch/truncation policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import make_placer
+from repro.errors import ConfigurationError, EngineError
+from repro.service.engine import PlacementEngine
+from repro.utxo.transaction import OutPoint, Transaction, TxOutput
+
+
+def _tx(txid, inputs=(), n_outputs=1):
+    return Transaction(
+        txid=txid,
+        inputs=tuple(OutPoint(t, i) for t, i in inputs),
+        outputs=tuple(TxOutput(1) for _ in range(n_outputs)),
+    )
+
+
+def _engine(**kwargs):
+    return PlacementEngine(make_placer("optchain", 4), **kwargs)
+
+
+class TestServingContract:
+    def test_out_of_order_batch_rejected_atomically(self):
+        engine = _engine()
+        engine.place_batch([_tx(0), _tx(1)])
+        with pytest.raises(EngineError, match="dense stream order"):
+            engine.place_batch([_tx(3)])
+        # Nothing advanced: the correct continuation still works.
+        assert engine.place_batch([_tx(2, [(0, 0)])]) is not None
+        assert engine.n_placed == 3
+
+    def test_unknown_parent_rejected(self):
+        engine = _engine()
+        # A zero-output transaction creates nothing spendable.
+        engine.place_batch([_tx(0), _tx(1, n_outputs=0)])
+        with pytest.raises(EngineError, match="unknown or fully-spent"):
+            engine.place_batch([_tx(2, [(1, 0)])])
+        assert engine.n_placed == 2
+
+    def test_forward_reference_rejected(self):
+        engine = _engine()
+        engine.place_batch([_tx(0)])
+        with pytest.raises(EngineError, match="non-earlier"):
+            engine.place_batch([_tx(1, [(2, 0)])])
+
+    def test_over_spend_within_batch_rejected(self):
+        engine = _engine()
+        engine.place_batch([_tx(0, n_outputs=1)])
+        batch = [_tx(1, [(0, 0)]), _tx(2, [(0, 0)])]
+        with pytest.raises(EngineError, match="unknown or fully-spent"):
+            engine.place_batch(batch)
+        # Atomic: not even the valid first transaction was placed, and
+        # the rollback restored the spent-output bookkeeping.
+        assert engine.n_placed == 1
+        assert engine._remaining == {0: 1}
+        assert engine._pending_release == []
+
+    def test_double_spend_across_batches_rejected(self):
+        engine = _engine()
+        engine.place_batch([_tx(0, n_outputs=1), _tx(1, [(0, 0)])])
+        with pytest.raises(EngineError, match="unknown or fully-spent"):
+            engine.place_batch([_tx(2, [(0, 0)])])
+
+    def test_same_outpoint_double_spend_rejected(self):
+        """Per-outpoint validation: re-spending output 0 is caught even
+        while the sibling output 1 is still unspent."""
+        engine = _engine()
+        engine.place_batch([_tx(0, n_outputs=2), _tx(1, [(0, 0)])])
+        with pytest.raises(
+            EngineError, match="does not exist or is already spent"
+        ):
+            engine.place_batch([_tx(2, [(0, 0)])])
+        # The untouched sibling output still spends fine.
+        engine.place_batch([_tx(2, [(0, 1)])])
+        assert engine.n_placed == 3
+
+    def test_nonexistent_output_index_rejected(self):
+        engine = _engine()
+        engine.place_batch([_tx(0, n_outputs=1)])
+        with pytest.raises(
+            EngineError, match="does not exist or is already spent"
+        ):
+            engine.place_batch([_tx(1, [(0, 5)])])
+
+    def test_placer_failure_poisons_engine(self):
+        engine = _engine()
+        engine.place_batch([_tx(0)])
+
+        def explode(batch):
+            raise RuntimeError("placer bug")
+
+        original = engine._placer.place_batch
+        engine._placer.place_batch = explode
+        with pytest.raises(RuntimeError):
+            engine.place_batch([_tx(1)])
+        engine._placer.place_batch = original
+        # Bookkeeping committed but placements did not: the engine
+        # refuses to keep serving from desynced state.
+        with pytest.raises(EngineError, match="poisoned"):
+            engine.place_batch([_tx(1)])
+
+    def test_multi_output_parent_supports_multiple_spenders(self):
+        engine = _engine()
+        engine.place_batch([_tx(0, n_outputs=3)])
+        engine.place_batch(
+            [_tx(1, [(0, 0)]), _tx(2, [(0, 1)]), _tx(3, [(0, 2)])]
+        )
+        assert engine.n_placed == 4
+
+    def test_same_batch_parent_spendable(self):
+        engine = _engine()
+        shards = engine.place_batch(
+            [_tx(0, n_outputs=2), _tx(1, [(0, 0)]), _tx(2, [(0, 1)])]
+        )
+        assert len(shards) == 3
+
+    def test_preplaced_placer_rejected(self):
+        placer = make_placer("optchain", 4)
+        placer.place(_tx(0))
+        with pytest.raises(ConfigurationError, match="fresh placer"):
+            PlacementEngine(placer)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _engine(epoch_length=0)
+        with pytest.raises(ConfigurationError):
+            _engine(horizon_epochs=0)
+
+
+class TestTruncation:
+    def test_exact_policy_releases_only_fully_spent(self, small_stream):
+        engine = _engine(epoch_length=500)
+        reference = make_placer("optchain", 4)
+        assert (
+            engine.place_batch(small_stream)
+            == reference.place_stream(small_stream)
+        )
+        stats = engine.stats()
+        scorer = engine.placer.scorer
+        assert stats.released_vectors > 0
+        assert stats.live_vectors + stats.released_vectors == len(
+            small_stream
+        )
+        # Exactly the fully-spent transactions are released (modulo the
+        # final partial epoch, whose pending releases have not swept).
+        for txid in range(len(small_stream)):
+            if scorer._p_prime[txid] is None:
+                assert txid not in engine._remaining
+
+    def test_horizon_bounds_live_vectors(self, small_stream):
+        engine = _engine(epoch_length=200, horizon_epochs=2)
+        engine.place_batch(small_stream)
+        stats = engine.stats()
+        # Window: at most (horizon_epochs + 1) epochs of vectors, plus
+        # the current partial epoch.
+        bound = (2 + 2) * 200
+        assert stats.live_vectors <= bound
+        assert stats.peak_live_vectors <= bound
+        assert stats.horizon_start == (2_000 // 200 - 2) * 200
+        assert stats.tracked_unspent <= bound
+
+    def test_horizon_spend_behind_horizon_accepted(self):
+        engine = _engine(epoch_length=10, horizon_epochs=1)
+        engine.place_batch([_tx(0, n_outputs=2)])
+        engine.place_batch([_tx(i, [(0, 0)] if i == 1 else ()) for i in range(1, 40)])
+        assert engine.horizon_start > 0
+        # txid 0 has an unspent output but fell behind the horizon: a
+        # spend is accepted (zero ancestry), not an error.
+        shards = engine.place_batch([_tx(40, [(0, 1)])])
+        assert len(shards) == 1
+
+    def test_truncation_disabled_keeps_everything(self, small_stream):
+        engine = _engine(epoch_length=100, truncate_spent=False)
+        engine.place_batch(small_stream)
+        stats = engine.stats()
+        assert stats.released_vectors == 0
+        assert stats.live_vectors == len(small_stream)
+
+    def test_scorerless_strategy_tolerated(self, small_stream):
+        engine = PlacementEngine(
+            make_placer("omniledger", 4),
+            epoch_length=100,
+            horizon_epochs=2,
+        )
+        engine.place_batch(small_stream)
+        stats = engine.stats()
+        assert stats.live_vectors is None
+        assert stats.released_vectors is None
+        assert stats.horizon_start > 0
+
+    def test_stats_roundtrip_dict(self, small_stream):
+        engine = _engine(epoch_length=500)
+        engine.place_batch(small_stream[:600])
+        payload = engine.stats().as_dict()
+        assert payload["n_placed"] == 600
+        assert payload["strategy"] == "optchain"
+        assert payload["epoch"] == 1

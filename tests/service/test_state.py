@@ -1,0 +1,151 @@
+"""Snapshot format: round-trips, versioning, corruption handling."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.optchain import OptChainPlacer
+from repro.core.placement import make_placer
+from repro.errors import PlacementError, SnapshotError
+from repro.service.engine import PlacementEngine
+from repro.service.state import (
+    FORMAT_VERSION,
+    MAGIC,
+    load_engine_snapshot,
+    save_engine_snapshot,
+)
+
+STRATEGIES = [
+    ("optchain", {}),
+    ("t2s", {"expected_total": 2_000, "tie_break": "random"}),
+    ("greedy", {"expected_total": 2_000, "tie_break": "lightest"}),
+    ("omniledger", {}),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", STRATEGIES)
+def test_restore_then_continue_is_bit_identical(
+    tmp_path, small_stream, name, kwargs
+):
+    split = len(small_stream) // 2
+    reference = make_placer(name, 8, **kwargs)
+    expected = reference.place_stream(small_stream)
+
+    engine = PlacementEngine(
+        make_placer(name, 8, **kwargs), epoch_length=300
+    )
+    first = engine.place_batch(small_stream[:split])
+    path = tmp_path / "engine.snap"
+    size = save_engine_snapshot(engine, path)
+    assert size == path.stat().st_size > 0
+
+    restored = load_engine_snapshot(path)
+    assert restored.n_placed == split
+    second = restored.place_batch(small_stream[split:])
+    assert first + second == expected
+
+
+def test_snapshot_preserves_truncation_bookkeeping(
+    tmp_path, small_stream
+):
+    engine = PlacementEngine(
+        make_placer("optchain", 8),
+        epoch_length=150,
+        horizon_epochs=3,
+    )
+    engine.place_batch(small_stream[:1_200])
+    path = tmp_path / "engine.snap"
+    save_engine_snapshot(engine, path)
+    restored = load_engine_snapshot(path)
+
+    before = engine.stats().as_dict()
+    after = restored.stats().as_dict()
+    assert after == before
+
+    # Continuing must also truncate identically.
+    engine.place_batch(small_stream[1_200:])
+    restored.place_batch(small_stream[1_200:])
+    assert restored.stats().as_dict() == engine.stats().as_dict()
+    assert (
+        restored.placer.scorer._p_prime == engine.placer.scorer._p_prime
+    )
+
+
+def test_quiescence_required(tmp_path, small_stream):
+    placer = make_placer("optchain", 4)
+    engine = PlacementEngine(placer)
+    engine.place_batch(small_stream[:10])
+    placer.scorer.add_transaction_raw(10, [3])
+    with pytest.raises(PlacementError, match="pending"):
+        save_engine_snapshot(engine, tmp_path / "x.snap")
+
+
+def test_live_observer_not_snapshotable(tmp_path, small_stream):
+    from repro.core.l2s import ShardLatencyModel
+
+    placer = OptChainPlacer(4)
+    placer.use_latency_provider(
+        lambda: [ShardLatencyModel(1.0, 1.0)] * 4
+    )
+    engine = PlacementEngine(placer)
+    with pytest.raises(PlacementError, match="live observers"):
+        save_engine_snapshot(engine, tmp_path / "x.snap")
+
+
+class TestCorruption:
+    def _snapshot(self, tmp_path, small_stream):
+        engine = PlacementEngine(make_placer("optchain", 4))
+        engine.place_batch(small_stream[:200])
+        path = tmp_path / "good.snap"
+        save_engine_snapshot(engine, path)
+        return path
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_bytes(b"definitely not a snapshot file")
+        with pytest.raises(SnapshotError, match="not an OptChain"):
+            load_engine_snapshot(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_engine_snapshot(tmp_path / "nope.snap")
+
+    def test_unsupported_version(self, tmp_path, small_stream):
+        path = self._snapshot(tmp_path, small_stream)
+        raw = bytearray(path.read_bytes())
+        raw[6:8] = struct.pack("<H", FORMAT_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="format"):
+            load_engine_snapshot(path)
+
+    def test_truncated_payload(self, tmp_path, small_stream):
+        path = self._snapshot(tmp_path, small_stream)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 64])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_engine_snapshot(path)
+
+    def test_corrupt_header(self, tmp_path, small_stream):
+        path = self._snapshot(tmp_path, small_stream)
+        raw = bytearray(path.read_bytes())
+        (header_len,) = struct.unpack_from("<I", raw, 8)
+        for offset in range(12, 12 + header_len):
+            raw[offset] = 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="header"):
+            load_engine_snapshot(path)
+
+    def test_magic_constant_stability(self):
+        # The on-disk contract: changing these breaks every existing
+        # checkpoint, so it must be a deliberate, versioned decision.
+        assert MAGIC == b"OCSNAP"
+        assert FORMAT_VERSION == 1
+
+    def test_no_temp_file_left_behind(self, tmp_path, small_stream):
+        self._snapshot(tmp_path, small_stream)
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
