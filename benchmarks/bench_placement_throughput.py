@@ -16,13 +16,28 @@ repeats, and a machine-readable artifact. Run it directly::
     PYTHONPATH=src python benchmarks/bench_placement_throughput.py \
         --txs 20000 --repeats 1 --check   # CI smoke
 
+``--topk-caps`` sweeps the bounded-support (``optchain-topk``)
+speed-vs-quality frontier at each shard count: per cap, throughput plus
+the cross-shard-fraction delta against exact optchain measured in the
+same run (rows land under ``topk_frontier``). ``optchain-topk`` and
+``optchain-topk@<cap>`` are also valid ``--strategies`` tokens. The
+1M-tx/64-shard frontier recorded in BENCH_placement.json::
+
+    PYTHONPATH=src python benchmarks/bench_placement_throughput.py \
+        --txs 1000000 --shards 64 --strategies optchain --repeats 1 \
+        --topk-caps 4,8,16 --append
+
 ``--check`` enforces the acceptance gates:
 
 - ``optchain`` >= 5x ``optchain_seed`` at 16 shards (constant-factor
   win: no per-transaction model objects, estimators, or dense scans);
 - the load proxy's ``record`` cost stays roughly flat from 4 to 64
   shards (O(1) lazy decay - the seed proxy decayed every shard on every
-  placement).
+  placement);
+- every ``topk_frontier`` row with ``cap >= n_shards`` is placement-
+  identical to exact optchain (truncation provably never fires there),
+  and finite-cap rows clear ``--min-topk-tx-per-s`` /
+  ``--min-topk-speedup`` when set.
 
 See PERFORMANCE.md for how to read the output.
 """
@@ -43,6 +58,7 @@ from repro.core.optchain import LoadProxyLatencyProvider
 from repro.core.placement import make_placer
 from repro.core._seed_reference import EagerLoadProxy
 from repro.datasets.synthetic import synthetic_stream
+from repro.partition.quality import cross_shard_fraction
 
 DEFAULT_STRATEGIES = (
     "optchain",
@@ -58,6 +74,12 @@ STREAM_SEED = 42
 
 
 def _make(name: str, n_shards: int, n_tx: int):
+    if name.startswith("optchain-topk"):
+        # "optchain-topk" (strategy default cap) or "optchain-topk@8".
+        if "@" in name:
+            cap = int(name.split("@", 1)[1])
+            return make_placer("optchain-topk", n_shards, support_cap=cap)
+        return make_placer("optchain-topk", n_shards)
     if name in ("t2s", "t2s_seed", "greedy", "greedy_seed"):
         return make_placer(name, n_shards, expected_total=n_tx)
     return make_placer(name, n_shards)
@@ -90,6 +112,74 @@ def bench_proxy_record(n_shards, n_records, proxy_cls):
     return best / n_records
 
 
+def bench_topk_frontier(n_shards, stream, args, assignments, timings):
+    """The bounded-support speed-vs-quality frontier at one shard count.
+
+    One row per cap in ``--topk-caps`` plus the exact (``cap: null``)
+    baseline, each with throughput and cross-shard fraction - the two
+    axes of the trade. The exact lane reuses this run's ``optchain``
+    measurement when the strategy list included it, so appending
+    frontier rows to an existing file does not re-pay the exact run.
+    """
+    n_tx = len(stream)
+    if "optchain" in timings:
+        exact_s = timings["optchain"]
+        exact_assignment = assignments["optchain"]
+    else:
+        exact_s, exact_assignment = bench_strategy(
+            "optchain", n_shards, stream, args.repeats
+        )
+    exact_cross = cross_shard_fraction(stream, exact_assignment)
+    exact_us = exact_s / n_tx * 1e6
+    rows = [
+        {
+            "cap": None,
+            "n_shards": n_shards,
+            "n_tx": n_tx,
+            "seconds": round(exact_s, 4),
+            "tx_per_s": round(n_tx / exact_s, 1),
+            "per_tx_us": round(exact_us, 3),
+            "cross_shard": round(exact_cross, 6),
+        }
+    ]
+    print(
+        f"  topk frontier  k={n_shards:<3} cap=exact "
+        f"{n_tx / exact_s:>12,.0f} tx/s  cross {exact_cross:.4f}",
+        flush=True,
+    )
+    for cap in args.topk_caps:
+        elapsed, assignment = bench_strategy(
+            f"optchain-topk@{cap}", n_shards, stream, args.repeats
+        )
+        cross = cross_shard_fraction(stream, assignment)
+        identical = assignment == exact_assignment
+        rows.append(
+            {
+                "cap": cap,
+                "n_shards": n_shards,
+                "n_tx": n_tx,
+                "seconds": round(elapsed, 4),
+                "tx_per_s": round(n_tx / elapsed, 1),
+                "per_tx_us": round(elapsed / n_tx * 1e6, 3),
+                "cross_shard": round(cross, 6),
+                "cross_shard_delta_pp": round(
+                    (cross - exact_cross) * 100.0, 4
+                ),
+                "speedup_vs_exact": round(exact_s / elapsed, 2),
+                "identical_to_exact": identical,
+            }
+        )
+        print(
+            f"  topk frontier  k={n_shards:<3} cap={cap:<5} "
+            f"{n_tx / elapsed:>12,.0f} tx/s  cross {cross:.4f} "
+            f"({(cross - exact_cross) * 100.0:+.3f}pp, "
+            f"{exact_s / elapsed:.2f}x exact)"
+            + ("  [== exact]" if identical else ""),
+            flush=True,
+        )
+    return rows
+
+
 def run(args):
     t0 = time.perf_counter()
     stream = synthetic_stream(args.txs, seed=STREAM_SEED)
@@ -103,13 +193,16 @@ def run(args):
 
     results = []
     equivalences = []
+    frontier = []
     for n_shards in args.shards:
         assignments = {}
+        timings = {}
         for name in args.strategies:
             elapsed, assignment = bench_strategy(
                 name, n_shards, stream, args.repeats
             )
             assignments[name] = assignment
+            timings[name] = elapsed
             tx_per_s = args.txs / elapsed
             results.append(
                 {
@@ -146,6 +239,12 @@ def run(args):
                         f"  !! {fast} != {seed} at k={n_shards}",
                         file=sys.stderr,
                     )
+        if args.topk_caps:
+            frontier.extend(
+                bench_topk_frontier(
+                    n_shards, stream, args, assignments, timings
+                )
+            )
 
     # Speedups vs the seed measurement in this same run.
     by_key = {(r["strategy"], r["n_shards"], r["n_tx"]): r for r in results}
@@ -201,6 +300,7 @@ def run(args):
         "results": results,
         "golden_equivalence": equivalences,
         "proxy_record_scaling": proxy_scaling,
+        "topk_frontier": frontier,
     }
     out = Path(args.out)
     if previous is not None:
@@ -226,6 +326,17 @@ def run(args):
             )
         ]
         payload["golden_equivalence"] = keep_eq + equivalences
+        keep_frontier = [
+            f
+            for f in previous.get("topk_frontier", [])
+            if not any(
+                f["cap"] == n["cap"]
+                and f["n_shards"] == n["n_shards"]
+                and f["n_tx"] == n["n_tx"]
+                for n in frontier
+            )
+        ]
+        payload["topk_frontier"] = keep_frontier + frontier
         payload["meta"] = previous.get("meta", payload["meta"])
         payload["meta"][f"appended_run_{args.txs}tx"] = {
             "repeats": args.repeats,
@@ -281,6 +392,38 @@ def check(payload, args):
                 f"shards (> {args.max_record_ratio}x); decay is no "
                 "longer O(1)"
             )
+    # Bounded-support gates, on this run's scale only. The equivalence
+    # gate is unconditional: a cap >= n_shards provably reduces to the
+    # exact scorer, so any divergence is a bug, not a trade-off.
+    for row in payload.get("topk_frontier", []):
+        cap = row.get("cap")
+        if cap is None or row["n_tx"] != args.txs:
+            continue
+        if cap >= row["n_shards"] and not row["identical_to_exact"]:
+            failures.append(
+                f"optchain-topk cap={cap} >= k={row['n_shards']} must "
+                "be placement-identical to exact optchain, but diverged"
+            )
+        if cap >= row["n_shards"]:
+            continue
+        if (
+            args.min_topk_tx_per_s
+            and row["tx_per_s"] < args.min_topk_tx_per_s
+        ):
+            failures.append(
+                f"optchain-topk cap={cap} at k={row['n_shards']} "
+                f"places {row['tx_per_s']:.0f} tx/s < floor "
+                f"{args.min_topk_tx_per_s}"
+            )
+        if (
+            args.min_topk_speedup
+            and row["speedup_vs_exact"] < args.min_topk_speedup
+        ):
+            failures.append(
+                f"optchain-topk cap={cap} at k={row['n_shards']} is "
+                f"{row['speedup_vs_exact']:.2f}x exact < "
+                f"{args.min_topk_speedup}x"
+            )
     return failures
 
 
@@ -314,6 +457,25 @@ def main(argv=None):
     )
     parser.add_argument("--min-speedup", type=float, default=5.0)
     parser.add_argument("--max-record-ratio", type=float, default=3.0)
+    parser.add_argument(
+        "--topk-caps",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=None,
+        help="sweep the optchain-topk frontier at these support caps "
+        "(e.g. 4,8,16); the exact baseline row is always included",
+    )
+    parser.add_argument(
+        "--min-topk-tx-per-s",
+        type=float,
+        default=0.0,
+        help="--check: throughput floor for finite-cap frontier rows",
+    )
+    parser.add_argument(
+        "--min-topk-speedup",
+        type=float,
+        default=0.0,
+        help="--check: required speedup of finite-cap rows vs exact",
+    )
     args = parser.parse_args(argv)
     return run(args)
 

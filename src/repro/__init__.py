@@ -39,9 +39,10 @@ from repro.core.optchain import (
     USE_LOAD_PROXY,
     LoadProxyLatencyProvider,
     OptChainPlacer,
+    TopKOptChainPlacer,
 )
 from repro.core.placement import PlacementStrategy, make_placer
-from repro.core.t2s import T2SScorer
+from repro.core.t2s import T2SScorer, TopKT2SScorer
 from repro.datasets.synthetic import BitcoinLikeGenerator, synthetic_stream
 from repro.partition.quality import cross_shard_fraction, edge_cut_fraction
 from repro.txgraph.tan import TaNGraph
@@ -64,6 +65,8 @@ __all__ = [
     "T2SScorer",
     "TaNGraph",
     "TemporalFitness",
+    "TopKOptChainPlacer",
+    "TopKT2SScorer",
     "Transaction",
     "cross_shard_fraction",
     "edge_cut_fraction",

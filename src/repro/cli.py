@@ -55,15 +55,22 @@ def build_parser() -> argparse.ArgumentParser:
     place = commands.add_parser(
         "place", help="place a synthetic stream and print statistics"
     )
-    place.add_argument("--method", default="optchain")
+    place.add_argument("--method", "--strategy", default="optchain")
     place.add_argument("--shards", type=int, default=16)
     place.add_argument("--transactions", type=int, default=20_000)
     place.add_argument("--seed", type=int, default=1)
+    place.add_argument(
+        "--support-cap",
+        type=int,
+        default=None,
+        help="retained T2S entries per vector (optchain-topk only; "
+        "default: the strategy's built-in cap)",
+    )
 
     simulate = commands.add_parser(
         "simulate", help="run one discrete-event simulation"
     )
-    simulate.add_argument("--method", default="optchain")
+    simulate.add_argument("--method", "--strategy", default="optchain")
     simulate.add_argument("--shards", type=int, default=16)
     simulate.add_argument("--transactions", type=int, default=20_000)
     simulate.add_argument("--rate", type=float, default=300.0)
@@ -79,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         "natural double-spend rejection)",
     )
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--support-cap",
+        type=int,
+        default=None,
+        help="retained T2S entries per vector (optchain-topk only)",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -113,8 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=9171)
-    serve.add_argument("--method", default="optchain")
+    serve.add_argument("--method", "--strategy", default="optchain")
     serve.add_argument("--shards", type=int, default=16)
+    serve.add_argument(
+        "--support-cap",
+        type=int,
+        default=None,
+        help="retained T2S entries per vector (optchain-topk only; "
+        "bounded-support scoring for the 64+-shard regime)",
+    )
     serve.add_argument(
         "--epoch-length",
         type=int,
@@ -139,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="snapshot file: restored on startup when it exists, "
         "written on shutdown (SIGTERM/SIGINT/shutdown op)",
+    )
+    serve.add_argument(
+        "--checkpoint-compress",
+        action="store_true",
+        help="zlib-compress snapshot array sections (smaller "
+        "checkpoints at a few tens of ms of CPU; restore "
+        "auto-detects)",
     )
     serve.add_argument(
         "--max-batch", type=int, default=8192, dest="max_batch",
@@ -166,6 +193,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _topk_kwargs(args) -> dict:
+    """``make_placer`` kwargs for an explicit ``--support-cap``.
+
+    A cap given for a strategy that ignores it is flagged rather than
+    silently dropped - same principle as the restored-checkpoint
+    override warnings in ``serve``.
+    """
+    cap = getattr(args, "support_cap", None)
+    if cap is None:
+        return {}
+    if args.method != "optchain-topk":
+        print(
+            f"warning: --support-cap={cap} ignored; only "
+            f"optchain-topk bounds vector support (got --method/"
+            f"--strategy {args.method})",
+            file=sys.stderr,
+            flush=True,
+        )
+        return {}
+    return {"support_cap": cap}
+
+
 def _cmd_place(args) -> int:
     from repro.core.placement import make_placer
     from repro.datasets.synthetic import synthetic_stream
@@ -175,7 +224,7 @@ def _cmd_place(args) -> int:
     kwargs = (
         {"expected_total": len(stream)}
         if args.method in ("greedy", "t2s")
-        else {}
+        else _topk_kwargs(args)
     )
     if args.method == "metis":
         from repro.partition.metis_like import partition_tan
@@ -207,7 +256,7 @@ def _cmd_simulate(args) -> int:
     from repro.simulator import SimulationConfig, run_simulation
 
     stream = synthetic_stream(args.transactions, seed=args.seed)
-    placer = make_placer(args.method, args.shards)
+    placer = make_placer(args.method, args.shards, **_topk_kwargs(args))
     config = SimulationConfig(
         n_shards=args.shards,
         tx_rate=args.rate,
@@ -299,6 +348,11 @@ def _cmd_serve(args) -> int:
             "horizon_epochs": args.horizon_epochs,
             "truncate_spent": not args.no_truncate_spent,
         }
+        if args.support_cap is not None:
+            restored_config["support_cap"] = getattr(
+                engine.placer, "support_cap", None
+            )
+            requested["support_cap"] = args.support_cap
         for key, wanted in requested.items():
             have = restored_config[key]
             if wanted != have:
@@ -311,7 +365,7 @@ def _cmd_serve(args) -> int:
                 )
     else:
         engine = PlacementEngine(
-            make_placer(args.method, args.shards),
+            make_placer(args.method, args.shards, **_topk_kwargs(args)),
             epoch_length=args.epoch_length,
             horizon_epochs=args.horizon_epochs,
             truncate_spent=not args.no_truncate_spent,
@@ -324,6 +378,7 @@ def _cmd_serve(args) -> int:
             args.port,
             max_batch_txs=args.max_batch,
             checkpoint_path=args.checkpoint,
+            checkpoint_compress=args.checkpoint_compress,
         )
         await server.start()
         loop = asyncio.get_running_loop()

@@ -21,9 +21,14 @@ from repro.core.baselines import (
 )
 from repro.core.fitness import TemporalFitness
 from repro.core.l2s import L2SEstimator, ShardLatencyModel
-from repro.core.optchain import LoadProxyLatencyProvider, OptChainPlacer
+from repro.core.optchain import (
+    LoadProxyLatencyProvider,
+    OptChainPlacer,
+    TopKOptChainPlacer,
+)
 from repro.core.placement import PlacementStrategy, make_placer
-from repro.core.t2s import T2SScorer
+from repro.core.scorer import PlacementScorer, make_scorer
+from repro.core.t2s import T2SScorer, TopKT2SScorer
 from repro.core.wallet import ShardDirectory, SPVWallet, SPVWalletPlacer
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "MetisOfflinePlacer",
     "OmniLedgerRandomPlacer",
     "OptChainPlacer",
+    "PlacementScorer",
     "PlacementStrategy",
     "SPVWallet",
     "SPVWalletPlacer",
@@ -41,5 +47,8 @@ __all__ = [
     "T2SOnlyPlacer",
     "T2SScorer",
     "TemporalFitness",
+    "TopKOptChainPlacer",
+    "TopKT2SScorer",
     "make_placer",
+    "make_scorer",
 ]

@@ -37,7 +37,12 @@ from typing import Any, Callable, Final, Sequence
 from repro.core.fitness import PAPER_LATENCY_WEIGHT, TemporalFitness
 from repro.core.l2s import L2SEstimator, ShardLatencyModel
 from repro.core.placement import PlacementStrategy
-from repro.core.t2s import T2SScorer
+from repro.core.scorer import (
+    DEFAULT_SUPPORT_CAP,
+    PlacementScorer,
+    truncate_support,
+)
+from repro.core.t2s import T2SScorer, TopKT2SScorer
 from repro.errors import ConfigurationError, PlacementError
 from repro.utxo.transaction import Transaction
 
@@ -439,9 +444,19 @@ class OptChainPlacer(PlacementStrategy):
         ),
         l2s_mode: str = "shard_load",
         outdeg_mode: str = "spenders",
+        scorer: PlacementScorer | None = None,
     ) -> None:
         super().__init__(n_shards)
-        self.scorer = T2SScorer(n_shards, alpha=alpha, outdeg_mode=outdeg_mode)
+        if scorer is None:
+            scorer = T2SScorer(
+                n_shards, alpha=alpha, outdeg_mode=outdeg_mode
+            )
+        elif scorer.n_shards != n_shards:
+            raise ConfigurationError(
+                f"scorer covers {scorer.n_shards} shards, placer has "
+                f"{n_shards}"
+            )
+        self.scorer = scorer
         self.fitness = TemporalFitness(latency_weight=latency_weight)
         self.l2s_mode = l2s_mode
         self._estimator: L2SEstimator | None = None
@@ -523,6 +538,11 @@ class OptChainPlacer(PlacementStrategy):
         alpha = scorer.alpha
         epsilon = scorer.prune_epsilon
         spenders_div = scorer._spenders_divisor
+        # Bounded-support scorers (the "topk" kind) declare a cap; the
+        # exact scorer's is None and the branch below compiles to one
+        # cheap test per transaction.
+        support_cap = scorer.support_cap
+        truncate = truncate_support
         # Proxy state (heaps are mutated in place, never rebound).
         scaled = proxy._scaled
         heap = proxy._heap
@@ -634,6 +654,14 @@ class OptChainPlacer(PlacementStrategy):
             else:
                 input_ids = ()
                 bound = pos_inf
+            if support_cap is not None and len(raw) > support_cap:
+                # Same helper, same accounting order as the unfused
+                # TopKT2SScorer.add_transaction_raw - the golden tests
+                # compare both paths placement-for-placement.
+                raw, dropped = truncate(raw, support_cap)
+                bound = min(raw.values())
+                scorer._dropped_mass += dropped
+                scorer._truncated_vectors += 1
             p_prime_list.append(raw)
             min_mass.append(bound)
             spender_count.append(0)
@@ -1208,3 +1236,56 @@ class OptChainPlacer(PlacementStrategy):
                 best = shard
                 best_score = score
         return best
+
+
+class TopKOptChainPlacer(OptChainPlacer):
+    """OptChain with bounded-support (top-k) T2S scoring.
+
+    Same Temporal-Fitness decision rule, same fused hot path, but the
+    scorer retains only the ``support_cap`` largest-mass entries per
+    vector (:class:`~repro.core.t2s.TopKT2SScorer`). On long streams
+    the exact scorer's per-transaction cost grows with the shard count
+    as vector support saturates (nnz -> n_shards); this variant's cost
+    is O(support_cap) regardless, which is what unlocks the 64+-shard
+    regime - at a small, measured placement-quality cost
+    (BENCH_placement.json ``topk_frontier``; PERFORMANCE.md
+    "Bounded-support scoring").
+
+    With ``support_cap >= n_shards`` placements are bit-identical to
+    :class:`OptChainPlacer`; the exact strategy itself is never
+    affected by this variant existing.
+    """
+
+    name = "optchain-topk"
+
+    def __init__(
+        self,
+        n_shards: int,
+        support_cap: int = DEFAULT_SUPPORT_CAP,
+        alpha: float = 0.5,
+        latency_weight: float = PAPER_LATENCY_WEIGHT,
+        latency_provider: LatencyProvider | None | _ProxyDefault = (
+            USE_LOAD_PROXY
+        ),
+        l2s_mode: str = "shard_load",
+        outdeg_mode: str = "spenders",
+    ) -> None:
+        super().__init__(
+            n_shards,
+            alpha=alpha,
+            latency_weight=latency_weight,
+            latency_provider=latency_provider,
+            l2s_mode=l2s_mode,
+            outdeg_mode=outdeg_mode,
+            scorer=TopKT2SScorer(
+                n_shards,
+                support_cap=support_cap,
+                alpha=alpha,
+                outdeg_mode=outdeg_mode,
+            ),
+        )
+
+    @property
+    def support_cap(self) -> int:
+        """Max retained entries per T2S vector."""
+        return self.scorer.support_cap

@@ -261,8 +261,9 @@ def make_placer(
 ) -> PlacementStrategy:
     """Factory over the strategy registry.
 
-    Names: ``optchain``, ``omniledger``, ``greedy``, ``metis``, ``t2s``
-    (see :mod:`repro.core.baselines` and :mod:`repro.core.optchain`).
+    Names: ``optchain``, ``optchain-topk``, ``omniledger``, ``greedy``,
+    ``metis``, ``t2s`` (see :mod:`repro.core.baselines` and
+    :mod:`repro.core.optchain`).
     """
     try:
         cls = PlacementStrategy.registry[name]

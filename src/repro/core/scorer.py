@@ -1,0 +1,183 @@
+"""The scorer interface of the placement stack.
+
+The T2S recurrence (§IV-B) is the one piece of OptChain with an open
+design axis: *how much support each sparse vector retains*. The exact
+scorer keeps everything the pruning floor admits; bounded-support
+variants trade a little ancestry signal for per-transaction cost that
+no longer grows with the shard count. This module makes that axis
+explicit: a :class:`PlacementScorer` interface that every scoring
+engine implements, a registry so scorers can be named, and the factory
+placers use to build one.
+
+The implementations live in :mod:`repro.core.t2s`:
+
+- ``"exact"``  - :class:`~repro.core.t2s.T2SScorer`, the paper's
+  incremental recurrence, bit-identical to the seed reference.
+- ``"topk"``   - :class:`~repro.core.t2s.TopKT2SScorer`, which retains
+  only the ``support_cap`` largest-mass entries per vector (dropped
+  mass is tracked so saturation stays observable). With
+  ``support_cap >= n_shards`` it reduces to the exact scorer -
+  provably, since a vector over ``n_shards`` shards can never exceed
+  ``n_shards`` entries, so truncation never fires.
+
+**The hot-path contract.** ``OptChainPlacer.place_batch`` fuses the
+scorer's recurrence into one loop by binding internal state to locals
+instead of dispatching per transaction. A scorer that wants to stay on
+that fused path must therefore expose the exact-scorer state layout
+(``_p_prime``, ``_spender_count``, ``_min_mass``, ``_shard_sizes``,
+``alpha``, ``prune_epsilon``, ``_scale``, ``_spenders_divisor``) plus
+the declarative truncation knob ``support_cap`` (``None`` = unbounded);
+the fused loop applies :func:`truncate_support` itself whenever a new
+vector's support exceeds the cap, byte-for-byte what
+``TopKT2SScorer.add_transaction_raw`` does on the unfused path. Scorers
+with a different layout still work everywhere - every unfused path
+(:meth:`PlacementScorer.add_transaction_raw` per transaction) goes
+through the interface - they just fall off the fused fast path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default retained support for the bounded ("topk") scorer: at the
+#: paper's average TaN degree (~2.3) almost all T2S mass concentrates
+#: on a handful of ancestor shards, so 8 entries keep the placement
+#: quality within a fraction of a point of exact while the per-vector
+#: cost stops tracking n_shards (see PERFORMANCE.md, "Bounded-support
+#: scoring").
+DEFAULT_SUPPORT_CAP = 8
+
+
+class PlacementScorer(ABC):
+    """What a placement strategy needs from a scoring engine.
+
+    One instance scores one stream: ``add_transaction_raw`` (or
+    ``add_transaction``) is called once per arriving transaction in
+    dense txid order, followed by exactly one ``place``. The rest of
+    the interface is bookkeeping the serving layer depends on: vector
+    release for the epoch/truncation policy, plain-data
+    ``export_state``/``restore_state`` for bit-identical snapshots, and
+    ``support_stats`` for saturation observability.
+    """
+
+    __slots__ = ()
+
+    #: Registry kind -> implementation, populated by __init_subclass__.
+    registry: dict[str, type["PlacementScorer"]] = {}
+
+    #: Subclasses set this (on themselves) to register with the factory.
+    kind: str = ""
+
+    #: Max retained entries per vector; ``None`` means unbounded. The
+    #: fused hot path reads this declaratively (see module docstring).
+    support_cap: int | None = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Register only classes that declare their own kind: subclasses
+        # that merely inherit one (e.g. the preserved seed reference
+        # scorer) must not displace the canonical implementation.
+        if "kind" in cls.__dict__ and cls.kind:
+            PlacementScorer.registry[cls.kind] = cls
+
+    # -- the scoring contract ---------------------------------------------
+
+    @abstractmethod
+    def add_transaction_raw(
+        self, txid: int, input_txids: Sequence[int], n_outputs: int = 1
+    ) -> dict[int, float]:
+        """Score an arriving transaction; returns the borrowed
+        *unnormalized* sparse ``{shard: mass}`` map."""
+
+    @abstractmethod
+    def add_transaction(
+        self, txid: int, input_txids: Sequence[int], n_outputs: int = 1
+    ) -> dict[int, float]:
+        """Like :meth:`add_transaction_raw` but returns a fresh
+        *normalized* score map."""
+
+    @abstractmethod
+    def normalized(self, txid: int) -> dict[int, float]:
+        """Normalized scores of an already-added transaction."""
+
+    @abstractmethod
+    def place(self, txid: int, shard: int) -> None:
+        """Record the placement decision for the pending transaction."""
+
+    @abstractmethod
+    def release_vector(self, txid: int) -> None:
+        """Drop one vector (epoch/truncation policy); reads as empty."""
+
+    @abstractmethod
+    def release_vectors(self, txids) -> None:
+        """Bulk :meth:`release_vector` (one call per truncation sweep)."""
+
+    @property
+    @abstractmethod
+    def live_vector_count(self) -> int:
+        """Vectors still held in memory (added minus released)."""
+
+    @property
+    @abstractmethod
+    def released_count(self) -> int:
+        """Vectors dropped so far by :meth:`release_vector`."""
+
+    @abstractmethod
+    def export_state(self) -> dict[str, Any]:
+        """Plain-data dump of all mutable state (see service.state)."""
+
+    @abstractmethod
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Load a dump produced by :meth:`export_state` (same config)."""
+
+    @abstractmethod
+    def support_stats(self) -> dict[str, Any]:
+        """Support/saturation observability (JSON-friendly).
+
+        Keys: ``live_vectors``, ``mean_nnz``, ``max_nnz`` (over live
+        vectors), ``dropped_mass``, ``truncated_vectors``,
+        ``support_cap``.
+        """
+
+
+def truncate_support(
+    vector: dict[int, float], cap: int
+) -> tuple[dict[int, float], float]:
+    """Retain the ``cap`` largest-mass entries of a sparse vector.
+
+    Returns ``(truncated, dropped_mass)``. Mass ties at the cutoff keep
+    the lower shard id; survivors keep their original insertion order
+    (dict order feeds the multi-parent accumulation order downstream,
+    so reordering survivors would change later arithmetic). Dropped
+    mass is summed in rank order, which both call sites (the unfused
+    scorer and the fused batch loop) share, keeping the accounting
+    bit-identical between them.
+    """
+    ranked = sorted(vector.items(), key=lambda kv: (-kv[1], kv[0]))
+    keep = {shard for shard, _ in ranked[:cap]}
+    dropped = 0.0
+    for _, mass in ranked[cap:]:
+        dropped += mass
+    truncated = {
+        shard: mass for shard, mass in vector.items() if shard in keep
+    }
+    return truncated, dropped
+
+
+def make_scorer(kind: str, n_shards: int, **kwargs) -> PlacementScorer:
+    """Factory over the scorer registry (``"exact"``, ``"topk"``)."""
+    # The implementations register on import; resolve them lazily so
+    # importing this interface module alone stays cycle-free.
+    import repro.core.t2s  # noqa: F401
+
+    try:
+        cls = PlacementScorer.registry[kind]
+    except KeyError:
+        known = ", ".join(sorted(PlacementScorer.registry))
+        raise ConfigurationError(
+            f"unknown scorer kind {kind!r}; known: {known}"
+        )
+    return cls(n_shards=n_shards, **kwargs)

@@ -33,13 +33,18 @@ from __future__ import annotations
 import math
 from typing import Any, Sequence
 
+from repro.core.scorer import (
+    DEFAULT_SUPPORT_CAP,
+    PlacementScorer,
+    truncate_support,
+)
 from repro.errors import ConfigurationError, PlacementError
 
 OUTDEG_MODES = ("spenders", "outputs")
 
 
-class T2SScorer:
-    """Incremental T2S scoring engine.
+class T2SScorer(PlacementScorer):
+    """Incremental T2S scoring engine (the ``"exact"`` scorer kind).
 
     Usage per arriving transaction::
 
@@ -51,6 +56,14 @@ class T2SScorer:
     ``place`` must be called exactly once per added transaction before
     the next one is added.
     """
+
+    kind = "exact"
+
+    # Truncation accounting, all zero for the exact scorer: reads
+    # (support_stats, snapshots) stay uniform across scorer kinds
+    # without per-instance storage on this slotted hot class.
+    _dropped_mass = 0.0
+    _truncated_vectors = 0
 
     __slots__ = (
         "n_shards",
@@ -144,6 +157,38 @@ class T2SScorer:
         store grows without limit (~1.5 GB at 10M transactions).
         """
         return len(self._p_prime) - self._released
+
+    def support_stats(self) -> dict[str, Any]:
+        """Support/saturation observability: live-vector count, mean
+        and max vector nnz, and cumulative truncation accounting.
+
+        One O(n_transactions) sweep per call (released slots are kept
+        as None placeholders, so they still cost a cheap identity
+        check each) - paid by the caller of a ``stats`` op, never by
+        the placement hot path (which is why the nnz aggregates are
+        not maintained incrementally). ~20 ms per million transactions
+        on this container: fine for operator polling, not for per-batch
+        calls.
+        """
+        live = 0
+        total_nnz = 0
+        max_nnz = 0
+        for vector in self._p_prime:
+            if vector is None:
+                continue
+            live += 1
+            nnz = len(vector)
+            total_nnz += nnz
+            if nnz > max_nnz:
+                max_nnz = nnz
+        return {
+            "live_vectors": live,
+            "mean_nnz": (total_nnz / live) if live else 0.0,
+            "max_nnz": max_nnz,
+            "dropped_mass": self._dropped_mass,
+            "truncated_vectors": self._truncated_vectors,
+            "support_cap": self.support_cap,
+        }
 
     def p_prime_of(self, txid: int) -> dict[int, float]:
         """Copy of the unnormalized vector of a transaction."""
@@ -445,6 +490,109 @@ class T2SScorer:
         if not self._spenders_divisor:
             self._output_count[:] = state["output_count"]
         self._pending = None
+
+
+class TopKT2SScorer(T2SScorer):
+    """Bounded-support T2S scoring (the ``"topk"`` scorer kind).
+
+    Identical to the exact recurrence except that each arriving
+    transaction's vector retains only its ``support_cap`` largest-mass
+    entries (ties at the cutoff keep the lower shard id; survivors keep
+    insertion order). Dropped mass is accumulated in
+    ``dropped_mass_total`` so the signal the bound gives up stays
+    observable - a production deployment can watch saturation instead
+    of discovering it as quality drift.
+
+    Why this is sound: the fused fitness argmax optimizes exactly over
+    the stored sparse scores - its pruning bounds
+    (``max(raw.values()) / min_size`` from above, the lightest shard's
+    latency from below) are computed from the truncated vector itself,
+    so every skip remains provably correct *for the truncated scorer*.
+    Truncation changes which scores exist, never how the argmax treats
+    them; a dropped shard scores exactly zero, which the spill path
+    already handles. The trade is placement quality, not correctness,
+    and it is measured (BENCH_placement.json ``topk_frontier``).
+
+    With ``support_cap >= n_shards`` the variant is **bit-identical**
+    to :class:`T2SScorer`: vector keys are shard ids, so nnz can never
+    exceed ``n_shards`` and truncation never fires (pinned by
+    ``tests/core/test_topk_scorer.py``).
+
+    Placement-side vectors may transiently hold ``support_cap + 1``
+    entries: :meth:`place` adds the chosen shard's ``alpha`` without
+    evicting (evicting there would discard the freshest - and usually
+    largest - signal), and children re-truncate on arrival, so the
+    stored bound is ``support_cap + 1``.
+    """
+
+    kind = "topk"
+
+    # No __slots__: the parent's class-level truncation attributes are
+    # shadowed by per-instance values here, which slots would reject as
+    # a name conflict. One dict per scorer instance (not per
+    # transaction) is irrelevant to the hot path.
+
+    def __init__(
+        self,
+        n_shards: int,
+        support_cap: int = DEFAULT_SUPPORT_CAP,
+        alpha: float = 0.5,
+        outdeg_mode: str = "spenders",
+        prune_epsilon: float = 1e-12,
+    ) -> None:
+        super().__init__(
+            n_shards,
+            alpha=alpha,
+            outdeg_mode=outdeg_mode,
+            prune_epsilon=prune_epsilon,
+        )
+        if support_cap < 1:
+            raise ConfigurationError(
+                f"support_cap must be >= 1, got {support_cap}"
+            )
+        self.support_cap = support_cap
+        self._dropped_mass = 0.0
+        self._truncated_vectors = 0
+
+    @property
+    def dropped_mass_total(self) -> float:
+        """Cumulative T2S mass discarded by truncation."""
+        return self._dropped_mass
+
+    @property
+    def truncated_vector_count(self) -> int:
+        """Vectors that arrived with support above the cap."""
+        return self._truncated_vectors
+
+    def add_transaction_raw(
+        self,
+        txid: int,
+        input_txids: Sequence[int],
+        n_outputs: int = 1,
+    ) -> dict[int, float]:
+        raw = super().add_transaction_raw(txid, input_txids, n_outputs)
+        cap = self.support_cap
+        if len(raw) > cap:
+            raw, dropped = truncate_support(raw, cap)
+            self._p_prime[txid] = raw
+            # cap >= 1, so the truncated vector is never empty.
+            self._min_mass[txid] = min(raw.values())
+            self._dropped_mass += dropped
+            self._truncated_vectors += 1
+        return raw
+
+    # -- snapshot/restore --------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        state = super().export_state()
+        state["dropped_mass"] = self._dropped_mass
+        state["truncated_vectors"] = self._truncated_vectors
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self._dropped_mass = state.get("dropped_mass", 0.0)
+        self._truncated_vectors = state.get("truncated_vectors", 0)
 
 
 def t2s_reference_dense(

@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.core.scorer import DEFAULT_SUPPORT_CAP
 from repro.datasets.synthetic import GeneratorConfig
 from repro.errors import ConfigurationError
 from repro.simulator.config import SimulationConfig
@@ -51,6 +52,10 @@ class ExperimentScale:
     #: Table II: prefix partitioned offline, window measured online
     warm_prefix: int
     warm_window: int
+    #: retained T2S entries per vector for the ``optchain-topk``
+    #: strategy (bounded-support scoring; scales with the shard axis so
+    #: the cap stays meaningful relative to ``max(table_shard_counts)``)
+    topk_support_cap: int = DEFAULT_SUPPORT_CAP
 
     def simulation(
         self, n_shards: int, tx_rate: float, **overrides
@@ -88,6 +93,7 @@ _TINY = ExperimentScale(
     max_sim_time_s=2_000.0,
     warm_prefix=2_500,
     warm_window=1_500,
+    topk_support_cap=4,
 )
 
 _DEFAULT = ExperimentScale(
@@ -109,6 +115,7 @@ _DEFAULT = ExperimentScale(
     max_sim_time_s=10_000.0,
     warm_prefix=40_000,
     warm_window=20_000,
+    topk_support_cap=8,
 )
 
 _PAPER = ExperimentScale(
@@ -130,6 +137,7 @@ _PAPER = ExperimentScale(
     max_sim_time_s=50_000.0,
     warm_prefix=8_000_000,
     warm_window=1_000_000,
+    topk_support_cap=16,
 )
 
 SCALES: dict[str, ExperimentScale] = {

@@ -28,7 +28,7 @@ from repro.core.baselines import (
     OmniLedgerRandomPlacer,
     T2SOnlyPlacer,
 )
-from repro.core.optchain import OptChainPlacer
+from repro.core.optchain import OptChainPlacer, TopKOptChainPlacer
 from repro.core.placement import PlacementStrategy
 from repro.datasets.synthetic import BitcoinLikeGenerator
 from repro.errors import ConfigurationError
@@ -92,6 +92,10 @@ def build_placer(
     """
     if method == "optchain":
         return OptChainPlacer(n_shards)
+    if method == "optchain-topk":
+        return TopKOptChainPlacer(
+            n_shards, support_cap=scale.topk_support_cap
+        )
     if method == "omniledger":
         return OmniLedgerRandomPlacer(n_shards)
     if method == "greedy":

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.placement import PlacementStrategy
-from repro.core.t2s import T2SScorer
+from repro.core.scorer import PlacementScorer
 from repro.errors import ConfigurationError, EngineError
 from repro.utxo.transaction import Transaction
 
@@ -72,6 +72,12 @@ class EngineStats:
     tracked_unspent: int
     epoch_length: int
     horizon_epochs: int | None
+    #: Support/saturation observability from the scorer (None for
+    #: strategies without one): live-vector count, mean/max vector nnz,
+    #: dropped-mass totals, and the support cap when bounded. This is
+    #: how T2S saturation - the thing that erodes throughput at 64+
+    #: shards - shows up in production instead of only in benchmarks.
+    support: dict[str, Any] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-friendly dump (the server's ``stats`` op)."""
@@ -87,6 +93,7 @@ class EngineStats:
             "tracked_unspent": self.tracked_unspent,
             "epoch_length": self.epoch_length,
             "horizon_epochs": self.horizon_epochs,
+            "support": self.support,
         }
 
 
@@ -136,9 +143,13 @@ class PlacementEngine:
         self._epoch_length = epoch_length
         self._horizon_epochs = horizon_epochs
         self._truncate_spent = truncate_spent
+        # Any scorer implementing the interface gets the serving
+        # features (truncation sweeps, support stats) - including
+        # custom injections via OptChainPlacer(scorer=...), not just
+        # the built-in kinds.
         scorer = getattr(placer, "scorer", None)
-        self._scorer: T2SScorer | None = (
-            scorer if isinstance(scorer, T2SScorer) else None
+        self._scorer: PlacementScorer | None = (
+            scorer if isinstance(scorer, PlacementScorer) else None
         )
         self._collect_spent = self._scorer is not None and truncate_spent
         # txid -> bitmask of still-unspent output indexes, for every
@@ -202,6 +213,9 @@ class PlacementEngine:
             tracked_unspent=len(self._remaining),
             epoch_length=self._epoch_length,
             horizon_epochs=self._horizon_epochs,
+            support=(
+                scorer.support_stats() if scorer is not None else None
+            ),
         )
 
     # -- the serving hot path ----------------------------------------------
@@ -240,16 +254,20 @@ class PlacementEngine:
 
     # -- checkpointing -----------------------------------------------------
 
-    def checkpoint(self, path: "str | pathlib.Path") -> int:
+    def checkpoint(
+        self, path: "str | pathlib.Path", compress: bool = False
+    ) -> int:
         """Write a snapshot to ``path``; returns the byte size written.
 
         The engine must be quiescent (between batches) - always true
         from the single-threaded server loop and from straight-line
-        client code.
+        client code. ``compress`` writes the array payload as one zlib
+        stream (see :func:`repro.service.state.save_engine_snapshot`);
+        restore auto-detects either form.
         """
         from repro.service.state import save_engine_snapshot
 
-        return save_engine_snapshot(self, path)
+        return save_engine_snapshot(self, path, compress=compress)
 
     @classmethod
     def restore(cls, path: "str | pathlib.Path") -> "PlacementEngine":

@@ -78,6 +78,7 @@ class PlacementServer:
         max_reorder_requests: int = 1024,
         max_line_bytes: int = 8 * 1024 * 1024,
         checkpoint_path: "str | None" = None,
+        checkpoint_compress: bool = False,
     ) -> None:
         self._engine = engine
         self._host = host
@@ -86,6 +87,7 @@ class PlacementServer:
         self._max_reorder = max_reorder_requests
         self._max_line_bytes = max_line_bytes
         self._checkpoint_path = checkpoint_path
+        self._checkpoint_compress = checkpoint_compress
         self._pending: dict[int, _Pending] = {}
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -136,7 +138,10 @@ class PlacementServer:
                 "request was filled",
             )
         if self._checkpoint_path is not None:
-            self._engine.checkpoint(self._checkpoint_path)
+            self._engine.checkpoint(
+                self._checkpoint_path,
+                compress=self._checkpoint_compress,
+            )
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -266,7 +271,9 @@ class PlacementServer:
                     "no checkpoint path: pass \"path\" or start the "
                     "server with one"
                 )
-            size = self._engine.checkpoint(path)
+            size = self._engine.checkpoint(
+                path, compress=self._checkpoint_compress
+            )
             return {"ok": True, "path": str(path), "bytes": size}
         if op == "ping":
             return {

@@ -304,6 +304,49 @@ class TestShutdown:
         restored = load_engine_snapshot(snapshot)
         assert restored.n_placed == 300
 
+    def test_stats_op_reports_support_section(self, stream):
+        async def scenario(server):
+            client = await AsyncPlacementClient.connect(
+                port=server.port
+            )
+            await client.place(stream[:300])
+            stats = await client.stats()
+            support = stats["support"]
+            assert support["live_vectors"] > 0
+            assert support["mean_nnz"] > 0.0
+            assert support["max_nnz"] >= 1
+            assert support["dropped_mass"] == 0.0
+            assert support["support_cap"] is None
+            await client.close()
+
+        run_with_server(scenario)
+
+    def test_compressed_checkpoint_on_shutdown(self, tmp_path, stream):
+        snapshot = tmp_path / "packed.snap"
+
+        async def scenario(server):
+            client = await AsyncPlacementClient.connect(
+                port=server.port
+            )
+            await client.place(stream[:300])
+            await client.shutdown()
+            await server.wait_stopped()
+            await client.close()
+
+        engine = PlacementEngine(
+            make_placer("optchain-topk", N_SHARDS, support_cap=2),
+            epoch_length=500,
+        )
+        run_with_server(
+            scenario,
+            engine=engine,
+            checkpoint_path=str(snapshot),
+            checkpoint_compress=True,
+        )
+        restored = load_engine_snapshot(snapshot)
+        assert restored.n_placed == 300
+        assert restored.placer.support_cap == 2
+
     def test_gapped_request_failed_on_shutdown(self, stream):
         async def scenario(server):
             client = await AsyncPlacementClient.connect(

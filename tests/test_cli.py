@@ -23,6 +23,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table9"])
 
+    def test_strategy_alias_and_support_cap(self):
+        args = build_parser().parse_args(
+            ["serve", "--strategy", "optchain-topk", "--support-cap", "4"]
+        )
+        assert args.method == "optchain-topk"
+        assert args.support_cap == 4
+        assert args.checkpoint_compress is False
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint-compress"]
+        )
+        assert args.checkpoint_compress is True
+        args = build_parser().parse_args(
+            ["place", "--strategy", "optchain-topk"]
+        )
+        assert args.method == "optchain-topk"
+        assert args.support_cap is None
+
 
 class TestCommands:
     def test_place(self, capsys):
@@ -41,6 +58,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cross-shard" in out
         assert "balance" in out
+
+    def test_place_topk(self, capsys):
+        code = main(
+            ["place", "--strategy", "optchain-topk", "--support-cap",
+             "4", "--shards", "8", "--transactions", "800"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optchain-topk" in out
+        assert "cross-shard" in out
 
     def test_place_metis(self, capsys):
         code = main(
