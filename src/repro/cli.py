@@ -10,10 +10,12 @@ Subcommands:
   (``table1 table2 fig2 ... fig11`` or ``all``).
 - ``generate``   - write a synthetic workload to JSONL or edge-list.
 - ``stats``      - TaN statistics of a stream file.
-- ``serve``      - run the long-lived placement service (NDJSON over
-  TCP, checkpoint/restore, epoch-bounded T2S memory).
+- ``serve``      - run the long-lived placement service (binary +
+  NDJSON codecs over TCP, checkpoint/restore, epoch-bounded T2S
+  memory; ``--workers N`` shards it across partitioned worker
+  processes behind a routing front-end).
 - ``loadgen``    - replay a synthetic stream against a running service
-  from many simulated users (open or closed loop).
+  from many simulated users (open or closed loop, either codec).
 """
 
 from __future__ import annotations
@@ -61,10 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--seed", type=int, default=1)
     place.add_argument(
         "--support-cap",
-        type=int,
+        type=str,
         default=None,
-        help="retained T2S entries per vector (optchain-topk only; "
-        "default: the strategy's built-in cap)",
+        help="retained T2S entries per vector, or auto:<rate> for the "
+        "adaptive cap (optchain-topk / t2s-topk; default: the "
+        "strategy's built-in cap)",
     )
 
     simulate = commands.add_parser(
@@ -88,9 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=1)
     simulate.add_argument(
         "--support-cap",
-        type=int,
+        type=str,
         default=None,
-        help="retained T2S entries per vector (optchain-topk only)",
+        help="retained T2S entries per vector, or auto:<rate> "
+        "(optchain-topk / t2s-topk)",
     )
 
     experiment = commands.add_parser(
@@ -130,10 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=16)
     serve.add_argument(
         "--support-cap",
-        type=int,
+        type=str,
         default=None,
-        help="retained T2S entries per vector (optchain-topk only; "
-        "bounded-support scoring for the 64+-shard regime)",
+        help="retained T2S entries per vector, or auto:<rate> for the "
+        "adaptive cap (optchain-topk / t2s-topk; bounded-support "
+        "scoring for the 64+-shard regime)",
     )
     serve.add_argument(
         "--epoch-length",
@@ -168,8 +173,32 @@ def build_parser() -> argparse.ArgumentParser:
         "auto-detects)",
     )
     serve.add_argument(
+        "--checkpoint-delta",
+        type=int,
+        default=None,
+        metavar="N",
+        help="epoch-aligned delta checkpoints: between full snapshots, "
+        "write only state touched since the base (format v3); every "
+        "Nth checkpoint compacts to a full one (single-process serve "
+        "only)",
+    )
+    serve.add_argument(
         "--max-batch", type=int, default=8192, dest="max_batch",
         help="micro-batch / request size ceiling in transactions",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run N partitioned worker processes behind a routing "
+        "front-end (0 = classic single-process server); partitions "
+        "own contiguous txid leases with ownership handoff",
+    )
+    serve.add_argument(
+        "--lease-length",
+        type=int,
+        default=25_000,
+        help="txids per ownership lease in --workers mode",
     )
 
     loadgen = commands.add_parser(
@@ -189,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="offered load in tx/s (open mode)",
     )
+    loadgen.add_argument(
+        "--proto",
+        choices=("binary", "json"),
+        default="binary",
+        help="wire codec: binary frames (fast) or NDJSON (compat)",
+    )
     loadgen.add_argument("--seed", type=int, default=1)
     return parser
 
@@ -196,23 +231,38 @@ def build_parser() -> argparse.ArgumentParser:
 def _topk_kwargs(args) -> dict:
     """``make_placer`` kwargs for an explicit ``--support-cap``.
 
-    A cap given for a strategy that ignores it is flagged rather than
+    Accepts an integer cap or the adaptive form ``auto:<rate>`` (grow
+    the cap until the dropped-mass rate falls below ``<rate>``). A cap
+    given for a strategy that ignores it is flagged rather than
     silently dropped - same principle as the restored-checkpoint
     override warnings in ``serve``.
     """
     cap = getattr(args, "support_cap", None)
     if cap is None:
         return {}
-    if args.method != "optchain-topk":
+    if args.method not in ("optchain-topk", "t2s-topk"):
         print(
-            f"warning: --support-cap={cap} ignored; only "
-            f"optchain-topk bounds vector support (got --method/"
+            f"warning: --support-cap={cap} ignored; only the topk "
+            f"strategies bound vector support (got --method/"
             f"--strategy {args.method})",
             file=sys.stderr,
             flush=True,
         )
         return {}
-    return {"support_cap": cap}
+    mode, value = _parse_cap_or_exit(cap)
+    return {"support_cap": cap if mode == "auto" else value}
+
+
+def _parse_cap_or_exit(cap: str):
+    """Validate a --support-cap value with a clean CLI error."""
+    from repro.core.scorer import parse_support_cap
+    from repro.errors import ConfigurationError
+
+    try:
+        return parse_support_cap(cap)
+    except ConfigurationError as exc:
+        print(f"error: --support-cap: {exc}", file=sys.stderr, flush=True)
+        raise SystemExit(2)
 
 
 def _cmd_place(args) -> int:
@@ -221,11 +271,9 @@ def _cmd_place(args) -> int:
     from repro.partition.quality import balance_ratio, cross_shard_fraction
 
     stream = synthetic_stream(args.transactions, seed=args.seed)
-    kwargs = (
-        {"expected_total": len(stream)}
-        if args.method in ("greedy", "t2s")
-        else _topk_kwargs(args)
-    )
+    kwargs = _topk_kwargs(args)
+    if args.method in ("greedy", "t2s", "t2s-topk"):
+        kwargs["expected_total"] = len(stream)
     if args.method == "metis":
         from repro.partition.metis_like import partition_tan
         from repro.txgraph.tan import TaNGraph
@@ -325,6 +373,8 @@ def _cmd_serve(args) -> int:
     from repro.service.engine import PlacementEngine
     from repro.service.server import PlacementServer
 
+    if args.workers:
+        return _serve_sharded(args)
     if args.checkpoint and os.path.exists(args.checkpoint):
         engine = PlacementEngine.restore(args.checkpoint)
         print(
@@ -349,10 +399,13 @@ def _cmd_serve(args) -> int:
             "truncate_spent": not args.no_truncate_spent,
         }
         if args.support_cap is not None:
-            restored_config["support_cap"] = getattr(
-                engine.placer, "support_cap", None
+            restored_config["support_cap"] = _restored_cap_setting(
+                engine.placer
             )
-            requested["support_cap"] = args.support_cap
+            mode, value = _parse_cap_or_exit(args.support_cap)
+            requested["support_cap"] = (
+                f"auto:{value!r}" if mode == "auto" else value
+            )
         for key, wanted in requested.items():
             have = restored_config[key]
             if wanted != have:
@@ -379,6 +432,7 @@ def _cmd_serve(args) -> int:
             max_batch_txs=args.max_batch,
             checkpoint_path=args.checkpoint,
             checkpoint_compress=args.checkpoint_compress,
+            checkpoint_delta_every=args.checkpoint_delta,
         )
         await server.start()
         loop = asyncio.get_running_loop()
@@ -407,6 +461,79 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _restored_cap_setting(placer):
+    """The restored placer's support-cap *configuration*, in the same
+    canonical form as a parsed --support-cap argument - adaptive
+    scorers compare by target rate (their current cap legitimately
+    drifts), fixed ones by the cap itself."""
+    scorer = getattr(placer, "scorer", None)
+    if getattr(scorer, "kind", "") == "topk-adaptive":
+        return f"auto:{scorer.target_rate!r}"
+    return getattr(placer, "support_cap", None)
+
+
+def _serve_sharded(args) -> int:
+    """``repro serve --workers N``: the partitioned service."""
+    import asyncio
+    import signal
+
+    from repro.service.coordinator import ShardedPlacementServer
+
+    if args.checkpoint_delta is not None:
+        print(
+            f"warning: --checkpoint-delta={args.checkpoint_delta} "
+            "ignored; --workers mode writes full per-partition "
+            "snapshots (delta checkpoints are single-process only)",
+            file=sys.stderr,
+            flush=True,
+        )
+    spec = {
+        "method": args.method,
+        "n_shards": args.shards,
+        "placer_kwargs": _topk_kwargs(args),
+        "epoch_length": args.epoch_length,
+        "horizon_epochs": args.horizon_epochs,
+        "truncate_spent": not args.no_truncate_spent,
+    }
+
+    async def _run() -> None:
+        server = ShardedPlacementServer(
+            spec,
+            args.workers,
+            args.host,
+            args.port,
+            lease_length=args.lease_length,
+            max_batch_txs=args.max_batch,
+            checkpoint_path=args.checkpoint,
+            checkpoint_compress=args.checkpoint_compress,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: loop.create_task(server.stop())
+            )
+        print(
+            f"serving {args.method} (k={args.shards}) on "
+            f"{args.host}:{server.port} with {args.workers} workers "
+            f"(lease {args.lease_length})",
+            flush=True,
+        )
+        await server.wait_stopped()
+        print(
+            f"stopped after {server._cursor} placements"
+            + (
+                f"; checkpoints written to {args.checkpoint}.p*"
+                if args.checkpoint
+                else ""
+            ),
+            flush=True,
+        )
+
+    asyncio.run(_run())
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     from repro.service.loadgen import run_loadgen
 
@@ -419,6 +546,7 @@ def _cmd_loadgen(args) -> int:
         mode=args.mode,
         rate=args.rate,
         seed=args.seed,
+        proto=args.proto,
     )
     print(report.summary())
     return 0

@@ -19,7 +19,8 @@ from typing import Any, Sequence
 
 from repro.core._fenwick import FenwickFlags
 from repro.core.placement import PlacementStrategy
-from repro.core.t2s import T2SScorer
+from repro.core.scorer import DEFAULT_SUPPORT_CAP
+from repro.core.t2s import T2SScorer, make_support_scorer
 from repro.errors import ConfigurationError, PlacementError
 from repro.rng import make_rng
 from repro.utxo.transaction import Transaction
@@ -363,6 +364,7 @@ class T2SOnlyPlacer(_CappedPlacer):
         seed: int = 0,
         alpha: float = 0.5,
         outdeg_mode: str = "spenders",
+        scorer: T2SScorer | None = None,
     ) -> None:
         super().__init__(
             n_shards,
@@ -371,7 +373,10 @@ class T2SOnlyPlacer(_CappedPlacer):
             tie_break=tie_break,
             seed=seed,
         )
-        self.scorer = T2SScorer(
+        # ``scorer`` is the subclass hook (t2s-topk injects a
+        # bounded-support one); external callers configure via
+        # alpha/outdeg_mode.
+        self.scorer = scorer or T2SScorer(
             n_shards, alpha=alpha, outdeg_mode=outdeg_mode
         )
 
@@ -402,6 +407,57 @@ class T2SOnlyPlacer(_CappedPlacer):
     def restore_state(self, state: dict[str, Any]) -> None:
         super().restore_state(state)
         self.scorer.restore_state(state["scorer"])
+
+
+class TopKT2SOnlyPlacer(T2SOnlyPlacer):
+    """The capped "T2S-based" baseline with bounded-support scoring.
+
+    The mirror of ``optchain-topk`` for the ``t2s`` lane: same
+    size-capped argmax decision rule as :class:`T2SOnlyPlacer`, but the
+    scorer retains only ``support_cap`` entries per vector
+    (:class:`~repro.core.t2s.TopKT2SScorer`; ``"auto:<rate>"`` selects
+    the adaptive cap). With ``support_cap >= n_shards`` placements are
+    bit-identical to the exact baseline - vector keys are shard ids,
+    so truncation never fires - which is the registration test's gate.
+    """
+
+    name = "t2s-topk"
+
+    def __init__(
+        self,
+        n_shards: int,
+        support_cap: "int | str" = DEFAULT_SUPPORT_CAP,
+        epsilon: float = PAPER_EPSILON,
+        expected_total: int | None = None,
+        tie_break: str = "random",
+        seed: int = 0,
+        alpha: float = 0.5,
+        outdeg_mode: str = "spenders",
+        support_initial_cap: "int | None" = None,
+        support_window: "int | None" = None,
+    ) -> None:
+        super().__init__(
+            n_shards,
+            epsilon=epsilon,
+            expected_total=expected_total,
+            tie_break=tie_break,
+            seed=seed,
+            alpha=alpha,
+            outdeg_mode=outdeg_mode,
+            scorer=make_support_scorer(
+                n_shards,
+                support_cap,
+                alpha=alpha,
+                outdeg_mode=outdeg_mode,
+                initial_cap=support_initial_cap,
+                window=support_window,
+            ),
+        )
+
+    @property
+    def support_cap(self) -> int:
+        """Max retained entries per T2S vector (current value)."""
+        return self.scorer.support_cap
 
 
 class MetisOfflinePlacer(PlacementStrategy):

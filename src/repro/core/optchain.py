@@ -42,7 +42,7 @@ from repro.core.scorer import (
     PlacementScorer,
     truncate_support,
 )
-from repro.core.t2s import T2SScorer, TopKT2SScorer
+from repro.core.t2s import T2SScorer, make_support_scorer
 from repro.errors import ConfigurationError, PlacementError
 from repro.utxo.transaction import Transaction
 
@@ -512,9 +512,15 @@ class OptChainPlacer(PlacementStrategy):
         implementation. Returns the shards of this batch only;
         ``place_stream`` layers the full-assignment copy on top.
         """
-        if self._path != _PATH_FUSED or self._size_argmin is not None:
+        if (
+            self._path != _PATH_FUSED
+            or self._size_argmin is not None
+            or not self.scorer.fused_compatible
+        ):
             # The lazy argmin (enabled by other paths) expects a bump per
-            # placement; the generic loop provides it.
+            # placement, and opt-out scorers (the adaptive cap's window
+            # accounting) need their own add_transaction_raw; the
+            # generic loop provides both.
             return super().place_batch(txs)
         proxy = self._proxy
         scorer = self.scorer
@@ -1254,6 +1260,12 @@ class TopKOptChainPlacer(OptChainPlacer):
     With ``support_cap >= n_shards`` placements are bit-identical to
     :class:`OptChainPlacer`; the exact strategy itself is never
     affected by this variant existing.
+
+    ``support_cap`` also accepts the adaptive form ``"auto:<rate>"``:
+    the cap starts at 4 and doubles (up to ``n_shards``) while the
+    windowed dropped-mass rate exceeds ``<rate>`` - see
+    :class:`~repro.core.t2s.AdaptiveTopKT2SScorer`. The adaptive
+    scorer runs unfused (its window accounting is per-transaction).
     """
 
     name = "optchain-topk"
@@ -1261,7 +1273,7 @@ class TopKOptChainPlacer(OptChainPlacer):
     def __init__(
         self,
         n_shards: int,
-        support_cap: int = DEFAULT_SUPPORT_CAP,
+        support_cap: "int | str" = DEFAULT_SUPPORT_CAP,
         alpha: float = 0.5,
         latency_weight: float = PAPER_LATENCY_WEIGHT,
         latency_provider: LatencyProvider | None | _ProxyDefault = (
@@ -1269,6 +1281,8 @@ class TopKOptChainPlacer(OptChainPlacer):
         ),
         l2s_mode: str = "shard_load",
         outdeg_mode: str = "spenders",
+        support_initial_cap: "int | None" = None,
+        support_window: "int | None" = None,
     ) -> None:
         super().__init__(
             n_shards,
@@ -1277,15 +1291,18 @@ class TopKOptChainPlacer(OptChainPlacer):
             latency_provider=latency_provider,
             l2s_mode=l2s_mode,
             outdeg_mode=outdeg_mode,
-            scorer=TopKT2SScorer(
+            scorer=make_support_scorer(
                 n_shards,
-                support_cap=support_cap,
+                support_cap,
                 alpha=alpha,
                 outdeg_mode=outdeg_mode,
+                initial_cap=support_initial_cap,
+                window=support_window,
             ),
         )
 
     @property
     def support_cap(self) -> int:
-        """Max retained entries per T2S vector."""
+        """Max retained entries per T2S vector (current value - the
+        adaptive scorer grows it)."""
         return self.scorer.support_cap

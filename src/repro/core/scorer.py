@@ -75,6 +75,13 @@ class PlacementScorer(ABC):
     #: fused hot path reads this declaratively (see module docstring).
     support_cap: int | None = None
 
+    #: Whether the fused batch loop may inline this scorer's recurrence
+    #: (reading the exact-scorer state layout + ``support_cap`` once per
+    #: batch). Scorers with per-transaction bookkeeping of their own -
+    #: the adaptive cap's dropped-mass window - set this False and run
+    #: through the unfused per-transaction interface instead.
+    fused_compatible: bool = True
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         # Register only classes that declare their own kind: subclasses
@@ -165,6 +172,47 @@ def truncate_support(
         shard: mass for shard, mass in vector.items() if shard in keep
     }
     return truncated, dropped
+
+
+def parse_support_cap(value) -> "tuple[str, int | float]":
+    """Parse a support-cap setting: an int, or ``"auto:<rate>"``.
+
+    Returns ``("fixed", cap)`` or ``("auto", target_rate)``. The auto
+    form is the adaptive policy: start small and grow the cap while the
+    observed dropped-mass rate stays above ``target_rate`` (see
+    :class:`~repro.core.t2s.AdaptiveTopKT2SScorer`).
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(
+            f"support_cap must be an int or 'auto:<rate>', got {value!r}"
+        )
+    if isinstance(value, int):
+        return ("fixed", value)
+    if isinstance(value, str):
+        if value.startswith("auto:"):
+            try:
+                rate = float(value[5:])
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad adaptive support cap {value!r}; expected "
+                    "auto:<rate> with a float rate, e.g. auto:0.01"
+                )
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(
+                    f"adaptive dropped-mass rate must be in [0, 1), "
+                    f"got {rate}"
+                )
+            return ("auto", rate)
+        try:
+            return ("fixed", int(value))
+        except ValueError:
+            raise ConfigurationError(
+                f"support_cap must be an int or 'auto:<rate>', got "
+                f"{value!r}"
+            )
+    raise ConfigurationError(
+        f"support_cap must be an int or 'auto:<rate>', got {value!r}"
+    )
 
 
 def make_scorer(kind: str, n_shards: int, **kwargs) -> PlacementScorer:

@@ -36,6 +36,7 @@ from typing import Any, Sequence
 from repro.core.scorer import (
     DEFAULT_SUPPORT_CAP,
     PlacementScorer,
+    parse_support_cap,
     truncate_support,
 )
 from repro.errors import ConfigurationError, PlacementError
@@ -445,6 +446,16 @@ class T2SScorer(PlacementScorer):
 
     # -- snapshot/restore --------------------------------------------------
 
+    def export_hot_scalars(self) -> dict[str, Any]:
+        """Stream-global scalar accounting, O(1) - the scorer's share of
+        a partition handoff (:mod:`repro.service.partition`). Per-txid
+        state (vectors, spender counts) stays with the owning partition;
+        only what every future placement reads globally travels."""
+        return {}
+
+    def import_hot_scalars(self, scalars: dict[str, Any]) -> None:
+        """Load a dump produced by :meth:`export_hot_scalars`."""
+
     def export_state(self) -> dict[str, Any]:
         """Plain-data dump of the scorer state (see service.state).
 
@@ -583,6 +594,16 @@ class TopKT2SScorer(T2SScorer):
 
     # -- snapshot/restore --------------------------------------------------
 
+    def export_hot_scalars(self) -> dict[str, Any]:
+        return {
+            "dropped_mass": self._dropped_mass,
+            "truncated_vectors": self._truncated_vectors,
+        }
+
+    def import_hot_scalars(self, scalars: dict[str, Any]) -> None:
+        self._dropped_mass = scalars["dropped_mass"]
+        self._truncated_vectors = scalars["truncated_vectors"]
+
     def export_state(self) -> dict[str, Any]:
         state = super().export_state()
         state["dropped_mass"] = self._dropped_mass
@@ -593,6 +614,191 @@ class TopKT2SScorer(T2SScorer):
         super().restore_state(state)
         self._dropped_mass = state.get("dropped_mass", 0.0)
         self._truncated_vectors = state.get("truncated_vectors", 0)
+
+
+#: Adaptive-cap defaults: start at 4 retained entries (the cheapest
+#: measured frontier point) and re-evaluate the dropped-mass rate every
+#: 2000 transactions - long enough for the rate to be a signal, short
+#: enough to converge within the first epoch of a long stream.
+ADAPTIVE_INITIAL_CAP = 4
+ADAPTIVE_WINDOW = 2_000
+
+
+class AdaptiveTopKT2SScorer(TopKT2SScorer):
+    """Bounded-support scoring with a self-tuning cap (``"topk-adaptive"``).
+
+    Finishes the sublinear-support story: instead of hand-picking
+    ``support_cap`` per workload, start small and *grow* it (doubling,
+    up to ``n_shards``) while the observed *dropped-mass rate* - the
+    fraction of processed T2S mass discarded by truncation over the
+    last ``window`` transactions - stays above ``target_rate``. Once
+    the rate crosses below the threshold the cap stops growing, landing
+    at the smallest cap whose signal loss is acceptable. The cap never
+    shrinks: saturation only increases as a stream ages (ROADMAP: nnz
+    -> n_shards), so a cap that was once needed stays needed.
+
+    A ``target_rate`` of 0 therefore grows the cap to ``n_shards``
+    whenever *any* mass is dropped - converging to exact scoring -
+    while a large rate freezes the initial cap. Both are property-
+    tested.
+
+    Not fused: the window accounting needs the per-transaction retained
+    mass, so this scorer runs through the unfused interface
+    (:attr:`fused_compatible` is False). That costs ~15% placement
+    throughput against the fused fixed-cap lane - the trade for not
+    shipping a mistuned cap.
+    """
+
+    kind = "topk-adaptive"
+    fused_compatible = False
+
+    def __init__(
+        self,
+        n_shards: int,
+        target_rate: float,
+        support_cap: int = ADAPTIVE_INITIAL_CAP,
+        window: int = ADAPTIVE_WINDOW,
+        alpha: float = 0.5,
+        outdeg_mode: str = "spenders",
+        prune_epsilon: float = 1e-12,
+    ) -> None:
+        super().__init__(
+            n_shards,
+            # The cap can never usefully exceed n_shards (vector keys
+            # are shard ids), so the initial cap is clamped.
+            support_cap=min(support_cap, n_shards),
+            alpha=alpha,
+            outdeg_mode=outdeg_mode,
+            prune_epsilon=prune_epsilon,
+        )
+        if not 0.0 <= target_rate < 1.0:
+            raise ConfigurationError(
+                f"target_rate must be in [0, 1), got {target_rate}"
+            )
+        if window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {window}"
+            )
+        self.target_rate = target_rate
+        self.window = window
+        self.initial_cap = self.support_cap
+        self._window_count = 0
+        self._window_mass = 0.0
+        self._window_dropped = 0.0
+        self._cap_growths = 0
+
+    @property
+    def cap_growths(self) -> int:
+        """How many times the window check grew the cap."""
+        return self._cap_growths
+
+    def add_transaction_raw(
+        self,
+        txid: int,
+        input_txids: Sequence[int],
+        n_outputs: int = 1,
+    ) -> dict[int, float]:
+        dropped_before = self._dropped_mass
+        raw = super().add_transaction_raw(txid, input_txids, n_outputs)
+        dropped = self._dropped_mass - dropped_before
+        retained = 0.0
+        for mass in raw.values():
+            retained += mass
+        self._window_mass += retained + dropped
+        self._window_dropped += dropped
+        self._window_count += 1
+        if self._window_count >= self.window:
+            self._evaluate_window()
+        return raw
+
+    def _evaluate_window(self) -> None:
+        mass = self._window_mass
+        if (
+            mass > 0.0
+            and self._window_dropped / mass > self.target_rate
+            and self.support_cap < self.n_shards
+        ):
+            self.support_cap = min(self.support_cap * 2, self.n_shards)
+            self._cap_growths += 1
+        self._window_count = 0
+        self._window_mass = 0.0
+        self._window_dropped = 0.0
+
+    # -- snapshot/handoff --------------------------------------------------
+
+    def export_hot_scalars(self) -> dict[str, Any]:
+        scalars = super().export_hot_scalars()
+        scalars.update(
+            {
+                "support_cap": self.support_cap,
+                "cap_growths": self._cap_growths,
+                "window_count": self._window_count,
+                "window_mass": self._window_mass,
+                "window_dropped": self._window_dropped,
+            }
+        )
+        return scalars
+
+    def import_hot_scalars(self, scalars: dict[str, Any]) -> None:
+        super().import_hot_scalars(scalars)
+        self.support_cap = scalars["support_cap"]
+        self._cap_growths = scalars["cap_growths"]
+        self._window_count = scalars["window_count"]
+        self._window_mass = scalars["window_mass"]
+        self._window_dropped = scalars["window_dropped"]
+
+    def export_state(self) -> dict[str, Any]:
+        state = super().export_state()
+        state.update(
+            {
+                "support_cap": self.support_cap,
+                "cap_growths": self._cap_growths,
+                "window_count": self._window_count,
+                "window_mass": self._window_mass,
+                "window_dropped": self._window_dropped,
+            }
+        )
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        self.support_cap = state["support_cap"]
+        self._cap_growths = state["cap_growths"]
+        self._window_count = state["window_count"]
+        self._window_mass = state["window_mass"]
+        self._window_dropped = state["window_dropped"]
+
+
+def make_support_scorer(
+    n_shards: int,
+    support_cap,
+    *,
+    alpha: float = 0.5,
+    outdeg_mode: str = "spenders",
+    initial_cap: "int | None" = None,
+    window: "int | None" = None,
+) -> TopKT2SScorer:
+    """Bounded-support scorer from a cap setting (int or ``auto:<r>``)."""
+    mode, value = parse_support_cap(support_cap)
+    if mode == "fixed":
+        return TopKT2SScorer(
+            n_shards,
+            support_cap=value,
+            alpha=alpha,
+            outdeg_mode=outdeg_mode,
+        )
+    kwargs: dict[str, Any] = {}
+    if initial_cap is not None:
+        kwargs["support_cap"] = initial_cap
+    if window is not None:
+        kwargs["window"] = window
+    return AdaptiveTopKT2SScorer(
+        n_shards,
+        target_rate=value,
+        alpha=alpha,
+        outdeg_mode=outdeg_mode,
+        **kwargs,
+    )
 
 
 def t2s_reference_dense(

@@ -27,6 +27,7 @@ from repro.core.baselines import (
     MetisOfflinePlacer,
     OmniLedgerRandomPlacer,
     T2SOnlyPlacer,
+    TopKT2SOnlyPlacer,
 )
 from repro.core.optchain import OptChainPlacer, TopKOptChainPlacer
 from repro.core.placement import PlacementStrategy
@@ -95,6 +96,12 @@ def build_placer(
     if method == "optchain-topk":
         return TopKOptChainPlacer(
             n_shards, support_cap=scale.topk_support_cap
+        )
+    if method == "t2s-topk":
+        return TopKT2SOnlyPlacer(
+            n_shards,
+            support_cap=scale.topk_support_cap,
+            expected_total=expected_total,
         )
     if method == "omniledger":
         return OmniLedgerRandomPlacer(n_shards)

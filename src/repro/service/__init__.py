@@ -15,13 +15,23 @@ millions of transactions:
   placement state (T2S vectors, lazy-decay load-proxy clocks, shard
   sizes, RNG state) to a compact binary file, such that
   restore-then-continue is bit-identical to an uninterrupted run.
-- :mod:`repro.service.server` - an asyncio server speaking
-  newline-delimited JSON with micro-batched dispatch into the fused
+- :mod:`repro.service.wire` - the two wire codecs (NDJSON for compat,
+  length-prefixed binary frames for throughput), sharing one port via
+  first-byte sniffing.
+- :mod:`repro.service.server` - the single-process asyncio server:
+  dual-codec connections, micro-batched dispatch into the fused
   ``place_batch`` hot path, graceful drain and checkpoint-on-shutdown.
-- :mod:`repro.service.client` - sync and async clients.
+- :mod:`repro.service.partition` / :mod:`~repro.service.coordinator` /
+  :mod:`~repro.service.worker` / :mod:`~repro.service.channel` - the
+  horizontally sharded service (``repro serve --workers N``):
+  partitioned engines owning contiguous txid leases behind a routing
+  front-end, with ownership handoff, cross-partition parent lookups,
+  per-partition checkpoints, and worker respawn.
+- :mod:`repro.service.client` - sync and async clients, one pair per
+  codec.
 - :mod:`repro.service.loadgen` - an open/closed-loop load generator
   replaying :mod:`repro.datasets.synthetic` streams from many simulated
-  users.
+  users over either codec.
 
 Quickstart (in-process)::
 
@@ -36,15 +46,23 @@ Quickstart (in-process)::
     engine = PlacementEngine.restore("placement.snap")
 
 Over the wire: ``repro serve`` / ``repro loadgen`` (see the CLI), or
-``examples/placement_service.py`` for a scripted walkthrough.
+``examples/placement_service.py`` and ``examples/sharded_service.py``
+for scripted walkthroughs.
 """
 
 from repro.service.engine import EngineStats, PlacementEngine
-from repro.service.state import load_engine_snapshot, save_engine_snapshot
+from repro.service.partition import EnginePartition
+from repro.service.state import (
+    load_engine_snapshot,
+    save_engine_delta,
+    save_engine_snapshot,
+)
 
 __all__ = [
     "EngineStats",
+    "EnginePartition",
     "PlacementEngine",
     "load_engine_snapshot",
+    "save_engine_delta",
     "save_engine_snapshot",
 ]

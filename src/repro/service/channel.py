@@ -1,0 +1,225 @@
+"""Duplex frame-RPC channel between the coordinator and its workers.
+
+Both ends of a worker link initiate requests: the coordinator pushes
+placements, grants, and checkpoints down; the active worker pulls
+foreign parent state and pushes writebacks back up *while a placement
+is in flight* - which is exactly why this is a full-duplex channel with
+per-side correlation ids rather than a request/response pipe. Frames
+reuse the binary wire format (:mod:`repro.service.wire`); response
+frames have bit 7 of the kind set and echo the request id, and each
+side only ever resolves ids it allocated, so the two counters cannot
+collide.
+
+The inter-worker request kinds (0x10..0x1F, reserved by wire.py):
+
+====================  ====================================================
+``W_HELLO``           worker -> coordinator: partition id, cursor, token
+``W_PLACE``           coordinator -> owner: one place payload (raw bytes)
+``W_GRANT``           coordinator -> next owner: write lease + hot state
+``W_RELEASE``         active worker -> coordinator: lease done, hot state
+``W_ACQUIRE``         active worker -> coordinator: foreign parent txids
+``W_READ``            coordinator -> owning worker: read parent states
+``W_WRITEBACK``       active worker -> coordinator: parent mutations
+``W_APPLY``           coordinator -> owning worker: apply writebacks
+``W_STATS``           coordinator -> worker: partition stats
+``W_CHECKPOINT``      coordinator -> worker: snapshot (optionally pause)
+``W_RESUME``          coordinator -> worker: resume after a held snapshot
+``W_SHUTDOWN``        coordinator -> worker: drain queued work and exit
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service.wire import (
+    RESPONSE_FLAG,
+    encode_error_response,
+    encode_frame,
+    encode_json_response,
+    read_frame,
+)
+
+W_HELLO = 0x10
+W_PLACE = 0x11
+W_GRANT = 0x12
+W_RELEASE = 0x13
+W_ACQUIRE = 0x14
+W_READ = 0x15
+W_WRITEBACK = 0x16
+W_APPLY = 0x17
+W_STATS = 0x18
+W_CHECKPOINT = 0x19
+W_RESUME = 0x1A
+W_SHUTDOWN = 0x1B
+
+#: handler(kind, request_id, payload) -> complete response frame bytes.
+Handler = Callable[[int, int, bytes], Awaitable[bytes]]
+
+
+def json_payload(obj: Any) -> bytes:
+    """JSON request payload (floats round-trip exactly via repr)."""
+    return json.dumps(obj, separators=(",", ":")).encode()
+
+
+def parse_json_payload(payload: bytes) -> Any:
+    try:
+        return json.loads(payload) if payload else {}
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON payload: {exc}")
+
+
+class ChannelClosed(ServiceError):
+    """The peer is gone; in-flight requests cannot complete."""
+
+
+class FrameChannel:
+    """One duplex coordinator<->worker link.
+
+    Incoming *request* frames are dispatched to ``handler`` as tasks
+    (so a handler that blocks on its own outbound request cannot
+    deadlock the read loop); incoming *response* frames resolve the
+    matching local future. ``on_close`` fires exactly once when the
+    link dies, after all in-flight futures have been failed.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        handler: "Handler | None" = None,
+        on_close: "Callable[[], None] | None" = None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._handler = handler
+        self._on_close = on_close
+        self._inflight: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._write_lock = asyncio.Lock()
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- outbound ----------------------------------------------------------
+
+    async def request(
+        self, kind: int, payload: bytes = b""
+    ) -> tuple[int, bytes]:
+        """Send one request; returns ``(response_kind, payload)``."""
+        if self._closed:
+            raise ChannelClosed("channel is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[request_id] = future
+        await self._send(encode_frame(kind, request_id, payload))
+        return await future
+
+    async def _send(self, frame: bytes) -> None:
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, RuntimeError):
+            raise ChannelClosed("peer closed the channel mid-write")
+
+    async def respond(self, frame: bytes) -> None:
+        """Write one (already encoded) response frame."""
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # requester is gone; nothing to deliver to
+
+    # -- inbound -----------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                kind, request_id, payload = frame
+                if kind & RESPONSE_FLAG:
+                    future = self._inflight.pop(request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result((kind, payload))
+                    continue
+                task = asyncio.create_task(
+                    self._dispatch(kind, request_id, payload)
+                )
+                self._handler_tasks.add(task)
+                task.add_done_callback(self._handler_tasks.discard)
+        except (ProtocolError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._shutdown_inflight()
+
+    async def _dispatch(
+        self, kind: int, request_id: int, payload: bytes
+    ) -> None:
+        handler = self._handler
+        if handler is None:
+            await self.respond(
+                encode_error_response(
+                    request_id, "protocol", "channel has no handler"
+                )
+            )
+            return
+        try:
+            frame = await handler(kind, request_id, payload)
+        except Exception as exc:  # noqa: BLE001 - a handler bug must
+            # fail the one request, not the whole link.
+            frame = encode_error_response(
+                request_id,
+                "engine",
+                f"internal error handling channel request: {exc!r}",
+            )
+        await self.respond(frame)
+
+    def _shutdown_inflight(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(
+                    ChannelClosed("channel closed before response")
+                )
+        self._inflight.clear()
+        if self._on_close is not None:
+            callback = self._on_close
+            self._on_close = None
+            callback()
+
+    async def close(self) -> None:
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        if self._handler_tasks:
+            await asyncio.gather(
+                *list(self._handler_tasks), return_exceptions=True
+            )
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def ok_response(request_id: int, obj: "dict[str, Any] | None" = None) -> bytes:
+    """A JSON success response frame for a channel request."""
+    return encode_json_response(request_id, obj or {})

@@ -1,4 +1,4 @@
-"""Clients for the placement service: blocking and asyncio.
+"""Clients for the placement service: blocking and asyncio, both codecs.
 
 :class:`PlacementClient` is the simple blocking client - one socket,
 one request in flight, good for scripts, ops, and tests.
@@ -8,10 +8,16 @@ are made and a background reader task resolves responses by ``id``, so
 an open-loop load generator can keep the wire full without waiting for
 each response (see :mod:`repro.service.loadgen`).
 
-Both speak the NDJSON protocol of :mod:`repro.service.wire` and raise
-:class:`~repro.errors.ServiceError` subclasses on failure responses:
-``code: "protocol"`` maps to :class:`~repro.errors.ProtocolError`,
-everything else to :class:`~repro.errors.EngineError`.
+:class:`BinaryPlacementClient` and :class:`AsyncBinaryPlacementClient`
+are the same two shapes over the binary frame codec - the fast lane
+(the server auto-detects the codec per connection). Use
+:func:`async_client_class` / :func:`client_class` to pick by protocol
+name.
+
+All four raise :class:`~repro.errors.ServiceError` subclasses on
+failure responses: ``code: "protocol"`` maps to
+:class:`~repro.errors.ProtocolError`, everything else to
+:class:`~repro.errors.EngineError`.
 """
 
 from __future__ import annotations
@@ -21,9 +27,23 @@ import json
 import socket
 from typing import Any, Sequence
 
-from repro.errors import EngineError, ProtocolError, ServiceError
-from repro.service.wire import encode_batch
+from repro.errors import (
+    ConfigurationError,
+    EngineError,
+    ProtocolError,
+    ServiceError,
+)
+from repro.service.wire import (
+    FRAME_HEADER_BYTES,
+    decode_frame_header,
+    decode_response,
+    encode_batch,
+    encode_control_request,
+    encode_place_request,
+)
 from repro.utxo.transaction import Transaction
+
+PROTOCOLS = ("binary", "json")
 
 
 def _raise_for(response: dict) -> dict:
@@ -237,3 +257,247 @@ class AsyncPlacementClient:
             await self._writer.wait_closed()
         except ConnectionError:
             pass
+
+
+class BinaryPlacementClient:
+    """Blocking client over the binary frame codec; context manager."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 9171, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _roundtrip(self, frame: bytes) -> dict:
+        self._file.write(frame)
+        self._file.flush()
+        header = self._file.read(FRAME_HEADER_BYTES)
+        if len(header) != FRAME_HEADER_BYTES:
+            raise ServiceError("server closed the connection")
+        kind, response_id, length = decode_frame_header(header)
+        payload = self._file.read(length) if length else b""
+        if len(payload) != length:
+            raise ServiceError("server closed the connection mid-frame")
+        if response_id != self._next_id:
+            raise ServiceError(
+                f"response id {response_id} does not match request "
+                f"id {self._next_id}"
+            )
+        return _raise_for(decode_response(kind, payload))
+
+    def request(self, message: dict[str, Any]) -> dict:
+        """Send one control request and wait for its response."""
+        message = dict(message)
+        op = message.pop("op")
+        self._next_id += 1
+        return self._roundtrip(
+            encode_control_request(self._next_id, op, message or None)
+        )
+
+    # -- operations --------------------------------------------------------
+
+    def place(
+        self, txs: Sequence[Transaction], full_outputs: bool = False
+    ) -> list[int]:
+        """Place a contiguous batch; returns its shard assignment."""
+        self._next_id += 1
+        response = self._roundtrip(
+            encode_place_request(self._next_id, txs, full_outputs)
+        )
+        return response["shards"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def checkpoint(self, path: "str | None" = None) -> dict:
+        message: dict[str, Any] = {"op": "checkpoint"}
+        if path is not None:
+            message["path"] = str(path)
+        return self.request(message)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "BinaryPlacementClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncBinaryPlacementClient:
+    """Pipelining asyncio client over the binary frame codec.
+
+    Interface-compatible with :class:`AsyncPlacementClient` (the load
+    generator treats them interchangeably); the difference is the bytes
+    on the wire.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._inflight: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 9171,
+        limit: int = 8 * 1024 * 1024,
+    ) -> "AsyncBinaryPlacementClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=limit
+        )
+        return cls(reader, writer)
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        try:
+            while True:
+                header = await reader.readexactly(FRAME_HEADER_BYTES)
+                kind, response_id, length = decode_frame_header(header)
+                payload = (
+                    await reader.readexactly(length) if length else b""
+                )
+                future = self._inflight.pop(response_id, None)
+                if future is not None and not future.done():
+                    try:
+                        future.set_result(decode_response(kind, payload))
+                    except ProtocolError as exc:
+                        future.set_exception(exc)
+        except (
+            ConnectionError,
+            EOFError,
+            asyncio.CancelledError,
+            ProtocolError,
+        ):
+            pass
+        finally:
+            # Mark closed *before* failing in-flight futures, so a
+            # submit racing this shutdown cannot register a future
+            # that would never resolve.
+            self._closed = True
+            for future in self._inflight.values():
+                if not future.done():
+                    future.set_exception(
+                        ServiceError("connection closed before response")
+                    )
+            self._inflight.clear()
+
+    def _submit_frame(self, frame: bytes, request_id: int):
+        future: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        if self._closed:
+            future.set_exception(
+                ServiceError("connection closed before response")
+            )
+            return future
+        self._inflight[request_id] = future
+        self._writer.write(frame)
+        return future
+
+    def submit(self, message: dict[str, Any]) -> "asyncio.Future[dict]":
+        """Write one control request now; future for its raw response."""
+        message = dict(message)
+        op = message.pop("op")
+        message.pop("id", None)
+        self._next_id += 1
+        request_id = self._next_id
+        return self._submit_frame(
+            encode_control_request(request_id, op, message or None),
+            request_id,
+        )
+
+    async def request(self, message: dict[str, Any]) -> dict:
+        future = self.submit(message)
+        await self._writer.drain()
+        return _raise_for(await future)
+
+    # -- operations --------------------------------------------------------
+
+    async def place(
+        self, txs: Sequence[Transaction], full_outputs: bool = False
+    ) -> list[int]:
+        future = self.place_nowait(txs, full_outputs)
+        await self._writer.drain()
+        return _raise_for(await future)["shards"]
+
+    def place_nowait(
+        self, txs: Sequence[Transaction], full_outputs: bool = False
+    ) -> "asyncio.Future[dict]":
+        """Pipelined place: returns the raw-response future."""
+        self._next_id += 1
+        request_id = self._next_id
+        return self._submit_frame(
+            encode_place_request(request_id, txs, full_outputs),
+            request_id,
+        )
+
+    async def stats(self) -> dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def checkpoint(self, path: "str | None" = None) -> dict:
+        message: dict[str, Any] = {"op": "checkpoint"}
+        if path is not None:
+            message["path"] = str(path)
+        return await self.request(message)
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def shutdown(self) -> None:
+        await self.request({"op": "shutdown"})
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def client_class(proto: str = "binary"):
+    """Blocking client class for a protocol name."""
+    if proto not in PROTOCOLS:
+        raise ConfigurationError(
+            f"proto must be one of {PROTOCOLS}, got {proto!r}"
+        )
+    return BinaryPlacementClient if proto == "binary" else PlacementClient
+
+
+def async_client_class(proto: str = "binary"):
+    """Asyncio client class for a protocol name."""
+    if proto not in PROTOCOLS:
+        raise ConfigurationError(
+            f"proto must be one of {PROTOCOLS}, got {proto!r}"
+        )
+    return (
+        AsyncBinaryPlacementClient
+        if proto == "binary"
+        else AsyncPlacementClient
+    )

@@ -1,0 +1,815 @@
+"""The sharded placement service: a routing front-end over N workers.
+
+``repro serve --workers N`` runs this instead of the single-process
+:class:`~repro.service.server.PlacementServer`. The coordinator owns
+the client port (both codecs, same as the monolith) but does **no
+placement work itself**: a binary ``place`` request is routed to the
+owning worker by peeking the txid range at a fixed offset in the
+payload - the raw bytes are forwarded without decoding. Workers own
+partitioned engines (:mod:`repro.service.partition`), decode and queue
+batches on arrival, and place them when they hold the write lease; the
+coordinator shepherds the lease (grant on ``W_RELEASE``), relays
+cross-partition parent reads and writebacks between workers, merges
+``stats``, and orchestrates cross-partition checkpoints (pause the
+active worker, snapshot every partition, write a manifest, resume).
+
+Differences from the monolith, stated plainly:
+
+- A client batch that crosses a lease boundary is split and the
+  segments commit independently (atomic validation holds *per
+  segment*). With the default lease of 25k transactions and the 8192
+  batch ceiling this affects at most one request per lease.
+- On shutdown, queued requests still waiting for a txid gap are failed
+  (as in the monolith); in-flight batches complete first.
+- If a worker dies, its in-flight requests fail and the coordinator
+  respawns it from its per-partition checkpoint when one exists and
+  matches the stream position; a dead *active* worker (or a stale
+  checkpoint) leaves the service **degraded** - refusing placements
+  with an explicit error - because continuing would fork the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import secrets
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.service import channel as ch
+from repro.service.channel import ChannelClosed, FrameChannel
+from repro.service.server import DEFAULT_PORT, PlacementServer
+from repro.service.wire import (
+    FRAME_HEADER_BYTES,
+    PROTOCOL_VERSION,
+    decode_place_payload,
+    decode_response,
+    encode_place_request,
+    encode_response_for,
+    peek_place_header,
+)
+from repro.service.worker import worker_main
+from repro.utxo.transaction import Transaction
+
+MANIFEST_FORMAT = 1
+
+
+class _WorkerHandle:
+    """Coordinator-side view of one worker process."""
+
+    __slots__ = (
+        "partition_id",
+        "process",
+        "channel",
+        "alive",
+        "checkpoint_path",
+        "_hello_cursor",
+    )
+
+    def __init__(self, partition_id: int, checkpoint_path: "str | None"):
+        self.partition_id = partition_id
+        self.process = None
+        self.channel: "FrameChannel | None" = None
+        self.alive = False
+        self.checkpoint_path = checkpoint_path
+        self._hello_cursor: "int | None" = None
+
+    async def request_json(
+        self, kind: int, body: "dict[str, Any] | None" = None
+    ) -> dict:
+        """One JSON request/response round trip (raises ChannelClosed)."""
+        if not self.alive or self.channel is None:
+            raise ChannelClosed(
+                f"worker {self.partition_id} is not connected"
+            )
+        response_kind, payload = await self.channel.request(
+            kind, ch.json_payload(body) if body else b""
+        )
+        return decode_response(response_kind, payload)
+
+
+class ShardedPlacementServer(PlacementServer):
+    """Client front-end + worker supervisor of the sharded service."""
+
+    def __init__(
+        self,
+        spec: dict[str, Any],
+        n_workers: int,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        lease_length: int = 25_000,
+        max_batch_txs: int = 8192,
+        max_line_bytes: int = 8 * 1024 * 1024,
+        checkpoint_path: "str | None" = None,
+        checkpoint_compress: bool = False,
+        worker_start_timeout: float = 120.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        super().__init__(
+            engine=None,
+            host=host,
+            port=port,
+            max_batch_txs=max_batch_txs,
+            max_line_bytes=max_line_bytes,
+            checkpoint_path=checkpoint_path,
+            checkpoint_compress=checkpoint_compress,
+        )
+        self._spec = dict(spec)
+        self._n_workers = n_workers
+        self._lease_length = lease_length
+        self._start_timeout = worker_start_timeout
+        self._token = secrets.token_hex(16)
+        self._workers = [
+            _WorkerHandle(index, self._partition_path(index))
+            for index in range(n_workers)
+        ]
+        self._hello_waiters: dict[int, asyncio.Future] = {}
+        self._worker_server: "asyncio.AbstractServer | None" = None
+        self._worker_port = 0
+        self._cursor = 0
+        self._granted = 0
+        self._degraded: "str | None" = None
+        self._handoff_lock = asyncio.Lock()
+        self._respawn_tasks: set[asyncio.Task] = set()
+        self._mp = multiprocessing.get_context("spawn")
+
+    # -- layout helpers ----------------------------------------------------
+
+    def _partition_path(self, partition_id: int) -> "str | None":
+        if self._checkpoint_path is None:
+            return None
+        return f"{self._checkpoint_path}.p{partition_id}"
+
+    @property
+    def _manifest_path(self) -> "str | None":
+        if self._checkpoint_path is None:
+            return None
+        return f"{self._checkpoint_path}.manifest.json"
+
+    def _owner_of(self, txid: int) -> int:
+        return (txid // self._lease_length) % self._n_workers
+
+    def _expected_cursor(self, partition_id: int) -> int:
+        """Local cursor a healthy partition must be at, given the
+        global cursor: the end of its last started lease, or the
+        global cursor itself for the write-lease holder (which, at an
+        exact lease boundary, is the *next* lease's owner - it has
+        already imported the hot state and padded to the cursor)."""
+        cursor = self._cursor
+        if cursor == 0:
+            return 0
+        if partition_id == self._owner_of(cursor):
+            return cursor
+        lease = (cursor - 1) // self._lease_length
+        while lease >= 0:
+            if lease % self._n_workers == partition_id:
+                return min(cursor, (lease + 1) * self._lease_length)
+            lease -= 1
+        return 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._load_manifest()
+        self._worker_server = await asyncio.start_server(
+            self._on_worker_connection, "127.0.0.1", 0
+        )
+        self._worker_port = self._worker_server.sockets[0].getsockname()[1]
+        hellos = []
+        for handle in self._workers:
+            hellos.append(self._await_hello(handle.partition_id))
+            self._spawn(handle)
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*hellos), self._start_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ConfigurationError(
+                f"workers did not all connect within "
+                f"{self._start_timeout}s"
+            )
+        self._validate_worker_cursors()
+        # Hand the write lease to the owner of the cursor's lease. Its
+        # own (fresh or restored) state is current, so no hot payload.
+        self._granted = self._owner_of(self._cursor)
+        await self._workers[self._granted].request_json(ch.W_GRANT, {})
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self._host,
+            self._port,
+            limit=self._max_line_bytes,
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        spec = dict(self._spec)
+        spec["n_partitions"] = self._n_workers
+        spec["lease_length"] = self._lease_length
+        spec["max_batch_txs"] = self._max_batch_txs
+        spec["checkpoint"] = handle.checkpoint_path
+        spec["checkpoint_compress"] = self._checkpoint_compress
+        process = self._mp.Process(
+            target=worker_main,
+            args=(
+                "127.0.0.1",
+                self._worker_port,
+                self._token,
+                handle.partition_id,
+                spec,
+            ),
+            daemon=True,
+        )
+        process.start()
+        handle.process = process
+
+    def _await_hello(self, partition_id: int) -> asyncio.Future:
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._hello_waiters[partition_id] = future
+        return future
+
+    def _validate_worker_cursors(self) -> None:
+        for handle in self._workers:
+            expected = self._expected_cursor(handle.partition_id)
+            reported = getattr(handle, "_hello_cursor", None)
+            if reported is not None and reported != expected:
+                raise ConfigurationError(
+                    f"worker {handle.partition_id} restored cursor "
+                    f"{reported}, expected {expected}; delete the "
+                    f"checkpoint set to start fresh"
+                )
+
+    async def stop(self) -> None:
+        """Drain, checkpoint (if configured), stop workers. Idempotent."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        # 1. Drain: workers fail their gapped queues and finish the
+        #    batch in flight; every outstanding client response then
+        #    resolves.
+        for handle in self._workers:
+            if handle.alive:
+                try:
+                    await handle.request_json(
+                        ch.W_SHUTDOWN, {"drain": True}
+                    )
+                except ChannelClosed:
+                    pass
+        if self._line_tasks:
+            await asyncio.gather(
+                *list(self._line_tasks), return_exceptions=True
+            )
+        # 2. Checkpoint the drained partitions.
+        if self._checkpoint_path is not None and self._degraded is None:
+            try:
+                await self._checkpoint_all()
+            except ChannelClosed:
+                pass
+        # 3. Exit the workers and reap the processes.
+        for handle in self._workers:
+            if handle.alive:
+                try:
+                    await handle.request_json(
+                        ch.W_SHUTDOWN, {"exit": True}
+                    )
+                except ChannelClosed:
+                    pass
+        for handle in self._workers:
+            if handle.channel is not None:
+                await handle.channel.close()
+            if handle.process is not None:
+                handle.process.join(timeout=10)
+                if handle.process.is_alive():  # pragma: no cover
+                    handle.process.kill()
+                    handle.process.join(timeout=5)
+        for task in list(self._respawn_tasks):
+            task.cancel()
+        if self._respawn_tasks:
+            await asyncio.gather(
+                *list(self._respawn_tasks), return_exceptions=True
+            )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._worker_server is not None:
+            self._worker_server.close()
+            await self._worker_server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        self._stopped.set()
+
+    # -- worker links ------------------------------------------------------
+
+    async def _on_worker_connection(self, reader, writer) -> None:
+        holder: dict[str, Any] = {"handle": None}
+
+        async def handle_frame(
+            kind: int, request_id: int, payload: bytes
+        ) -> bytes:
+            if kind == ch.W_HELLO:
+                return await self._handle_hello(
+                    holder, channel, request_id, payload
+                )
+            handle = holder["handle"]
+            if handle is None:
+                raise ProtocolError("worker must W_HELLO first")
+            return await self._handle_worker_request(
+                handle, kind, request_id, payload
+            )
+
+        def on_close() -> None:
+            handle = holder["handle"]
+            if handle is not None:
+                task = asyncio.get_running_loop().create_task(
+                    self._on_worker_lost(handle)
+                )
+                self._respawn_tasks.add(task)
+                task.add_done_callback(self._respawn_tasks.discard)
+
+        channel = FrameChannel(
+            reader, writer, handle_frame, on_close=on_close
+        )
+
+    async def _handle_hello(
+        self, holder, channel: FrameChannel, request_id: int, payload: bytes
+    ) -> bytes:
+        body = ch.parse_json_payload(payload)
+        if body.get("token") != self._token:
+            raise ProtocolError("bad worker token")
+        partition_id = body.get("partition_id")
+        if (
+            not isinstance(partition_id, int)
+            or not 0 <= partition_id < self._n_workers
+        ):
+            raise ProtocolError(f"bad partition id {partition_id!r}")
+        handle = self._workers[partition_id]
+        handle.channel = channel
+        handle.alive = True
+        handle._hello_cursor = body.get("n_placed", 0)
+        holder["handle"] = handle
+        waiter = self._hello_waiters.pop(partition_id, None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(handle)
+        return encode_response_for(request_id, {"ok": True})
+
+    async def _handle_worker_request(
+        self,
+        handle: _WorkerHandle,
+        kind: int,
+        request_id: int,
+        payload: bytes,
+    ) -> bytes:
+        if kind == ch.W_ACQUIRE:
+            body = ch.parse_json_payload(payload)
+            states: dict[str, Any] = {}
+            by_owner: dict[int, list[int]] = {}
+            for txid in body["txids"]:
+                by_owner.setdefault(self._owner_of(txid), []).append(txid)
+            for owner_id, txids in by_owner.items():
+                response = await self._workers[owner_id].request_json(
+                    ch.W_READ, {"txids": txids}
+                )
+                if not response.get("ok"):
+                    return encode_response_for(request_id, response)
+                states.update(response["states"])
+            return encode_response_for(
+                request_id, {"ok": True, "states": states}
+            )
+        if kind == ch.W_WRITEBACK:
+            body = ch.parse_json_payload(payload)
+            by_owner: dict[int, list[dict]] = {}
+            for update in body["updates"]:
+                by_owner.setdefault(
+                    self._owner_of(update["txid"]), []
+                ).append(update)
+            for owner_id, updates in by_owner.items():
+                try:
+                    response = await self._workers[
+                        owner_id
+                    ].request_json(ch.W_APPLY, {"updates": updates})
+                except ChannelClosed:
+                    self._degraded = (
+                        f"partition {owner_id} lost a writeback; "
+                        "restart from the last checkpoint"
+                    )
+                    return encode_response_for(
+                        request_id,
+                        {
+                            "ok": False,
+                            "code": "engine",
+                            "error": self._degraded,
+                        },
+                    )
+                if not response.get("ok"):
+                    # The batch already committed on the active
+                    # partition; an owner refusing its share of the
+                    # mutations means the partitions have forked.
+                    # Serving on would silently return wrong results.
+                    self._degraded = (
+                        f"partition {owner_id} rejected a writeback "
+                        f"({response.get('error', 'unknown error')}); "
+                        "restart from the last checkpoint"
+                    )
+                    return encode_response_for(request_id, response)
+            return encode_response_for(request_id, {"ok": True})
+        if kind == ch.W_RELEASE:
+            body = ch.parse_json_payload(payload)
+            hot = body["hot"]
+            async with self._handoff_lock:
+                self._cursor = max(self._cursor, hot["n_placed"])
+                next_owner = self._owner_of(hot["n_placed"])
+                try:
+                    await self._workers[next_owner].request_json(
+                        ch.W_GRANT, {"hot": hot}
+                    )
+                except ChannelClosed:
+                    self._degraded = (
+                        f"partition {next_owner} cannot accept the "
+                        "write lease; restart from the last checkpoint"
+                    )
+                    return encode_response_for(
+                        request_id,
+                        {
+                            "ok": False,
+                            "code": "engine",
+                            "error": self._degraded,
+                        },
+                    )
+                self._granted = next_owner
+            return encode_response_for(request_id, {"ok": True})
+        raise ProtocolError(f"unexpected worker request kind 0x{kind:02x}")
+
+    async def _on_worker_lost(self, handle: _WorkerHandle) -> None:
+        handle.alive = False
+        handle.channel = None
+        if self._stopping:
+            return
+        if handle.partition_id == self._granted:
+            self._degraded = (
+                f"active partition {handle.partition_id} died with "
+                "unplaced state; restart from the last checkpoint"
+            )
+            return
+        path = handle.checkpoint_path
+        if path is None or not os.path.exists(path):
+            self._degraded = (
+                f"partition {handle.partition_id} died with no "
+                "checkpoint to respawn from"
+            )
+            return
+        waiter = self._await_hello(handle.partition_id)
+        self._spawn(handle)
+        try:
+            await asyncio.wait_for(waiter, self._start_timeout)
+        except asyncio.TimeoutError:
+            self._degraded = (
+                f"partition {handle.partition_id} failed to respawn"
+            )
+            return
+        expected = self._expected_cursor(handle.partition_id)
+        if handle._hello_cursor != expected:
+            self._degraded = (
+                f"partition {handle.partition_id} respawned at cursor "
+                f"{handle._hello_cursor} but the stream is at "
+                f"{expected}; its checkpoint is stale - restart the "
+                "service from a consistent checkpoint set"
+            )
+
+    # -- checkpoint orchestration ------------------------------------------
+
+    async def _checkpoint_all(self) -> dict[str, Any]:
+        """Pause-the-world cross-partition snapshot + manifest."""
+        async with self._handoff_lock:
+            active = self._workers[self._granted]
+            total = 0
+            cursor = self._cursor
+            try:
+                response = await active.request_json(
+                    ch.W_CHECKPOINT,
+                    {"hold": True, "compress": self._checkpoint_compress},
+                )
+                if not response.get("ok"):
+                    return response
+                total += response["bytes"]
+                cursor = response["n_placed"]
+                for handle in self._workers:
+                    if handle is active:
+                        continue
+                    response = await handle.request_json(
+                        ch.W_CHECKPOINT,
+                        {"compress": self._checkpoint_compress},
+                    )
+                    if not response.get("ok"):
+                        return response
+                    total += response["bytes"]
+                self._cursor = max(self._cursor, cursor)
+                self._write_manifest(cursor)
+            finally:
+                if active.alive:
+                    try:
+                        await active.request_json(ch.W_RESUME, {})
+                    except ChannelClosed:
+                        pass
+            return {
+                "ok": True,
+                "path": str(self._checkpoint_path),
+                "bytes": total,
+                "n_placed": cursor,
+                "partitions": self._n_workers,
+            }
+
+    def _write_manifest(self, cursor: int) -> None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "n_partitions": self._n_workers,
+            "lease_length": self._lease_length,
+            "cursor": cursor,
+            "spec": self._spec,
+            "files": [
+                os.path.basename(self._partition_path(index))
+                for index in range(self._n_workers)
+            ],
+        }
+        path = Path(self._manifest_path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(tmp, path)
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path
+        if path is None or not os.path.exists(path):
+            return
+        manifest = json.loads(Path(path).read_text())
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ConfigurationError(
+                f"unsupported checkpoint manifest format "
+                f"{manifest.get('format')!r}"
+            )
+        if manifest["n_partitions"] != self._n_workers:
+            raise ConfigurationError(
+                f"checkpoint set was taken with "
+                f"{manifest['n_partitions']} workers, requested "
+                f"{self._n_workers}; delete it to repartition"
+            )
+        if manifest["lease_length"] != self._lease_length:
+            raise ConfigurationError(
+                f"checkpoint set was taken with lease_length "
+                f"{manifest['lease_length']}, requested "
+                f"{self._lease_length}"
+            )
+        # The snapshots' configuration wins on restore (each worker is
+        # rebuilt entirely from its partition file); flag whatever the
+        # requested spec silently overrides - same principle as the
+        # single-process serve restore warnings.
+        stored_spec = manifest.get("spec", {})
+        for key in sorted(set(stored_spec) | set(self._spec)):
+            stored = stored_spec.get(key)
+            wanted = self._spec.get(key)
+            if stored != wanted:
+                print(
+                    f"warning: {key}={wanted!r} ignored; the "
+                    f"checkpoint set was taken with {stored!r} "
+                    "(delete the checkpoints to reconfigure)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+        self._spec = dict(stored_spec) or self._spec
+        self._cursor = manifest["cursor"]
+
+    # -- client request handling -------------------------------------------
+
+    async def _handle(self, message: Any) -> dict:
+        if not isinstance(message, dict):
+            raise ProtocolError("request must be a JSON object")
+        op = message.get("op")
+        if op == "place":
+            return await self._handle_place(message)
+        if op == "stats":
+            return await self._merged_stats()
+        if op == "checkpoint":
+            if self._checkpoint_path is None:
+                raise ProtocolError(
+                    "no checkpoint path: start the server with one "
+                    "(per-request paths are not supported with "
+                    "--workers)"
+                )
+            return await self._checkpoint_all()
+        if op == "ping":
+            return {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "n_placed": self._cursor,
+                "workers": self._n_workers,
+                "granted": self._granted,
+                "degraded": self._degraded,
+                # partition id -> OS pid, for ops tooling (and the CI
+                # kill-a-worker smoke).
+                "worker_pids": {
+                    str(handle.partition_id): (
+                        handle.process.pid if handle.process else None
+                    )
+                    for handle in self._workers
+                },
+            }
+        if op == "shutdown":
+            asyncio.get_running_loop().create_task(self.stop())
+            return {"ok": True}
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of place, stats, "
+            "checkpoint, ping, shutdown"
+        )
+
+    async def _place_frame(self, payload: bytes) -> dict:
+        first, count = peek_place_header(payload)
+        if count > self._max_batch_txs:
+            raise ProtocolError(
+                f"batch of {count} exceeds max_batch_txs="
+                f"{self._max_batch_txs}"
+            )
+        last = first + count - 1
+        if first // self._lease_length == last // self._lease_length:
+            # Entirely inside one lease: forward the raw bytes.
+            return await self._route_segments([(first, count, payload)])
+        txs = decode_place_payload(payload)
+        return await self._route_segments(self._split_segments(txs))
+
+    async def _place_request(self, txs: list[Transaction]) -> dict:
+        if len(txs) > self._max_batch_txs:
+            raise ProtocolError(
+                f"batch of {len(txs)} exceeds max_batch_txs="
+                f"{self._max_batch_txs}"
+            )
+        return await self._route_segments(self._split_segments(txs))
+
+    def _split_segments(
+        self, txs: list[Transaction]
+    ) -> list[tuple[int, int, bytes]]:
+        segments = []
+        start = 0
+        lease_length = self._lease_length
+        while start < len(txs):
+            first = txs[start].txid
+            end_txid = (first // lease_length + 1) * lease_length
+            sub = txs[start : start + (end_txid - first)]
+            segments.append(
+                (
+                    first,
+                    len(sub),
+                    encode_place_request(0, sub)[FRAME_HEADER_BYTES:],
+                )
+            )
+            start += len(sub)
+        return segments
+
+    async def _route_segments(
+        self, segments: list[tuple[int, int, bytes]]
+    ) -> dict:
+        if self._stopping:
+            return {
+                "ok": False,
+                "code": "shutdown",
+                "error": "server is shutting down",
+            }
+        if self._degraded is not None:
+            return {
+                "ok": False,
+                "code": "engine",
+                "error": f"service is degraded: {self._degraded}",
+            }
+        shards: list[int] = []
+        for first, count, payload in segments:
+            handle = self._workers[self._owner_of(first)]
+            try:
+                kind, response_payload = await handle.channel.request(
+                    ch.W_PLACE, payload
+                )
+            except (ChannelClosed, AttributeError):
+                return {
+                    "ok": False,
+                    "code": "engine",
+                    "error": (
+                        f"partition {handle.partition_id} is "
+                        "unavailable"
+                    ),
+                }
+            response = decode_response(kind, response_payload)
+            if not response.get("ok"):
+                return response
+            shards.extend(response["shards"])
+            self._cursor = max(self._cursor, first + count)
+        return {"ok": True, "shards": shards}
+
+    # -- stats merge -------------------------------------------------------
+
+    async def _merged_stats(self) -> dict:
+        per_partition = []
+        for handle in self._workers:
+            try:
+                response = await handle.request_json(ch.W_STATS)
+            except ChannelClosed:
+                per_partition.append(
+                    {"partition_id": handle.partition_id, "dead": True}
+                )
+                continue
+            if response.get("ok"):
+                per_partition.append(response["stats"])
+        merged = merge_partition_stats(
+            per_partition, self._cursor, self._granted
+        )
+        merged["degraded"] = self._degraded
+        return {"ok": True, "stats": merged}
+
+
+def merge_partition_stats(
+    per_partition: list[dict[str, Any]], cursor: int, granted: int
+) -> dict[str, Any]:
+    """Combine per-partition stats into one monolith-shaped view.
+
+    Counters (live/released vectors, tracked unspent) are sums over the
+    disjoint slices; stream-position fields (epoch, horizon) come from
+    the partition holding the write lease, whose view is current.
+    """
+    alive = [
+        stats for stats in per_partition if not stats.get("dead")
+    ]
+    active = next(
+        (
+            stats
+            for stats in alive
+            if stats.get("partition_id") == granted
+        ),
+        alive[0] if alive else {},
+    )
+
+    def _sum(key: str):
+        values = [
+            stats.get(key) for stats in alive if stats.get(key) is not None
+        ]
+        return sum(values) if values else None
+
+    support = None
+    supports = [
+        stats["support"] for stats in alive if stats.get("support")
+    ]
+    if supports:
+        live = sum(entry["live_vectors"] for entry in supports)
+        support = {
+            "live_vectors": live,
+            "mean_nnz": (
+                sum(
+                    entry["mean_nnz"] * entry["live_vectors"]
+                    for entry in supports
+                )
+                / live
+                if live
+                else 0.0
+            ),
+            "max_nnz": max(entry["max_nnz"] for entry in supports),
+            "dropped_mass": active.get("support", {}).get(
+                "dropped_mass", 0.0
+            ),
+            "truncated_vectors": active.get("support", {}).get(
+                "truncated_vectors", 0
+            ),
+            "support_cap": active.get("support", {}).get("support_cap"),
+        }
+    return {
+        "strategy": active.get("strategy"),
+        "n_shards": active.get("n_shards"),
+        "n_placed": cursor,
+        "live_vectors": _sum("live_vectors"),
+        "released_vectors": _sum("released_vectors"),
+        "peak_live_vectors": _sum("peak_live_vectors"),
+        "horizon_start": active.get("horizon_start", 0),
+        "epoch": active.get("epoch", 0),
+        "tracked_unspent": _sum("tracked_unspent"),
+        "epoch_length": active.get("epoch_length"),
+        "horizon_epochs": active.get("horizon_epochs"),
+        "support": support,
+        "partitions": per_partition,
+    }
+
+
+async def start_sharded_server(
+    spec: dict[str, Any],
+    n_workers: int,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    **kwargs: Any,
+) -> ShardedPlacementServer:
+    """Construct and start a :class:`ShardedPlacementServer`."""
+    server = ShardedPlacementServer(
+        spec, n_workers, host, port, **kwargs
+    )
+    await server.start()
+    return server

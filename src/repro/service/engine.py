@@ -166,6 +166,16 @@ class PlacementEngine:
         self._poisoned = False
         # Fully-spent txids awaiting the next epoch-boundary release.
         self._pending_release: list[int] = []
+        # Transiently-installed foreign txids the sweeps must not touch
+        # (set by the partition layer around place_batch).
+        self._sweep_exclude: "frozenset[int] | set[int] | None" = None
+        # Delta-checkpoint bookkeeping (see service.state, format v3):
+        # the last full snapshot this engine wrote, and the pre-base
+        # parents touched since. None until a full checkpoint with
+        # delta tracking enables it; cost is one set.update of the
+        # spend journal's keys per batch.
+        self._delta_base: "dict[str, Any] | None" = None
+        self._dirty_parents: "set[int] | None" = None
         self._horizon_start = 0
         self._epoch = 0
         self._peak_live = 0
@@ -220,13 +230,24 @@ class PlacementEngine:
 
     # -- the serving hot path ----------------------------------------------
 
-    def place_batch(self, txs: Iterable[Transaction]) -> list[int]:
+    def place_batch(
+        self,
+        txs: Iterable[Transaction],
+        *,
+        _exclude_release: "frozenset[int] | set[int] | None" = None,
+    ) -> list[int]:
         """Validate and place one batch; returns its shard assignment.
 
         Validation is atomic: on :class:`~repro.errors.EngineError`
         nothing has changed and the engine keeps serving. After a batch
         commits, any epoch boundaries it crossed run the truncation
         sweeps.
+
+        ``_exclude_release`` is the partition layer's hook
+        (:mod:`repro.service.partition`): txids whose vectors this
+        engine must *not* release even when the batch fully spends them
+        - remotely-owned parents are released by their owning partition
+        on writeback, and the local copies are transient installs.
         """
         if self._poisoned:
             raise EngineError(
@@ -236,6 +257,12 @@ class PlacementEngine:
             )
         batch = txs if isinstance(txs, list) else list(txs)
         self._apply_inputs(batch)
+        if _exclude_release and self._pending_release:
+            self._pending_release[:] = [
+                txid
+                for txid in self._pending_release
+                if txid not in _exclude_release
+            ]
         try:
             shards = self._placer.place_batch(batch)
         except Exception:
@@ -249,13 +276,21 @@ class PlacementEngine:
         if (
             self._placer.n_placed // self._epoch_length != self._epoch
         ):
-            self._advance_epochs()
+            self._sweep_exclude = _exclude_release or None
+            try:
+                self._advance_epochs()
+            finally:
+                self._sweep_exclude = None
         return shards
 
     # -- checkpointing -----------------------------------------------------
 
     def checkpoint(
-        self, path: "str | pathlib.Path", compress: bool = False
+        self,
+        path: "str | pathlib.Path",
+        compress: bool = False,
+        delta: bool = False,
+        track_delta: "bool | None" = None,
     ) -> int:
         """Write a snapshot to ``path``; returns the byte size written.
 
@@ -264,10 +299,32 @@ class PlacementEngine:
         client code. ``compress`` writes the array payload as one zlib
         stream (see :func:`repro.service.state.save_engine_snapshot`);
         restore auto-detects either form.
-        """
-        from repro.service.state import save_engine_snapshot
 
-        return save_engine_snapshot(self, path, compress=compress)
+        ``delta`` writes ``<path>.delta`` instead: only the arrays
+        appended and the pre-base parents touched since the last *full*
+        snapshot at ``path`` (format v3) - O(activity since base), not
+        O(n_placed). Requires that full snapshot to have been written
+        by this engine **with** ``track_delta=True`` (the dirty-parent
+        journal is opt-in: a set update per batch plus memory for the
+        touched-parent ids between full saves, pointless overhead for
+        engines that only ever snapshot fully); once enabled, tracking
+        stays on across later full saves unless explicitly turned off.
+        :meth:`restore` applies the delta automatically. Each delta
+        save replaces the previous one (cumulative since base); a full
+        save compacts and invalidates it.
+        """
+        from repro.service.state import (
+            save_engine_delta,
+            save_engine_snapshot,
+        )
+
+        if delta:
+            return save_engine_delta(self, path, compress=compress)
+        if track_delta is None:
+            track_delta = self._dirty_parents is not None
+        return save_engine_snapshot(
+            self, path, compress=compress, track_delta=track_delta
+        )
 
     @classmethod
     def restore(cls, path: "str | pathlib.Path") -> "PlacementEngine":
@@ -391,6 +448,13 @@ class PlacementEngine:
             for key in range(first_txid, next_txid):
                 remaining.pop(key, None)
             raise
+        dirty = self._dirty_parents
+        if dirty is not None and undo:
+            # The spend journal's keys are exactly the parents this
+            # batch mutated - free dirty tracking for delta
+            # checkpoints (keys at or above the delta base are part of
+            # the serialized tail anyway and filtered out at save).
+            dirty.update(key for key, _ in undo)
 
     def _advance_epochs(self) -> None:
         """Run the truncation sweeps for every boundary just crossed."""
@@ -415,8 +479,14 @@ class PlacementEngine:
             return
         remaining = self._remaining
         scorer = self._scorer
+        exclude = self._sweep_exclude
+        span = range(self._horizon_start, new_start)
+        if exclude:
+            # Installed foreign slots are the owner's to release; here
+            # they are transient copies the partition layer unwinds.
+            span = [txid for txid in span if txid not in exclude]
         if scorer is not None:
-            scorer.release_vectors(range(self._horizon_start, new_start))
-        for txid in range(self._horizon_start, new_start):
+            scorer.release_vectors(span)
+        for txid in span:
             remaining.pop(txid, None)
         self._horizon_start = new_start

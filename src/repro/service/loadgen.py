@@ -28,7 +28,7 @@ from typing import Any, Sequence
 from repro.datasets.replay import round_robin_chunks
 from repro.datasets.synthetic import GeneratorConfig, synthetic_stream
 from repro.errors import ConfigurationError
-from repro.service.client import AsyncPlacementClient
+from repro.service.client import PROTOCOLS, async_client_class
 from repro.utxo.transaction import Transaction
 
 MODES = ("closed", "open")
@@ -39,6 +39,8 @@ class LoadgenReport:
     """What one load-generation run measured."""
 
     mode: str
+    #: Wire codec the run drove: "binary" (frames) or "json" (NDJSON).
+    proto: str
     n_users: int
     n_txs: int
     chunk_size: int
@@ -57,6 +59,7 @@ class LoadgenReport:
     def as_dict(self) -> dict[str, Any]:
         return {
             "mode": self.mode,
+            "proto": self.proto,
             "n_users": self.n_users,
             "n_txs": self.n_txs,
             "chunk_size": self.chunk_size,
@@ -74,6 +77,7 @@ class LoadgenReport:
     def summary(self) -> str:
         """One human-readable block (the CLI's output)."""
         lines = [
+            f"protocol:        {self.proto}",
             f"mode:            {self.mode}"
             + (
                 f" (target {self.target_rate:,.0f} tx/s)"
@@ -116,15 +120,23 @@ async def run_loadgen_async(
     config: GeneratorConfig | None = None,
     stream: Sequence[Transaction] | None = None,
     full_outputs: bool = False,
+    proto: str = "binary",
 ) -> LoadgenReport:
     """Drive a running server; returns the measured report.
 
     Assumes a fresh server (the replayed stream's txids start where the
     generator's do, at 0); pass ``stream`` to replay custom workloads.
+    ``proto`` picks the wire codec ("binary" by default; "json" drives
+    the NDJSON compat path - the codec-comparison lane of the service
+    bench).
     """
     if mode not in MODES:
         raise ConfigurationError(
             f"mode must be one of {MODES}, got {mode!r}"
+        )
+    if proto not in PROTOCOLS:
+        raise ConfigurationError(
+            f"proto must be one of {PROTOCOLS}, got {proto!r}"
         )
     if mode == "open":
         if rate is None or rate <= 0:
@@ -142,10 +154,8 @@ async def run_loadgen_async(
     latencies: list[float] = []
     errors = 0
 
-    clients = [
-        await AsyncPlacementClient.connect(host, port)
-        for _ in range(n_users)
-    ]
+    connect = async_client_class(proto).connect
+    clients = [await connect(host, port) for _ in range(n_users)]
     start = time.perf_counter()
 
     async def closed_user(client, chunks) -> None:
@@ -197,6 +207,7 @@ async def run_loadgen_async(
     latencies.sort()
     return LoadgenReport(
         mode=mode,
+        proto=proto,
         n_users=n_users,
         n_txs=n_txs,
         chunk_size=chunk_size,

@@ -1,10 +1,11 @@
-"""Asyncio placement server: NDJSON protocol, micro-batched dispatch.
+"""Asyncio placement server: dual-codec protocol, micro-batched dispatch.
 
 Architecture (single process, single event loop):
 
-- **Connection handlers** parse one JSON request per line and spawn a
-  task per request, so one slow ``place`` does not stall a pipelining
-  client's later lines (responses carry the request ``id``).
+- **Connection handlers** sniff the first byte to pick the codec -
+  binary frames (:data:`~repro.service.wire.BIN_MAGIC`) or NDJSON - and
+  spawn a task per request, so one slow ``place`` does not stall a
+  pipelining client's later lines (responses carry the request ``id``).
 - **The sequencer** keys every ``place`` request by its first txid in a
   reorder buffer. Clients replay disjoint chunks of one global stream
   (see :mod:`repro.datasets.replay`); whichever order their requests
@@ -37,7 +38,18 @@ from typing import Any
 
 from repro.errors import EngineError, ProtocolError
 from repro.service.engine import PlacementEngine
-from repro.service.wire import OPS, PROTOCOL_VERSION, decode_batch
+from repro.service.wire import (
+    BIN_MAGIC,
+    KIND_PLACE,
+    OPS,
+    PROTOCOL_VERSION,
+    decode_batch,
+    decode_place_payload,
+    encode_error_response,
+    encode_response_for,
+    op_of_kind,
+    read_frame,
+)
 from repro.utxo.transaction import Transaction
 
 DEFAULT_PORT = 9171
@@ -79,6 +91,7 @@ class PlacementServer:
         max_line_bytes: int = 8 * 1024 * 1024,
         checkpoint_path: "str | None" = None,
         checkpoint_compress: bool = False,
+        checkpoint_delta_every: "int | None" = None,
     ) -> None:
         self._engine = engine
         self._host = host
@@ -88,6 +101,11 @@ class PlacementServer:
         self._max_line_bytes = max_line_bytes
         self._checkpoint_path = checkpoint_path
         self._checkpoint_compress = checkpoint_compress
+        # Delta cadence: with N, checkpoints 1..N-1 after each full
+        # write ``<path>.delta`` (O(activity since base)); every Nth is
+        # a full compaction. None = always full.
+        self._checkpoint_delta_every = checkpoint_delta_every
+        self._checkpoints_since_full = 0
         self._pending: dict[int, _Pending] = {}
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -138,10 +156,7 @@ class PlacementServer:
                 "request was filled",
             )
         if self._checkpoint_path is not None:
-            self._engine.checkpoint(
-                self._checkpoint_path,
-                compress=self._checkpoint_compress,
-            )
+            self._do_checkpoint(self._checkpoint_path)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -164,38 +179,17 @@ class PlacementServer:
         self._writers.add(writer)
         write_lock = asyncio.Lock()
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ValueError, asyncio.LimitOverrunError):
-                    # Line overran the stream limit; the framing is now
-                    # unrecoverable on this connection.
-                    await self._write(
-                        writer,
-                        write_lock,
-                        {
-                            "id": None,
-                            "ok": False,
-                            "code": "protocol",
-                            "error": (
-                                "request line exceeds "
-                                f"{self._max_line_bytes} bytes"
-                            ),
-                        },
-                    )
-                    break
-                except ConnectionError:
-                    break
-                if not line:
-                    break
-                data = line.strip()
-                if not data:
-                    continue
-                task = asyncio.create_task(
-                    self._serve_line(data, writer, write_lock)
-                )
-                self._line_tasks.add(task)
-                task.add_done_callback(self._line_tasks.discard)
+            # Protocol sniff: binary frames open with BIN_MAGIC (0xF5),
+            # NDJSON with a printable byte. One connection speaks one
+            # protocol; both coexist on the port.
+            try:
+                first = await reader.readexactly(1)
+            except (EOFError, ConnectionError):
+                return
+            if first[0] == BIN_MAGIC:
+                await self._binary_loop(first, reader, writer, write_lock)
+            else:
+                await self._json_loop(first, reader, writer, write_lock)
         finally:
             self._writers.discard(writer)
             # In-flight requests from this connection stay in the
@@ -204,6 +198,142 @@ class PlacementServer:
             # write is skipped once the peer is gone.
             if not writer.is_closing():
                 writer.close()
+
+    async def _json_loop(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        prefix = first
+        while True:
+            try:
+                line = prefix + await reader.readline()
+                prefix = b""
+            except (ValueError, asyncio.LimitOverrunError):
+                # Line overran the stream limit; the framing is now
+                # unrecoverable on this connection.
+                await self._write(
+                    writer,
+                    write_lock,
+                    {
+                        "id": None,
+                        "ok": False,
+                        "code": "protocol",
+                        "error": (
+                            "request line exceeds "
+                            f"{self._max_line_bytes} bytes"
+                        ),
+                    },
+                )
+                return
+            except ConnectionError:
+                return
+            if not line:
+                return
+            data = line.strip()
+            if not data:
+                continue
+            task = asyncio.create_task(
+                self._serve_line(data, writer, write_lock)
+            )
+            self._line_tasks.add(task)
+            task.add_done_callback(self._line_tasks.discard)
+
+    async def _binary_loop(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        while True:
+            try:
+                frame = await read_frame(reader, first_byte=first)
+            except ProtocolError as exc:
+                # Framing is unrecoverable (bad magic mid-stream,
+                # oversized payload, EOF inside a frame): report once
+                # and close, mirroring the NDJSON overrun path.
+                await self._write_frame(
+                    writer,
+                    write_lock,
+                    encode_error_response(0, "protocol", str(exc)),
+                )
+                return
+            except ConnectionError:
+                return
+            first = b""
+            if frame is None:
+                return
+            kind, request_id, payload = frame
+            task = asyncio.create_task(
+                self._serve_frame(
+                    kind, request_id, payload, writer, write_lock
+                )
+            )
+            self._line_tasks.add(task)
+            task.add_done_callback(self._line_tasks.discard)
+
+    async def _serve_frame(
+        self,
+        kind: int,
+        request_id: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            if kind == KIND_PLACE:
+                response = await self._place_frame(payload)
+            else:
+                op = op_of_kind(kind)
+                message: dict[str, Any] = {"op": op}
+                if payload:
+                    try:
+                        body = json.loads(payload)
+                    except (
+                        json.JSONDecodeError,
+                        UnicodeDecodeError,
+                    ) as exc:
+                        raise ProtocolError(
+                            f"request payload is not valid JSON: {exc}"
+                        )
+                    if not isinstance(body, dict):
+                        raise ProtocolError(
+                            "request payload must be a JSON object"
+                        )
+                    message.update(body)
+                response = await self._handle(message)
+        except ProtocolError as exc:
+            response = {"ok": False, "code": "protocol", "error": str(exc)}
+        except EngineError as exc:
+            response = {"ok": False, "code": "engine", "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - one bad frame must not
+            # take the server down; report and keep serving.
+            response = {
+                "ok": False,
+                "code": "protocol",
+                "error": f"internal error handling request: {exc!r}",
+            }
+        await self._write_frame(
+            writer, write_lock, encode_response_for(request_id, response)
+        )
+
+    async def _write_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        frame: bytes,
+    ) -> None:
+        try:
+            async with write_lock:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            # Peer vanished mid-response; state already advanced and
+            # the stream stays consistent for everyone else.
+            pass
 
     async def _serve_line(
         self,
@@ -271,9 +401,7 @@ class PlacementServer:
                     "no checkpoint path: pass \"path\" or start the "
                     "server with one"
                 )
-            size = self._engine.checkpoint(
-                path, compress=self._checkpoint_compress
-            )
+            size = self._do_checkpoint(path)
             return {"ok": True, "path": str(path), "bytes": size}
         if op == "ping":
             return {
@@ -286,14 +414,57 @@ class PlacementServer:
         asyncio.get_running_loop().create_task(self.stop())
         return {"ok": True}
 
+    def _do_checkpoint(self, path: "str | pathlib.Path") -> int:
+        """One checkpoint at the configured full/delta cadence.
+
+        An explicit non-configured ``path`` always gets a full
+        snapshot (deltas only make sense against a stable base file).
+        """
+        every = self._checkpoint_delta_every
+        base = self._engine._delta_base
+        tracking = self._engine._dirty_parents is not None
+        delta = (
+            every is not None
+            and every > 1
+            and str(path) == str(self._checkpoint_path)
+            and base is not None
+            and tracking
+            and base["path"] == str(path)
+            and self._checkpoints_since_full % every != 0
+        )
+        size = self._engine.checkpoint(
+            path,
+            compress=self._checkpoint_compress,
+            delta=delta,
+            # Full saves start (or continue) the dirty journal only
+            # when the delta cadence is configured.
+            track_delta=(
+                None if delta else every is not None and every > 1
+            ),
+        )
+        if delta:
+            self._checkpoints_since_full += 1
+        else:
+            self._checkpoints_since_full = 1
+        return size
+
     async def _handle_place(self, message: dict) -> dict:
+        return await self._place_request(decode_batch(message.get("txs")))
+
+    async def _place_frame(self, payload: bytes) -> dict:
+        """Binary ``place``: decode here, place locally. The sharded
+        coordinator overrides this to route the *raw payload* to the
+        owning worker without decoding it."""
+        return await self._place_request(decode_place_payload(payload))
+
+    async def _place_request(self, txs: list[Transaction]) -> dict:
+        """Sequence one decoded ``place`` batch (both codecs land here)."""
         if self._stopping:
             return {
                 "ok": False,
                 "code": "shutdown",
                 "error": "server is shutting down",
             }
-        txs = decode_batch(message.get("txs"))
         if len(txs) > self._max_batch_txs:
             raise ProtocolError(
                 f"batch of {len(txs)} exceeds max_batch_txs="

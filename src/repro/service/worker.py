@@ -1,0 +1,516 @@
+"""Worker process of the sharded placement service.
+
+One worker owns one :class:`~repro.service.partition.EnginePartition`
+and a single duplex channel to the coordinator. The worker - not the
+coordinator - pays the CPU-heavy work: payload decode, validation, the
+fused placement loop, and checkpoint serialization. Its life cycle:
+
+1. build the partition (fresh, or restored from its per-partition
+   snapshot), connect, ``W_HELLO`` with its cursor;
+2. queue ``W_PLACE`` batches in a local reorder buffer (decode happens
+   immediately on arrival, *before* the worker necessarily holds the
+   write lease - this is the decode/placement overlap the sharding
+   buys);
+3. while granted, place contiguous runs from the cursor, resolving
+   foreign parents through ``W_ACQUIRE`` and returning mutations
+   through ``W_WRITEBACK``; coalesce consecutive queued requests into
+   one fused micro-batch and replay request-by-request on atomic
+   reject, exactly like the single-process server's dispatcher;
+4. on reaching its lease end, export the hot state and ``W_RELEASE``
+   the lease; the coordinator grants the next owner.
+
+Run via ``multiprocessing`` (spawn context) from
+:mod:`repro.service.coordinator`; :func:`worker_main` is the process
+entry point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Any
+
+from repro.errors import EngineError, ProtocolError
+from repro.service import channel as ch
+from repro.service.channel import ChannelClosed, FrameChannel
+from repro.service.engine import PlacementEngine
+from repro.service.partition import (
+    EnginePartition,
+    decode_parent_states,
+    encode_parent_states,
+)
+from repro.service.wire import (
+    decode_place_payload,
+    decode_response,
+    encode_error_response,
+    encode_response_for,
+)
+from repro.utxo.transaction import Transaction
+
+
+def build_partition(partition_id: int, spec: dict[str, Any]) -> EnginePartition:
+    """Fresh-or-restored partition from the coordinator's spec."""
+    n_partitions = spec["n_partitions"]
+    lease_length = spec["lease_length"]
+    path = spec.get("checkpoint")
+    if path and os.path.exists(path):
+        return EnginePartition.restore(
+            path,
+            partition_id=partition_id,
+            n_partitions=n_partitions,
+            lease_length=lease_length,
+        )
+    # Deferred import: make_placer pulls in the full strategy stack,
+    # which the restore path above already loads lazily.
+    from repro.core.placement import make_placer
+
+    engine = PlacementEngine(
+        make_placer(
+            spec["method"],
+            spec["n_shards"],
+            **spec.get("placer_kwargs", {}),
+        ),
+        epoch_length=spec.get("epoch_length", 25_000),
+        horizon_epochs=spec.get("horizon_epochs"),
+        truncate_spent=spec.get("truncate_spent", True),
+    )
+    return EnginePartition(
+        engine,
+        partition_id=partition_id,
+        n_partitions=n_partitions,
+        lease_length=lease_length,
+    )
+
+
+class _Queued:
+    """One decoded ``place`` request waiting for the cursor."""
+
+    __slots__ = ("txs", "future")
+
+    def __init__(
+        self, txs: list[Transaction], future: "asyncio.Future[dict]"
+    ) -> None:
+        self.txs = txs
+        self.future = future
+
+    def resolve(self, shards: list[int]) -> None:
+        if not self.future.done():
+            self.future.set_result({"ok": True, "shards": shards})
+
+    def fail(self, code: str, error: str) -> None:
+        if not self.future.done():
+            self.future.set_result(
+                {"ok": False, "code": code, "error": error}
+            )
+
+
+class PlacementWorker:
+    """The in-process runtime behind one worker process."""
+
+    def __init__(
+        self,
+        partition: EnginePartition,
+        *,
+        max_batch_txs: int = 8192,
+        max_reorder_requests: int = 1024,
+        checkpoint_path: "str | None" = None,
+        checkpoint_compress: bool = False,
+    ) -> None:
+        self._partition = partition
+        self._max_batch_txs = max_batch_txs
+        self._max_reorder = max_reorder_requests
+        self._checkpoint_path = checkpoint_path
+        self._checkpoint_compress = checkpoint_compress
+        self.channel: "FrameChannel | None" = None
+        self._queue: dict[int, _Queued] = {}
+        # Granted from birth when there is nothing to hand off.
+        self._granted = partition.n_partitions == 1
+        self._paused = False
+        self._draining = False
+        self._stopping = False
+        self._kick = asyncio.Event()
+        self._engine_lock = asyncio.Lock()
+        self._stopped = asyncio.Event()
+        self._exit = asyncio.Event()
+        self._dispatch_task: "asyncio.Task | None" = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def partition(self) -> EnginePartition:
+        return self._partition
+
+    def start(self) -> None:
+        self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+
+    async def join(self) -> None:
+        """Reap the dispatcher after :meth:`stop`."""
+        if self._dispatch_task is None:
+            return
+        self._kick.set()
+        try:
+            await asyncio.wait_for(self._dispatch_task, timeout=10)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self._dispatch_task.cancel()
+
+    async def wait_exit(self) -> None:
+        await self._exit.wait()
+
+    def drain(self) -> None:
+        """Refuse new work; the dispatcher finishes the contiguous run
+        from the cursor, then fails what is left (requests waiting on a
+        txid gap that can no longer be filled). The process stays up -
+        for checkpoints - until :meth:`stop`."""
+        self._draining = True
+        self._kick.set()
+
+    def stop(self) -> None:
+        self.drain()
+        self._stopping = True
+        self._kick.set()
+        self._exit.set()
+
+    def on_channel_closed(self) -> None:
+        # The coordinator is gone: nothing can be granted, acquired, or
+        # answered - exit so the process can die instead of hanging.
+        self.stop()
+
+    # -- channel handler ---------------------------------------------------
+
+    async def handle(self, kind: int, request_id: int, payload: bytes) -> bytes:
+        if kind == ch.W_PLACE:
+            response = await self._handle_place(payload)
+        elif kind == ch.W_GRANT:
+            response = await self._handle_grant(payload)
+        elif kind == ch.W_READ:
+            body = ch.parse_json_payload(payload)
+            async with self._engine_lock:
+                states = self._partition.read_parents(body["txids"])
+            response = {"ok": True, "states": encode_parent_states(states)}
+        elif kind == ch.W_APPLY:
+            body = ch.parse_json_payload(payload)
+            async with self._engine_lock:
+                self._partition.apply_writebacks(body["updates"])
+            response = {"ok": True}
+        elif kind == ch.W_STATS:
+            async with self._engine_lock:
+                response = {"ok": True, "stats": self._partition.stats()}
+        elif kind == ch.W_CHECKPOINT:
+            response = await self._handle_checkpoint(payload)
+        elif kind == ch.W_RESUME:
+            self._paused = False
+            self._kick.set()
+            response = {"ok": True}
+        elif kind == ch.W_SHUTDOWN:
+            body = ch.parse_json_payload(payload)
+            self.drain()
+            # The dispatcher exits once everything dispatchable has
+            # placed and the rest is failed; a drain response therefore
+            # means "engine quiescent".
+            await self._stopped.wait()
+            if not body.get("drain"):
+                self._exit.set()
+            response = {"ok": True, "n_placed": self._partition.n_placed}
+        else:
+            return encode_error_response(
+                request_id,
+                "protocol",
+                f"unknown worker-channel kind 0x{kind:02x}",
+            )
+        return encode_response_for(request_id, response)
+
+    async def _handle_place(self, payload: bytes) -> dict:
+        if self._stopping or self._draining:
+            return {
+                "ok": False,
+                "code": "shutdown",
+                "error": "worker is shutting down",
+            }
+        try:
+            txs = decode_place_payload(payload)
+        except ProtocolError as exc:
+            return {"ok": False, "code": "protocol", "error": str(exc)}
+        first = txs[0].txid
+        partition = self._partition
+        if not partition.owns_txid(first):
+            return {
+                "ok": False,
+                "code": "protocol",
+                "error": (
+                    f"partition {partition.partition_id} does not own "
+                    f"txid {first} (coordinator routing bug)"
+                ),
+            }
+        if first < partition.n_placed:
+            return {
+                "ok": False,
+                "code": "engine",
+                "error": (
+                    f"transactions from {first} were already placed "
+                    f"(next expected: {partition.n_placed})"
+                ),
+            }
+        if first in self._queue:
+            return {
+                "ok": False,
+                "code": "protocol",
+                "error": f"a request starting at txid {first} is "
+                "already queued",
+            }
+        if len(self._queue) >= self._max_reorder:
+            return {
+                "ok": False,
+                "code": "protocol",
+                "error": f"reorder buffer full ({self._max_reorder} "
+                "requests waiting for earlier txids)",
+            }
+        future: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue[first] = _Queued(txs, future)
+        self._kick.set()
+        return await future
+
+    async def _handle_grant(self, payload: bytes) -> dict:
+        body = ch.parse_json_payload(payload)
+        async with self._engine_lock:
+            hot = body.get("hot")
+            if hot is not None:
+                self._partition.import_hot_state(hot)
+        self._granted = True
+        self._kick.set()
+        return {"ok": True, "n_placed": self._partition.n_placed}
+
+    async def _handle_checkpoint(self, payload: bytes) -> dict:
+        body = ch.parse_json_payload(payload)
+        if body.get("hold"):
+            # Freeze dispatch before snapshotting so the coordinator
+            # can take a consistent cross-partition checkpoint; resumed
+            # by W_RESUME.
+            self._paused = True
+        path = body.get("path") or self._checkpoint_path
+        if not path:
+            return {
+                "ok": False,
+                "code": "protocol",
+                "error": "worker has no checkpoint path",
+            }
+        async with self._engine_lock:
+            size = self._partition.checkpoint(
+                path,
+                compress=body.get(
+                    "compress", self._checkpoint_compress
+                ),
+            )
+        return {
+            "ok": True,
+            "path": str(path),
+            "bytes": size,
+            "n_placed": self._partition.n_placed,
+        }
+
+    # -- the dispatcher ----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        try:
+            while True:
+                await self._kick.wait()
+                self._kick.clear()
+                if not self._stopping:
+                    await self._dispatch_ready()
+                if self._draining or self._stopping:
+                    return
+        finally:
+            for key in sorted(self._queue):
+                self._queue.pop(key).fail(
+                    "shutdown",
+                    "worker shut down before the txid gap before "
+                    "this request was filled",
+                )
+            self._stopped.set()
+
+    async def _dispatch_ready(self) -> None:
+        partition = self._partition
+        queue = self._queue
+        while (
+            self._granted and not self._paused and not self._stopping
+        ):  # draining still dispatches the contiguous run
+            # Lease release runs at the top of every iteration - not
+            # after a batch - so it fires however the cursor reached
+            # the boundary (fused batch, per-request replay after an
+            # atomic reject, or an import that landed exactly on it),
+            # and even when the queue is empty.
+            await self._maybe_release_lease()
+            if not self._granted or not queue:
+                return
+            cursor = partition.n_placed
+            stale = [key for key in queue if key < cursor]
+            for key in stale:
+                queue.pop(key).fail(
+                    "engine",
+                    f"transactions from {key} were already placed "
+                    f"(next expected: {cursor})",
+                )
+            entry = queue.pop(cursor, None)
+            if entry is None:
+                return
+            group = [entry]
+            batch = list(entry.txs)
+            run_next = cursor + len(batch)
+            while len(batch) < self._max_batch_txs:
+                follower = queue.pop(run_next, None)
+                if follower is None:
+                    break
+                group.append(follower)
+                batch.extend(follower.txs)
+                run_next += len(follower.txs)
+            async with self._engine_lock:
+                try:
+                    shards = await self._place_with_remotes(batch)
+                except EngineError as exc:
+                    if len(group) == 1:
+                        entry.fail("engine", str(exc))
+                        continue
+                    # Atomic validation placed nothing; replay one
+                    # request at a time so only the offender fails.
+                    for member in group:
+                        try:
+                            member.resolve(
+                                await self._place_with_remotes(
+                                    member.txs
+                                )
+                            )
+                        except EngineError as member_exc:
+                            member.fail("engine", str(member_exc))
+                        except ChannelClosed:
+                            member.fail(
+                                "engine", "coordinator link lost"
+                            )
+                    continue
+                except ChannelClosed:
+                    for member in group:
+                        member.fail("engine", "coordinator link lost")
+                    continue
+                except Exception as exc:  # noqa: BLE001 - a placer bug
+                    # must fail these requests, not kill the worker's
+                    # dispatcher.
+                    for member in group:
+                        member.fail(
+                            "engine",
+                            f"internal error placing batch: {exc!r}",
+                        )
+                    continue
+            offset = 0
+            for member in group:
+                count = len(member.txs)
+                member.resolve(shards[offset : offset + count])
+                offset += count
+            await asyncio.sleep(0)
+
+    async def _place_with_remotes(
+        self, batch: list[Transaction]
+    ) -> list[int]:
+        """One batch through acquire -> place -> writeback."""
+        partition = self._partition
+        needed = partition.parents_needed(batch)
+        states: dict[int, dict[str, Any]] = {}
+        if needed:
+            kind, payload = await self.channel.request(
+                ch.W_ACQUIRE, ch.json_payload({"txids": needed})
+            )
+            response = decode_response(kind, payload)
+            if not response.get("ok"):
+                raise EngineError(
+                    "cross-partition parent lookup failed: "
+                    + response.get("error", "unknown error")
+                )
+            states = decode_parent_states(response["states"])
+        shards, writebacks = partition.place_batch(batch, states)
+        if writebacks:
+            kind, payload = await self.channel.request(
+                ch.W_WRITEBACK, ch.json_payload({"updates": writebacks})
+            )
+            response = decode_response(kind, payload)
+            if not response.get("ok"):
+                # The batch is committed locally; a failed writeback
+                # means an owner is gone or forked. The coordinator
+                # degrades the service on any writeback failure
+                # (channel loss or refusal), so subsequent placements
+                # are refused; surfacing an error here would
+                # mis-report this already-placed batch.
+                pass
+        return shards
+
+    async def _maybe_release_lease(self) -> None:
+        partition = self._partition
+        if partition.n_partitions == 1:
+            return
+        cursor = partition.n_placed
+        if cursor % partition.lease_length != 0:
+            return
+        if partition.owns_txid(cursor):
+            return
+        hot = partition.export_hot_state()
+        self._granted = False
+        kind, payload = await self.channel.request(
+            ch.W_RELEASE, ch.json_payload({"hot": hot})
+        )
+        response = decode_response(kind, payload)
+        if not response.get("ok"):
+            # The coordinator could not pass the lease on; it owns
+            # degradation policy. Nothing left for this worker to do.
+            pass
+
+
+async def _run_worker(
+    host: str,
+    port: int,
+    token: str,
+    partition_id: int,
+    spec: dict[str, Any],
+) -> None:
+    partition = build_partition(partition_id, spec)
+    worker = PlacementWorker(
+        partition,
+        max_batch_txs=spec.get("max_batch_txs", 8192),
+        max_reorder_requests=spec.get("max_reorder_requests", 1024),
+        checkpoint_path=spec.get("checkpoint"),
+        checkpoint_compress=spec.get("checkpoint_compress", False),
+    )
+    reader, writer = await asyncio.open_connection(host, port)
+    link = FrameChannel(
+        reader, writer, worker.handle, on_close=worker.on_channel_closed
+    )
+    worker.channel = link
+    kind, payload = await link.request(
+        ch.W_HELLO,
+        ch.json_payload(
+            {
+                "partition_id": partition_id,
+                "token": token,
+                "n_placed": partition.n_placed,
+                "pid": os.getpid(),
+            }
+        ),
+    )
+    response = decode_response(kind, payload)
+    if not response.get("ok"):
+        raise SystemExit(
+            f"coordinator refused worker {partition_id}: "
+            f"{response.get('error')}"
+        )
+    worker.start()
+    await worker.wait_exit()
+    await worker.join()
+    await link.close()
+
+
+def worker_main(
+    host: str,
+    port: int,
+    token: str,
+    partition_id: int,
+    spec: dict[str, Any],
+) -> None:
+    """Process entry point (multiprocessing spawn target)."""
+    asyncio.run(_run_worker(host, port, token, partition_id, spec))

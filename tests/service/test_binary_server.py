@@ -1,0 +1,264 @@
+"""The binary frame codec end to end against the single-process server.
+
+What matters here: the binary lane is *semantically invisible* - same
+placements, same stats, same errors as the NDJSON lane - and the two
+codecs coexist on one port (the server sniffs the first byte per
+connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.placement import make_placer
+from repro.datasets.synthetic import synthetic_stream
+from repro.errors import EngineError, ProtocolError
+from repro.service import wire
+from repro.service.client import (
+    AsyncBinaryPlacementClient,
+    AsyncPlacementClient,
+    BinaryPlacementClient,
+    async_client_class,
+    client_class,
+)
+from repro.service.engine import PlacementEngine
+from repro.service.loadgen import run_loadgen_async
+from repro.service.server import PlacementServer
+
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_stream(2_000, seed=31)
+
+
+def run_with_server(test_coro, **server_kwargs):
+    async def main():
+        engine = server_kwargs.pop("engine", None) or PlacementEngine(
+            make_placer("optchain", N_SHARDS), epoch_length=500
+        )
+        server = PlacementServer(engine, port=0, **server_kwargs)
+        await server.start()
+        try:
+            await test_coro(server)
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+class TestBinaryOps:
+    def test_place_stats_ping_shutdown(self, stream, tmp_path):
+        snapshot = tmp_path / "bin.snap"
+
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            ping = await client.ping()
+            assert ping["protocol"] == wire.PROTOCOL_VERSION
+            shards = await client.place(stream[:300])
+            assert len(shards) == 300
+            stats = await client.stats()
+            assert stats["n_placed"] == 300
+            checkpoint = await client.checkpoint(str(snapshot))
+            assert checkpoint["bytes"] > 0
+            await client.shutdown()
+            await server.wait_stopped()
+            await client.close()
+
+        run_with_server(scenario)
+        assert snapshot.exists()
+
+    def test_binary_placements_match_local(self, stream):
+        expected = make_placer("optchain", N_SHARDS).place_stream(
+            stream[:800]
+        )
+
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            served = []
+            for offset in range(0, 800, 160):
+                served.extend(
+                    await client.place(stream[offset : offset + 160])
+                )
+            assert served == expected
+            await client.close()
+
+        run_with_server(scenario)
+
+    def test_engine_error_surfaces(self, stream):
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            await client.place(stream[:100])
+            with pytest.raises(EngineError, match="already placed"):
+                await client.place(stream[:100])
+            # The connection keeps serving after the error.
+            assert len(await client.place(stream[100:200])) == 100
+            await client.close()
+
+        run_with_server(scenario)
+
+    def test_oversized_batch_rejected(self, stream):
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            with pytest.raises(ProtocolError, match="max_batch_txs"):
+                await client.place(stream[:200])
+            assert len(await client.place(stream[:100])) == 100
+            await client.close()
+
+        run_with_server(scenario, max_batch_txs=100)
+
+    def test_blocking_binary_client(self, stream):
+        async def scenario(server):
+            def blocking():
+                with BinaryPlacementClient(port=server.port) as client:
+                    assert client.ping()["ok"]
+                    assert len(client.place(stream[:50])) == 50
+                    assert client.stats()["n_placed"] == 50
+
+            await asyncio.to_thread(blocking)
+
+        run_with_server(scenario)
+
+
+class TestMixedProtocols:
+    def test_json_and_binary_share_one_stream(self, stream):
+        expected = make_placer("optchain", N_SHARDS).place_stream(
+            stream[:400]
+        )
+
+        async def scenario(server):
+            json_client = await AsyncPlacementClient.connect(
+                port=server.port
+            )
+            bin_client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            served = []
+            for index, offset in enumerate(range(0, 400, 100)):
+                client = json_client if index % 2 else bin_client
+                served.extend(
+                    await client.place(stream[offset : offset + 100])
+                )
+            assert served == expected
+            # Both codecs report the same protocol revision.
+            assert (await json_client.ping())["protocol"] == (
+                await bin_client.ping()
+            )["protocol"]
+            await json_client.close()
+            await bin_client.close()
+
+        run_with_server(scenario)
+
+    def test_sequencer_reorders_across_codecs(self, stream):
+        async def scenario(server):
+            json_client = await AsyncPlacementClient.connect(
+                port=server.port
+            )
+            bin_client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            # The binary request arrives first but must wait for the
+            # JSON request that owns the earlier txid range.
+            later = bin_client.place_nowait(stream[100:200])
+            await asyncio.sleep(0.05)
+            assert len(await json_client.place(stream[:100])) == 100
+            result = await asyncio.wait_for(later, timeout=5)
+            assert result["ok"] is True
+            assert len(result["shards"]) == 100
+            await json_client.close()
+            await bin_client.close()
+
+        run_with_server(scenario)
+
+
+class TestBinaryFraming:
+    def test_garbage_after_magic_closes_with_error(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            # A valid magic byte followed by an oversized length.
+            writer.write(
+                bytes([wire.BIN_MAGIC])
+                + wire.encode_frame(wire.KIND_PING, 1)[1:10]
+                + (2**31 - 1).to_bytes(4, "little")
+            )
+            await writer.drain()
+            header = await asyncio.wait_for(
+                reader.readexactly(wire.FRAME_HEADER_BYTES), timeout=5
+            )
+            kind, _, length = wire.decode_frame_header(header)
+            payload = await reader.readexactly(length)
+            response = wire.decode_response(kind, payload)
+            assert response["ok"] is False
+            assert response["code"] == "protocol"
+            writer.close()
+
+        run_with_server(scenario)
+
+    def test_mid_frame_disconnect_leaves_server_serving(self, stream):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            frame = wire.encode_place_request(1, stream[:100])
+            writer.write(frame[: len(frame) // 2])
+            await writer.drain()
+            writer.close()
+            # The half-frame never dispatched; a new client owns the
+            # stream from txid 0.
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            assert len(await client.place(stream[:100])) == 100
+            await client.close()
+
+        run_with_server(scenario)
+
+
+class TestLoadgenProtocols:
+    def test_loadgen_binary_and_json_agree(self, stream):
+        expected = make_placer("optchain", N_SHARDS).place_stream(
+            stream
+        )
+
+        async def scenario(server):
+            report = await run_loadgen_async(
+                port=server.port,
+                stream=stream[:1000],
+                n_users=4,
+                chunk_size=100,
+                proto="binary",
+            )
+            assert report.errors == 0
+            assert report.proto == "binary"
+            json_report = await run_loadgen_async(
+                port=server.port,
+                stream=stream[1000:2000],
+                n_users=4,
+                chunk_size=100,
+                proto="json",
+            )
+            assert json_report.errors == 0
+            assert server.engine.placer.assignment() == expected
+
+        run_with_server(scenario)
+
+
+class TestFactories:
+    def test_protocol_factories(self):
+        assert client_class("binary") is BinaryPlacementClient
+        assert async_client_class("json") is AsyncPlacementClient
+        with pytest.raises(Exception, match="proto"):
+            async_client_class("carrier-pigeon")

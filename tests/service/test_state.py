@@ -199,9 +199,21 @@ class TestCorruption:
     def test_unsupported_version(self, tmp_path, small_stream):
         path = self._snapshot(tmp_path, small_stream)
         raw = bytearray(path.read_bytes())
-        raw[6:8] = struct.pack("<H", FORMAT_VERSION + 1)
+        # Version 3 is the delta format; the first truly unknown
+        # full-snapshot version is one past it.
+        raw[6:8] = struct.pack("<H", max(SUPPORTED_VERSIONS) + 1)
         path.write_bytes(bytes(raw))
         with pytest.raises(SnapshotError, match="format"):
+            load_engine_snapshot(path)
+
+    def test_delta_stamped_full_refused(self, tmp_path, small_stream):
+        """A v3 (delta) version stamp on a full snapshot is refused
+        with a pointer to the base-loading behavior."""
+        path = self._snapshot(tmp_path, small_stream)
+        raw = bytearray(path.read_bytes())
+        raw[6:8] = struct.pack("<H", 3)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="delta"):
             load_engine_snapshot(path)
 
     def test_truncated_payload(self, tmp_path, small_stream):
@@ -225,11 +237,12 @@ class TestCorruption:
         # The on-disk contract: changing these breaks every existing
         # checkpoint, so it must be a deliberate, versioned decision.
         # Version 2 added optional payload compression and the
-        # bounded-support scorer scalars; version-1 files must stay
-        # readable.
+        # bounded-support scorer scalars; version 3 is the *delta*
+        # container (full snapshots still write v2); version-1/2 files
+        # must stay readable.
         assert MAGIC == b"OCSNAP"
         assert FORMAT_VERSION == 2
-        assert SUPPORTED_VERSIONS == (1, 2)
+        assert SUPPORTED_VERSIONS == (1, 2, 3)
 
     def test_no_temp_file_left_behind(self, tmp_path, small_stream):
         self._snapshot(tmp_path, small_stream)

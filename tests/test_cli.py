@@ -28,8 +28,33 @@ class TestParser:
             ["serve", "--strategy", "optchain-topk", "--support-cap", "4"]
         )
         assert args.method == "optchain-topk"
-        assert args.support_cap == 4
+        # The cap stays a string at parse time: it may be an int or
+        # the adaptive "auto:<rate>" form, resolved by _topk_kwargs.
+        assert args.support_cap == "4"
         assert args.checkpoint_compress is False
+        auto = build_parser().parse_args(
+            ["serve", "--strategy", "t2s-topk", "--support-cap", "auto:0.01"]
+        )
+        assert auto.support_cap == "auto:0.01"
+
+    def test_bad_support_cap_exits_cleanly(self, capsys):
+        """A malformed cap is a usage error (exit 2), not a traceback."""
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "place",
+                    "--method",
+                    "optchain-topk",
+                    "--transactions",
+                    "10",
+                    "--support-cap",
+                    "abc",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "support-cap" in capsys.readouterr().err
         args = build_parser().parse_args(
             ["serve", "--checkpoint-compress"]
         )
