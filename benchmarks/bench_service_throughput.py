@@ -6,6 +6,10 @@ This is where the repo's two perf frontiers meet a serving interface:
   path (validation + truncation bookkeeping + the fused ``place_batch``
   hot path) at k=16, with the raw placer lane alongside so the serving
   overhead is measured, not guessed;
+- **wal overhead**: the same engine lane with the per-partition
+  write-ahead batch journal on vs off (pre-encoded payloads, so the
+  delta is journal I/O alone) - the crash-safety tax on serving
+  throughput;
 - **snapshot**: checkpoint cost at the midpoint plus a
   restore-then-continue equivalence check;
 - **memory bound**: a 1M+ transaction stream through the epoch/horizon
@@ -35,7 +39,9 @@ Results land in ``BENCH_service.json``. Run it directly::
         --check --out /tmp/smoke.json                          # CI smoke
 
 ``--check`` enforces the acceptance gates: engine throughput >=
-``--min-throughput`` (100k/s by default) at k=16, live vectors bounded
+``--min-throughput`` (100k/s by default) at k=16, the write-ahead
+journal costing <= ``--max-wal-overhead-pct`` (15%) of engine
+throughput, live vectors bounded
 by the horizon window over the memory stream, snapshot round-trip
 bit-identical (full and delta), engine placements identical to the raw
 placer, binary codec CPU >= ``--min-codec-ratio`` (2.0x) cheaper than
@@ -140,6 +146,91 @@ def bench_throughput(stream, batch_size, repeats, epoch_length):
         "live_vectors": stats.live_vectors,
         "released_vectors": stats.released_vectors,
     }, raw_assignment
+
+
+def bench_wal_overhead(stream, batch_size, repeats, epoch_length, tmp_dir):
+    """Serving cost of the write-ahead batch journal at k=16.
+
+    Same stream, same partition path, WAL off vs on; the on lane feeds
+    pre-encoded wire payloads (as the worker does - the journal never
+    re-encodes on the hot path) and the encode cost sits *outside* the
+    timed loop in both lanes so the delta is journal I/O alone: CRC,
+    framing, buffered write, fsync every ``sync_every_bytes``. CPU
+    best-of per the repo's bench protocol; wall recorded for context
+    (fsync waits are invisible to ``process_time``).
+    """
+    from repro.service.journal import BatchJournal
+    from repro.service.partition import EnginePartition
+    from repro.service.wire import (
+        FRAME_HEADER_BYTES,
+        encode_place_request,
+    )
+
+    chunks = [
+        stream[offset : offset + batch_size]
+        for offset in range(0, len(stream), batch_size)
+    ]
+    payloads = [
+        [encode_place_request(0, chunk)[FRAME_HEADER_BYTES:]]
+        for chunk in chunks
+    ]
+
+    def build_partition():
+        engine = PlacementEngine(
+            make_placer("optchain", N_SHARDS), epoch_length=epoch_length
+        )
+        return EnginePartition(
+            engine,
+            partition_id=0,
+            n_partitions=1,
+            lease_length=len(stream),
+        )
+
+    off_cpu = off_wall = float("inf")
+    on_cpu = on_wall = float("inf")
+    wal_bytes = 0
+    path = Path(tmp_dir) / "bench_service.wal"
+    for _ in range(repeats):
+        gc.collect()
+        partition = build_partition()
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        for chunk, raw in zip(chunks, payloads):
+            partition.place_batch(chunk, raw_segments=raw)
+        off_cpu = min(off_cpu, time.process_time() - cpu0)
+        off_wall = min(off_wall, time.perf_counter() - wall0)
+
+        gc.collect()
+        partition = build_partition()
+        journal = BatchJournal(str(path), 0, 1, len(stream))
+        journal.open(0, "")
+        partition.journal = journal
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        for chunk, raw in zip(chunks, payloads):
+            partition.place_batch(chunk, raw_segments=raw)
+        on_cpu = min(on_cpu, time.process_time() - cpu0)
+        on_wall = min(on_wall, time.perf_counter() - wall0)
+        wal_bytes = journal.tell()
+        journal.close()
+        path.unlink()
+
+    n_tx = len(stream)
+    return {
+        "n_tx": n_tx,
+        "n_shards": N_SHARDS,
+        "batch_size": batch_size,
+        "wal_off_tx_per_s": round(n_tx / off_cpu, 1),
+        "wal_on_tx_per_s": round(n_tx / on_cpu, 1),
+        "wal_off_tx_per_s_wall": round(n_tx / off_wall, 1),
+        "wal_on_tx_per_s_wall": round(n_tx / on_wall, 1),
+        "overhead_pct": round(100.0 * (on_cpu / off_cpu - 1.0), 1),
+        "overhead_pct_wall": round(
+            100.0 * (on_wall / off_wall - 1.0), 1
+        ),
+        "wal_bytes": wal_bytes,
+        "wal_bytes_per_tx": round(wal_bytes / n_tx, 1),
+    }
 
 
 def bench_snapshot(stream, tmp_dir, epoch_length):
@@ -441,6 +532,22 @@ def run(args):
         flush=True,
     )
 
+    print("wal overhead ...", flush=True)
+    wal_overhead = bench_wal_overhead(
+        stream,
+        args.batch_size,
+        args.repeats,
+        args.epoch_length,
+        args.tmp_dir,
+    )
+    print(
+        f"  off {wal_overhead['wal_off_tx_per_s']:>12,.0f} tx/s   "
+        f"on {wal_overhead['wal_on_tx_per_s']:>12,.0f} tx/s   "
+        f"overhead {wal_overhead['overhead_pct']}% "
+        f"({wal_overhead['wal_bytes_per_tx']} B/tx journaled)",
+        flush=True,
+    )
+
     print("snapshot ...", flush=True)
     snapshot = bench_snapshot(stream, args.tmp_dir, args.epoch_length)
     print(
@@ -533,6 +640,7 @@ def run(args):
             "stream_generation_seconds": round(gen_seconds, 2),
         },
         "throughput": throughput,
+        "wal_overhead": wal_overhead,
         "snapshot": snapshot,
         "quality_drift": drift,
         "memory_bound": memory,
@@ -567,6 +675,13 @@ def check(payload, args):
         failures.append(
             "engine placements diverge from the raw placer (exact "
             "truncation must be invisible)"
+        )
+    wal_overhead = payload["wal_overhead"]
+    if wal_overhead["overhead_pct"] > args.max_wal_overhead_pct:
+        failures.append(
+            f"write-ahead journal costs "
+            f"{wal_overhead['overhead_pct']}% engine throughput "
+            f"(> {args.max_wal_overhead_pct}% budget)"
         )
     if not payload["snapshot"]["roundtrip_identical"]:
         failures.append("snapshot restore-then-continue diverged")
@@ -636,6 +751,13 @@ def main(argv=None):
     parser.add_argument("--horizon-epochs", type=int, default=8)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-throughput", type=float, default=100_000)
+    parser.add_argument(
+        "--max-wal-overhead-pct",
+        type=float,
+        default=15.0,
+        help="gate: the write-ahead journal may cost at most this "
+        "percentage of engine throughput (CPU time)",
+    )
     parser.add_argument(
         "--min-codec-ratio",
         type=float,

@@ -200,6 +200,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=25_000,
         help="txids per ownership lease in --workers mode",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="per-partition in-flight request window in --workers "
+        "mode; beyond it requests are shed with an 'overload' reply",
+    )
+    serve.add_argument(
+        "--heartbeat",
+        type=float,
+        default=5.0,
+        help="worker liveness-probe interval in seconds in --workers "
+        "mode (0 disables heartbeats)",
+    )
+    serve.add_argument(
+        "--respawn-max",
+        type=int,
+        default=3,
+        help="respawn attempts per crashed worker before the service "
+        "degrades (--workers mode)",
+    )
+    serve.add_argument(
+        "--no-wal",
+        action="store_true",
+        help="disable the per-partition write-ahead batch journal "
+        "(crashed non-idle workers then cannot recover losslessly)",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="replay a synthetic stream against a service"
@@ -225,6 +252,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire codec: binary frames (fast) or NDJSON (compat)",
     )
     loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request timeout in seconds (default: wait forever)",
+    )
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="transparent per-request retries on retryable failures "
+        "(retry/overload replies, timeouts, connection resets)",
+    )
+    loadgen.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        help="base of the jittered exponential retry backoff (s)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="deterministic crash-recovery check: kill a non-idle "
+        "worker mid-stream, verify bit-identical recovery",
+    )
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--transactions", type=int, default=3_000)
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument("--method", "--strategy", default="optchain")
+    chaos.add_argument("--lease-length", type=int, default=600)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--kill-partition",
+        type=int,
+        default=0,
+        help="partition whose worker is SIGKILLed",
+    )
+    chaos.add_argument(
+        "--kill-after",
+        type=int,
+        default=2,
+        help="die on the Nth journaled batch",
+    )
+    chaos.add_argument(
+        "--kill-point",
+        choices=("journal", "place", "writeback"),
+        default="journal",
+        help="batch lifecycle point to die at",
+    )
+    chaos.add_argument(
+        "--torn-wal-bytes",
+        type=int,
+        default=0,
+        help="truncate this many bytes off the journal tail before "
+        "dying (simulated torn write)",
+    )
+    chaos.add_argument(
+        "--workdir",
+        default=None,
+        help="scratch directory for checkpoints + journals "
+        "(default: a fresh temporary directory)",
+    )
+    chaos.add_argument(
+        "--log",
+        default=None,
+        help="also append the chaos event log to this file",
+    )
     return parser
 
 
@@ -506,6 +600,10 @@ def _serve_sharded(args) -> int:
             max_batch_txs=args.max_batch,
             checkpoint_path=args.checkpoint,
             checkpoint_compress=args.checkpoint_compress,
+            max_inflight=args.max_inflight,
+            heartbeat_interval=args.heartbeat,
+            max_respawns=args.respawn_max,
+            wal=not args.no_wal,
         )
         await server.start()
         loop = asyncio.get_running_loop()
@@ -535,20 +633,106 @@ def _serve_sharded(args) -> int:
 
 
 def _cmd_loadgen(args) -> int:
+    from repro.errors import ServiceError
     from repro.service.loadgen import run_loadgen
 
-    report = run_loadgen(
-        host=args.host,
-        port=args.port,
-        n_txs=args.transactions,
-        n_users=args.users,
-        chunk_size=args.chunk_size,
-        mode=args.mode,
-        rate=args.rate,
-        seed=args.seed,
-        proto=args.proto,
-    )
+    try:
+        report = run_loadgen(
+            host=args.host,
+            port=args.port,
+            n_txs=args.transactions,
+            n_users=args.users,
+            chunk_size=args.chunk_size,
+            mode=args.mode,
+            rate=args.rate,
+            seed=args.seed,
+            proto=args.proto,
+            request_timeout=args.timeout,
+            max_retries=args.retries,
+            retry_backoff=args.retry_backoff,
+        )
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(
+            f"error: loadgen could not drive {args.host}:{args.port}: "
+            f"{exc}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
     print(report.summary())
+    if report.errors:
+        # A lossy run must not look like a clean one to CI or scripts:
+        # the summary above already names the last error.
+        print(
+            f"error: {report.errors} of {report.n_chunks} requests "
+            "failed"
+            + (
+                f" (last: {report.last_error})"
+                if report.last_error
+                else ""
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import asyncio
+    import json as json_module
+    import tempfile
+
+    from repro.service.faults import run_chaos_scenario
+
+    def run(workdir: str) -> dict:
+        return asyncio.run(
+            run_chaos_scenario(
+                workdir=workdir,
+                n_workers=args.workers,
+                n_txs=args.transactions,
+                n_shards=args.shards,
+                strategy=args.method,
+                lease_length=args.lease_length,
+                seed=args.seed,
+                kill_partition=args.kill_partition,
+                kill_after=args.kill_after,
+                kill_point=args.kill_point,
+                torn_wal_bytes=args.torn_wal_bytes,
+                log=lambda message: print(message, flush=True),
+            )
+        )
+
+    if args.workdir:
+        result = run(args.workdir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as d:
+            result = run(d)
+    if args.log:
+        with open(args.log, "a") as fh:
+            fh.write(
+                json_module.dumps(result, separators=(",", ":")) + "\n"
+            )
+    if not result["ok"]:
+        print(
+            "error: chaos scenario failed: "
+            + (
+                f"service degraded ({result['degraded']})"
+                if result["degraded"]
+                else "recovered placements diverged from the golden "
+                f"run (first at {result['first_divergence']})"
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
+    print(
+        f"chaos ok: {result['served']} placements bit-identical "
+        f"through a '{result['kill_point']}' crash "
+        f"({result['retries']} client retries, "
+        f"{result['recovery_s']}s recovery)",
+        flush=True,
+    )
     return 0
 
 
@@ -560,6 +744,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -77,5 +77,24 @@ class SnapshotError(ServiceError):
     """A snapshot file is missing, corrupt, or incompatible."""
 
 
+class CorruptCheckpointError(SnapshotError):
+    """A snapshot/delta file is torn or fails its CRC/length checks."""
+
+
 class ProtocolError(ServiceError):
     """A wire request is malformed or exceeds server limits."""
+
+
+class RetryLaterError(ServiceError):
+    """The request targets a partition that is temporarily unavailable
+    (worker recovering); the identical request may be resubmitted."""
+
+
+class OverloadError(RetryLaterError):
+    """The server shed the request under admission control; back off
+    and resubmit."""
+
+
+class ConnectionLostError(ServiceError):
+    """The transport dropped before a response arrived; the request may
+    or may not have been applied (resubmission is exact either way)."""

@@ -26,9 +26,23 @@ millions of transactions:
   horizontally sharded service (``repro serve --workers N``):
   partitioned engines owning contiguous txid leases behind a routing
   front-end, with ownership handoff, cross-partition parent lookups,
-  per-partition checkpoints, and worker respawn.
+  per-partition checkpoints, heartbeat supervision with bounded-backoff
+  respawn of crashed workers (including non-idle ones), and
+  per-partition in-flight windows that shed excess load with explicit
+  ``overload`` replies.
+- :mod:`repro.service.journal` - the per-partition write-ahead batch
+  journal (CRC-framed records, fsync batching, reset at checkpoints):
+  a worker SIGKILLed mid-batch respawns from checkpoint + WAL replay
+  bit-identical to never having crashed; torn tails are detected and
+  discarded.
+- :mod:`repro.service.faults` - deterministic, seedable fault
+  injection (kill a chosen partition at a chosen point of the batch
+  lifecycle, optionally tearing the journal tail) plus the end-to-end
+  chaos harness behind ``repro chaos`` and the crash-recovery tests.
 - :mod:`repro.service.client` - sync and async clients, one pair per
-  codec.
+  codec, with optional transparent retry: jittered exponential
+  backoff, reconnect on transport loss, idempotent re-submission of
+  ``retry``/``overload`` replies and timed-out requests.
 - :mod:`repro.service.loadgen` - an open/closed-loop load generator
   replaying :mod:`repro.datasets.synthetic` streams from many simulated
   users over either codec.

@@ -25,6 +25,7 @@ The inter-worker request kinds (0x10..0x1F, reserved by wire.py):
 ``W_CHECKPOINT``      coordinator -> worker: snapshot (optionally pause)
 ``W_RESUME``          coordinator -> worker: resume after a held snapshot
 ``W_SHUTDOWN``        coordinator -> worker: drain queued work and exit
+``W_PING``            coordinator -> worker: liveness probe (heartbeat)
 ====================  ====================================================
 """
 
@@ -55,6 +56,7 @@ W_STATS = 0x18
 W_CHECKPOINT = 0x19
 W_RESUME = 0x1A
 W_SHUTDOWN = 0x1B
+W_PING = 0x1C
 
 #: handler(kind, request_id, payload) -> complete response frame bytes.
 Handler = Callable[[int, int, bytes], Awaitable[bytes]]

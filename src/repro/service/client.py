@@ -16,21 +16,37 @@ name.
 
 All four raise :class:`~repro.errors.ServiceError` subclasses on
 failure responses: ``code: "protocol"`` maps to
-:class:`~repro.errors.ProtocolError`, everything else to
+:class:`~repro.errors.ProtocolError`, ``"retry"`` to
+:class:`~repro.errors.RetryLaterError`, ``"overload"`` to
+:class:`~repro.errors.OverloadError`, everything else to
 :class:`~repro.errors.EngineError`.
+
+All four can also retry transparently (``retries=N``): a ``place`` that
+fails with a *retryable* error - ``retry``/``overload`` replies,
+timeouts, connection resets - is resubmitted after a jittered
+exponential backoff (reconnecting first if the transport died). This is
+safe because the server answers a fully-placed duplicate range
+idempotently with the recorded shards, so a retry after a lost response
+cannot double-place or diverge. Hard errors (``protocol``, ``engine``)
+never retry.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
 from typing import Any, Sequence
 
 from repro.errors import (
     ConfigurationError,
+    ConnectionLostError,
     EngineError,
+    OverloadError,
     ProtocolError,
+    RetryLaterError,
     ServiceError,
 )
 from repro.service.wire import (
@@ -45,6 +61,16 @@ from repro.utxo.transaction import Transaction
 
 PROTOCOLS = ("binary", "json")
 
+#: Errors a client may transparently retry: explicit retryable replies,
+#: plus any transport-level failure (ConnectionError/TimeoutError are
+#: OSError subclasses). Protocol and engine errors are never retried.
+RETRYABLE_ERRORS = (
+    RetryLaterError,
+    ConnectionLostError,
+    ConnectionError,
+    OSError,
+)
+
 
 def _raise_for(response: dict) -> dict:
     if not isinstance(response, dict):
@@ -52,20 +78,124 @@ def _raise_for(response: dict) -> dict:
     if response.get("ok"):
         return response
     error = response.get("error", "unknown server error")
-    if response.get("code") == "protocol":
+    code = response.get("code")
+    if code == "protocol":
         raise ProtocolError(error)
+    if code == "retry":
+        raise RetryLaterError(error)
+    if code == "overload":
+        raise OverloadError(error)
     raise EngineError(error)
 
 
-class PlacementClient:
-    """Blocking client; usable as a context manager."""
+def _backoff_delay(
+    attempt: int, base: float, maximum: float, rng: random.Random
+) -> float:
+    """Jittered exponential backoff: full delay in [50%, 100%] of the
+    capped exponential step, so a fleet of retrying clients does not
+    re-stampede a recovering partition in lockstep."""
+    step = min(maximum, base * (2**attempt))
+    return step * (0.5 + rng.random() / 2)
+
+
+class _BlockingClientBase:
+    """Shared transport + retry plumbing of the two blocking clients."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 9171, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9171,
+        timeout: float = 60.0,
+        *,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_seed: "int | None" = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = retries
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._rng = random.Random(backoff_seed)
+        #: Total transparent retries performed (loadgen reporting).
+        self.retries_used = 0
+        #: Message of the most recent retried error, if any.
+        self.last_error: "str | None" = None
+        self._sock: "socket.socket | None" = None
+        self._file: Any = None
         self._next_id = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def reconnect(self) -> None:
+        self.close()
+        self._connect()
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _with_retries(self, send):
+        """Run ``send`` with up to ``self.retries`` transparent retries.
+
+        Safe only for idempotent requests (``place``: the server
+        answers resubmitted fully-placed ranges from its recorded
+        assignments). Transport failures tear the connection down and
+        reconnect before the next attempt.
+        """
+        for attempt in range(self.retries + 1):
+            reconnect = False
+            try:
+                if self._sock is None:
+                    self._connect()
+                return send()
+            except (RetryLaterError, OverloadError) as exc:
+                retryable: Exception = exc
+            except (ConnectionLostError, ConnectionError, OSError) as exc:
+                retryable = exc
+                reconnect = True
+            if attempt >= self.retries:
+                raise retryable
+            self.retries_used += 1
+            self.last_error = str(retryable)
+            if reconnect:
+                self.close()
+            time.sleep(
+                _backoff_delay(
+                    attempt,
+                    self._backoff_base,
+                    self._backoff_max,
+                    self._rng,
+                )
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PlacementClient(_BlockingClientBase):
+    """Blocking client; usable as a context manager."""
 
     # -- plumbing ----------------------------------------------------------
 
@@ -79,7 +209,7 @@ class PlacementClient:
         self._file.flush()
         line = self._file.readline()
         if not line:
-            raise ServiceError("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
         response = json.loads(line)
         if response.get("id") != self._next_id:
             raise ServiceError(
@@ -94,10 +224,11 @@ class PlacementClient:
         self, txs: Sequence[Transaction], full_outputs: bool = False
     ) -> list[int]:
         """Place a contiguous batch; returns its shard assignment."""
-        response = self.request(
-            {"op": "place", "txs": encode_batch(txs, full_outputs)}
-        )
-        return response["shards"]
+        return self._with_retries(
+            lambda: self.request(
+                {"op": "place", "txs": encode_batch(txs, full_outputs)}
+            )
+        )["shards"]
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]
@@ -114,31 +245,38 @@ class PlacementClient:
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})
 
-    def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
 
-    def __enter__(self) -> "PlacementClient":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-class AsyncPlacementClient:
-    """Pipelining asyncio client.
-
-    Create with :meth:`connect`; every public operation may be issued
-    concurrently from many tasks over one connection.
-    """
+class _AsyncClientBase:
+    """Shared transport + retry plumbing of the two asyncio clients."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 9171,
+        limit: int = 8 * 1024 * 1024,
+        retries: int = 0,
+        request_timeout: "float | None" = None,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_seed: "int | None" = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._limit = limit
+        self.retries = retries
+        self._request_timeout = request_timeout
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._rng = random.Random(backoff_seed)
+        #: Total transparent retries performed (loadgen reporting).
+        self.retries_used = 0
+        #: Message of the most recent retried error, if any.
+        self.last_error: "str | None" = None
         self._next_id = 0
         self._inflight: dict[int, asyncio.Future] = {}
         self._closed = False
@@ -150,11 +288,99 @@ class AsyncPlacementClient:
         host: str = "127.0.0.1",
         port: int = 9171,
         limit: int = 8 * 1024 * 1024,
-    ) -> "AsyncPlacementClient":
+        **kwargs: Any,
+    ):
         reader, writer = await asyncio.open_connection(
             host, port, limit=limit
         )
-        return cls(reader, writer)
+        return cls(
+            reader, writer, host=host, port=port, limit=limit, **kwargs
+        )
+
+    async def reconnect(self) -> None:
+        """Tear down the dead transport and dial the server again."""
+        await self.close()
+        reader, writer = await asyncio.open_connection(
+            self._host, self._port, limit=self._limit
+        )
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    def _fail_inflight(self) -> None:
+        # Mark closed *before* failing in-flight futures, so a
+        # submit() racing this shutdown cannot register a future
+        # that would never resolve.
+        self._closed = True
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionLostError(
+                        "connection closed before response"
+                    )
+                )
+        self._inflight.clear()
+
+    async def _await_response(self, future: "asyncio.Future[dict]") -> dict:
+        if self._request_timeout is not None:
+            return await asyncio.wait_for(future, self._request_timeout)
+        return await future
+
+    async def _place_with_retries(self, place_once):
+        """Closed-loop place with transparent retries (see module doc).
+
+        Only safe for ``place``: resubmitting a fully-placed range is
+        answered idempotently by the server. Transport failures and
+        timeouts reconnect before the next attempt; pipelined siblings
+        on the same connection fail with a retryable error themselves.
+        """
+        for attempt in range(self.retries + 1):
+            reconnect = False
+            try:
+                if self._closed:
+                    await self.reconnect()
+                return await place_once()
+            except (RetryLaterError, OverloadError) as exc:
+                retryable: Exception = exc
+            except (ConnectionLostError, ConnectionError, OSError) as exc:
+                retryable = exc
+                reconnect = True
+            if attempt >= self.retries:
+                raise retryable
+            self.retries_used += 1
+            self.last_error = str(retryable)
+            if reconnect and not self._closed:
+                await self.close()
+            await asyncio.sleep(
+                _backoff_delay(
+                    attempt,
+                    self._backoff_base,
+                    self._backoff_max,
+                    self._rng,
+                )
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AsyncPlacementClient(_AsyncClientBase):
+    """Pipelining asyncio client.
+
+    Create with :meth:`connect`; every public operation may be issued
+    concurrently from many tasks over one connection.
+    """
 
     # -- plumbing ----------------------------------------------------------
 
@@ -171,16 +397,7 @@ class AsyncPlacementClient:
         except (ConnectionError, asyncio.CancelledError, ValueError):
             pass
         finally:
-            # Mark closed *before* failing in-flight futures, so a
-            # submit() racing this shutdown cannot register a future
-            # that would never resolve.
-            self._closed = True
-            for future in self._inflight.values():
-                if not future.done():
-                    future.set_exception(
-                        ServiceError("connection closed before response")
-                    )
-            self._inflight.clear()
+            self._fail_inflight()
 
     def submit(self, message: dict[str, Any]) -> "asyncio.Future[dict]":
         """Write a request now; returns a future for its raw response.
@@ -199,7 +416,7 @@ class AsyncPlacementClient:
             # transport would not raise, so the future would hang
             # forever if we registered it.
             future.set_exception(
-                ServiceError("connection closed before response")
+                ConnectionLostError("connection closed before response")
             )
             return future
         self._inflight[request_id] = future
@@ -211,17 +428,19 @@ class AsyncPlacementClient:
     async def request(self, message: dict[str, Any]) -> dict:
         future = self.submit(message)
         await self._writer.drain()
-        return _raise_for(await future)
+        return _raise_for(await self._await_response(future))
 
     # -- operations --------------------------------------------------------
 
     async def place(
         self, txs: Sequence[Transaction], full_outputs: bool = False
     ) -> list[int]:
-        response = await self.request(
-            {"op": "place", "txs": encode_batch(txs, full_outputs)}
-        )
-        return response["shards"]
+        message = {"op": "place", "txs": encode_batch(txs, full_outputs)}
+
+        async def place_once() -> list[int]:
+            return (await self.request(message))["shards"]
+
+        return await self._place_with_retries(place_once)
 
     def place_nowait(
         self, txs: Sequence[Transaction], full_outputs: bool = False
@@ -246,28 +465,9 @@ class AsyncPlacementClient:
     async def shutdown(self) -> None:
         await self.request({"op": "shutdown"})
 
-    async def close(self) -> None:
-        self._reader_task.cancel()
-        try:
-            await self._reader_task
-        except asyncio.CancelledError:
-            pass
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except ConnectionError:
-            pass
 
-
-class BinaryPlacementClient:
+class BinaryPlacementClient(_BlockingClientBase):
     """Blocking client over the binary frame codec; context manager."""
-
-    def __init__(
-        self, host: str = "127.0.0.1", port: int = 9171, timeout: float = 60.0
-    ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
-        self._next_id = 0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -276,11 +476,13 @@ class BinaryPlacementClient:
         self._file.flush()
         header = self._file.read(FRAME_HEADER_BYTES)
         if len(header) != FRAME_HEADER_BYTES:
-            raise ServiceError("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
         kind, response_id, length = decode_frame_header(header)
         payload = self._file.read(length) if length else b""
         if len(payload) != length:
-            raise ServiceError("server closed the connection mid-frame")
+            raise ConnectionLostError(
+                "server closed the connection mid-frame"
+            )
         if response_id != self._next_id:
             raise ServiceError(
                 f"response id {response_id} does not match request "
@@ -303,11 +505,14 @@ class BinaryPlacementClient:
         self, txs: Sequence[Transaction], full_outputs: bool = False
     ) -> list[int]:
         """Place a contiguous batch; returns its shard assignment."""
-        self._next_id += 1
-        response = self._roundtrip(
-            encode_place_request(self._next_id, txs, full_outputs)
-        )
-        return response["shards"]
+
+        def send() -> dict:
+            self._next_id += 1
+            return self._roundtrip(
+                encode_place_request(self._next_id, txs, full_outputs)
+            )
+
+        return self._with_retries(send)["shards"]
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]
@@ -324,48 +529,14 @@ class BinaryPlacementClient:
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})
 
-    def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
 
-    def __enter__(self) -> "BinaryPlacementClient":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-class AsyncBinaryPlacementClient:
+class AsyncBinaryPlacementClient(_AsyncClientBase):
     """Pipelining asyncio client over the binary frame codec.
 
     Interface-compatible with :class:`AsyncPlacementClient` (the load
     generator treats them interchangeably); the difference is the bytes
     on the wire.
     """
-
-    def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._reader = reader
-        self._writer = writer
-        self._next_id = 0
-        self._inflight: dict[int, asyncio.Future] = {}
-        self._closed = False
-        self._reader_task = asyncio.create_task(self._read_loop())
-
-    @classmethod
-    async def connect(
-        cls,
-        host: str = "127.0.0.1",
-        port: int = 9171,
-        limit: int = 8 * 1024 * 1024,
-    ) -> "AsyncBinaryPlacementClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=limit
-        )
-        return cls(reader, writer)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -392,16 +563,7 @@ class AsyncBinaryPlacementClient:
         ):
             pass
         finally:
-            # Mark closed *before* failing in-flight futures, so a
-            # submit racing this shutdown cannot register a future
-            # that would never resolve.
-            self._closed = True
-            for future in self._inflight.values():
-                if not future.done():
-                    future.set_exception(
-                        ServiceError("connection closed before response")
-                    )
-            self._inflight.clear()
+            self._fail_inflight()
 
     def _submit_frame(self, frame: bytes, request_id: int):
         future: "asyncio.Future[dict]" = (
@@ -409,7 +571,7 @@ class AsyncBinaryPlacementClient:
         )
         if self._closed:
             future.set_exception(
-                ServiceError("connection closed before response")
+                ConnectionLostError("connection closed before response")
             )
             return future
         self._inflight[request_id] = future
@@ -431,16 +593,21 @@ class AsyncBinaryPlacementClient:
     async def request(self, message: dict[str, Any]) -> dict:
         future = self.submit(message)
         await self._writer.drain()
-        return _raise_for(await future)
+        return _raise_for(await self._await_response(future))
 
     # -- operations --------------------------------------------------------
 
     async def place(
         self, txs: Sequence[Transaction], full_outputs: bool = False
     ) -> list[int]:
-        future = self.place_nowait(txs, full_outputs)
-        await self._writer.drain()
-        return _raise_for(await future)["shards"]
+        async def place_once() -> list[int]:
+            future = self.place_nowait(txs, full_outputs)
+            await self._writer.drain()
+            return _raise_for(await self._await_response(future))[
+                "shards"
+            ]
+
+        return await self._place_with_retries(place_once)
 
     def place_nowait(
         self, txs: Sequence[Transaction], full_outputs: bool = False
@@ -467,18 +634,6 @@ class AsyncBinaryPlacementClient:
 
     async def shutdown(self) -> None:
         await self.request({"op": "shutdown"})
-
-    async def close(self) -> None:
-        self._reader_task.cancel()
-        try:
-            await self._reader_task
-        except asyncio.CancelledError:
-            pass
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except ConnectionError:
-            pass
 
 
 def client_class(proto: str = "binary"):

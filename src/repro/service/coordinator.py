@@ -21,11 +21,25 @@ Differences from the monolith, stated plainly:
   batch ceiling this affects at most one request per lease.
 - On shutdown, queued requests still waiting for a txid gap are failed
   (as in the monolith); in-flight batches complete first.
-- If a worker dies, its in-flight requests fail and the coordinator
-  respawns it from its per-partition checkpoint when one exists and
-  matches the stream position; a dead *active* worker (or a stale
-  checkpoint) leaves the service **degraded** - refusing placements
-  with an explicit error - because continuing would fork the stream.
+- If a worker dies - idle or **active, mid-batch** - its in-flight
+  requests fail with a retryable ``retry`` reply and the coordinator
+  respawns it (bounded attempts, exponential backoff): the worker
+  restores its per-partition checkpoint, replays its write-ahead
+  journal tail (:mod:`repro.service.journal`) to the exact crash
+  state, re-delivers the possibly-lost writebacks of its final batch,
+  and rejoins; the active partition is then re-granted the lease.
+  Requests targeting a recovering partition get ``retry`` replies;
+  writebacks destined for it are buffered and flushed on respawn.
+  **Degraded** mode - refusing placements with an explicit error - is
+  reserved for truly unrecoverable state: checkpoint *and* journal
+  both missing/destroyed for a partition that holds placed state,
+  respawn attempts exhausted, or a respawn surfacing a forked cursor.
+- Liveness is active: the coordinator heartbeats every worker
+  (``W_PING``) and kills/recovers one that stops answering, so a hung
+  worker is handled like a crashed one.
+- Admission control: each partition has a bounded in-flight window;
+  beyond it the coordinator replies ``overload`` instead of queueing
+  without bound.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from typing import Any
 from repro.errors import ConfigurationError, ProtocolError
 from repro.service import channel as ch
 from repro.service.channel import ChannelClosed, FrameChannel
+from repro.service.journal import journal_path_for
 from repro.service.server import DEFAULT_PORT, PlacementServer
 from repro.service.wire import (
     FRAME_HEADER_BYTES,
@@ -68,6 +83,12 @@ class _WorkerHandle:
         "alive",
         "checkpoint_path",
         "_hello_cursor",
+        "inflight",
+        "recovering",
+        "died_active",
+        "pending_writebacks",
+        "pending_grant",
+        "startup_writebacks",
     )
 
     def __init__(self, partition_id: int, checkpoint_path: "str | None"):
@@ -77,6 +98,22 @@ class _WorkerHandle:
         self.alive = False
         self.checkpoint_path = checkpoint_path
         self._hello_cursor: "int | None" = None
+        #: Outstanding W_PLACE round trips (admission control).
+        self.inflight = 0
+        #: True while the supervisor's recovery loop owns this worker.
+        self.recovering = False
+        #: Did the worker hold the write lease when it was lost? Only
+        #: then are its replayed final-batch writebacks re-delivered.
+        self.died_active = False
+        #: Writebacks addressed to this worker while it was down,
+        #: flushed (in order) on its respawn hello.
+        self.pending_writebacks: list[dict[str, Any]] = []
+        #: A lease grant (hot state) that could not be delivered
+        #: because this worker was down; flushed after respawn.
+        self.pending_grant: "dict[str, Any] | None" = None
+        #: Recovery writebacks reported at startup, resolved once all
+        #: workers are up (only the stream frontier holder's apply).
+        self.startup_writebacks: "list[dict[str, Any]] | None" = None
 
     async def request_json(
         self, kind: int, body: "dict[str, Any] | None" = None
@@ -108,6 +145,14 @@ class ShardedPlacementServer(PlacementServer):
         checkpoint_path: "str | None" = None,
         checkpoint_compress: bool = False,
         worker_start_timeout: float = 120.0,
+        max_inflight: int = 256,
+        heartbeat_interval: float = 5.0,
+        heartbeat_timeout: float = 30.0,
+        max_respawns: int = 3,
+        respawn_backoff: float = 0.25,
+        wal: bool = True,
+        wal_sync_bytes: int = 1 << 20,
+        faults: "dict[str, Any] | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(
@@ -140,6 +185,15 @@ class ShardedPlacementServer(PlacementServer):
         self._handoff_lock = asyncio.Lock()
         self._respawn_tasks: set[asyncio.Task] = set()
         self._mp = multiprocessing.get_context("spawn")
+        self._max_inflight = max_inflight
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._max_respawns = max_respawns
+        self._respawn_backoff = respawn_backoff
+        self._wal = wal
+        self._wal_sync_bytes = wal_sync_bytes
+        self._faults = faults
+        self._heartbeat_task: "asyncio.Task | None" = None
 
     # -- layout helpers ----------------------------------------------------
 
@@ -157,16 +211,24 @@ class ShardedPlacementServer(PlacementServer):
     def _owner_of(self, txid: int) -> int:
         return (txid // self._lease_length) % self._n_workers
 
-    def _expected_cursor(self, partition_id: int) -> int:
+    def _expected_cursor(
+        self, partition_id: int, assume_idle: bool = False
+    ) -> int:
         """Local cursor a healthy partition must be at, given the
         global cursor: the end of its last started lease, or the
         global cursor itself for the write-lease holder (which, at an
         exact lease boundary, is the *next* lease's owner - it has
-        already imported the hot state and padded to the cursor)."""
+        already imported the hot state and padded to the cursor).
+
+        ``assume_idle`` computes the idle expectation even for the
+        cursor's owner - used when that owner died *before* receiving
+        its grant (the hot state is parked in ``pending_grant``), so
+        its local cursor is still at its previous lease's end.
+        """
         cursor = self._cursor
         if cursor == 0:
             return 0
-        if partition_id == self._owner_of(cursor):
+        if not assume_idle and partition_id == self._owner_of(cursor):
             return cursor
         lease = (cursor - 1) // self._lease_length
         while lease >= 0:
@@ -197,10 +259,15 @@ class ShardedPlacementServer(PlacementServer):
                 f"{self._start_timeout}s"
             )
         self._validate_worker_cursors()
+        await self._replay_startup_writebacks()
         # Hand the write lease to the owner of the cursor's lease. Its
         # own (fresh or restored) state is current, so no hot payload.
         self._granted = self._owner_of(self._cursor)
         await self._workers[self._granted].request_json(ch.W_GRANT, {})
+        if self._heartbeat_interval > 0:
+            self._heartbeat_task = asyncio.create_task(
+                self._heartbeat_loop()
+            )
         self._server = await asyncio.start_server(
             self._on_connection,
             self._host,
@@ -216,6 +283,10 @@ class ShardedPlacementServer(PlacementServer):
         spec["max_batch_txs"] = self._max_batch_txs
         spec["checkpoint"] = handle.checkpoint_path
         spec["checkpoint_compress"] = self._checkpoint_compress
+        spec["wal"] = self._wal
+        spec["wal_sync_bytes"] = self._wal_sync_bytes
+        if self._faults:
+            spec["faults"] = dict(self._faults)
         process = self._mp.Process(
             target=worker_main,
             args=(
@@ -238,6 +309,17 @@ class ShardedPlacementServer(PlacementServer):
         return future
 
     def _validate_worker_cursors(self) -> None:
+        # The write-ahead journals can carry a partition past the
+        # manifest cursor (the manifest is only rewritten at
+        # checkpoints): after a hard stop of the whole service, replay
+        # puts the last active partition at the true stream frontier.
+        # Adopt that frontier, then require every partition to sit
+        # exactly where a healthy stream at the adopted cursor puts it.
+        frontier = max(
+            (handle._hello_cursor or 0 for handle in self._workers),
+            default=0,
+        )
+        self._cursor = max(self._cursor, frontier)
         for handle in self._workers:
             expected = self._expected_cursor(handle.partition_id)
             reported = getattr(handle, "_hello_cursor", None)
@@ -248,12 +330,33 @@ class ShardedPlacementServer(PlacementServer):
                     f"checkpoint set to start fresh"
                 )
 
+    async def _replay_startup_writebacks(self) -> None:
+        """Re-deliver possibly-lost writebacks after a hard stop.
+
+        Only the stream-frontier holder's final journaled batch can
+        have undelivered writebacks (nothing placed after it anywhere);
+        every other partition's stash predates a completed lease
+        handoff and is dropped.
+        """
+        for handle in self._workers:
+            stashed = handle.startup_writebacks
+            handle.startup_writebacks = None
+            if (
+                stashed
+                and self._cursor > 0
+                and (handle._hello_cursor or 0) == self._cursor
+            ):
+                await self._apply_updates_by_owner(stashed)
+
     async def stop(self) -> None:
         """Drain, checkpoint (if configured), stop workers. Idempotent."""
         if self._stopping:
             await self._stopped.wait()
             return
         self._stopping = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         # 1. Drain: workers fail their gapped queues and finish the
         #    batch in flight; every outstanding client response then
         #    resolves.
@@ -354,8 +457,41 @@ class ShardedPlacementServer(PlacementServer):
             raise ProtocolError(f"bad partition id {partition_id!r}")
         handle = self._workers[partition_id]
         handle.channel = channel
-        handle.alive = True
         handle._hello_cursor = body.get("n_placed", 0)
+        recovery = body.get("recovery") or {}
+        writebacks = recovery.get("writebacks") or []
+        if writebacks:
+            if handle.recovering:
+                # A respawned worker replayed its journal; its final
+                # batch's foreign-parent mutations may never have
+                # reached their owners.  Re-applying is idempotent
+                # (absolute values), but only safe while no later
+                # placement could have advanced those parents - i.e.
+                # when the worker died holding the write lease.
+                if handle.died_active:
+                    await self._apply_updates_by_owner(writebacks)
+            else:
+                # Cold start: defer until every partition has said
+                # hello and the true frontier is known.
+                handle.startup_writebacks = writebacks
+        if handle.pending_writebacks:
+            buffered = handle.pending_writebacks
+            handle.pending_writebacks = []
+            try:
+                response_kind, response_payload = await channel.request(
+                    ch.W_APPLY, ch.json_payload({"updates": buffered})
+                )
+                response = decode_response(response_kind, response_payload)
+            except ChannelClosed:
+                handle.pending_writebacks = buffered
+                response = {"ok": True}
+            if not response.get("ok"):
+                self._degraded = (
+                    f"partition {partition_id} rejected buffered "
+                    f"writebacks ({response.get('error', 'unknown')}); "
+                    "restart from the last checkpoint"
+                )
+        handle.alive = True
         holder["handle"] = handle
         waiter = self._hello_waiters.pop(partition_id, None)
         if waiter is not None and not waiter.done():
@@ -376,9 +512,25 @@ class ShardedPlacementServer(PlacementServer):
             for txid in body["txids"]:
                 by_owner.setdefault(self._owner_of(txid), []).append(txid)
             for owner_id, txids in by_owner.items():
-                response = await self._workers[owner_id].request_json(
-                    ch.W_READ, {"txids": txids}
-                )
+                owner = self._workers[owner_id]
+                try:
+                    response = await owner.request_json(
+                        ch.W_READ, {"txids": txids}
+                    )
+                except ChannelClosed:
+                    # Owner is down/recovering: the active batch fails
+                    # with a retryable reply, no state was mutated.
+                    return encode_response_for(
+                        request_id,
+                        {
+                            "ok": False,
+                            "code": "retry",
+                            "error": (
+                                f"partition {owner_id} is recovering; "
+                                "retry later"
+                            ),
+                        },
+                    )
                 if not response.get("ok"):
                     return encode_response_for(request_id, response)
                 states.update(response["states"])
@@ -387,40 +539,9 @@ class ShardedPlacementServer(PlacementServer):
             )
         if kind == ch.W_WRITEBACK:
             body = ch.parse_json_payload(payload)
-            by_owner: dict[int, list[dict]] = {}
-            for update in body["updates"]:
-                by_owner.setdefault(
-                    self._owner_of(update["txid"]), []
-                ).append(update)
-            for owner_id, updates in by_owner.items():
-                try:
-                    response = await self._workers[
-                        owner_id
-                    ].request_json(ch.W_APPLY, {"updates": updates})
-                except ChannelClosed:
-                    self._degraded = (
-                        f"partition {owner_id} lost a writeback; "
-                        "restart from the last checkpoint"
-                    )
-                    return encode_response_for(
-                        request_id,
-                        {
-                            "ok": False,
-                            "code": "engine",
-                            "error": self._degraded,
-                        },
-                    )
-                if not response.get("ok"):
-                    # The batch already committed on the active
-                    # partition; an owner refusing its share of the
-                    # mutations means the partitions have forked.
-                    # Serving on would silently return wrong results.
-                    self._degraded = (
-                        f"partition {owner_id} rejected a writeback "
-                        f"({response.get('error', 'unknown error')}); "
-                        "restart from the last checkpoint"
-                    )
-                    return encode_response_for(request_id, response)
+            failure = await self._apply_updates_by_owner(body["updates"])
+            if failure is not None:
+                return encode_response_for(request_id, failure)
             return encode_response_for(request_id, {"ok": True})
         if kind == ch.W_RELEASE:
             body = ch.parse_json_payload(payload)
@@ -433,62 +554,212 @@ class ShardedPlacementServer(PlacementServer):
                         ch.W_GRANT, {"hot": hot}
                     )
                 except ChannelClosed:
-                    self._degraded = (
-                        f"partition {next_owner} cannot accept the "
-                        "write lease; restart from the last checkpoint"
-                    )
-                    return encode_response_for(
-                        request_id,
-                        {
-                            "ok": False,
-                            "code": "engine",
-                            "error": self._degraded,
-                        },
-                    )
+                    # Park the grant; the supervisor delivers it once
+                    # the next owner respawns. The release itself
+                    # succeeds - the stream stalls (retry replies)
+                    # instead of forking.
+                    self._workers[next_owner].pending_grant = hot
                 self._granted = next_owner
             return encode_response_for(request_id, {"ok": True})
         raise ProtocolError(f"unexpected worker request kind 0x{kind:02x}")
 
+    async def _apply_updates_by_owner(
+        self, updates: "list[dict[str, Any]]"
+    ) -> "dict[str, Any] | None":
+        """Route parent-state mutations to their owning partitions.
+
+        Updates addressed to a down partition are buffered on its
+        handle and flushed when it rejoins (safe: the values are
+        absolute, so re-application is idempotent). Returns a failure
+        response if an owner *refused* its share - the partitions have
+        forked and the service degrades - else ``None``.
+        """
+        by_owner: dict[int, list[dict]] = {}
+        for update in updates:
+            by_owner.setdefault(
+                self._owner_of(update["txid"]), []
+            ).append(update)
+        for owner_id, owned in by_owner.items():
+            owner = self._workers[owner_id]
+            if not owner.alive:
+                owner.pending_writebacks.extend(owned)
+                continue
+            try:
+                response = await owner.request_json(
+                    ch.W_APPLY, {"updates": owned}
+                )
+            except ChannelClosed:
+                owner.pending_writebacks.extend(owned)
+                continue
+            if not response.get("ok"):
+                # The batch already committed on the active
+                # partition; an owner refusing its share of the
+                # mutations means the partitions have forked.
+                # Serving on would silently return wrong results.
+                self._degraded = (
+                    f"partition {owner_id} rejected a writeback "
+                    f"({response.get('error', 'unknown error')}); "
+                    "restart from the last checkpoint"
+                )
+                return response
+        return None
+
     async def _on_worker_lost(self, handle: _WorkerHandle) -> None:
         handle.alive = False
         handle.channel = None
-        if self._stopping:
+        if (
+            self._stopping
+            or self._degraded is not None
+            or handle.recovering
+        ):
             return
-        if handle.partition_id == self._granted:
-            self._degraded = (
-                f"active partition {handle.partition_id} died with "
-                "unplaced state; restart from the last checkpoint"
-            )
-            return
+        # Snapshot *now* whether the worker held the write lease: the
+        # supervisor may re-grant to another partition while the
+        # respawn is in flight.
+        handle.died_active = (
+            handle.partition_id == self._granted
+            and handle.pending_grant is None
+        )
+        handle.recovering = True
+        try:
+            await self._recover_worker(handle)
+        finally:
+            handle.recovering = False
+            handle.died_active = False
+
+    async def _recover_worker(self, handle: _WorkerHandle) -> None:
         path = handle.checkpoint_path
-        if path is None or not os.path.exists(path):
+        has_checkpoint = path is not None and os.path.exists(path)
+        has_journal = path is not None and os.path.exists(
+            journal_path_for(path)
+        )
+        expected = self._expected_cursor(
+            handle.partition_id,
+            assume_idle=handle.pending_grant is not None,
+        )
+        if not has_checkpoint and not has_journal and expected != 0:
             self._degraded = (
                 f"partition {handle.partition_id} died with no "
-                "checkpoint to respawn from"
+                "checkpoint or journal to respawn from"
             )
             return
-        waiter = self._await_hello(handle.partition_id)
-        self._spawn(handle)
-        try:
-            await asyncio.wait_for(waiter, self._start_timeout)
-        except asyncio.TimeoutError:
+        for attempt in range(1, self._max_respawns + 1):
+            if attempt > 1:
+                await asyncio.sleep(
+                    min(
+                        self._respawn_backoff * 2 ** (attempt - 2), 5.0
+                    )
+                )
+            process = handle.process
+            if process is not None and process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+            waiter = self._await_hello(handle.partition_id)
+            self._spawn(handle)
+            try:
+                await asyncio.wait_for(waiter, self._start_timeout)
+            except asyncio.TimeoutError:
+                self._hello_waiters.pop(handle.partition_id, None)
+                continue
+            if await self._adopt_respawned(handle, expected):
+                return
+            if self._degraded is not None:
+                return
+        if self._degraded is None:
             self._degraded = (
-                f"partition {handle.partition_id} failed to respawn"
+                f"partition {handle.partition_id} failed to respawn "
+                f"after {self._max_respawns} attempts; restart from "
+                "the last checkpoint"
             )
-            return
-        expected = self._expected_cursor(handle.partition_id)
-        if handle._hello_cursor != expected:
-            self._degraded = (
-                f"partition {handle.partition_id} respawned at cursor "
-                f"{handle._hello_cursor} but the stream is at "
-                f"{expected}; its checkpoint is stale - restart the "
-                "service from a consistent checkpoint set"
-            )
+
+    async def _adopt_respawned(
+        self, handle: _WorkerHandle, expected: int
+    ) -> bool:
+        """Validate a respawned worker's cursor and restore its role.
+
+        Returns False to retry the respawn (transient failure); sets
+        ``self._degraded`` for unrecoverable divergence.
+        """
+        reported = handle._hello_cursor or 0
+        if handle.pending_grant is not None:
+            # Died between release and grant: must sit exactly at its
+            # previous lease end; deliver the parked hot state.
+            if reported != expected:
+                self._stale_cursor(handle, reported, expected)
+                return False
+            hot = handle.pending_grant
+            try:
+                await handle.request_json(ch.W_GRANT, {"hot": hot})
+            except ChannelClosed:
+                return False
+            handle.pending_grant = None
+            return True
+        if handle.died_active:
+            # Journal replay may legitimately land anywhere between
+            # the last acked batch and the end of the lease it held
+            # (a batch could have committed to the journal + engine
+            # without its response ever reaching the coordinator).
+            lease_end = (
+                expected // self._lease_length + 1
+            ) * self._lease_length
+            if not expected <= reported <= lease_end:
+                self._stale_cursor(handle, reported, expected)
+                return False
+            self._cursor = max(self._cursor, reported)
+            try:
+                await handle.request_json(ch.W_GRANT, {})
+            except ChannelClosed:
+                return False
+            return True
+        if reported != expected:
+            self._stale_cursor(handle, reported, expected)
+            return False
+        return True
+
+    def _stale_cursor(
+        self, handle: _WorkerHandle, reported: int, expected: int
+    ) -> None:
+        self._degraded = (
+            f"partition {handle.partition_id} respawned at cursor "
+            f"{reported} but the stream is at {expected}; its "
+            "checkpoint is stale - restart the service from a "
+            "consistent checkpoint set"
+        )
+
+    # -- liveness ----------------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self._heartbeat_interval)
+            for handle in list(self._workers):
+                if not handle.alive or handle.channel is None:
+                    continue
+                try:
+                    await asyncio.wait_for(
+                        handle.request_json(ch.W_PING),
+                        self._heartbeat_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    # A hung worker is handled like a crashed one:
+                    # killing it closes the channel, which fires the
+                    # normal on-lost recovery path.
+                    if handle.process is not None:
+                        handle.process.kill()
+                except ChannelClosed:
+                    pass
 
     # -- checkpoint orchestration ------------------------------------------
 
     async def _checkpoint_all(self) -> dict[str, Any]:
         """Pause-the-world cross-partition snapshot + manifest."""
+        if any(not handle.alive for handle in self._workers):
+            return {
+                "ok": False,
+                "code": "retry",
+                "error": (
+                    "a worker is recovering; retry the checkpoint later"
+                ),
+            }
         async with self._handoff_lock:
             active = self._workers[self._granted]
             total = 0
@@ -612,6 +883,12 @@ class ShardedPlacementServer(PlacementServer):
                 "workers": self._n_workers,
                 "granted": self._granted,
                 "degraded": self._degraded,
+                "max_inflight": self._max_inflight,
+                "recovering": [
+                    handle.partition_id
+                    for handle in self._workers
+                    if handle.recovering
+                ],
                 # partition id -> OS pid, for ops tooling (and the CI
                 # kill-a-worker smoke).
                 "worker_pids": {
@@ -689,19 +966,47 @@ class ShardedPlacementServer(PlacementServer):
         shards: list[int] = []
         for first, count, payload in segments:
             handle = self._workers[self._owner_of(first)]
+            if not handle.alive or handle.channel is None:
+                return {
+                    "ok": False,
+                    "code": "retry",
+                    "error": (
+                        f"partition {handle.partition_id} is "
+                        "unavailable (worker recovering); retry later"
+                    ),
+                }
+            if handle.inflight >= self._max_inflight:
+                return {
+                    "ok": False,
+                    "code": "overload",
+                    "error": (
+                        f"partition {handle.partition_id} has "
+                        f"{handle.inflight} requests in flight "
+                        f"(limit {self._max_inflight}); retry later"
+                    ),
+                }
+            handle.inflight += 1
             try:
                 kind, response_payload = await handle.channel.request(
                     ch.W_PLACE, payload
                 )
             except (ChannelClosed, AttributeError):
+                if self._degraded is not None:
+                    return {
+                        "ok": False,
+                        "code": "engine",
+                        "error": f"service is degraded: {self._degraded}",
+                    }
                 return {
                     "ok": False,
-                    "code": "engine",
+                    "code": "retry",
                     "error": (
                         f"partition {handle.partition_id} is "
-                        "unavailable"
+                        "unavailable (worker recovering); retry later"
                     ),
                 }
+            finally:
+                handle.inflight -= 1
             response = decode_response(kind, response_payload)
             if not response.get("ok"):
                 return response

@@ -176,6 +176,12 @@ class PlacementEngine:
         # spend journal's keys per batch.
         self._delta_base: "dict[str, Any] | None" = None
         self._dirty_parents: "set[int] | None" = None
+        # Nonce of the on-disk full snapshot this engine's state is
+        # anchored to (set on save and on restore). The per-partition
+        # write-ahead journal (service.journal) binds to it so a WAL
+        # tail is only ever replayed on top of the exact checkpoint it
+        # was written against. None/"" means "fresh engine, no base".
+        self.last_snapshot_nonce: "str | None" = None
         self._horizon_start = 0
         self._epoch = 0
         self._peak_live = 0

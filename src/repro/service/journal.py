@@ -1,0 +1,429 @@
+"""Per-partition write-ahead batch journal for crash-safe serving.
+
+A sharded worker is a deterministic function of its last checkpoint and
+the sequence of mutations applied since: owned batches placed under the
+write lease, hot-state imports at lease handoff, and writebacks
+absorbed while idle. The journal records exactly that sequence, so a
+SIGKILLed worker respawns from its per-partition checkpoint, replays
+the tail, and is **bit-identical** to the state it died with - the same
+contract snapshots pin, extended to non-idle crashes.
+
+Design points:
+
+- **Raw frames, not decoded state.** Batch records store the raw
+  binary place payloads (post-routing segments, exactly the coalesced
+  groups the dispatcher placed) plus the acquired foreign-parent
+  states. Replay re-runs ``place_batch`` with the recorded states, so
+  it needs no live peers and reproduces the identical arithmetic -
+  including epoch/horizon sweeps, which fire on batch boundaries and
+  therefore require the original batch *grouping*, not just the txids.
+- **Append before apply.** A record is on disk (buffered write + flush;
+  a process crash loses nothing the OS accepted) before the mutation
+  executes, so the journal is always a superset of externally visible
+  state. ``fsync`` is batched (every ``sync_every_bytes``) - a torn
+  tail after a *host* crash is detected by CRC and discarded, which is
+  safe for the same reason: a record that never fsynced belongs to a
+  batch whose response cannot have been sent.
+- **Checkpoint binding.** The header names the snapshot nonce and
+  cursor the tail applies on top of. The journal is reset (truncated,
+  re-headed with the new nonce) immediately after every checkpoint,
+  under the engine lock; a nonce mismatch at recovery means the WAL
+  predates (or outlived) the snapshot next to it and is discarded -
+  the snapshot alone is then the complete state.
+- **Lost-writeback healing.** The final journaled batch may have died
+  between placing and delivering its writebacks. Replay returns that
+  batch's writebacks; the coordinator re-applies them to the owners
+  (absolute values - re-application is exact) before the partition
+  rejoins service.
+
+On-disk layout::
+
+    8 bytes   magic b"OCWAL" + version u8 + flags u8 (reserved)
+    4 bytes   header length u32   (little-endian)
+    4 bytes   header CRC32 u32
+    N bytes   header JSON {partition_id, n_partitions, lease_length,
+                           base_cursor, base_nonce}
+    records   type u8 + payload length u32 + payload CRC32 u32 + payload
+
+Record types: ``BATCH`` (segment count, length-prefixed raw payloads,
+parent-states JSON), ``GRANT`` (hot-state JSON), ``APPLY`` (writeback
+updates JSON).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import EngineError
+from repro.service.partition import (
+    EnginePartition,
+    decode_parent_states,
+    encode_parent_states,
+)
+from repro.service.wire import decode_place_payload
+
+JOURNAL_MAGIC = b"OCWAL\x00"
+JOURNAL_VERSION = 1
+
+_HEADER_PREFIX = struct.Struct("<6sBB")  # magic, version, flags
+_HEADER_LEN = struct.Struct("<II")  # header length, header crc32
+_RECORD = struct.Struct("<BII")  # type, payload length, payload crc32
+
+REC_BATCH = 1
+REC_GRANT = 2
+REC_APPLY = 3
+
+_U32 = struct.Struct("<I")
+
+
+def journal_path_for(checkpoint_path: str) -> str:
+    """Journal sibling of one per-partition checkpoint file."""
+    return checkpoint_path + ".wal"
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _encode_batch_payload(
+    segments: Sequence[bytes], states: dict[int, dict[str, Any]]
+) -> bytes:
+    out = io.BytesIO()
+    out.write(_U32.pack(len(segments)))
+    for segment in segments:
+        out.write(_U32.pack(len(segment)))
+        out.write(segment)
+    states_bytes = json.dumps(
+        encode_parent_states(states), separators=(",", ":")
+    ).encode("utf-8")
+    out.write(_U32.pack(len(states_bytes)))
+    out.write(states_bytes)
+    return out.getvalue()
+
+
+def _decode_batch_payload(
+    payload: bytes,
+) -> tuple[list[bytes], dict[int, dict[str, Any]]]:
+    offset = 0
+    (n_segments,) = _U32.unpack_from(payload, offset)
+    offset += 4
+    segments = []
+    for _ in range(n_segments):
+        (length,) = _U32.unpack_from(payload, offset)
+        offset += 4
+        segments.append(payload[offset : offset + length])
+        offset += length
+    (length,) = _U32.unpack_from(payload, offset)
+    offset += 4
+    states = decode_parent_states(
+        json.loads(payload[offset : offset + length].decode("utf-8"))
+    )
+    return segments, states
+
+
+class BatchJournal:
+    """Append side of one partition's WAL.
+
+    Not thread-safe on its own; the worker serializes all mutations
+    (and therefore all appends) under its engine lock.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        partition_id: int,
+        n_partitions: int,
+        lease_length: int,
+        sync_every_bytes: int = 1 << 20,
+    ) -> None:
+        self.path = path
+        self.partition_id = partition_id
+        self.n_partitions = n_partitions
+        self.lease_length = lease_length
+        self.sync_every_bytes = max(0, sync_every_bytes)
+        self.base_cursor = 0
+        self.base_nonce = ""
+        #: Fault-injection hook: called after every BATCH append (the
+        #: "frame count" chaos plans kill on). None in production.
+        self.on_batch_append: "Callable[[BatchJournal], None] | None" = None
+        self._fh: "io.BufferedWriter | None" = None
+        self._unsynced = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, base_cursor: int, base_nonce: str) -> None:
+        """Continue an existing journal (after replay) or start fresh.
+
+        If the file exists its tail is assumed already validated (and
+        torn records truncated) by :func:`replay_journal`; appends
+        continue under the existing header. Otherwise the journal is
+        reset to an empty tail bound to ``(base_cursor, base_nonce)``.
+        """
+        if os.path.exists(self.path):
+            self.base_cursor = base_cursor
+            self.base_nonce = base_nonce
+            self._fh = open(self.path, "ab")
+            self._unsynced = 0
+        else:
+            self.reset(base_cursor, base_nonce)
+
+    def reset(self, base_cursor: int, base_nonce: str) -> None:
+        """Truncate to an empty tail bound to a new checkpoint base.
+
+        Called immediately after every checkpoint (checkpoint first,
+        reset second): a crash between the two leaves a new snapshot
+        next to an old-nonce WAL, which recovery discards - correct,
+        because the snapshot already contains everything the old tail
+        recorded. The header goes through a tmp file + atomic rename
+        so a crash mid-reset never leaves a half-written header.
+        """
+        self.close()
+        self.base_cursor = base_cursor
+        self.base_nonce = base_nonce or ""
+        header = json.dumps(
+            {
+                "partition_id": self.partition_id,
+                "n_partitions": self.n_partitions,
+                "lease_length": self.lease_length,
+                "base_cursor": self.base_cursor,
+                "base_nonce": self.base_nonce,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(
+                _HEADER_PREFIX.pack(JOURNAL_MAGIC, JOURNAL_VERSION, 0)
+            )
+            fh.write(_HEADER_LEN.pack(len(header), _crc(header)))
+            fh.write(header)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self.sync()
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def tell(self) -> int:
+        """Current end-of-journal offset (tests / fault injection)."""
+        if self._fh is None:
+            return 0
+        self._fh.flush()
+        return self._fh.tell()
+
+    # -- appends -----------------------------------------------------------
+
+    def _append(self, rtype: int, payload: bytes) -> None:
+        fh = self._fh
+        if fh is None:
+            raise RuntimeError("journal is not open")
+        fh.write(_RECORD.pack(rtype, len(payload), _crc(payload)))
+        fh.write(payload)
+        # Flush to the OS on every record: a *process* crash (SIGKILL)
+        # then loses nothing. fsync - host-crash durability - is
+        # batched; CRC framing makes the undersynced tail detectable.
+        fh.flush()
+        self._unsynced += _RECORD.size + len(payload)
+        if self.sync_every_bytes and self._unsynced >= self.sync_every_bytes:
+            self.sync()
+
+    def sync(self) -> None:
+        if self._fh is not None and self._unsynced:
+            os.fsync(self._fh.fileno())
+            self._unsynced = 0
+
+    def append_batch(
+        self,
+        segments: Sequence[bytes],
+        states: dict[int, dict[str, Any]],
+    ) -> None:
+        self._append(REC_BATCH, _encode_batch_payload(segments, states))
+        if self.on_batch_append is not None:
+            self.on_batch_append(self)
+
+    def append_grant(self, hot: dict[str, Any]) -> None:
+        self._append(
+            REC_GRANT,
+            json.dumps(hot, separators=(",", ":")).encode("utf-8"),
+        )
+
+    def append_apply(self, updates: Sequence[dict[str, Any]]) -> None:
+        self._append(
+            REC_APPLY,
+            json.dumps(list(updates), separators=(",", ":")).encode(
+                "utf-8"
+            ),
+        )
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one recovery replay."""
+
+    #: Writebacks of the final journaled batch, compacted per txid -
+    #: the only batch whose original writeback delivery may have been
+    #: lost in the crash. Re-applied by the coordinator before the
+    #: partition rejoins service (absolute values; exact either way).
+    writebacks: list[dict[str, Any]] = field(default_factory=list)
+    n_batches: int = 0
+    n_grants: int = 0
+    n_applies: int = 0
+    #: Torn-tail bytes truncated off the file (CRC/short-read).
+    torn_bytes: int = 0
+    #: True when a journal file existed and its tail was applied.
+    replayed: bool = False
+    #: True when a journal existed but was bound to a different
+    #: checkpoint (nonce/cursor/geometry) and had to be discarded.
+    stale: bool = False
+
+
+def _read_header(
+    raw: bytes,
+) -> "tuple[dict[str, Any], int] | None":
+    """``(header, records_offset)``; None when torn/not a journal."""
+    prefix_len = _HEADER_PREFIX.size + _HEADER_LEN.size
+    if len(raw) < prefix_len:
+        return None
+    magic, version, _flags = _HEADER_PREFIX.unpack_from(raw, 0)
+    if magic != JOURNAL_MAGIC or version != JOURNAL_VERSION:
+        return None
+    header_len, header_crc = _HEADER_LEN.unpack_from(
+        raw, _HEADER_PREFIX.size
+    )
+    end = prefix_len + header_len
+    if end > len(raw):
+        return None
+    header_bytes = raw[prefix_len:end]
+    if _crc(header_bytes) != header_crc:
+        return None
+    try:
+        return json.loads(header_bytes.decode("utf-8")), end
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+def iter_records(raw: bytes, offset: int):
+    """Yield ``(rtype, payload)`` until the end or a torn record.
+
+    Returns (via StopIteration value semantics avoided - the caller
+    checks the final offset) only intact, CRC-valid records; the first
+    short or corrupt record ends iteration.
+    """
+    records = []
+    while offset < len(raw):
+        if offset + _RECORD.size > len(raw):
+            break
+        rtype, length, crc = _RECORD.unpack_from(raw, offset)
+        start = offset + _RECORD.size
+        end = start + length
+        if end > len(raw):
+            break
+        payload = raw[start:end]
+        if _crc(payload) != crc:
+            break
+        records.append((rtype, payload))
+        offset = end
+    return records, offset
+
+
+def replay_journal(
+    path: str, partition: EnginePartition
+) -> ReplayResult:
+    """Replay a WAL tail onto a freshly restored partition.
+
+    ``partition`` must be exactly the checkpoint-restored (or fresh)
+    state: the journal header's ``(base_cursor, base_nonce)`` must
+    match the partition's cursor and its engine's
+    ``last_snapshot_nonce``, or the tail is discarded as stale. A torn
+    tail is truncated off the file so subsequent appends are clean.
+    """
+    result = ReplayResult()
+    try:
+        raw = open(path, "rb").read()
+    except OSError:
+        return result
+    parsed = _read_header(raw)
+    if parsed is None:
+        # Not a (complete) journal header: nothing trustworthy here.
+        result.stale = bool(raw)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return result
+    header, offset = parsed
+    base_nonce = partition.engine.last_snapshot_nonce or ""
+    if (
+        header.get("partition_id") != partition.partition_id
+        or header.get("n_partitions") != partition.n_partitions
+        or header.get("lease_length") != partition.lease_length
+        or header.get("base_cursor") != partition.n_placed
+        or (header.get("base_nonce") or "") != base_nonce
+    ):
+        result.stale = True
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return result
+    records, end = iter_records(raw, offset)
+    if end < len(raw):
+        result.torn_bytes = len(raw) - end
+        with open(path, "r+b") as fh:
+            fh.truncate(end)
+            fh.flush()
+            os.fsync(fh.fileno())
+    last_batch_writebacks: list[dict[str, Any]] = []
+    for rtype, payload in records:
+        if rtype == REC_BATCH:
+            segments, states = _decode_batch_payload(payload)
+            batch = []
+            for segment in segments:
+                batch.extend(decode_place_payload(segment))
+            try:
+                _shards, writebacks = partition.place_batch(
+                    batch, states
+                )
+            except EngineError:
+                # The original attempt failed identically (the reject
+                # is atomic); the record is a no-op.
+                last_batch_writebacks = []
+                continue
+            last_batch_writebacks = writebacks
+            result.n_batches += 1
+        elif rtype == REC_GRANT:
+            partition.import_hot_state(
+                json.loads(payload.decode("utf-8"))
+            )
+            result.n_grants += 1
+            last_batch_writebacks = []
+        elif rtype == REC_APPLY:
+            partition.apply_writebacks(
+                json.loads(payload.decode("utf-8"))
+            )
+            result.n_applies += 1
+            last_batch_writebacks = []
+        # Unknown record types are skipped (forward compatibility).
+        # Only a *final* successful batch can have undelivered
+        # writebacks: any later record proves the crashed process
+        # survived past that batch's writeback round trip, so
+        # last_batch_writebacks is cleared on every non-batch record.
+    compacted: dict[int, dict[str, Any]] = {
+        update["txid"]: update for update in last_batch_writebacks
+    }
+    result.writebacks = list(compacted.values())
+    result.replayed = True
+    return result

@@ -55,6 +55,12 @@ class LoadgenReport:
     errors: int
     #: Offered rate (tx/s) in open mode; None in closed mode.
     target_rate: float | None
+    #: Transparent client retries performed across all users (retryable
+    #: replies, timeouts, reconnects) - 0 when max_retries is 0.
+    retries: int = 0
+    #: Message of the last error a user saw (hard failure or the last
+    #: retried failure); None when the run was clean.
+    last_error: "str | None" = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -72,6 +78,8 @@ class LoadgenReport:
             "latency_ms_max": round(self.latency_ms_max, 3),
             "errors": self.errors,
             "target_rate": self.target_rate,
+            "retries": self.retries,
+            "last_error": self.last_error,
         }
 
     def summary(self) -> str:
@@ -95,6 +103,10 @@ class LoadgenReport:
             f"max {self.latency_ms_max:.1f}ms",
             f"errors:          {self.errors}",
         ]
+        if self.retries:
+            lines.append(f"retries:         {self.retries}")
+        if self.last_error:
+            lines.append(f"last error:      {self.last_error}")
         return "\n".join(lines)
 
 
@@ -121,6 +133,9 @@ async def run_loadgen_async(
     stream: Sequence[Transaction] | None = None,
     full_outputs: bool = False,
     proto: str = "binary",
+    request_timeout: "float | None" = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.05,
 ) -> LoadgenReport:
     """Drive a running server; returns the measured report.
 
@@ -129,6 +144,12 @@ async def run_loadgen_async(
     ``proto`` picks the wire codec ("binary" by default; "json" drives
     the NDJSON compat path - the codec-comparison lane of the service
     bench).
+
+    ``max_retries`` arms the clients' transparent retry path (jittered
+    exponential backoff from ``retry_backoff``, reconnect on transport
+    loss) so the generator rides out worker respawns, ``retry``
+    replies, and ``overload`` shedding; ``request_timeout`` bounds each
+    round trip. Retries are counted in the report, not as errors.
     """
     if mode not in MODES:
         raise ConfigurationError(
@@ -153,23 +174,36 @@ async def run_loadgen_async(
 
     latencies: list[float] = []
     errors = 0
+    last_error: "str | None" = None
 
     connect = async_client_class(proto).connect
-    clients = [await connect(host, port) for _ in range(n_users)]
+    clients = [
+        await connect(
+            host,
+            port,
+            retries=max_retries,
+            request_timeout=request_timeout,
+            backoff_base=retry_backoff,
+            backoff_seed=seed + index,
+        )
+        for index in range(n_users)
+    ]
     start = time.perf_counter()
 
     async def closed_user(client, chunks) -> None:
-        nonlocal errors
+        nonlocal errors, last_error
         for chunk in chunks:
             sent = time.perf_counter()
             try:
                 await client.place(chunk, full_outputs)
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 - one failed chunk
+                # is a counted error, not the end of the run.
                 errors += 1
+                last_error = str(exc) or type(exc).__name__
             latencies.append((time.perf_counter() - sent) * 1e3)
 
     async def open_user(client, chunks) -> None:
-        nonlocal errors
+        nonlocal errors, last_error
         pending = []
         for chunk in chunks:
             due = start + (chunk[0].txid - base_txid) / rate
@@ -180,11 +214,17 @@ async def run_loadgen_async(
             future = client.place_nowait(chunk, full_outputs)
 
             def record(done, sent=sent) -> None:
-                nonlocal errors
+                nonlocal errors, last_error
                 latencies.append((time.perf_counter() - sent) * 1e3)
                 exc = done.exception()
-                if exc is not None or not done.result().get("ok"):
+                if exc is not None:
                     errors += 1
+                    last_error = str(exc) or type(exc).__name__
+                elif not done.result().get("ok"):
+                    errors += 1
+                    last_error = done.result().get(
+                        "error", "unknown server error"
+                    )
 
             future.add_done_callback(record)
             pending.append(future)
@@ -200,6 +240,18 @@ async def run_loadgen_async(
             )
         )
     finally:
+        retries = sum(
+            getattr(client, "retries_used", 0) for client in clients
+        )
+        if last_error is None:
+            last_error = next(
+                (
+                    client.last_error
+                    for client in clients
+                    if getattr(client, "last_error", None)
+                ),
+                None,
+            )
         for client in clients:
             await client.close()
     elapsed = time.perf_counter() - start
@@ -220,6 +272,8 @@ async def run_loadgen_async(
         latency_ms_max=latencies[-1] if latencies else 0.0,
         errors=errors,
         target_rate=rate if mode == "open" else None,
+        retries=retries,
+        last_error=last_error,
     )
 
 

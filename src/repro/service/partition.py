@@ -48,6 +48,7 @@ from typing import Any, Sequence
 from repro.core.optchain import LoadProxyLatencyProvider
 from repro.errors import ConfigurationError, EngineError
 from repro.service.engine import PlacementEngine
+from repro.service.wire import FRAME_HEADER_BYTES, encode_place_request
 from repro.utxo.transaction import Transaction
 
 _INF = math.inf
@@ -154,6 +155,13 @@ class EnginePartition:
         # catches up on the next lease import (idempotent re-sweeps are
         # no-ops on already-released slots).
         self._horizon_swept = 0
+        # Optional write-ahead journal (service.journal.BatchJournal).
+        # Every state mutation - owned batches, hot-state imports,
+        # absorbed writebacks - is appended *before* it executes, so a
+        # crashed worker replays the tail on top of its checkpoint and
+        # comes back bit-identical. None disables journaling (replay
+        # itself runs with the journal detached).
+        self.journal: "Any | None" = None
 
     # -- queries -----------------------------------------------------------
 
@@ -179,6 +187,16 @@ class EnginePartition:
     def lease_end(self, txid: int) -> int:
         """First txid beyond the lease containing ``txid``."""
         return (txid // self.lease_length + 1) * self.lease_length
+
+    def assignment_slice(self, first: int, count: int) -> list[int]:
+        """Recorded shard assignments of an already-placed owned range.
+
+        This is what makes duplicate resubmission exact: a batch the
+        cursor already passed is answered from the assignment record
+        instead of re-placed (assignments persist after vector release,
+        so any owned below-cursor range is answerable).
+        """
+        return list(self._placer._assignment[first : first + count])
 
     # -- the active (write-lease) path -------------------------------------
 
@@ -212,6 +230,7 @@ class EnginePartition:
         self,
         batch: Sequence[Transaction],
         remote_parents: "dict[int, dict[str, Any]] | None" = None,
+        raw_segments: "Sequence[bytes] | None" = None,
     ) -> tuple[list[int], list[dict[str, Any]]]:
         """Place one owned batch; returns ``(shards, writebacks)``.
 
@@ -221,7 +240,24 @@ class EnginePartition:
         *and* on atomic reject the local arrays return to placeholder
         state, so a failed batch leaves both this partition and every
         owner byte-identical to before the call.
+
+        ``raw_segments`` are the wire-format place payloads the batch
+        was coalesced from, passed through to the write-ahead journal
+        unre-encoded (the worker already holds them). Without them a
+        journaling partition re-encodes the batch itself - same bytes
+        the coordinator's boundary splitter produces.
         """
+        if self.journal is not None and batch:
+            if raw_segments is None:
+                raw_segments = [
+                    encode_place_request(0, batch)[FRAME_HEADER_BYTES:]
+                ]
+            # Append *before* placing: the journal stays a superset of
+            # externally visible state, and a deterministic reject
+            # simply re-fails (as a no-op) on replay.
+            self.journal.append_batch(
+                raw_segments, remote_parents or {}
+            )
         if self.n_partitions == 1:
             return self._engine.place_batch(batch), []
         if batch:
@@ -313,6 +349,8 @@ class EnginePartition:
         for exactness, since a fully-spent vector can never be read
         again on a valid stream.
         """
+        if self.journal is not None and updates:
+            self.journal.append_apply(updates)
         scorer = self._scorer
         remaining = self._engine._remaining
         collect = self._engine._collect_spent
@@ -381,6 +419,8 @@ class EnginePartition:
     def import_hot_state(self, hot: dict[str, Any]) -> None:
         """Acquire the write lease: adopt the global state at ``hot``'s
         cursor and pad the local arrays up to it."""
+        if self.journal is not None:
+            self.journal.append_grant(hot)
         self.pad_to(hot["n_placed"])
         if self._placer.n_placed != hot["n_placed"]:
             raise EngineError(

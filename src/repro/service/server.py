@@ -472,19 +472,45 @@ class PlacementServer:
             )
         first = txs[0].txid
         if first < self._engine.n_placed:
+            # A range placed *in full* is answered from the recorded
+            # assignments: a client resubmitting after a lost response
+            # (timeout, connection reset) gets the identical shards
+            # back instead of an error. Partial overlap stays an error
+            # - it is a txid-accounting bug, not a retry.
+            if first + len(txs) <= self._engine.n_placed:
+                return {
+                    "ok": True,
+                    "shards": list(
+                        self._engine.placer._assignment[
+                            first : first + len(txs)
+                        ]
+                    ),
+                }
             raise EngineError(
                 f"transactions from {first} were already placed "
                 f"(next expected: {self._engine.n_placed})"
             )
         if first in self._pending:
-            raise ProtocolError(
-                f"a request starting at txid {first} is already queued"
-            )
+            # Likely the same client retrying while its original
+            # request still waits for a txid gap: retryable, the
+            # original will answer (or fail) soon.
+            return {
+                "ok": False,
+                "code": "retry",
+                "error": (
+                    f"a request starting at txid {first} is already "
+                    "queued; retry later"
+                ),
+            }
         if len(self._pending) >= self._max_reorder:
-            raise ProtocolError(
-                f"reorder buffer full ({self._max_reorder} requests "
-                "waiting for earlier txids)"
-            )
+            return {
+                "ok": False,
+                "code": "overload",
+                "error": (
+                    f"reorder buffer full ({self._max_reorder} "
+                    "requests waiting for earlier txids); retry later"
+                ),
+            }
         future: "asyncio.Future[dict]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -523,7 +549,20 @@ class PlacementServer:
                 # their clients until shutdown.
                 stale = [key for key in pending if key < next_txid]
                 for key in stale:
-                    pending.pop(key).fail(
+                    stale_entry = pending.pop(key)
+                    if key + len(stale_entry.txs) <= next_txid:
+                        # A duplicate the cursor passed while it sat in
+                        # the queue: answer it from the recorded
+                        # assignments, same as an up-front resubmission.
+                        stale_entry.resolve(
+                            list(
+                                engine.placer._assignment[
+                                    key : key + len(stale_entry.txs)
+                                ]
+                            )
+                        )
+                        continue
+                    stale_entry.fail(
                         "engine",
                         f"transactions from {key} were already placed "
                         f"(next expected: {next_txid})",

@@ -81,7 +81,7 @@ from repro.core.optchain import (
     TopKOptChainPlacer,
 )
 from repro.core.placement import PlacementStrategy
-from repro.errors import SnapshotError
+from repro.errors import CorruptCheckpointError, SnapshotError
 from repro.service.engine import PlacementEngine
 
 MAGIC = b"OCSNAP"
@@ -144,7 +144,7 @@ class _SectionReader:
             nbytes = entry["count"] * data.itemsize
             chunk = payload[offset : offset + nbytes]
             if len(chunk) != nbytes:
-                raise SnapshotError(
+                raise CorruptCheckpointError(
                     f"snapshot truncated in section {entry['name']!r}"
                 )
             data.frombytes(chunk)
@@ -485,6 +485,13 @@ def _write_container(
         header["compression"] = "zlib"
         header["payload_bytes"] = len(raw_payload)
         blobs = [zlib.compress(raw_payload, 6)]
+    # Integrity footprint of the payload *as stored* (post-compression):
+    # a torn or bit-flipped checkpoint fails fast with
+    # CorruptCheckpointError instead of restoring garbage. Optional
+    # header keys, so v1-v3 files without them stay readable.
+    stored = b"".join(blobs)
+    header["stored_payload_bytes"] = len(stored)
+    header["payload_crc32"] = zlib.crc32(stored) & 0xFFFFFFFF
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as fh:
@@ -519,26 +526,44 @@ def _read_container(path: "str | Path") -> tuple[int, dict, bytes]:
     (header_len,) = struct.unpack_from("<I", raw, 8)
     header_end = 12 + header_len
     if header_end > len(raw):
-        raise SnapshotError(f"{path} is truncated inside the header")
+        raise CorruptCheckpointError(
+            f"{path} is truncated inside the header"
+        )
     try:
         header = json.loads(raw[12:header_end].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise SnapshotError(f"{path} has a corrupt header: {exc}")
+        raise CorruptCheckpointError(f"{path} has a corrupt header: {exc}")
     if header.get("byteorder") != sys.byteorder:
         raise SnapshotError(
             f"snapshot was written on a {header.get('byteorder')}-endian "
             f"host; this host is {sys.byteorder}-endian"
         )
     payload = raw[header_end:]
+    stored_bytes = header.get("stored_payload_bytes")
+    if stored_bytes is not None and len(payload) != stored_bytes:
+        raise CorruptCheckpointError(
+            f"{path} payload is {len(payload)} bytes, header claims "
+            f"{stored_bytes} (torn write?)"
+        )
+    stored_crc = header.get("payload_crc32")
+    if (
+        stored_crc is not None
+        and zlib.crc32(payload) & 0xFFFFFFFF != stored_crc
+    ):
+        raise CorruptCheckpointError(
+            f"{path} payload fails its CRC32 check (corrupt checkpoint)"
+        )
     compression = header.get("compression")
     if compression == "zlib":
         try:
             payload = zlib.decompress(payload)
         except zlib.error as exc:
-            raise SnapshotError(f"{path} has a corrupt payload: {exc}")
+            raise CorruptCheckpointError(
+                f"{path} has a corrupt payload: {exc}"
+            )
         expected = header.get("payload_bytes")
         if expected is not None and len(payload) != expected:
-            raise SnapshotError(
+            raise CorruptCheckpointError(
                 f"{path} payload decompressed to {len(payload)} bytes, "
                 f"header claims {expected}"
             )
@@ -621,6 +646,7 @@ def save_engine_snapshot(
         "horizon_start": engine.horizon_start,
         "path": str(path),
     }
+    engine.last_snapshot_nonce = nonce
     if track_delta:
         if engine._dirty_parents is None:
             engine._dirty_parents = set()
@@ -698,6 +724,7 @@ def load_engine_snapshot(path: "str | Path") -> PlacementEngine:
         _apply_engine_delta(
             engine, delta_path, header.get("snapshot_nonce")
         )
+    engine.last_snapshot_nonce = header.get("snapshot_nonce")
     return engine
 
 

@@ -248,11 +248,15 @@ STATUS_JSON = 0x02
 STATUS_ERROR_PROTOCOL = 0x03
 STATUS_ERROR_ENGINE = 0x04
 STATUS_ERROR_SHUTDOWN = 0x05
+STATUS_ERROR_RETRY = 0x06
+STATUS_ERROR_OVERLOAD = 0x07
 
 _STATUS_TO_CODE = {
     STATUS_ERROR_PROTOCOL: "protocol",
     STATUS_ERROR_ENGINE: "engine",
     STATUS_ERROR_SHUTDOWN: "shutdown",
+    STATUS_ERROR_RETRY: "retry",
+    STATUS_ERROR_OVERLOAD: "overload",
 }
 _CODE_TO_STATUS = {code: status for status, code in _STATUS_TO_CODE.items()}
 

@@ -30,10 +30,15 @@ import asyncio
 import os
 from typing import Any
 
-from repro.errors import EngineError, ProtocolError
+from repro.errors import EngineError, ProtocolError, RetryLaterError
 from repro.service import channel as ch
 from repro.service.channel import ChannelClosed, FrameChannel
 from repro.service.engine import PlacementEngine
+from repro.service.journal import (
+    BatchJournal,
+    journal_path_for,
+    replay_journal,
+)
 from repro.service.partition import (
     EnginePartition,
     decode_parent_states,
@@ -83,14 +88,22 @@ def build_partition(partition_id: int, spec: dict[str, Any]) -> EnginePartition:
 
 
 class _Queued:
-    """One decoded ``place`` request waiting for the cursor."""
+    """One decoded ``place`` request waiting for the cursor.
 
-    __slots__ = ("txs", "future")
+    The raw wire payload rides along so the write-ahead journal can
+    record the exact post-routing frame without re-encoding.
+    """
+
+    __slots__ = ("txs", "payload", "future")
 
     def __init__(
-        self, txs: list[Transaction], future: "asyncio.Future[dict]"
+        self,
+        txs: list[Transaction],
+        payload: bytes,
+        future: "asyncio.Future[dict]",
     ) -> None:
         self.txs = txs
+        self.payload = payload
         self.future = future
 
     def resolve(self, shards: list[int]) -> None:
@@ -133,6 +146,9 @@ class PlacementWorker:
         self._stopped = asyncio.Event()
         self._exit = asyncio.Event()
         self._dispatch_task: "asyncio.Task | None" = None
+        # Optional deterministic fault injector (service.faults); duck
+        # interface: maybe_kill(stage). None in production.
+        self.faults: "Any | None" = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -201,6 +217,10 @@ class PlacementWorker:
             self._paused = False
             self._kick.set()
             response = {"ok": True}
+        elif kind == ch.W_PING:
+            # Liveness probe: answered from the event loop, so a hung
+            # or livelocked worker times out at the coordinator.
+            response = {"ok": True, "n_placed": self._partition.n_placed}
         elif kind == ch.W_SHUTDOWN:
             body = ch.parse_json_payload(payload)
             self.drain()
@@ -242,6 +262,17 @@ class PlacementWorker:
                 ),
             }
         if first < partition.n_placed:
+            if first + len(txs) <= partition.n_placed:
+                # Exact duplicate of an already-placed range (a client
+                # retry after a lost response): answer from the
+                # assignment record. Identical to the original reply -
+                # resubmission is idempotent.
+                return {
+                    "ok": True,
+                    "shards": partition.assignment_slice(
+                        first, len(txs)
+                    ),
+                }
             return {
                 "ok": False,
                 "code": "engine",
@@ -251,23 +282,26 @@ class PlacementWorker:
                 ),
             }
         if first in self._queue:
+            # The original submission is still in flight (the retry
+            # raced it); back off and resubmit - by then the range is
+            # either placed (answered from the record) or failed.
             return {
                 "ok": False,
-                "code": "protocol",
+                "code": "retry",
                 "error": f"a request starting at txid {first} is "
-                "already queued",
+                "already queued; retry later",
             }
         if len(self._queue) >= self._max_reorder:
             return {
                 "ok": False,
-                "code": "protocol",
+                "code": "overload",
                 "error": f"reorder buffer full ({self._max_reorder} "
                 "requests waiting for earlier txids)",
             }
         future: "asyncio.Future[dict]" = (
             asyncio.get_running_loop().create_future()
         )
-        self._queue[first] = _Queued(txs, future)
+        self._queue[first] = _Queued(txs, payload, future)
         self._kick.set()
         return await future
 
@@ -302,6 +336,21 @@ class PlacementWorker:
                     "compress", self._checkpoint_compress
                 ),
             )
+            journal = self._partition.journal
+            if journal is not None and str(path) == str(
+                self._checkpoint_path
+            ):
+                # The snapshot is on disk; everything the WAL recorded
+                # is inside it. Rebind the (truncated) journal to the
+                # new snapshot's nonce - still under the engine lock,
+                # so no mutation can slip between snapshot and reset.
+                # A crash between the two renames leaves a new
+                # snapshot beside an old-nonce WAL, which recovery
+                # discards as stale - correctly, and losslessly.
+                journal.reset(
+                    self._partition.n_placed,
+                    self._partition.engine.last_snapshot_nonce or "",
+                )
         return {
             "ok": True,
             "path": str(path),
@@ -346,16 +395,26 @@ class PlacementWorker:
             cursor = partition.n_placed
             stale = [key for key in queue if key < cursor]
             for key in stale:
-                queue.pop(key).fail(
-                    "engine",
-                    f"transactions from {key} were already placed "
-                    f"(next expected: {cursor})",
-                )
+                entry = queue.pop(key)
+                if key + len(entry.txs) <= cursor:
+                    # A duplicate resubmission whose original placed
+                    # while this copy waited in the reorder buffer:
+                    # answer from the assignment record.
+                    entry.resolve(
+                        partition.assignment_slice(key, len(entry.txs))
+                    )
+                else:
+                    entry.fail(
+                        "engine",
+                        f"transactions from {key} were already placed "
+                        f"(next expected: {cursor})",
+                    )
             entry = queue.pop(cursor, None)
             if entry is None:
                 return
             group = [entry]
             batch = list(entry.txs)
+            segments = [entry.payload]
             run_next = cursor + len(batch)
             while len(batch) < self._max_batch_txs:
                 follower = queue.pop(run_next, None)
@@ -363,10 +422,20 @@ class PlacementWorker:
                     break
                 group.append(follower)
                 batch.extend(follower.txs)
+                segments.append(follower.payload)
                 run_next += len(follower.txs)
             async with self._engine_lock:
                 try:
-                    shards = await self._place_with_remotes(batch)
+                    shards = await self._place_with_remotes(
+                        batch, segments
+                    )
+                except RetryLaterError as exc:
+                    # A foreign owner is recovering: nothing placed;
+                    # the identical requests can be resubmitted once
+                    # it is back.
+                    for member in group:
+                        member.fail("retry", str(exc))
+                    continue
                 except EngineError as exc:
                     if len(group) == 1:
                         entry.fail("engine", str(exc))
@@ -377,9 +446,11 @@ class PlacementWorker:
                         try:
                             member.resolve(
                                 await self._place_with_remotes(
-                                    member.txs
+                                    member.txs, [member.payload]
                                 )
                             )
+                        except RetryLaterError as member_exc:
+                            member.fail("retry", str(member_exc))
                         except EngineError as member_exc:
                             member.fail("engine", str(member_exc))
                         except ChannelClosed:
@@ -408,7 +479,9 @@ class PlacementWorker:
             await asyncio.sleep(0)
 
     async def _place_with_remotes(
-        self, batch: list[Transaction]
+        self,
+        batch: list[Transaction],
+        segments: "list[bytes] | None" = None,
     ) -> list[int]:
         """One batch through acquire -> place -> writeback."""
         partition = self._partition
@@ -420,12 +493,21 @@ class PlacementWorker:
             )
             response = decode_response(kind, payload)
             if not response.get("ok"):
-                raise EngineError(
+                message = (
                     "cross-partition parent lookup failed: "
                     + response.get("error", "unknown error")
                 )
+                if response.get("code") == "retry":
+                    # The owner is recovering: nothing was placed and
+                    # nothing journaled - the same batch is retryable.
+                    raise RetryLaterError(message)
+                raise EngineError(message)
             states = decode_parent_states(response["states"])
-        shards, writebacks = partition.place_batch(batch, states)
+        shards, writebacks = partition.place_batch(
+            batch, states, raw_segments=segments
+        )
+        if self.faults is not None:
+            self.faults.maybe_kill("place")
         if writebacks:
             kind, payload = await self.channel.request(
                 ch.W_WRITEBACK, ch.json_payload({"updates": writebacks})
@@ -434,11 +516,13 @@ class PlacementWorker:
             if not response.get("ok"):
                 # The batch is committed locally; a failed writeback
                 # means an owner is gone or forked. The coordinator
-                # degrades the service on any writeback failure
-                # (channel loss or refusal), so subsequent placements
-                # are refused; surfacing an error here would
-                # mis-report this already-placed batch.
+                # buffers writebacks for a recovering owner (and
+                # degrades the service on a refusal), so subsequent
+                # placements are refused; surfacing an error here
+                # would mis-report this already-placed batch.
                 pass
+        if self.faults is not None:
+            self.faults.maybe_kill("writeback")
         return shards
 
     async def _maybe_release_lease(self) -> None:
@@ -470,28 +554,72 @@ async def _run_worker(
     spec: dict[str, Any],
 ) -> None:
     partition = build_partition(partition_id, spec)
+    checkpoint_path = spec.get("checkpoint")
+    recovery: "dict[str, Any] | None" = None
+    journal: "BatchJournal | None" = None
+    if checkpoint_path and spec.get("wal", True):
+        # Crash recovery: replay the WAL tail on top of whatever
+        # build_partition restored (the checkpoint, or a fresh engine
+        # when no checkpoint was ever written - the journal's base
+        # nonce distinguishes the two), then keep appending to it.
+        wal_path = journal_path_for(checkpoint_path)
+        replay = replay_journal(wal_path, partition)
+        if replay.replayed and (
+            replay.n_batches or replay.n_grants or replay.n_applies
+            or replay.torn_bytes
+        ):
+            recovery = {
+                "writebacks": replay.writebacks,
+                "n_batches": replay.n_batches,
+                "n_grants": replay.n_grants,
+                "n_applies": replay.n_applies,
+                "torn_bytes": replay.torn_bytes,
+            }
+        journal = BatchJournal(
+            wal_path,
+            partition_id,
+            spec["n_partitions"],
+            spec["lease_length"],
+            sync_every_bytes=spec.get("wal_sync_bytes", 1 << 20),
+        )
+        journal.open(
+            partition.n_placed,
+            partition.engine.last_snapshot_nonce or "",
+        )
+        partition.journal = journal
     worker = PlacementWorker(
         partition,
         max_batch_txs=spec.get("max_batch_txs", 8192),
         max_reorder_requests=spec.get("max_reorder_requests", 1024),
-        checkpoint_path=spec.get("checkpoint"),
+        checkpoint_path=checkpoint_path,
         checkpoint_compress=spec.get("checkpoint_compress", False),
     )
+    if spec.get("faults"):
+        # Deferred import: production workers never pay for it.
+        from repro.service.faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(
+            FaultPlan.from_spec(spec["faults"]), partition_id
+        )
+        if injector.active:
+            worker.faults = injector
+            if journal is not None:
+                journal.on_batch_append = injector.on_batch_append
     reader, writer = await asyncio.open_connection(host, port)
     link = FrameChannel(
         reader, writer, worker.handle, on_close=worker.on_channel_closed
     )
     worker.channel = link
+    hello: dict[str, Any] = {
+        "partition_id": partition_id,
+        "token": token,
+        "n_placed": partition.n_placed,
+        "pid": os.getpid(),
+    }
+    if recovery is not None:
+        hello["recovery"] = recovery
     kind, payload = await link.request(
-        ch.W_HELLO,
-        ch.json_payload(
-            {
-                "partition_id": partition_id,
-                "token": token,
-                "n_placed": partition.n_placed,
-                "pid": os.getpid(),
-            }
-        ),
+        ch.W_HELLO, ch.json_payload(hello)
     )
     response = decode_response(kind, payload)
     if not response.get("ok"):
@@ -503,6 +631,8 @@ async def _run_worker(
     await worker.wait_exit()
     await worker.join()
     await link.close()
+    if journal is not None:
+        journal.close()
 
 
 def worker_main(

@@ -1,0 +1,231 @@
+"""The per-partition write-ahead batch journal, unit level.
+
+The contract under test: a partition rebuilt from ``(checkpoint, WAL
+tail)`` is bit-identical to the partition that wrote them, torn tails
+are detected by CRC and truncated away, and a journal bound to a
+different checkpoint (cursor or snapshot nonce) is discarded rather
+than replayed onto the wrong base.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.placement import make_placer
+from repro.datasets.synthetic import synthetic_stream
+from repro.service.engine import PlacementEngine
+from repro.service.journal import (
+    BatchJournal,
+    journal_path_for,
+    replay_journal,
+)
+from repro.service.partition import EnginePartition
+
+N_SHARDS = 4
+LEASE = 600
+
+
+def fresh_partition(n_partitions: int = 1) -> EnginePartition:
+    engine = PlacementEngine(
+        make_placer("optchain", N_SHARDS), epoch_length=500
+    )
+    return EnginePartition(
+        engine,
+        partition_id=0,
+        n_partitions=n_partitions,
+        lease_length=LEASE,
+    )
+
+
+def journaled_partition(tmp_path, name="p0"):
+    partition = fresh_partition()
+    journal = BatchJournal(
+        str(tmp_path / f"{name}.wal"),
+        partition_id=0,
+        n_partitions=1,
+        lease_length=LEASE,
+    )
+    journal.open(0, "")
+    partition.journal = journal
+    return partition, journal
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_stream(1_200, seed=11)
+
+
+class TestReplayRoundtrip:
+    def test_replay_is_bit_identical(self, tmp_path, stream):
+        writer, journal = journaled_partition(tmp_path)
+        placed = []
+        for offset in range(0, 900, 150):
+            shards, _ = writer.place_batch(stream[offset : offset + 150])
+            placed.extend(shards)
+        journal.close()
+
+        replayer = fresh_partition()
+        result = replay_journal(journal.path, replayer)
+        assert result.replayed
+        assert result.n_batches == 6
+        assert not result.stale
+        assert result.torn_bytes == 0
+        assert replayer.n_placed == 900
+        assert replayer.assignment_slice(0, 900) == placed
+        # The replayed partition keeps producing the writer's stream.
+        continued, _ = replayer.place_batch(stream[900:1_050])
+        reference = fresh_partition()
+        for offset in range(0, 1_050, 150):
+            reference_shards, _ = reference.place_batch(
+                stream[offset : offset + 150]
+            )
+        assert continued == reference_shards
+
+    def test_rejected_batch_replays_as_noop(self, tmp_path, stream):
+        """Append-before-apply journals even batches the engine then
+        rejects; on replay the same record must re-fail identically
+        without corrupting state or aborting the rest of the tail."""
+        writer, journal = journaled_partition(tmp_path)
+        shards, _ = writer.place_batch(stream[:150])
+        with pytest.raises(Exception, match="dense stream order"):
+            writer.place_batch(stream[:150])  # journaled, then rejected
+        more, _ = writer.place_batch(stream[150:300])
+        journal.close()
+
+        replayer = fresh_partition()
+        result = replay_journal(journal.path, replayer)
+        assert result.replayed and not result.stale
+        assert result.n_batches == 2  # the rejected record is a no-op
+        assert replayer.n_placed == 300
+        assert replayer.assignment_slice(0, 300) == shards + more
+
+    def test_cursor_mismatch_is_stale(self, tmp_path, stream):
+        writer, journal = journaled_partition(tmp_path)
+        writer.place_batch(stream[:150])
+        journal.close()
+
+        replayer = fresh_partition()
+        replayer.place_batch(stream[:150])
+        result = replay_journal(journal.path, replayer)
+        assert result.stale  # base_cursor 0 != partition cursor 150
+        assert replayer.n_placed == 150
+
+    def test_duplicate_replay_of_same_journal(self, tmp_path, stream):
+        """Replaying a journal twice (respawn crashing again before its
+        first checkpoint) must not double-place anything."""
+        writer, journal = journaled_partition(tmp_path)
+        shards, _ = writer.place_batch(stream[:300])
+        journal.close()
+
+        replayer = fresh_partition()
+        first = replay_journal(journal.path, replayer)
+        assert first.n_batches == 1
+        # Second crash-before-checkpoint: a fresh restore replays the
+        # same tail onto the same base and lands in the same place.
+        replayer_again = fresh_partition()
+        second = replay_journal(journal.path, replayer_again)
+        assert second.n_batches == 1
+        assert replayer_again.assignment_slice(0, 300) == shards
+
+
+class TestTornTail:
+    def test_torn_tail_truncated_at_every_cut(self, tmp_path, stream):
+        writer, journal = journaled_partition(tmp_path)
+        writer.place_batch(stream[:150])
+        intact_one_record = journal.tell()
+        writer.place_batch(stream[150:300])
+        journal.close()
+        raw = open(journal.path, "rb").read()
+        header_end = raw.index(b'"base_nonce"')  # inside the header
+        expected = fresh_partition()
+        expected_shards, _ = expected.place_batch(stream[:150])
+
+        cuts = sorted(
+            set(range(len(raw) - 1, header_end, -97))
+            | {intact_one_record + 1, len(raw) - 1}
+        )
+        for cut in cuts:
+            torn_path = str(tmp_path / "torn.wal")
+            with open(torn_path, "wb") as fh:
+                fh.write(raw[:cut])
+            replayer = fresh_partition()
+            result = replay_journal(torn_path, replayer)
+            if cut < intact_one_record:
+                # Even the first record is torn: nothing replays, but
+                # the journal itself (header) may survive.
+                assert replayer.n_placed == 0
+            else:
+                assert result.n_batches == 1
+                assert result.torn_bytes == intact_one_record - min(
+                    cut, intact_one_record
+                ) + max(0, cut - intact_one_record)
+                assert (
+                    replayer.assignment_slice(0, 150) == expected_shards
+                )
+                # The torn bytes are gone from disk: a subsequent
+                # append continues from a clean boundary.
+                assert os.path.getsize(torn_path) == intact_one_record
+
+    def test_garbage_file_discarded(self, tmp_path):
+        path = str(tmp_path / "garbage.wal")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00" * 64)
+        replayer = fresh_partition()
+        result = replay_journal(path, replayer)
+        assert result.stale
+        assert not result.replayed
+        assert not os.path.exists(path)
+
+
+class TestCheckpointBinding:
+    def test_stale_nonce_discarded(self, tmp_path, stream):
+        writer, journal = journaled_partition(tmp_path)
+        writer.place_batch(stream[:150])
+        journal.close()
+
+        # Take a checkpoint *after* the journaled batch; the journal
+        # was not reset, so its base (cursor 0, nonce "") no longer
+        # matches the snapshot it sits next to.
+        snap = str(tmp_path / "p0.snap")
+        writer.checkpoint(snap)
+        restored = EnginePartition.restore(
+            snap, n_partitions=1, lease_length=LEASE
+        )
+        result = replay_journal(journal.path, restored)
+        assert result.stale
+        assert restored.n_placed == 150
+        assert not os.path.exists(journal.path)
+
+    def test_reset_rebinds_to_new_checkpoint(self, tmp_path, stream):
+        writer, journal = journaled_partition(tmp_path)
+        writer.place_batch(stream[:150])
+        snap = str(tmp_path / "p0.snap")
+        writer.checkpoint(snap)
+        journal.reset(
+            writer.n_placed, writer.engine.last_snapshot_nonce or ""
+        )
+        shards, _ = writer.place_batch(stream[150:300])
+        journal.close()
+
+        restored = EnginePartition.restore(
+            snap, n_partitions=1, lease_length=LEASE
+        )
+        result = replay_journal(journal.path, restored)
+        assert result.replayed and not result.stale
+        assert result.n_batches == 1
+        assert restored.n_placed == 300
+        assert restored.assignment_slice(150, 150) == shards
+
+    def test_geometry_mismatch_discarded(self, tmp_path, stream):
+        writer, journal = journaled_partition(tmp_path)
+        writer.place_batch(stream[:150])
+        journal.close()
+        replayer = fresh_partition(n_partitions=2)
+        result = replay_journal(journal.path, replayer)
+        assert result.stale
+        assert replayer.n_placed == 0
+
+    def test_journal_path_for(self):
+        assert journal_path_for("base.snap.p3") == "base.snap.p3.wal"

@@ -19,7 +19,7 @@ import pytest
 
 from repro.core.placement import make_placer
 from repro.datasets.synthetic import synthetic_stream
-from repro.errors import EngineError, ProtocolError
+from repro.errors import EngineError, ProtocolError, RetryLaterError
 from repro.service.client import AsyncPlacementClient, PlacementClient
 from repro.service.engine import PlacementEngine
 from repro.service.server import PlacementServer
@@ -163,19 +163,23 @@ class TestProtocolEdges:
 
         run_with_server(scenario)
 
-    def test_already_placed_rejected(self, stream):
+    def test_already_placed_answered_idempotently(self, stream):
+        # A full resubmission (client retry after a lost response)
+        # gets the identical shards back, not an error; a *partial*
+        # overlap is still rejected (see
+        # test_overlapping_range_failed_not_hung).
         async def scenario(server):
             client = await AsyncPlacementClient.connect(
                 port=server.port
             )
-            await client.place(stream[:100])
-            with pytest.raises(EngineError, match="already placed"):
-                await client.place(stream[:100])
+            original = await client.place(stream[:100])
+            duplicate = await client.place(stream[:100])
+            assert duplicate == original
             await client.close()
 
         run_with_server(scenario)
 
-    def test_duplicate_queued_start_rejected(self, stream):
+    def test_duplicate_queued_start_retryable(self, stream):
         async def scenario(server):
             client = await AsyncPlacementClient.connect(
                 port=server.port
@@ -187,7 +191,9 @@ class TestProtocolEdges:
                 {"op": "ping"}
             )  # keepalive; now send the duplicate start
             assert duplicate["ok"]
-            with pytest.raises(ProtocolError, match="already queued"):
+            # The original is still queued: the duplicate is turned
+            # away with a retryable error, not a hard protocol error.
+            with pytest.raises(RetryLaterError, match="already queued"):
                 await client.place(stream[100:150])
             # Fill the gap; the queued request completes.
             await client.place(stream[:100])

@@ -279,21 +279,29 @@ class TestWorkerFailure:
         run_sharded(scenario, n_workers=2, checkpoint_path=base)
 
     def test_dead_worker_without_checkpoint_degrades(self, stream):
+        # Without a checkpoint path there is no snapshot *and* no
+        # journal. A worker that dies holding only unreconstructible
+        # placed state (a full past lease, here [600, 1200) with
+        # lease_length 600) must degrade the service, not silently
+        # respawn empty. (A worker with nothing placed - expected
+        # cursor 0 - is recoverable by a fresh respawn instead.)
         async def scenario(server):
             client = await AsyncBinaryPlacementClient.connect(
                 port=server.port
             )
-            await client.place(stream[:500])
+            await client.place(stream[:1500])
             granted = (await client.ping())["granted"]
-            server._workers[1 - granted].process.kill()
+            assert granted == 0  # owner of txid 1500 (lease 2)
+            server._workers[1].process.kill()
             for _ in range(100):
                 ping = await client.ping()
                 if ping["degraded"]:
                     break
                 await asyncio.sleep(0.1)
             assert ping["degraded"]
+            assert "no checkpoint or journal" in ping["degraded"]
             result = await asyncio.wait_for(
-                client.place_nowait(stream[500:600]), timeout=30
+                client.place_nowait(stream[1500:1600]), timeout=30
             )
             assert result["ok"] is False
             assert "degraded" in result["error"]
