@@ -37,7 +37,19 @@ same run (rows land under ``topk_frontier``). ``optchain-topk`` and
 - every ``topk_frontier`` row with ``cap >= n_shards`` is placement-
   identical to exact optchain (truncation provably never fires there),
   and finite-cap rows clear ``--min-topk-tx-per-s`` /
-  ``--min-topk-speedup`` when set.
+  ``--min-topk-speedup`` when set;
+- with ``--numpy``, every vectorized-backend lane is placement-
+  identical to its python twin (unconditional) and clears
+  ``--min-numpy-speedup`` when set.
+
+``--numpy`` adds a vectorized-backend twin lane (rows land under
+``numpy_backend``) for each eligible strategy token; full spec strings
+such as ``optchain-topk:cap=16,backend=numpy`` are also valid
+``--strategies`` tokens. The recorded numpy frontier::
+
+    PYTHONPATH=src python benchmarks/bench_placement_throughput.py \
+        --txs 100000 --shards 16,64 --repeats 2 --numpy \
+        --strategies optchain,optchain-topk@8 --append
 
 See PERFORMANCE.md for how to read the output.
 """
@@ -45,6 +57,7 @@ See PERFORMANCE.md for how to read the output.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
@@ -74,6 +87,10 @@ STREAM_SEED = 42
 
 
 def _make(name: str, n_shards: int, n_tx: int):
+    if ":" in name:
+        # Full strategy-spec string, e.g. "optchain:backend=numpy" or
+        # "optchain-topk:cap=16,backend=numpy" - make_placer parses it.
+        return make_placer(name, n_shards)
     if name.startswith("optchain-topk"):
         # "optchain-topk" (strategy default cap) or "optchain-topk@8".
         if "@" in name:
@@ -86,10 +103,17 @@ def _make(name: str, n_shards: int, n_tx: int):
 
 
 def bench_strategy(name, n_shards, stream, repeats):
-    """Best-of-``repeats`` wall time placing the whole stream."""
+    """Best-of-``repeats`` wall time placing the whole stream.
+
+    Collects before each timed run (the sibling benches' protocol):
+    late lanes otherwise inherit gen-2 pressure from every placer the
+    earlier lanes dropped, and a collection landing inside the timed
+    region of a fast lane can cost it 3x.
+    """
     best = float("inf")
     assignment = None
     for _ in range(repeats):
+        gc.collect()
         placer = _make(name, n_shards, len(stream))
         start = time.perf_counter()
         assignment = placer.place_stream(stream)
@@ -180,7 +204,72 @@ def bench_topk_frontier(n_shards, stream, args, assignments, timings):
     return rows
 
 
+def _numpy_spec(name: str) -> "str | None":
+    """The spec string of *name*'s numpy-backend twin, or ``None``."""
+    if ":" in name or name.endswith("_seed"):
+        return None
+    if name == "optchain":
+        return "optchain:backend=numpy"
+    if name.startswith("optchain-topk"):
+        if "@" in name:
+            cap = name.split("@", 1)[1]
+            return f"optchain-topk:cap={cap},backend=numpy"
+        return "optchain-topk:backend=numpy"
+    return None
+
+
+def bench_numpy_backend(n_shards, stream, args, assignments, timings):
+    """Vectorized-backend lanes: bit-identity vs python plus speedup.
+
+    One row per strategy in this run that has a numpy twin
+    (``optchain``, ``optchain-topk[@cap]``). The identity bit is the
+    contract - the backend must place *identically* to the python
+    golden path, so ``--check`` fails on any divergence regardless of
+    thresholds.
+    """
+    rows = []
+    n_tx = len(stream)
+    for name in args.strategies:
+        spec = _numpy_spec(name)
+        if spec is None or name not in timings:
+            continue
+        elapsed, assignment = bench_strategy(
+            spec, n_shards, stream, args.repeats
+        )
+        identical = assignment == assignments[name]
+        speedup = timings[name] / elapsed
+        rows.append(
+            {
+                "strategy": name,
+                "spec": spec,
+                "n_shards": n_shards,
+                "n_tx": n_tx,
+                "seconds": round(elapsed, 4),
+                "tx_per_s": round(n_tx / elapsed, 1),
+                "speedup_vs_python": round(speedup, 2),
+                "identical_to_python": identical,
+            }
+        )
+        print(
+            f"  numpy backend  k={n_shards:<3} {name:<18} "
+            f"{n_tx / elapsed:>12,.0f} tx/s  ({speedup:.2f}x python)"
+            + ("  [== python]" if identical else "  !! DIVERGED"),
+            flush=True,
+        )
+    return rows
+
+
 def run(args):
+    if args.numpy:
+        from repro.core.backends import backend_unavailable_reason
+
+        reason = backend_unavailable_reason("numpy")
+        if reason is not None:
+            print(
+                f"--numpy requested but unavailable: {reason}",
+                file=sys.stderr,
+            )
+            return 1
     t0 = time.perf_counter()
     stream = synthetic_stream(args.txs, seed=STREAM_SEED)
     gen_seconds = time.perf_counter() - t0
@@ -194,6 +283,7 @@ def run(args):
     results = []
     equivalences = []
     frontier = []
+    numpy_rows = []
     for n_shards in args.shards:
         assignments = {}
         timings = {}
@@ -242,6 +332,12 @@ def run(args):
         if args.topk_caps:
             frontier.extend(
                 bench_topk_frontier(
+                    n_shards, stream, args, assignments, timings
+                )
+            )
+        if args.numpy:
+            numpy_rows.extend(
+                bench_numpy_backend(
                     n_shards, stream, args, assignments, timings
                 )
             )
@@ -301,6 +397,7 @@ def run(args):
         "golden_equivalence": equivalences,
         "proxy_record_scaling": proxy_scaling,
         "topk_frontier": frontier,
+        "numpy_backend": numpy_rows,
     }
     out = Path(args.out)
     if previous is not None:
@@ -337,6 +434,17 @@ def run(args):
             )
         ]
         payload["topk_frontier"] = keep_frontier + frontier
+        keep_numpy = [
+            r
+            for r in previous.get("numpy_backend", [])
+            if not any(
+                r["strategy"] == n["strategy"]
+                and r["n_shards"] == n["n_shards"]
+                and r["n_tx"] == n["n_tx"]
+                for n in numpy_rows
+            )
+        ]
+        payload["numpy_backend"] = keep_numpy + numpy_rows
         payload["meta"] = previous.get("meta", payload["meta"])
         payload["meta"][f"appended_run_{args.txs}tx"] = {
             "repeats": args.repeats,
@@ -424,6 +532,26 @@ def check(payload, args):
                 f"{row['speedup_vs_exact']:.2f}x exact < "
                 f"{args.min_topk_speedup}x"
             )
+    # Vectorized-backend gates, on this run's scale only. Bit-identity
+    # is unconditional: the backend's contract is *identical
+    # placements*, so divergence is a bug never excused by speed.
+    for row in payload.get("numpy_backend", []):
+        if row["n_tx"] != args.txs:
+            continue
+        if not row["identical_to_python"]:
+            failures.append(
+                f"numpy backend {row['spec']} diverged from the python "
+                f"golden path at k={row['n_shards']}"
+            )
+        if (
+            args.min_numpy_speedup
+            and row["speedup_vs_python"] < args.min_numpy_speedup
+        ):
+            failures.append(
+                f"numpy backend {row['spec']} at k={row['n_shards']} "
+                f"is {row['speedup_vs_python']:.2f}x python < "
+                f"{args.min_numpy_speedup}x"
+            )
     return failures
 
 
@@ -475,6 +603,19 @@ def main(argv=None):
         type=float,
         default=0.0,
         help="--check: required speedup of finite-cap rows vs exact",
+    )
+    parser.add_argument(
+        "--numpy",
+        action="store_true",
+        help="also run the vectorized (numpy) backend twin of each "
+        "eligible strategy lane, with a bit-identity gate vs python",
+    )
+    parser.add_argument(
+        "--min-numpy-speedup",
+        type=float,
+        default=0.0,
+        help="--check: required speedup of numpy lanes vs their python "
+        "twin at every measured shard count",
     )
     args = parser.parse_args(argv)
     return run(args)

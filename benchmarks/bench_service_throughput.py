@@ -6,6 +6,9 @@ This is where the repo's two perf frontiers meet a serving interface:
   path (validation + truncation bookkeeping + the fused ``place_batch``
   hot path) at k=16, with the raw placer lane alongside so the serving
   overhead is measured, not guessed;
+- **numpy engine lanes** (``--numpy``): the same batched engine path on
+  the vectorized backend vs python, per shard count (default k=16,64),
+  bit-identity gated - the recorded run gates a >= 2.5x speedup;
 - **wal overhead**: the same engine lane with the per-partition
   write-ahead batch journal on vs off (pre-encoded payloads, so the
   delta is journal I/O alone) - the crash-safety tax on serving
@@ -146,6 +149,64 @@ def bench_throughput(stream, batch_size, repeats, epoch_length):
         "live_vectors": stats.live_vectors,
         "released_vectors": stats.released_vectors,
     }, raw_assignment
+
+
+def bench_numpy_engine(stream, batch_size, repeats, epoch_length, shards):
+    """Vectorized-backend engine lanes, python vs numpy per shard count.
+
+    The same batched engine path as the gated throughput lane, run with
+    ``backend=python`` and ``backend=numpy`` side by side. The identity
+    bit is the backend contract (bit-identical placements); the speedup
+    is the recorded claim (>= 2.5x engine placements/s at k=16 and
+    k=64 on the 100k-tx run). CPU best-of per the bench protocol.
+    """
+    rows = []
+    n_tx = len(stream)
+    for n_shards in shards:
+        cpu = {}
+        assignments = {}
+        for backend in ("python", "numpy"):
+            best_cpu = float("inf")
+            placed = None
+            for _ in range(repeats):
+                gc.collect()
+                engine = PlacementEngine(
+                    make_placer("optchain", n_shards, backend=backend),
+                    epoch_length=epoch_length,
+                )
+                placed = []
+                cpu0 = time.process_time()
+                for offset in range(0, n_tx, batch_size):
+                    placed.extend(
+                        engine.place_batch(
+                            stream[offset : offset + batch_size]
+                        )
+                    )
+                best_cpu = min(best_cpu, time.process_time() - cpu0)
+            cpu[backend] = best_cpu
+            assignments[backend] = placed
+        identical = assignments["python"] == assignments["numpy"]
+        speedup = cpu["python"] / cpu["numpy"]
+        rows.append(
+            {
+                "n_tx": n_tx,
+                "n_shards": n_shards,
+                "batch_size": batch_size,
+                "python_tx_per_s": round(n_tx / cpu["python"], 1),
+                "numpy_tx_per_s": round(n_tx / cpu["numpy"], 1),
+                "speedup": round(speedup, 2),
+                "identical_to_python": identical,
+            }
+        )
+        print(
+            f"  k={n_shards:<3} python "
+            f"{n_tx / cpu['python']:>12,.0f} tx/s   numpy "
+            f"{n_tx / cpu['numpy']:>12,.0f} tx/s   "
+            f"({speedup:.2f}x)"
+            + ("  [== python]" if identical else "  !! DIVERGED"),
+            flush=True,
+        )
+    return rows
 
 
 def bench_wal_overhead(stream, batch_size, repeats, epoch_length, tmp_dir):
@@ -532,6 +593,26 @@ def run(args):
         flush=True,
     )
 
+    numpy_engine = []
+    if args.numpy:
+        from repro.core.backends import backend_unavailable_reason
+
+        reason = backend_unavailable_reason("numpy")
+        if reason is not None:
+            print(
+                f"--numpy requested but unavailable: {reason}",
+                file=sys.stderr,
+            )
+            return 1
+        shards = [int(item) for item in args.numpy_shards.split(",")]
+        print(
+            f"numpy engine lanes (k in {shards}, {args.txs} tx) ...",
+            flush=True,
+        )
+        numpy_engine = bench_numpy_engine(
+            stream, args.batch_size, args.repeats, args.epoch_length, shards
+        )
+
     print("wal overhead ...", flush=True)
     wal_overhead = bench_wal_overhead(
         stream,
@@ -640,6 +721,7 @@ def run(args):
             "stream_generation_seconds": round(gen_seconds, 2),
         },
         "throughput": throughput,
+        "numpy_engine": numpy_engine,
         "wal_overhead": wal_overhead,
         "snapshot": snapshot,
         "quality_drift": drift,
@@ -676,6 +758,21 @@ def check(payload, args):
             "engine placements diverge from the raw placer (exact "
             "truncation must be invisible)"
         )
+    for row in payload.get("numpy_engine", []):
+        if not row["identical_to_python"]:
+            failures.append(
+                f"numpy engine lane diverged from python at "
+                f"k={row['n_shards']} (backend contract is bit-identity)"
+            )
+        if (
+            args.min_numpy_speedup
+            and row["speedup"] < args.min_numpy_speedup
+        ):
+            failures.append(
+                f"numpy engine lane at k={row['n_shards']} is "
+                f"{row['speedup']:.2f}x python < "
+                f"{args.min_numpy_speedup}x"
+            )
     wal_overhead = payload["wal_overhead"]
     if wal_overhead["overhead_pct"] > args.max_wal_overhead_pct:
         failures.append(
@@ -776,6 +873,24 @@ def main(argv=None):
         type=int,
         default=25_000,
         help="ownership lease length for the sharded sweep",
+    )
+    parser.add_argument(
+        "--numpy",
+        action="store_true",
+        help="also run the vectorized-backend engine lanes "
+        "(python vs numpy, bit-identity gated)",
+    )
+    parser.add_argument(
+        "--numpy-shards",
+        default="16,64",
+        help="comma-separated shard counts for the numpy engine lanes",
+    )
+    parser.add_argument(
+        "--min-numpy-speedup",
+        type=float,
+        default=0.0,
+        help="--check: required numpy-vs-python engine speedup at "
+        "every lane shard count (the recorded run gates 2.5x)",
     )
     parser.add_argument("--tmp-dir", default="/tmp")
     parser.add_argument(

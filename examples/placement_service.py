@@ -25,8 +25,7 @@ import asyncio
 import tempfile
 from pathlib import Path
 
-from repro import OptChainPlacer, synthetic_stream
-from repro.service import PlacementEngine
+from repro.api import PlacementEngine, make_placer, synthetic_stream
 from repro.service.loadgen import run_loadgen_async
 from repro.service.server import PlacementServer
 
@@ -40,9 +39,9 @@ def main() -> None:
     stream = synthetic_stream(N_TRANSACTIONS, seed=7)
 
     # -- 1: exact truncation - smaller store, identical placements -------
-    reference = OptChainPlacer(N_SHARDS).place_stream(stream)
+    reference = make_placer("optchain", N_SHARDS).place_stream(stream)
     engine = PlacementEngine(
-        OptChainPlacer(N_SHARDS), epoch_length=1_000
+        make_placer("optchain", N_SHARDS), epoch_length=1_000
     )
     placed = []
     for offset in range(0, N_TRANSACTIONS, BATCH):
@@ -64,7 +63,7 @@ def main() -> None:
 
     # -- 2: horizon mode - hard memory bound, measured drift -------------
     horizon = PlacementEngine(
-        OptChainPlacer(N_SHARDS),
+        make_placer("optchain", N_SHARDS),
         epoch_length=1_000,
         horizon_epochs=6,
     )
@@ -102,7 +101,7 @@ def main() -> None:
     async def serve_and_load() -> None:
         server = PlacementServer(
             PlacementEngine(
-                OptChainPlacer(N_SHARDS), epoch_length=1_000
+                make_placer("optchain", N_SHARDS), epoch_length=1_000
             ),
             port=0,
         )

@@ -5,6 +5,12 @@ OmniLedger random-hash baseline over it, and prints the two numbers the
 paper's abstract leads with: the cross-shard transaction fraction (up to
 10x lower with OptChain) and the load balance across shards.
 
+Strategies are named by spec strings (``repro.api.StrategySpec``):
+``"optchain"`` picks the fastest available execution backend
+(``backend=auto`` resolves to the vectorized backend when numpy is
+installed - ``pip install .[fast]`` - and the pure-python golden path
+otherwise; placements are bit-identical either way).
+
 Run::
 
     python examples/quickstart.py
@@ -12,32 +18,35 @@ Run::
 
 from __future__ import annotations
 
-from repro import (
-    OmniLedgerRandomPlacer,
-    OptChainPlacer,
+from repro.api import (
+    balance_ratio,
     cross_shard_fraction,
+    make_placer,
     synthetic_stream,
 )
-from repro.partition.quality import balance_ratio
 
 N_TRANSACTIONS = 20_000
 N_SHARDS = 16
+
+#: Spec strings: method plus options, e.g. "optchain-topk:cap=auto:0.01"
+#: or "optchain:backend=numpy" (see `repro.api.StrategySpec`).
+SPECS = {
+    "OptChain": "optchain",
+    "OmniLedger (random hash)": "omniledger",
+}
 
 
 def main() -> None:
     print(f"generating {N_TRANSACTIONS} Bitcoin-like transactions...")
     stream = synthetic_stream(N_TRANSACTIONS, seed=7)
 
-    placers = {
-        "OptChain": OptChainPlacer(N_SHARDS),
-        "OmniLedger (random hash)": OmniLedgerRandomPlacer(N_SHARDS),
-    }
     print(f"placing into {N_SHARDS} shards:\n")
-    for name, placer in placers.items():
+    for name, spec in SPECS.items():
+        placer = make_placer(spec, N_SHARDS)
         assignment = placer.place_stream(stream)
         cross = cross_shard_fraction(stream, assignment)
         balance = balance_ratio(assignment, N_SHARDS)
-        print(f"  {name}")
+        print(f"  {name} (spec {spec!r}, backend {placer.backend})")
         print(f"    cross-shard transactions: {cross:.1%}")
         print(f"    load balance (max shard / ideal): {balance:.2f}")
         print()

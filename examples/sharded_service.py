@@ -27,13 +27,12 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import OptChainPlacer, synthetic_stream
+from repro.api import PlacementEngine, make_placer, synthetic_stream
 from repro.service.client import (
     AsyncBinaryPlacementClient,
     AsyncPlacementClient,
 )
 from repro.service.coordinator import ShardedPlacementServer
-from repro.service.engine import PlacementEngine
 from repro.service.server import PlacementServer
 
 N_TRANSACTIONS = 12_000
@@ -57,11 +56,11 @@ async def place_all(client, stream) -> list[int]:
 async def demo() -> None:
     print(f"generating {N_TRANSACTIONS} Bitcoin-like transactions...")
     stream = synthetic_stream(N_TRANSACTIONS, seed=11)
-    reference = OptChainPlacer(N_SHARDS).place_stream(stream)
+    reference = make_placer("optchain", N_SHARDS).place_stream(stream)
 
     # -- 1: two codecs, one port, same placements ------------------------
     server = PlacementServer(
-        PlacementEngine(OptChainPlacer(N_SHARDS), epoch_length=2_000),
+        PlacementEngine(make_placer("optchain", N_SHARDS), epoch_length=2_000),
         port=0,
     )
     await server.start()

@@ -1,0 +1,98 @@
+"""The stable programmatic facade of the reproduction toolkit.
+
+Everything an embedding application needs, importable from one place::
+
+    from repro.api import StrategySpec, make_placer, synthetic_stream
+
+    placer = make_placer("optchain-topk:cap=auto:0.01,backend=auto", 64)
+    assignment = placer.place_stream(synthetic_stream(100_000, seed=7))
+
+The facade is intentionally small and additive-only:
+
+- **Strategies**: :func:`make_placer` builds any registered strategy
+  from a name, a spec string, or a parsed :class:`StrategySpec` - the
+  one configuration language shared by the CLI, the experiments
+  runner, snapshot headers, and the service (``backend_available``
+  reports whether the accelerated numpy backend can run here).
+- **Serving**: :class:`PlacementEngine` wraps a placer with epoch
+  truncation and snapshot/restore; the client classes speak both wire
+  codecs to a running ``optchain serve`` instance.
+- **Data**: :func:`synthetic_stream` generates the Bitcoin-like
+  workload; the JSONL/edge-list loaders round-trip streams on disk.
+
+Deeper internals (scorer classes, the simulator, wire codecs) remain
+importable from their home modules but are not part of this facade's
+compatibility surface.
+"""
+
+from __future__ import annotations
+
+from repro import __version__
+from repro.core.backends import backend_available, backend_unavailable_reason
+from repro.core.placement import PlacementStrategy, make_placer
+from repro.core.spec import StrategySpec, make_placer_from_spec
+from repro.datasets.io import (
+    load_edge_list,
+    load_stream_jsonl,
+    save_edge_list,
+    save_stream_jsonl,
+)
+from repro.datasets.synthetic import BitcoinLikeGenerator, synthetic_stream
+from repro.errors import (
+    ConfigurationError,
+    PlacementError,
+    ReproError,
+    ServiceError,
+)
+from repro.partition.quality import (
+    balance_ratio,
+    cross_shard_fraction,
+)
+from repro.service.client import (
+    AsyncBinaryPlacementClient,
+    AsyncPlacementClient,
+    BinaryPlacementClient,
+    PlacementClient,
+    async_client_class,
+    client_class,
+)
+from repro.service.engine import EngineStats, PlacementEngine
+from repro.utxo.transaction import OutPoint, Transaction
+
+__all__ = [
+    # strategy construction
+    "StrategySpec",
+    "make_placer",
+    "make_placer_from_spec",
+    "PlacementStrategy",
+    "backend_available",
+    "backend_unavailable_reason",
+    # serving
+    "PlacementEngine",
+    "EngineStats",
+    "PlacementClient",
+    "BinaryPlacementClient",
+    "AsyncPlacementClient",
+    "AsyncBinaryPlacementClient",
+    "client_class",
+    "async_client_class",
+    # data
+    "Transaction",
+    "OutPoint",
+    "BitcoinLikeGenerator",
+    "synthetic_stream",
+    "load_stream_jsonl",
+    "save_stream_jsonl",
+    "load_edge_list",
+    "save_edge_list",
+    # quality metrics
+    "cross_shard_fraction",
+    "balance_ratio",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "PlacementError",
+    "ServiceError",
+    # meta
+    "__version__",
+]

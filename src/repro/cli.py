@@ -57,7 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     place = commands.add_parser(
         "place", help="place a synthetic stream and print statistics"
     )
-    place.add_argument("--method", "--strategy", default="optchain")
+    place.add_argument(
+        "--method",
+        "--strategy",
+        default="optchain",
+        help="strategy name or full spec string, e.g. "
+        "optchain-topk:cap=auto:0.01,backend=numpy",
+    )
     place.add_argument("--shards", type=int, default=16)
     place.add_argument("--transactions", type=int, default=20_000)
     place.add_argument("--seed", type=int, default=1)
@@ -67,13 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="retained T2S entries per vector, or auto:<rate> for the "
         "adaptive cap (optchain-topk / t2s-topk; default: the "
-        "strategy's built-in cap)",
+        "strategy's built-in cap); shorthand for the cap= spec option",
+    )
+    place.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="execution backend: python (the golden reference), numpy "
+        "(typed-array state + compiled kernel, bit-identical), or auto "
+        "(numpy when available); shorthand for the backend= spec option",
     )
 
     simulate = commands.add_parser(
         "simulate", help="run one discrete-event simulation"
     )
-    simulate.add_argument("--method", "--strategy", default="optchain")
+    simulate.add_argument(
+        "--method",
+        "--strategy",
+        default="optchain",
+        help="strategy name or full spec string (see place --method)",
+    )
     simulate.add_argument("--shards", type=int, default=16)
     simulate.add_argument("--transactions", type=int, default=20_000)
     simulate.add_argument("--rate", type=float, default=300.0)
@@ -95,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="retained T2S entries per vector, or auto:<rate> "
         "(optchain-topk / t2s-topk)",
+    )
+    simulate.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="execution backend (see place --backend)",
     )
 
     experiment = commands.add_parser(
@@ -130,7 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=9171)
-    serve.add_argument("--method", "--strategy", default="optchain")
+    serve.add_argument(
+        "--method",
+        "--strategy",
+        default="optchain",
+        help="strategy name or full spec string (see place --method)",
+    )
     serve.add_argument("--shards", type=int, default=16)
     serve.add_argument(
         "--support-cap",
@@ -139,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="retained T2S entries per vector, or auto:<rate> for the "
         "adaptive cap (optchain-topk / t2s-topk; bounded-support "
         "scoring for the 64+-shard regime)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="execution backend (see place --backend)",
     )
     serve.add_argument(
         "--epoch-length",
@@ -280,7 +316,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=2)
     chaos.add_argument("--transactions", type=int, default=3_000)
     chaos.add_argument("--shards", type=int, default=4)
-    chaos.add_argument("--method", "--strategy", default="optchain")
+    chaos.add_argument(
+        "--method",
+        "--strategy",
+        default="optchain",
+        help="strategy name or full spec string (see place --method)",
+    )
+    chaos.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="execution backend (see place --backend)",
+    )
     chaos.add_argument("--lease-length", type=int, default=600)
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument(
@@ -322,32 +369,82 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _topk_kwargs(args) -> dict:
-    """``make_placer`` kwargs for an explicit ``--support-cap``.
+def _build_spec(args):
+    """One parsed :class:`StrategySpec` from the strategy flags.
 
-    Accepts an integer cap or the adaptive form ``auto:<rate>`` (grow
-    the cap until the dropped-mass rate falls below ``<rate>``). A cap
+    ``--method``/``--strategy`` accepts a full spec string
+    (``optchain-topk:cap=auto:0.01,backend=numpy``); the loose
+    ``--support-cap`` and ``--backend`` flags are kept as aliases that
+    desugar into the same spec, so old invocations keep working. A cap
     given for a strategy that ignores it is flagged rather than
     silently dropped - same principle as the restored-checkpoint
     override warnings in ``serve``.
     """
+    from repro.core.spec import TOPK_METHODS, StrategySpec
+    from repro.errors import ConfigurationError
+
+    try:
+        spec = StrategySpec.parse(args.method)
+    except ConfigurationError as exc:
+        print(f"error: --method: {exc}", file=sys.stderr, flush=True)
+        raise SystemExit(2)
     cap = getattr(args, "support_cap", None)
-    if cap is None:
-        return {}
-    if args.method not in ("optchain-topk", "t2s-topk"):
-        print(
-            f"warning: --support-cap={cap} ignored; only the topk "
-            f"strategies bound vector support (got --method/"
-            f"--strategy {args.method})",
-            file=sys.stderr,
-            flush=True,
-        )
-        return {}
-    mode, value = _parse_cap_or_exit(cap)
-    return {"support_cap": cap if mode == "auto" else value}
+    if cap is not None:
+        if spec.method not in TOPK_METHODS:
+            print(
+                f"warning: --support-cap={cap} ignored; only the topk "
+                f"strategies bound vector support (got --method/"
+                f"--strategy {spec.method})",
+                file=sys.stderr,
+                flush=True,
+            )
+        elif spec.cap is not None:
+            print(
+                f"error: --support-cap={cap} conflicts with "
+                f"cap={spec.cap} inside --method {args.method!r}",
+                file=sys.stderr,
+                flush=True,
+            )
+            raise SystemExit(2)
+        else:
+            mode, value = _parse_cap_or_exit(cap)
+            spec = spec.with_cap(cap if mode == "auto" else value)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        spec = spec.with_backend(backend)
+    return spec
 
 
-def _parse_cap_or_exit(cap: str):
+def _make_placer_or_exit(spec, n_shards: int, **kwargs):
+    """Spec -> placer, with a clean CLI error (exit 2) on bad config
+    (unknown strategy, explicit numpy backend without numpy, ...)."""
+    from repro.core.placement import make_placer
+    from repro.errors import ConfigurationError
+
+    try:
+        return make_placer(spec, n_shards, **kwargs)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        raise SystemExit(2)
+
+
+def _resolve_backend_or_exit(spec):
+    """Pin ``backend=auto`` to the concrete backend running here.
+
+    Used where the spec crosses a process or persistence boundary
+    (worker specs, chaos scenarios): the string handed over must name
+    what actually runs, not re-resolve per consumer.
+    """
+    from repro.errors import ConfigurationError
+
+    try:
+        return spec.with_backend(spec.resolve_backend())
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        raise SystemExit(2)
+
+
+def _parse_cap_or_exit(cap):
     """Validate a --support-cap value with a clean CLI error."""
     from repro.core.scorer import parse_support_cap
     from repro.errors import ConfigurationError
@@ -360,15 +457,15 @@ def _parse_cap_or_exit(cap: str):
 
 
 def _cmd_place(args) -> int:
-    from repro.core.placement import make_placer
     from repro.datasets.synthetic import synthetic_stream
     from repro.partition.quality import balance_ratio, cross_shard_fraction
 
+    spec = _build_spec(args)
     stream = synthetic_stream(args.transactions, seed=args.seed)
-    kwargs = _topk_kwargs(args)
-    if args.method in ("greedy", "t2s", "t2s-topk"):
+    kwargs = {}
+    if spec.method in ("greedy", "t2s", "t2s-topk"):
         kwargs["expected_total"] = len(stream)
-    if args.method == "metis":
+    if spec.method == "metis":
         from repro.partition.metis_like import partition_tan
         from repro.txgraph.tan import TaNGraph
 
@@ -376,9 +473,10 @@ def _cmd_place(args) -> int:
             TaNGraph.from_transactions(stream), args.shards
         )
     else:
-        placer = make_placer(args.method, args.shards, **kwargs)
+        placer = _make_placer_or_exit(spec, args.shards, **kwargs)
         assignment = placer.place_stream(stream)
-    print(f"method:       {args.method}")
+        print(f"backend:      {placer.backend}")
+    print(f"method:       {spec}")
     print(f"transactions: {len(stream)}")
     print(f"shards:       {args.shards}")
     print(
@@ -393,12 +491,12 @@ def _cmd_place(args) -> int:
 
 def _cmd_simulate(args) -> int:
     from repro.analysis.report import summarize_result
-    from repro.core.placement import make_placer
     from repro.datasets.synthetic import synthetic_stream
     from repro.simulator import SimulationConfig, run_simulation
 
+    spec = _build_spec(args)
     stream = synthetic_stream(args.transactions, seed=args.seed)
-    placer = make_placer(args.method, args.shards, **_topk_kwargs(args))
+    placer = _make_placer_or_exit(spec, args.shards)
     config = SimulationConfig(
         n_shards=args.shards,
         tx_rate=args.rate,
@@ -463,13 +561,15 @@ def _cmd_serve(args) -> int:
     import os
     import signal
 
-    from repro.core.placement import make_placer
     from repro.service.engine import PlacementEngine
     from repro.service.server import PlacementServer
 
+    spec = _build_spec(args)
     if args.workers:
-        return _serve_sharded(args)
+        return _serve_sharded(args, spec)
     if args.checkpoint and os.path.exists(args.checkpoint):
+        from repro.core.spec import StrategySpec
+
         engine = PlacementEngine.restore(args.checkpoint)
         print(
             f"restored {engine.n_placed} placements from "
@@ -480,26 +580,33 @@ def _cmd_serve(args) -> int:
         # identity is baked into its state); flag any CLI flags it
         # silently overrides so an operator expecting, say, a new
         # horizon policy finds out at startup, not from memory graphs.
+        restored_spec = StrategySpec.of_placer(engine.placer)
         restored_config = dict(
             engine.export_config(),
-            method=type(engine.placer).name,
+            method=restored_spec.method,
             shards=engine.n_shards,
         )
         requested = {
-            "method": args.method,
+            "method": spec.method,
             "shards": args.shards,
             "epoch_length": args.epoch_length,
             "horizon_epochs": args.horizon_epochs,
             "truncate_spent": not args.no_truncate_spent,
         }
-        if args.support_cap is not None:
+        if spec.cap is not None:
             restored_config["support_cap"] = _restored_cap_setting(
                 engine.placer
             )
-            mode, value = _parse_cap_or_exit(args.support_cap)
+            mode, value = _parse_cap_or_exit(spec.cap)
             requested["support_cap"] = (
                 f"auto:{value!r}" if mode == "auto" else value
             )
+        if spec.backend != "auto":
+            # backend=auto means "whatever runs here", which the
+            # restored configuration trivially satisfies; only an
+            # explicit request can be overridden.
+            restored_config["backend"] = restored_spec.backend
+            requested["backend"] = spec.backend
         for key, wanted in requested.items():
             have = restored_config[key]
             if wanted != have:
@@ -512,7 +619,7 @@ def _cmd_serve(args) -> int:
                 )
     else:
         engine = PlacementEngine(
-            make_placer(args.method, args.shards, **_topk_kwargs(args)),
+            _make_placer_or_exit(spec, args.shards),
             epoch_length=args.epoch_length,
             horizon_epochs=args.horizon_epochs,
             truncate_spent=not args.no_truncate_spent,
@@ -535,7 +642,7 @@ def _cmd_serve(args) -> int:
                 signum, lambda: loop.create_task(server.stop())
             )
         print(
-            f"serving {args.method} (k={engine.n_shards}) on "
+            f"serving {spec} (k={engine.n_shards}) on "
             f"{args.host}:{server.port}",
             flush=True,
         )
@@ -566,7 +673,7 @@ def _restored_cap_setting(placer):
     return getattr(placer, "support_cap", None)
 
 
-def _serve_sharded(args) -> int:
+def _serve_sharded(args, strategy_spec) -> int:
     """``repro serve --workers N``: the partitioned service."""
     import asyncio
     import signal
@@ -581,10 +688,15 @@ def _serve_sharded(args) -> int:
             file=sys.stderr,
             flush=True,
         )
+    # The canonical spec string is the whole strategy configuration
+    # (method, cap, backend): workers rebuild their placer from it via
+    # make_placer, and the checkpoint-set manifest compares it against
+    # later restores as one value. ``auto`` is resolved *here* so every
+    # worker (including crash respawns) runs the same backend.
+    strategy_spec = _resolve_backend_or_exit(strategy_spec)
     spec = {
-        "method": args.method,
+        "method": str(strategy_spec),
         "n_shards": args.shards,
-        "placer_kwargs": _topk_kwargs(args),
         "epoch_length": args.epoch_length,
         "horizon_epochs": args.horizon_epochs,
         "truncate_spent": not args.no_truncate_spent,
@@ -612,7 +724,7 @@ def _serve_sharded(args) -> int:
                 signum, lambda: loop.create_task(server.stop())
             )
         print(
-            f"serving {args.method} (k={args.shards}) on "
+            f"serving {strategy_spec} (k={args.shards}) on "
             f"{args.host}:{server.port} with {args.workers} workers "
             f"(lease {args.lease_length})",
             flush=True,
@@ -685,6 +797,8 @@ def _cmd_chaos(args) -> int:
 
     from repro.service.faults import run_chaos_scenario
 
+    spec = _resolve_backend_or_exit(_build_spec(args))
+
     def run(workdir: str) -> dict:
         return asyncio.run(
             run_chaos_scenario(
@@ -692,7 +806,7 @@ def _cmd_chaos(args) -> int:
                 n_workers=args.workers,
                 n_txs=args.transactions,
                 n_shards=args.shards,
-                strategy=args.method,
+                strategy=str(spec),
                 lease_length=args.lease_length,
                 seed=args.seed,
                 kill_partition=args.kill_partition,

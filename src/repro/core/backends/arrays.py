@@ -1,0 +1,243 @@
+"""List-like adapters over growable numpy buffers.
+
+The pure-python scorer and placer keep their per-transaction state in
+plain lists (``_assignment``, ``_min_mass``, ``_spender_count``) and a
+list of sparse dicts (``_p_prime``). The numpy backend keeps the same
+state in C-contiguous typed arrays the compiled kernel can address
+directly, and these adapters give those arrays just enough of the list
+protocol that every *python* code path that touches the state -
+snapshots, deltas, partition handoff, the generic per-transaction
+placement loop, release/epoch sweeps - keeps working unchanged.
+
+Every scalar read converts to a native python object (``.item()``), so
+values that flow onward (into dict keys, JSON headers, ``array``
+modules, comparisons against python ints/floats) behave exactly like
+the plain-list originals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+_GROW = 2  # geometric growth factor
+
+
+class _TypedVector:
+    """Growable 1-D numpy array behind a minimal ``list`` protocol."""
+
+    __slots__ = ("arr", "_n")
+
+    dtype: Any = None
+    _fill: Any = 0
+
+    def __init__(self, values=(), capacity: int = 1024) -> None:
+        values = list(values)
+        capacity = max(capacity, len(values), 1)
+        self.arr = np.full(capacity, self._fill, dtype=self.dtype)
+        self._n = len(values)
+        if values:
+            self.arr[: self._n] = values
+
+    def _grow_to(self, needed: int) -> None:
+        cap = len(self.arr)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= _GROW
+        fresh = np.full(cap, self._fill, dtype=self.dtype)
+        fresh[: self._n] = self.arr[: self._n]
+        self.arr = fresh
+
+    def append(self, value) -> None:
+        self._grow_to(self._n + 1)
+        self.arr[self._n] = value
+        self._n += 1
+
+    def extend(self, values) -> None:
+        values = list(values)
+        self._grow_to(self._n + len(values))
+        if values:
+            self.arr[self._n : self._n + len(values)] = values
+        self._n += len(values)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.arr[: self._n][index].tolist()
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        return self.arr[index].item()
+
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, slice):
+            if index != slice(None, None, None):
+                raise TypeError(
+                    "typed vectors only support full-slice assignment"
+                )
+            values = list(value)
+            self._grow_to(len(values))
+            self.arr[: len(values)] = values
+            if len(values) < self._n:
+                self.arr[len(values) : self._n] = self._fill
+            self._n = len(values)
+            return
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        self.arr[index] = value
+
+    def __iter__(self) -> Iterator:
+        return iter(self.arr[: self._n].tolist())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _TypedVector):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def count(self, value) -> int:
+        return int(np.count_nonzero(self.arr[: self._n] == value))
+
+    def index(self, value) -> int:
+        hits = np.nonzero(self.arr[: self._n] == value)[0]
+        if not len(hits):
+            raise ValueError(f"{value!r} is not in vector")
+        return int(hits[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({list(self)!r})"
+
+
+class IntVector(_TypedVector):
+    """Growable ``int64`` vector (assignments, spender counts)."""
+
+    dtype = np.int64
+    _fill = 0
+
+
+class FloatVector(_TypedVector):
+    """Growable ``float64`` vector (per-vector mass lower bounds)."""
+
+    dtype = np.float64
+    _fill = 0.0
+
+
+class RowMatrix:
+    """Growable ``(rows, n_shards)`` float64 matrix exposed as a list of
+    sparse dicts.
+
+    Row ``i`` materializes as ``{shard: mass}`` over the nonzero entries
+    (ascending shard id) when read, ``None`` when the row is dead.
+    Stored masses are always positive (the scorer prunes at
+    ``epsilon > 0``), so zero means absent. Dict *insertion order*
+    differs from the python backend's (which keeps first-touch order),
+    but no observable quantity depends on it: per-shard accumulation
+    sums in parent-sequence order either way, tie-breaks compare masses
+    and shard ids, the one whole-vector sum (the adaptive cap's
+    retained-mass window) uses an order-independent ``math.fsum``, and
+    ``dict.__eq__`` - what snapshot round-trip tests use - ignores
+    order. This is exactly the backend-agnostic-state claim the
+    cross-backend snapshot test pins down.
+    """
+
+    __slots__ = ("arr", "live", "_n", "n_shards")
+
+    def __init__(self, n_shards: int, capacity: int = 1024) -> None:
+        capacity = max(capacity, 1)
+        self.n_shards = n_shards
+        self.arr = np.zeros((capacity, n_shards), dtype=np.float64)
+        self.live = np.zeros(capacity, dtype=np.uint8)
+        self._n = 0
+
+    def _grow_to(self, needed: int) -> None:
+        cap = len(self.live)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= _GROW
+        arr = np.zeros((cap, self.n_shards), dtype=np.float64)
+        arr[: self._n] = self.arr[: self._n]
+        self.arr = arr
+        live = np.zeros(cap, dtype=np.uint8)
+        live[: self._n] = self.live[: self._n]
+        self.live = live
+
+    def _row_dict(self, index: int):
+        if not self.live[index]:
+            return None
+        row = self.arr[index]
+        hits = np.nonzero(row)[0]
+        return {int(shard): float(row[shard]) for shard in hits}
+
+    def _store(self, index: int, value) -> None:
+        row = self.arr[index]
+        row[:] = 0.0
+        if value is None:
+            self.live[index] = 0
+            return
+        if value:
+            row[list(value.keys())] = list(value.values())
+        self.live[index] = 1
+
+    def append(self, value) -> None:
+        self._grow_to(self._n + 1)
+        self._store(self._n, value)
+        self._n += 1
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            indices = range(*index.indices(self._n))
+            return [self._row_dict(i) for i in indices]
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        return self._row_dict(index)
+
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, slice):
+            if index != slice(None, None, None):
+                raise TypeError(
+                    "row matrices only support full-slice assignment"
+                )
+            values = list(value)
+            self._grow_to(len(values))
+            for i, item in enumerate(values):
+                self._store(i, item)
+            if len(values) < self._n:
+                self.arr[len(values) : self._n] = 0.0
+                self.live[len(values) : self._n] = 0
+            self._n = len(values)
+            return
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        self._store(index, value)
+
+    def __iter__(self) -> Iterator:
+        for i in range(self._n):
+            yield self._row_dict(i)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (RowMatrix, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowMatrix(n={self._n}, k={self.n_shards})"

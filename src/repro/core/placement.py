@@ -30,9 +30,18 @@ class PlacementStrategy(ABC):
     #: Subclasses set this to register themselves with the factory.
     name: str = ""
 
+    #: Which execution backend the class implements. Alternative
+    #: backends of a registered strategy (repro.core.backends) inherit
+    #: ``name`` for display/spec purposes and override only this.
+    backend: str = "python"
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
-        if cls.name:
+        # Register only classes that declare their own name: backend
+        # subclasses inherit the canonical name and must not displace
+        # the canonical class in the registry (mirrors the scorer
+        # registry's guard).
+        if "name" in cls.__dict__ and cls.name:
             PlacementStrategy.registry[cls.name] = cls
 
     def __init__(self, n_shards: int) -> None:
@@ -257,14 +266,28 @@ class PlacementStrategy(ABC):
 
 
 def make_placer(
-    name: str, n_shards: int, **kwargs
+    name, n_shards: int, backend: "str | None" = None, **kwargs
 ) -> PlacementStrategy:
-    """Factory over the strategy registry.
+    """Factory over the strategy registry and the spec language.
 
-    Names: ``optchain``, ``optchain-topk``, ``omniledger``, ``greedy``,
-    ``metis``, ``t2s`` (see :mod:`repro.core.baselines` and
-    :mod:`repro.core.optchain`).
+    ``name`` accepts a plain registry name (``optchain``,
+    ``optchain-topk``, ``omniledger``, ``greedy``, ``metis``, ``t2s``,
+    ``t2s-topk`` - see :mod:`repro.core.baselines` and
+    :mod:`repro.core.optchain`), a full spec string
+    (``"optchain-topk:cap=4,backend=numpy"``), or a parsed
+    :class:`~repro.core.spec.StrategySpec`. The ``backend`` keyword
+    routes a plain name through spec resolution
+    (``make_placer("optchain", 16, backend="numpy")``).
     """
+    from repro.core.spec import StrategySpec
+
+    if isinstance(name, StrategySpec):
+        return name.build(n_shards, **kwargs)
+    if ":" in name or backend is not None:
+        spec = StrategySpec.parse(name)
+        if backend is not None:
+            spec = spec.with_backend(backend)
+        return spec.build(n_shards, **kwargs)
     try:
         cls = PlacementStrategy.registry[name]
     except KeyError:

@@ -701,9 +701,13 @@ class AdaptiveTopKT2SScorer(TopKT2SScorer):
         dropped_before = self._dropped_mass
         raw = super().add_transaction_raw(txid, input_txids, n_outputs)
         dropped = self._dropped_mass - dropped_before
-        retained = 0.0
-        for mass in raw.values():
-            retained += mass
+        # fsum: the retained mass must not depend on the vector's key
+        # order, which is a state-representation artifact (the python
+        # backend keeps first-touch insertion order, the typed-array
+        # backend materializes rows in ascending shard order). An
+        # exactly-rounded sum is identical under any permutation, so
+        # the window accounting stays bit-identical across backends.
+        retained = math.fsum(raw.values())
         self._window_mass += retained + dropped
         self._window_dropped += dropped
         self._window_count += 1

@@ -90,7 +90,24 @@ def build_placer(
 
     ``expected_total`` feeds the Greedy/T2S size caps in static table
     runs; simulation runs leave it ``None`` (online cap).
+
+    ``method`` also accepts a full strategy-spec string
+    (``optchain-topk:cap=4,backend=numpy``, see
+    :class:`repro.core.spec.StrategySpec`) - the same grammar the CLI
+    and the service take - with the scale's defaults filled in for
+    options the spec leaves open.
     """
+    if ":" in method:
+        from repro.core.placement import make_placer
+        from repro.core.spec import StrategySpec
+
+        spec = StrategySpec.parse(method)
+        kwargs: dict = {}
+        if spec.method in ("optchain-topk", "t2s-topk") and spec.cap is None:
+            kwargs["support_cap"] = scale.topk_support_cap
+        if spec.method in ("greedy", "t2s", "t2s-topk"):
+            kwargs["expected_total"] = expected_total
+        return make_placer(spec, n_shards, **kwargs)
     if method == "optchain":
         return OptChainPlacer(n_shards)
     if method == "optchain-topk":

@@ -78,11 +78,16 @@ class EngineStats:
     #: how T2S saturation - the thing that erodes throughput at 64+
     #: shards - shows up in production instead of only in benchmarks.
     support: dict[str, Any] | None = None
+    #: Canonical strategy-spec string (method, cap, backend -
+    #: :class:`repro.core.spec.StrategySpec`); feeding it back to
+    #: ``make_placer`` reproduces this engine's placer configuration.
+    spec: str = ""
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-friendly dump (the server's ``stats`` op)."""
         return {
             "strategy": self.strategy,
+            "spec": self.spec,
             "n_shards": self.n_shards,
             "n_placed": self.n_placed,
             "live_vectors": self.live_vectors,
@@ -209,12 +214,15 @@ class PlacementEngine:
         return self._horizon_start
 
     def stats(self) -> EngineStats:
+        from repro.core.spec import StrategySpec
+
         scorer = self._scorer
         live = scorer.live_vector_count if scorer is not None else None
         if live is not None and live > self._peak_live:
             self._peak_live = live
         return EngineStats(
             strategy=type(self._placer).name or type(self._placer).__name__,
+            spec=str(StrategySpec.of_placer(self._placer)),
             n_shards=self._placer.n_shards,
             n_placed=self._placer.n_placed,
             live_vectors=live,

@@ -196,6 +196,7 @@ def _placer_spec(placer: PlacementStrategy) -> dict[str, Any]:
             "l2s_mode": placer.l2s_mode,
             "outdeg_mode": placer.scorer.outdeg_mode,
             "has_proxy": placer._proxy is not None,
+            "backend": placer.backend,
         }
     if (
         isinstance(placer, TopKT2SOnlyPlacer)
@@ -227,6 +228,7 @@ def _placer_spec(placer: PlacementStrategy) -> dict[str, Any]:
             "l2s_mode": placer.l2s_mode,
             "outdeg_mode": placer.scorer.outdeg_mode,
             "has_proxy": placer._proxy is not None,
+            "backend": placer.backend,
         }
     if isinstance(placer, T2SOnlyPlacer) and name == "t2s":
         return {
@@ -256,11 +258,47 @@ def _placer_spec(placer: PlacementStrategy) -> dict[str, Any]:
     )
 
 
+def _snapshot_backend(spec: dict[str, Any]) -> str:
+    """The execution backend a snapshot's placer restores on.
+
+    Snapshots record the backend they were taken with (format-2 header,
+    optional key - older files default to python) so a restore
+    re-creates the same configuration. The scorer state itself is
+    backend-agnostic, so a numpy-recorded snapshot restored on a host
+    without numpy degrades to the python backend with a warning instead
+    of failing: the continued stream stays bit-identical, just slower.
+    """
+    backend = spec.get("backend", "python")
+    if backend == "numpy":
+        from repro.core.backends import backend_unavailable_reason
+
+        reason = backend_unavailable_reason("numpy")
+        if reason is not None:
+            import warnings
+
+            warnings.warn(
+                f"snapshot was taken with the numpy backend, which is "
+                f"unavailable here ({reason}); restoring on the python "
+                f"backend (bit-identical state, slower)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return "python"
+    return backend
+
+
 def _build_placer(spec: dict[str, Any]) -> PlacementStrategy:
     strategy = spec.get("strategy")
     n_shards = spec["n_shards"]
     if strategy == "optchain":
-        return OptChainPlacer(
+        cls = OptChainPlacer
+        if _snapshot_backend(spec) == "numpy":
+            from repro.core.backends.numpy_backend import (
+                NumpyOptChainPlacer,
+            )
+
+            cls = NumpyOptChainPlacer
+        return cls(
             n_shards,
             alpha=spec["alpha"],
             latency_weight=spec["latency_weight"],
@@ -271,7 +309,14 @@ def _build_placer(spec: dict[str, Any]) -> PlacementStrategy:
             outdeg_mode=spec["outdeg_mode"],
         )
     if strategy == "optchain-topk":
-        return TopKOptChainPlacer(
+        cls = TopKOptChainPlacer
+        if _snapshot_backend(spec) == "numpy":
+            from repro.core.backends.numpy_backend import (
+                NumpyTopKOptChainPlacer,
+            )
+
+            cls = NumpyTopKOptChainPlacer
+        return cls(
             n_shards,
             support_cap=spec["support_cap"],
             alpha=spec["alpha"],
