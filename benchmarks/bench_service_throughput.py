@@ -44,7 +44,8 @@ Results land in ``BENCH_service.json``. Run it directly::
 ``--check`` enforces the acceptance gates: engine throughput >=
 ``--min-throughput`` (100k/s by default) at k=16, the write-ahead
 journal costing <= ``--max-wal-overhead-pct`` (15%) of engine
-throughput, live vectors bounded
+throughput, latency-histogram recording costing <=
+``--max-hist-overhead-pct`` (5%), live vectors bounded
 by the horizon window over the memory stream, snapshot round-trip
 bit-identical (full and delta), engine placements identical to the raw
 placer, binary codec CPU >= ``--min-codec-ratio`` (2.0x) cheaper than
@@ -294,6 +295,60 @@ def bench_wal_overhead(stream, batch_size, repeats, epoch_length, tmp_dir):
     }
 
 
+def bench_hist_overhead(stream, repeats, epoch_length):
+    """Serving cost of per-batch latency recording at k=16.
+
+    The same batched engine loop with and without the bookkeeping the
+    dispatcher does per micro-batch (two ``perf_counter`` reads, one
+    log-histogram record, two counter bumps), at 256-tx batches - the
+    loadgen chunk granularity, where the per-batch cost is most
+    visible (at the 8192 coalescing ceiling it vanishes). The check
+    gate holds it under ``--max-hist-overhead-pct`` (5%) of engine
+    throughput. CPU best-of per the bench protocol.
+    """
+    from repro.obs.metrics import ServiceMetrics
+
+    chunk = 256
+    plain_cpu = timed_cpu = float("inf")
+    metrics = None
+    for _ in range(repeats):
+        gc.collect()
+        engine = PlacementEngine(
+            make_placer("optchain", N_SHARDS), epoch_length=epoch_length
+        )
+        cpu0 = time.process_time()
+        for offset in range(0, len(stream), chunk):
+            engine.place_batch(stream[offset : offset + chunk])
+        plain_cpu = min(plain_cpu, time.process_time() - cpu0)
+
+        gc.collect()
+        engine = PlacementEngine(
+            make_placer("optchain", N_SHARDS), epoch_length=epoch_length
+        )
+        metrics = ServiceMetrics()
+        cpu0 = time.process_time()
+        for offset in range(0, len(stream), chunk):
+            batch = stream[offset : offset + chunk]
+            started = time.perf_counter()
+            engine.place_batch(batch)
+            metrics.record_batch(
+                len(batch), time.perf_counter() - started
+            )
+        timed_cpu = min(timed_cpu, time.process_time() - cpu0)
+    n_tx = len(stream)
+    hist = metrics.batch_latency
+    return {
+        "n_tx": n_tx,
+        "batch_size": chunk,
+        "plain_tx_per_s": round(n_tx / plain_cpu, 1),
+        "instrumented_tx_per_s": round(n_tx / timed_cpu, 1),
+        "overhead_pct": round(100.0 * (timed_cpu / plain_cpu - 1.0), 2),
+        "records": hist.count,
+        "server_batch_ms_p50": round(hist.percentile(0.5) * 1e3, 3),
+        "server_batch_ms_p99": round(hist.percentile(0.99) * 1e3, 3),
+    }
+
+
 def bench_snapshot(stream, tmp_dir, epoch_length):
     """Checkpoint cost at the midpoint + restore equivalence.
 
@@ -508,11 +563,21 @@ def bench_loadgen(n_tx, n_users, chunk_size, proto="json"):
             )
         finally:
             await server.stop()
-        return report
+        return report, server.metrics.batch_latency
 
-    report = asyncio.run(run())
+    report, server_hist = asyncio.run(run())
     payload = report.as_dict()
     payload["transport"] = "tcp-localhost"
+    # Server-side dispatch latency (engine place_batch per coalesced
+    # micro-batch), from the always-on serving histogram - the other
+    # side of the client-observed chunk latencies above.
+    payload["server_batches"] = server_hist.count
+    payload["server_batch_ms_p50"] = round(
+        server_hist.percentile(0.5) * 1e3, 3
+    )
+    payload["server_batch_ms_p99"] = round(
+        server_hist.percentile(0.99) * 1e3, 3
+    )
     return payload
 
 
@@ -551,15 +616,29 @@ def bench_workers(workers_list, lease_length, n_tx, n_users, chunk_size):
                     proto="binary",
                 )
                 cursor = server._cursor
+                # Merged worker histograms via the stats op - the same
+                # aggregation a monitoring client sees.
+                merged = await server._merged_stats()
+                snap = merged["obs"]["metrics"]["batch_latency"]
             finally:
                 await server.stop()
-            return report, cursor
+            return report, cursor, snap
 
-        report, cursor = asyncio.run(run())
+        report, cursor, snap = asyncio.run(run())
+        from repro.obs.hist import LogHistogram
+
+        server_hist = LogHistogram.from_snapshot(snap)
         row = report.as_dict()
         row["workers"] = n_workers
         row["lease_length"] = lease_length
         row["placed_total"] = cursor
+        row["server_batches"] = server_hist.count
+        row["server_batch_ms_p50"] = round(
+            server_hist.percentile(0.5) * 1e3, 3
+        )
+        row["server_batch_ms_p99"] = round(
+            server_hist.percentile(0.99) * 1e3, 3
+        )
         rows.append(row)
         print(
             f"  workers={n_workers}: "
@@ -626,6 +705,19 @@ def run(args):
         f"on {wal_overhead['wal_on_tx_per_s']:>12,.0f} tx/s   "
         f"overhead {wal_overhead['overhead_pct']}% "
         f"({wal_overhead['wal_bytes_per_tx']} B/tx journaled)",
+        flush=True,
+    )
+
+    print("histogram recording overhead ...", flush=True)
+    hist_overhead = bench_hist_overhead(
+        stream, args.repeats, args.epoch_length
+    )
+    print(
+        f"  plain {hist_overhead['plain_tx_per_s']:>12,.0f} tx/s   "
+        f"instrumented {hist_overhead['instrumented_tx_per_s']:>12,.0f} "
+        f"tx/s   overhead {hist_overhead['overhead_pct']}% "
+        f"({hist_overhead['records']} records, server p50 "
+        f"{hist_overhead['server_batch_ms_p50']}ms)",
         flush=True,
     )
 
@@ -723,6 +815,7 @@ def run(args):
         "throughput": throughput,
         "numpy_engine": numpy_engine,
         "wal_overhead": wal_overhead,
+        "hist_overhead": hist_overhead,
         "snapshot": snapshot,
         "quality_drift": drift,
         "memory_bound": memory,
@@ -779,6 +872,16 @@ def check(payload, args):
             f"write-ahead journal costs "
             f"{wal_overhead['overhead_pct']}% engine throughput "
             f"(> {args.max_wal_overhead_pct}% budget)"
+        )
+    hist_overhead = payload.get("hist_overhead")
+    if (
+        hist_overhead
+        and hist_overhead["overhead_pct"] > args.max_hist_overhead_pct
+    ):
+        failures.append(
+            f"latency-histogram recording costs "
+            f"{hist_overhead['overhead_pct']}% engine throughput "
+            f"(> {args.max_hist_overhead_pct}% budget)"
         )
     if not payload["snapshot"]["roundtrip_identical"]:
         failures.append("snapshot restore-then-continue diverged")
@@ -853,6 +956,13 @@ def main(argv=None):
         type=float,
         default=15.0,
         help="gate: the write-ahead journal may cost at most this "
+        "percentage of engine throughput (CPU time)",
+    )
+    parser.add_argument(
+        "--max-hist-overhead-pct",
+        type=float,
+        default=5.0,
+        help="gate: latency-histogram recording may cost at most this "
         "percentage of engine throughput (CPU time)",
     )
     parser.add_argument(

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Thin wrapper: run the soak harness as a script.
+
+Equivalent to ``repro soak``; exists so cron/CI entries can invoke the
+harness without the console-script being installed::
+
+    PYTHONPATH=src python scripts/soak.py --transactions 2000000
+
+All flags are the ``repro soak`` flags (see ``--help``).
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["soak", *sys.argv[1:]]))

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+from typing import Any
 
 from repro import __version__
 
@@ -143,11 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     stats = commands.add_parser(
-        "stats", help="TaN statistics of a stream file"
+        "stats",
+        help="TaN statistics of a stream file, or live stats of a "
+        "running server (pass host:port)",
     )
-    stats.add_argument("path")
+    stats.add_argument(
+        "path",
+        help="stream file path, or host:port of a running server",
+    )
     stats.add_argument(
         "--format", choices=("jsonl", "edges"), default="jsonl"
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw stats reply as JSON (host:port mode)",
     )
 
     serve = commands.add_parser(
@@ -263,6 +274,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the per-partition write-ahead batch journal "
         "(crashed non-idle workers then cannot recover losslessly)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="expose GET /metrics (Prometheus text format) on this "
+        "port: latency histograms, engine/WAL/lease gauges, drift "
+        "(0 = ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--drift-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay every Nth batch through the exact python scorer "
+        "and export the placement-quality drift vs production "
+        "(0 = off; optchain-family strategies only)",
+    )
+    serve.add_argument(
+        "--drift-window",
+        type=int,
+        default=20_000,
+        help="sampled transactions per rolling drift window",
+    )
+    serve.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.05,
+        help="cross-shard-rate delta above which the drift breach "
+        "counter increments",
+    )
+    serve.add_argument(
+        "--drift-min-samples",
+        type=int,
+        default=500,
+        help="window samples required before breaches are evaluated",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="replay a synthetic stream against a service"
@@ -365,6 +413,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--log",
         default=None,
         help="also append the chaos event log to this file",
+    )
+
+    soak = commands.add_parser(
+        "soak",
+        help="long-haul stability harness: sharded serve + loadgen "
+        "waves + kill/respawn chaos, gated on RSS growth, live-vector "
+        "bound, drift delta, and latency percentiles via /metrics",
+    )
+    soak.add_argument("--transactions", type=int, default=2_000_000)
+    soak.add_argument("--waves", type=int, default=20)
+    soak.add_argument("--workers", type=int, default=2)
+    soak.add_argument("--shards", type=int, default=8)
+    soak.add_argument(
+        "--method",
+        "--strategy",
+        default="optchain-topk:cap=auto:0.01",
+        help="strategy name or full spec string (see place --method)",
+    )
+    soak.add_argument("--lease-length", type=int, default=25_000)
+    soak.add_argument("--epoch-length", type=int, default=25_000)
+    soak.add_argument("--horizon-epochs", type=int, default=4)
+    soak.add_argument("--seed", type=int, default=1)
+    soak.add_argument("--users", type=int, default=4)
+    soak.add_argument("--chunk-size", type=int, default=256)
+    soak.add_argument(
+        "--kills",
+        type=int,
+        default=1,
+        help="lease-holding workers SIGKILLed across the run "
+        "(0 disables chaos)",
+    )
+    soak.add_argument(
+        "--drift-sample",
+        type=int,
+        default=8,
+        help="replay every Nth batch through the exact shadow "
+        "(0 disables the drift gate)",
+    )
+    soak.add_argument("--drift-window", type=int, default=20_000)
+    soak.add_argument("--drift-threshold", type=float, default=0.05)
+    soak.add_argument("--drift-min-samples", type=int, default=200)
+    soak.add_argument(
+        "--max-rss-growth",
+        type=float,
+        default=1.6,
+        help="worker RSS growth factor allowed from the first to the "
+        "last wave",
+    )
+    soak.add_argument(
+        "--max-drift-delta",
+        type=float,
+        default=0.05,
+        help="cross-shard-rate delta allowed vs the exact shadow",
+    )
+    soak.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=5000.0,
+        help="scrape-derived server-side p99 batch latency bound",
+    )
+    soak.add_argument(
+        "--workdir",
+        default=None,
+        help="scratch directory for checkpoints + journals "
+        "(default: a fresh temporary directory)",
+    )
+    soak.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON soak report here",
     )
     return parser
 
@@ -536,11 +655,151 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _parse_host_port(value: str) -> "tuple[str, int] | None":
+    """``host:port`` when it looks like one and is not an existing file."""
+    import os
+
+    if ":" not in value or os.path.exists(value):
+        return None
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        return None
+    return host, int(port)
+
+
+def _cmd_stats_server(args, host: str, port: int) -> int:
+    """``repro stats host:port``: live stats of a running server."""
+    import json as json_module
+
+    from repro.errors import ServiceError
+    from repro.obs.hist import LogHistogram
+    from repro.service.client import PlacementClient
+
+    try:
+        with PlacementClient(host, port, timeout=10.0) as client:
+            ping = client.ping()
+            reply = client.request({"op": "stats"})
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(
+            f"error: could not query {host}:{port}: {exc}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
+    if args.json:
+        print(json_module.dumps(reply, indent=2, sort_keys=True))
+        return 0
+
+    def row(label: str, value: Any) -> None:
+        print(f"{label + ':':<18}{value}")
+
+    def count(value: Any) -> str:
+        return f"{value:,}" if isinstance(value, int) else str(value)
+
+    stats = reply.get("stats") or {}
+    obs = reply.get("obs") or {}
+    row("server", f"{host}:{port} (protocol {ping.get('protocol')})")
+    row(
+        "strategy",
+        f"{stats.get('strategy')} (k={stats.get('n_shards')})",
+    )
+    row("placed", count(stats.get("n_placed")))
+    row(
+        "live vectors",
+        f"{count(stats.get('live_vectors'))} "
+        f"(peak {count(stats.get('peak_live_vectors'))}, "
+        f"released {count(stats.get('released_vectors'))})",
+    )
+    row("tracked unspent", count(stats.get("tracked_unspent")))
+    row(
+        "epoch",
+        f"{stats.get('epoch')} "
+        f"(horizon start {count(stats.get('horizon_start'))})",
+    )
+    support = stats.get("support")
+    if support:
+        row(
+            "support",
+            f"live {count(support.get('live_vectors'))}  "
+            f"mean nnz {support.get('mean_nnz', 0.0):.2f}  "
+            f"max nnz {support.get('max_nnz')}  "
+            f"cap {support.get('support_cap')}",
+        )
+    if ping.get("workers"):
+        recovering = ping.get("recovering") or []
+        row(
+            "workers",
+            f"{ping['workers']} (lease holder {ping.get('granted')}, "
+            "recovering "
+            + (", ".join(map(str, recovering)) if recovering else "none")
+            + ")",
+        )
+        row("degraded", stats.get("degraded") or "no")
+    metrics = obs.get("metrics")
+    if metrics:
+        snap = metrics.get("batch_latency")
+        if snap:
+            hist = LogHistogram.from_snapshot(snap)
+            if hist.count:
+                p50, p99, p999 = hist.percentiles((0.5, 0.99, 0.999))
+                row(
+                    "batch latency",
+                    f"p50 {p50 * 1e3:.2f}ms  p99 {p99 * 1e3:.2f}ms  "
+                    f"p999 {p999 * 1e3:.2f}ms  "
+                    f"({count(metrics.get('batches'))} batches, "
+                    f"{count(metrics.get('placed'))} txs)",
+                )
+        row(
+            "replies",
+            f"retry {metrics.get('retry_replies', 0)}  "
+            f"overload {metrics.get('overload_replies', 0)}  "
+            f"error {metrics.get('error_replies', 0)}",
+        )
+        if ping.get("workers"):
+            row(
+                "supervision",
+                f"respawns {metrics.get('respawns', 0)}  "
+                f"heartbeat timeouts "
+                f"{metrics.get('heartbeat_timeouts', 0)}",
+            )
+    wal = obs.get("wal")
+    if wal:
+        row(
+            "wal",
+            f"{wal.get('bytes_appended', 0) / 1024.0 / 1024.0:.2f} MiB "
+            f"appended  {count(wal.get('records_appended', 0))} records  "
+            f"{count(wal.get('fsyncs', 0))} fsyncs  "
+            f"{wal.get('resets', 0)} resets",
+        )
+    drift = obs.get("drift")
+    if drift:
+        if "delta" not in drift:
+            from repro.obs.drift import merge_drift_dicts
+
+            drift = merge_drift_dicts([drift])
+        row(
+            "drift",
+            f"delta {drift.get('delta', 0.0):+.4f} "
+            f"(prod {drift.get('production_cross_rate', 0.0):.4f} vs "
+            f"shadow {drift.get('shadow_cross_rate', 0.0):.4f})  "
+            f"disagree {drift.get('disagreement_rate', 0.0):.2%}  "
+            f"window {count(drift.get('window_sampled', 0))}  "
+            f"breaches {drift.get('breaches_total', 0)}"
+            + (f"  FAILED: {drift['failed']}" if drift.get("failed") else ""),
+        )
+    if obs.get("rss_kb") is not None:
+        row("rss", f"{obs['rss_kb'] / 1024.0:.1f} MiB")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from repro.datasets.io import load_edge_list, load_stream_jsonl
     from repro.txgraph.stats import graph_summary
     from repro.txgraph.tan import TaNGraph
 
+    server = _parse_host_port(args.path)
+    if server is not None:
+        return _cmd_stats_server(args, *server)
     if args.format == "jsonl":
         stream = list(load_stream_jsonl(args.path))
     else:
@@ -624,6 +883,8 @@ def _cmd_serve(args) -> int:
             horizon_epochs=args.horizon_epochs,
             truncate_spent=not args.no_truncate_spent,
         )
+    if args.drift_sample:
+        _attach_drift_monitor(engine, args)
 
     async def _run() -> None:
         server = PlacementServer(
@@ -634,6 +895,7 @@ def _cmd_serve(args) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_compress=args.checkpoint_compress,
             checkpoint_delta_every=args.checkpoint_delta,
+            metrics_port=args.metrics_port,
         )
         await server.start()
         loop = asyncio.get_running_loop()
@@ -646,6 +908,12 @@ def _cmd_serve(args) -> int:
             f"{args.host}:{server.port}",
             flush=True,
         )
+        if server.metrics_port is not None:
+            print(
+                f"metrics on http://{args.host}:{server.metrics_port}"
+                "/metrics",
+                flush=True,
+            )
         await server.wait_stopped()
         stats = engine.stats()
         print(
@@ -660,6 +928,32 @@ def _cmd_serve(args) -> int:
 
     asyncio.run(_run())
     return 0
+
+
+def _attach_drift_monitor(engine, args) -> None:
+    """Arm the single-process engine's drift monitor from the CLI flags
+    (sharded workers build their own from the worker spec)."""
+    from repro.core.spec import StrategySpec
+    from repro.errors import ConfigurationError
+    from repro.obs.drift import DriftMonitor
+
+    try:
+        monitor = DriftMonitor(
+            engine.n_shards,
+            method=StrategySpec.of_placer(engine.placer).method,
+            sample_every=args.drift_sample,
+            window=args.drift_window,
+            threshold=args.drift_threshold,
+            min_samples=args.drift_min_samples,
+        )
+    except ConfigurationError as exc:
+        print(f"error: --drift-sample: {exc}", file=sys.stderr, flush=True)
+        raise SystemExit(2)
+    if engine.n_placed:
+        # Restored mid-stream: the shadow starts empty at the cursor,
+        # same graceful truncation as a sharded lease.
+        monitor.rebase(engine.n_placed)
+    engine.drift_monitor = monitor
 
 
 def _restored_cap_setting(placer):
@@ -701,6 +995,22 @@ def _serve_sharded(args, strategy_spec) -> int:
         "horizon_epochs": args.horizon_epochs,
         "truncate_spent": not args.no_truncate_spent,
     }
+    if args.drift_sample:
+        # Fail here, not inside N spawned workers.
+        from repro.errors import ConfigurationError
+        from repro.obs.drift import shadow_method_for
+
+        try:
+            shadow_method_for(spec["method"])
+        except ConfigurationError as exc:
+            print(
+                f"error: --drift-sample: {exc}", file=sys.stderr, flush=True
+            )
+            raise SystemExit(2)
+        spec["drift_sample_every"] = args.drift_sample
+        spec["drift_window"] = args.drift_window
+        spec["drift_threshold"] = args.drift_threshold
+        spec["drift_min_samples"] = args.drift_min_samples
 
     async def _run() -> None:
         server = ShardedPlacementServer(
@@ -716,6 +1026,7 @@ def _serve_sharded(args, strategy_spec) -> int:
             heartbeat_interval=args.heartbeat,
             max_respawns=args.respawn_max,
             wal=not args.no_wal,
+            metrics_port=args.metrics_port,
         )
         await server.start()
         loop = asyncio.get_running_loop()
@@ -729,6 +1040,12 @@ def _serve_sharded(args, strategy_spec) -> int:
             f"(lease {args.lease_length})",
             flush=True,
         )
+        if server.metrics_port is not None:
+            print(
+                f"metrics on http://{args.host}:{server.metrics_port}"
+                "/metrics",
+                flush=True,
+            )
         await server.wait_stopped()
         print(
             f"stopped after {server._cursor} placements"
@@ -850,6 +1167,68 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.errors import ConfigurationError
+    from repro.obs.soak import run_soak
+
+    spec = _resolve_backend_or_exit(_build_spec(args))
+    try:
+        result = asyncio.run(
+            run_soak(
+                n_txs=args.transactions,
+                waves=args.waves,
+                workers=args.workers,
+                shards=args.shards,
+                method=str(spec),
+                lease_length=args.lease_length,
+                epoch_length=args.epoch_length,
+                horizon_epochs=args.horizon_epochs,
+                seed=args.seed,
+                users=args.users,
+                chunk_size=args.chunk_size,
+                kills=args.kills,
+                drift_sample=args.drift_sample,
+                drift_window=args.drift_window,
+                drift_threshold=args.drift_threshold,
+                drift_min_samples=args.drift_min_samples,
+                max_rss_growth=args.max_rss_growth,
+                max_drift_delta=args.max_drift_delta,
+                max_p99_s=args.max_p99_ms / 1e3,
+                workdir=args.workdir,
+                log=lambda message: print(message, flush=True),
+            )
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 2
+    except RuntimeError as exc:
+        print(f"error: soak aborted: {exc}", file=sys.stderr, flush=True)
+        return 1
+    if args.report:
+        with open(args.report, "w") as fh:
+            json_module.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not result["ok"]:
+        failed = [g["name"] for g in result["gates"] if not g["ok"]]
+        print(
+            f"error: soak gates failed: {', '.join(failed)}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
+    print(
+        f"soak ok: {result['n_txs']:,} placements in "
+        f"{result['elapsed_s']}s "
+        f"({result['placements_per_s']:,.0f} tx/s), "
+        f"{len(result['gates'])} gates passed",
+        flush=True,
+    )
+    return 0
+
+
 _HANDLERS = {
     "place": _cmd_place,
     "simulate": _cmd_simulate,
@@ -859,6 +1238,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
+    "soak": _cmd_soak,
 }
 
 

@@ -893,7 +893,9 @@ class OptChainPlacer(PlacementStrategy):
                 proxy._compact()
         return assignment[batch_start:]
 
-    def _choose(self, tx: Transaction) -> int:
+    def _decide(self, tx: Transaction) -> int:
+        """Score ``tx`` and pick its shard, leaving the decision
+        uncommitted (``scorer.place`` pending)."""
         scorer = self.scorer
         txid = tx.txid
         inputs = tx.inputs
@@ -908,19 +910,49 @@ class OptChainPlacer(PlacementStrategy):
         raw = scorer.add_transaction_raw(txid, input_ids, len(tx.outputs))
         path = self._path
         if path == _PATH_FUSED:
-            shard = self._fused_choose(input_ids, raw, self._proxy)
-        elif path == _PATH_T2S:
+            return self._fused_choose(input_ids, raw, self._proxy)
+        if path == _PATH_T2S:
             # No observable shards: fitness reduces to T2S with
             # lightest-shard tie-breaking.
-            shard = self._t2s_argmax(raw)
-        elif path == _PATH_TOTALS:
-            shard = self._scan_totals_choose(input_ids, raw, self._totals_fn())
-        else:
-            shard = self._generic_choose(tx, txid)
-        scorer.place(txid, shard)
+            return self._t2s_argmax(raw)
+        if path == _PATH_TOTALS:
+            return self._scan_totals_choose(input_ids, raw, self._totals_fn())
+        return self._generic_choose(tx, txid)
+
+    def _choose(self, tx: Transaction) -> int:
+        shard = self._decide(tx)
+        self.scorer.place(tx.txid, shard)
         if self._proxy is not None:
             self._proxy.record(shard)
         return shard
+
+    def place_observed(self, tx: Transaction, shard: int) -> int:
+        """Adopt an externally decided placement, returning the shard
+        this placer *would* have chosen.
+
+        The shadow-scoring primitive behind :mod:`repro.obs.drift`: the
+        drift monitor keeps an exact-path shadow placer whose history
+        tracks production assignments (so both policies are compared
+        against the same past), and uses the returned preference as the
+        one-step counterfactual. State afterwards is identical to
+        ``force_place(tx, shard)``.
+        """
+        if tx.txid != len(self._assignment):
+            raise PlacementError(
+                f"transactions must be placed in dense stream order: got "
+                f"{tx.txid}, expected {len(self._assignment)}"
+            )
+        if not 0 <= shard < self.n_shards:
+            raise PlacementError(
+                f"observed shard {shard} out of range [0, {self.n_shards})"
+            )
+        preferred = self._decide(tx)
+        self.scorer.place(tx.txid, shard)
+        if self._proxy is not None:
+            self._proxy.record(shard)
+        self._assignment.append(shard)
+        self._bump_shard_size(shard)
+        return preferred
 
     def _on_forced(self, tx: Transaction, shard: int) -> None:
         self.scorer.add_transaction_raw(

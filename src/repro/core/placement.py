@@ -133,6 +133,19 @@ class PlacementStrategy(ABC):
         (random hash, offline replay).
         """
 
+    def place_observed(self, tx: Transaction, shard: int) -> int:
+        """Adopt an external placement and return the shard this
+        strategy would have chosen (drift-monitor shadow scoring).
+
+        Only strategies whose decision step is separable from its
+        commit implement this; see
+        :meth:`repro.core.optchain.OptChainPlacer.place_observed`.
+        """
+        raise PlacementError(
+            f"{type(self).__name__} cannot score observed placements; "
+            "drift monitoring needs an optchain-family shadow"
+        )
+
     # -- shared queries ------------------------------------------------------
 
     @property

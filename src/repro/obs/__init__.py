@@ -1,0 +1,41 @@
+"""Production observability plane.
+
+Dependency-free building blocks for watching a serving deployment in
+flight:
+
+- :mod:`repro.obs.hist` - HDR-style log-bucketed latency histograms
+  (O(1) record, exact mergeability across processes).
+- :mod:`repro.obs.metrics` - the per-process counter/histogram bundle
+  the server, workers, and coordinator maintain, plus cross-partition
+  merging.
+- :mod:`repro.obs.prom` - Prometheus text-format rendering, a parser
+  for gates/tests, and a minimal asyncio ``GET /metrics`` responder.
+- :mod:`repro.obs.drift` - a sampled shadow scorer measuring placement
+  quality drift of a capped/vectorized production strategy against the
+  exact python path.
+- :mod:`repro.obs.soak` - the long-haul soak harness behind
+  ``repro soak`` (chaos + scrape + RSS/drift/latency gates).
+"""
+
+from repro.obs.drift import DriftMonitor, merge_drift_dicts
+from repro.obs.hist import LogHistogram
+from repro.obs.metrics import ServiceMetrics, merge_metric_dicts, rss_kb
+from repro.obs.prom import (
+    Family,
+    MetricsServer,
+    parse_prometheus_text,
+    render_families,
+)
+
+__all__ = [
+    "DriftMonitor",
+    "Family",
+    "LogHistogram",
+    "MetricsServer",
+    "ServiceMetrics",
+    "merge_drift_dicts",
+    "merge_metric_dicts",
+    "parse_prometheus_text",
+    "render_families",
+    "rss_kb",
+]

@@ -1,0 +1,330 @@
+"""Rolling placement-quality drift monitor.
+
+A capped (``cap=4``, ``cap=auto:...``) or vectorized (``backend=numpy``)
+production strategy is supposed to track the exact python OptChain
+policy within a small cross-shard-rate margin - that claim is bench'd
+offline, but a production stream can wander into regimes the bench
+never saw. :class:`DriftMonitor` measures it live:
+
+**Shadow state.** The monitor keeps a *shadow* exact-python placer
+(uncapped ``optchain``) whose history is production's history: every
+committed transaction is absorbed with the production-assigned shard
+(:meth:`~repro.core.placement.PlacementStrategy.force_place`), so the
+shadow's ancestry vectors and load proxy describe exactly the stream
+the production engine actually built. Engine truncation sweeps are
+mirrored, so shadow memory obeys the same epoch/horizon policy.
+
+**Sampled scoring.** Every ``sample_every``-th batch is *replayed*
+through the exact decision path:
+:meth:`~repro.core.optchain.OptChainPlacer.place_observed` scores each
+transaction with the exact policy, returns the shard it would have
+chosen (the one-step counterfactual against the shared history), then
+adopts the production shard. Per sampled transaction the monitor
+records whether production's choice and the exact choice are
+cross-shard with respect to their (production-placed) parents.
+
+**The drift signal.** Over a rolling window of sampled transactions the
+monitor exports ``production_cross_rate``, ``shadow_cross_rate``, their
+delta (positive = production places *worse* than the exact policy),
+and a disagreement rate. When the delta exceeds ``threshold`` with at
+least ``min_samples`` in the window, a breach counter increments -
+alert-shaped: wire it to a rate() alarm, gate it in soak.
+
+**Windowed (lease) mode.** Sharded workers only see their own leases,
+and a respawned process has no shadow history at all. ``rebase(cursor)``
+restarts the shadow at an arbitrary stream position: transactions are
+fed with txids translated to a fresh dense range and inputs older than
+the base dropped (a dropped parent scores as zero ancestry mass - the
+same graceful degradation as the engine's horizon policy, whose
+measured cost is small because spends are temporally local). Within a
+lease the comparison is apples-to-apples: both policies score with the
+identical truncated history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+from repro.core.placement import PlacementStrategy, make_placer
+from repro.errors import ConfigurationError
+from repro.utxo.transaction import OutPoint, Transaction
+
+__all__ = ["DriftMonitor", "merge_drift_dicts", "shadow_method_for"]
+
+#: Production methods the exact-python shadow can stand in for.
+_SHADOW_OF = {
+    "optchain": "optchain",
+    "optchain-topk": "optchain",
+}
+
+
+def shadow_method_for(method: str) -> str:
+    """Exact-reference strategy for a production method.
+
+    Accepts a bare method name or a full spec string
+    (``optchain-topk:cap=auto:0.01,backend=numpy``) - the shadow
+    ignores cap and backend by construction.
+    """
+    base = method.split(":", 1)[0]
+    try:
+        return _SHADOW_OF[base]
+    except KeyError:
+        known = ", ".join(sorted(_SHADOW_OF))
+        raise ConfigurationError(
+            f"drift monitoring has no exact shadow for strategy "
+            f"{base!r}; supported: {known}"
+        ) from None
+
+
+class DriftMonitor:
+    """Sampled shadow scorer comparing production placement quality
+    against the exact python path."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        method: str = "optchain-topk",
+        sample_every: int = 16,
+        window: int = 20_000,
+        threshold: float = 0.01,
+        min_samples: int = 500,
+    ) -> None:
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if threshold < 0:
+            raise ConfigurationError(
+                f"threshold must be >= 0, got {threshold}"
+            )
+        self.n_shards = n_shards
+        self.sample_every = sample_every
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._shadow_method = shadow_method_for(method)
+        self._shadow = self._fresh_shadow()
+        self._base = 0
+        self._batch_index = 0
+        #: Set by the engine if the monitor ever raised (detached).
+        self.failed: "str | None" = None
+        # Rolling window of per-sampled-batch aggregates plus their
+        # running sums: (sampled, prod_cross, shadow_cross, disagreed).
+        self._window: deque[tuple[int, int, int, int]] = deque()
+        self._win_sampled = 0
+        self._win_prod_cross = 0
+        self._win_shadow_cross = 0
+        self._win_disagreed = 0
+        # Lifetime counters (monotonic; exported as Prometheus counters).
+        self.sampled_txs_total = 0
+        self.observed_txs_total = 0
+        self.disagreements_total = 0
+        self.breaches_total = 0
+        self.rebases_total = 0
+
+    def _fresh_shadow(self) -> PlacementStrategy:
+        return make_placer(self._shadow_method, self.n_shards)
+
+    # -- stream hooks (called by PlacementEngine) --------------------------
+
+    def rebase(self, cursor: int) -> None:
+        """Restart the shadow at stream position ``cursor``.
+
+        Used when the monitor attaches mid-stream: at every sharded
+        lease grant, after a restore-from-checkpoint, or after a worker
+        respawn. History before ``cursor`` scores as zero ancestry mass
+        on both sides of the comparison.
+        """
+        if cursor < 0:
+            raise ConfigurationError(f"cursor must be >= 0, got {cursor}")
+        self._shadow = self._fresh_shadow()
+        self._base = cursor
+        self.rebases_total += 1
+
+    def observe_batch(
+        self, txs: Sequence[Transaction], shards: Sequence[int]
+    ) -> None:
+        """Absorb one committed production batch (txs + chosen shards)."""
+        self._batch_index += 1
+        sampled = self._batch_index % self.sample_every == 0
+        base = self._base
+        shadow = self._shadow
+        self.observed_txs_total += len(txs)
+        if not sampled:
+            if base == 0:
+                for tx, shard in zip(txs, shards):
+                    shadow.force_place(tx, shard)
+            else:
+                for tx, shard in zip(txs, shards):
+                    shadow.force_place(self._translate(tx), shard)
+            return
+        n_sampled = 0
+        prod_cross = 0
+        shadow_cross = 0
+        disagreed = 0
+        assignment = shadow._assignment
+        for tx, shard in zip(txs, shards):
+            ttx = tx if base == 0 else self._translate(tx)
+            preferred = shadow.place_observed(ttx, shard)
+            n_sampled += 1
+            if preferred != shard:
+                disagreed += 1
+            parents = ttx.input_txids
+            if not parents:
+                continue
+            # Both policies are judged against the same (production)
+            # parent placements - the one-step counterfactual.
+            if any(assignment[parent] != shard for parent in parents):
+                prod_cross += 1
+            if any(assignment[parent] != preferred for parent in parents):
+                shadow_cross += 1
+        self._commit_sample(n_sampled, prod_cross, shadow_cross, disagreed)
+
+    def _translate(self, tx: Transaction) -> Transaction:
+        """Shift ``tx`` into the shadow's dense range, dropping inputs
+        that reference history before the base."""
+        base = self._base
+        inputs = tuple(
+            OutPoint(outpoint.txid - base, outpoint.index)
+            for outpoint in tx.inputs
+            if outpoint.txid >= base
+        )
+        return Transaction(
+            txid=tx.txid - base,
+            inputs=inputs,
+            outputs=tx.outputs,
+            timestamp=tx.timestamp,
+            size_bytes=tx.size_bytes,
+            fee=tx.fee,
+        )
+
+    def release_vectors(self, txids) -> None:
+        """Mirror an engine truncation sweep into the shadow scorer."""
+        scorer = getattr(self._shadow, "scorer", None)
+        if scorer is None:
+            return
+        base = self._base
+        if base:
+            txids = [txid - base for txid in txids if txid >= base]
+        scorer.release_vectors(txids)
+
+    # -- window bookkeeping ------------------------------------------------
+
+    def _commit_sample(
+        self, sampled: int, prod_cross: int, shadow_cross: int, disagreed: int
+    ) -> None:
+        if not sampled:
+            return
+        self._window.append((sampled, prod_cross, shadow_cross, disagreed))
+        self._win_sampled += sampled
+        self._win_prod_cross += prod_cross
+        self._win_shadow_cross += shadow_cross
+        self._win_disagreed += disagreed
+        self.sampled_txs_total += sampled
+        self.disagreements_total += disagreed
+        while (
+            len(self._window) > 1
+            and self._win_sampled - self._window[0][0] >= self.window
+        ):
+            old = self._window.popleft()
+            self._win_sampled -= old[0]
+            self._win_prod_cross -= old[1]
+            self._win_shadow_cross -= old[2]
+            self._win_disagreed -= old[3]
+        if self._win_sampled >= self.min_samples and (
+            self.delta > self.threshold
+        ):
+            self.breaches_total += 1
+
+    # -- exported signal ---------------------------------------------------
+
+    @property
+    def production_cross_rate(self) -> float:
+        if not self._win_sampled:
+            return 0.0
+        return self._win_prod_cross / self._win_sampled
+
+    @property
+    def shadow_cross_rate(self) -> float:
+        if not self._win_sampled:
+            return 0.0
+        return self._win_shadow_cross / self._win_sampled
+
+    @property
+    def delta(self) -> float:
+        """Positive = production cross-shard rate exceeds the exact
+        policy's over the current window."""
+        return self.production_cross_rate - self.shadow_cross_rate
+
+    @property
+    def disagreement_rate(self) -> float:
+        if not self._win_sampled:
+            return 0.0
+        return self._win_disagreed / self._win_sampled
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe wire/stats form (merged by the coordinator)."""
+        return {
+            "window_sampled": self._win_sampled,
+            "window_prod_cross": self._win_prod_cross,
+            "window_shadow_cross": self._win_shadow_cross,
+            "window_disagreed": self._win_disagreed,
+            "sampled_txs_total": self.sampled_txs_total,
+            "observed_txs_total": self.observed_txs_total,
+            "disagreements_total": self.disagreements_total,
+            "breaches_total": self.breaches_total,
+            "rebases_total": self.rebases_total,
+            "threshold": self.threshold,
+            "failed": self.failed,
+        }
+
+
+def merge_drift_dicts(dicts: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Fold per-partition drift dicts into one service-level view.
+
+    Window aggregates and lifetime counters are additive; rates derive
+    from the merged window (sample-count weighted, i.e. the rate over
+    the union of sampled transactions).
+    """
+    keys = (
+        "window_sampled",
+        "window_prod_cross",
+        "window_shadow_cross",
+        "window_disagreed",
+        "sampled_txs_total",
+        "observed_txs_total",
+        "disagreements_total",
+        "breaches_total",
+        "rebases_total",
+    )
+    merged: dict[str, Any] = {key: 0 for key in keys}
+    merged["threshold"] = 0.0
+    merged["failed"] = None
+    for data in dicts:
+        if not data:
+            continue
+        for key in keys:
+            merged[key] += int(data.get(key, 0))
+        merged["threshold"] = max(
+            merged["threshold"], float(data.get("threshold", 0.0))
+        )
+        if data.get("failed") and merged["failed"] is None:
+            merged["failed"] = data["failed"]
+    sampled = merged["window_sampled"]
+    merged["production_cross_rate"] = (
+        merged["window_prod_cross"] / sampled if sampled else 0.0
+    )
+    merged["shadow_cross_rate"] = (
+        merged["window_shadow_cross"] / sampled if sampled else 0.0
+    )
+    merged["delta"] = (
+        merged["production_cross_rate"] - merged["shadow_cross_rate"]
+    )
+    merged["disagreement_rate"] = (
+        merged["window_disagreed"] / sampled if sampled else 0.0
+    )
+    return merged

@@ -1,0 +1,403 @@
+"""Prometheus text exposition (format 0.0.4) without dependencies.
+
+Three pieces:
+
+- :class:`Family` + :func:`render_families`: assemble counter/gauge/
+  histogram families into scrape text. Histogram families are fed from
+  :class:`~repro.obs.hist.LogHistogram` and exported at power-of-two
+  ``le`` edges (exact cumulative counts - the histogram's buckets never
+  straddle an octave), dense enough that p999 is derivable from the
+  scrape alone.
+- :func:`parse_prometheus_text`: a strict-enough parser for the CI
+  gates, soak harness, and tests (no promtool in the container).
+- :class:`MetricsServer`: a minimal HTTP/1.0 ``GET /metrics`` responder
+  that runs on the serving event loop, so a scrape never needs a
+  thread and observes the same memory the dispatcher writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Any, Awaitable, Callable, Iterable
+
+from repro.obs.hist import LogHistogram
+
+__all__ = [
+    "Family",
+    "MetricsServer",
+    "PromParseError",
+    "parse_prometheus_text",
+    "render_families",
+]
+
+_KINDS = ("counter", "gauge", "histogram", "untyped")
+
+#: Default ``le`` ladder: quarter-octave microsecond edges from 64 us
+#: to ~64 s (84 buckets). Every edge + 1 is a LogHistogram bucket
+#: boundary (sub-bucket ``s * 2**(e-2)``, ``s`` in 4..7, aligns with
+#: any precision >= 2), so the cumulative counts are exact and a
+#: scrape-derived quantile is within ``2**0.25`` (~19%) of the
+#: recorded value - tight enough to gate p999 from the scrape alone.
+DEFAULT_EDGES_TICKS = [
+    (s << (e - 2)) - 1 for e in range(6, 27) for s in (4, 5, 6, 7)
+]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class Family:
+    """One metric family: a TYPE/HELP header plus labeled samples."""
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: list[tuple[str, dict[str, str], float]] = []
+
+    def add(self, value: float, **labels: Any) -> "Family":
+        """Add one sample (counter/gauge/untyped families)."""
+        self.samples.append(
+            (self.name, {k: str(v) for k, v in labels.items()}, value)
+        )
+        return self
+
+    def add_histogram(
+        self,
+        hist: LogHistogram,
+        edges_ticks: "list[int] | None" = None,
+        **labels: Any,
+    ) -> "Family":
+        """Add one histogram series: ``_bucket`` ladder, ``_sum``, ``_count``."""
+        if self.kind != "histogram":
+            raise ValueError(f"family {self.name} is {self.kind}")
+        edges = edges_ticks if edges_ticks is not None else DEFAULT_EDGES_TICKS
+        base = {k: str(v) for k, v in labels.items()}
+        cumulative = hist.cumulative_ticks(edges)
+        for edge, count in zip(edges, cumulative):
+            bucket_labels = dict(base)
+            # Inclusive tick edge e covers durations < (e + 1) us.
+            bucket_labels["le"] = _format_value((edge + 1) / 1e6)
+            self.samples.append((self.name + "_bucket", bucket_labels, count))
+        inf_labels = dict(base)
+        inf_labels["le"] = "+Inf"
+        self.samples.append((self.name + "_bucket", inf_labels, hist.count))
+        self.samples.append((self.name + "_sum", base, hist.sum))
+        self.samples.append((self.name + "_count", dict(base), hist.count))
+        return self
+
+
+def render_families(families: Iterable[Family]) -> str:
+    """Render families to exposition text (trailing newline included)."""
+    lines: list[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for name, labels, value in family.samples:
+            lines.append(
+                f"{name}{_format_labels(labels)} {_format_value(value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing (tests / gates) -----------------------------------------------
+
+
+class PromParseError(ValueError):
+    """The scrape body is not valid exposition text."""
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        eq = text.index("=", index)
+        key = text[index:eq].strip().rstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise PromParseError(f"unquoted label value near {text[index:]!r}")
+        cursor = eq + 2
+        out: list[str] = []
+        while True:
+            char = text[cursor]
+            if char == "\\":
+                nxt = text[cursor + 1]
+                out.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt)
+                )
+                cursor += 2
+            elif char == '"':
+                cursor += 1
+                break
+            else:
+                out.append(char)
+                cursor += 1
+        labels[key] = "".join(out)
+        while cursor < len(text) and text[cursor] in ", ":
+            cursor += 1
+        index = cursor
+    return labels
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[str, dict[str, Any]]:
+    """Parse exposition text into families.
+
+    Returns ``{family_name: {"type": kind, "help": str, "samples":
+    {(sample_name, ((label, value), ...)): float}}}``. Histogram
+    ``_bucket``/``_sum``/``_count`` samples attach to their family
+    name. Raises :class:`PromParseError` on malformed lines - this is
+    the CI assertion that the endpoint speaks the format.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base != sample_name and base in families:
+                if families[base]["type"] == "histogram":
+                    return base
+        return sample_name
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise PromParseError(f"malformed comment line {raw!r}")
+            _, keyword, name = parts[:3]
+            rest = parts[3] if len(parts) > 3 else ""
+            entry = families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": {}}
+            )
+            if keyword == "TYPE":
+                if rest not in _KINDS:
+                    raise PromParseError(f"unknown TYPE {rest!r} in {raw!r}")
+                entry["type"] = rest
+            else:
+                entry["help"] = rest
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace != -1:
+            close = line.rfind("}")
+            if close == -1:
+                raise PromParseError(f"unterminated labels in {raw!r}")
+            sample_name = line[:brace]
+            labels = _parse_labels(line[brace + 1 : close])
+            value_text = line[close + 1 :].strip()
+        else:
+            fields = line.split()
+            if len(fields) < 2:
+                raise PromParseError(f"sample line without value: {raw!r}")
+            sample_name = fields[0]
+            labels = {}
+            value_text = fields[1]
+        value_text = value_text.split()[0]  # ignore optional timestamp
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise PromParseError(
+                f"bad value {value_text!r} in {raw!r}"
+            ) from exc
+        if not sample_name or not sample_name[0].isalpha() and sample_name[0] != "_":
+            raise PromParseError(f"bad sample name in {raw!r}")
+        entry = families.setdefault(
+            family_of(sample_name),
+            {"type": "untyped", "help": "", "samples": {}},
+        )
+        key = (sample_name, tuple(sorted(labels.items())))
+        entry["samples"][key] = value
+    return families
+
+
+def sample_value(
+    families: dict[str, dict[str, Any]],
+    family: str,
+    sample: "str | None" = None,
+    **labels: Any,
+) -> "float | None":
+    """Look up one sample by family, sample name, and exact labels."""
+    entry = families.get(family)
+    if entry is None:
+        return None
+    want = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    return entry["samples"].get((sample or family, want))
+
+
+def quantile_from_scrape(
+    families: dict[str, dict[str, Any]], family: str, q: float, **labels: Any
+) -> "float | None":
+    """Derive a quantile (seconds) from a scraped histogram family.
+
+    This is the "p999 derivable from the scrape alone" contract: walk
+    the cumulative ``_bucket`` ladder for the label set and return the
+    first ``le`` whose cumulative count covers rank ``ceil(q * count)``.
+    """
+    entry = families.get(family)
+    if entry is None or entry["type"] != "histogram":
+        return None
+    want = {k: str(v) for k, v in labels.items()}
+    ladder: list[tuple[float, float]] = []
+    for (name, label_items), value in entry["samples"].items():
+        if name != family + "_bucket":
+            continue
+        sample_labels = dict(label_items)
+        le = sample_labels.pop("le", None)
+        if le is None or sample_labels != want:
+            continue
+        ladder.append((float(le), value))
+    if not ladder:
+        return None
+    ladder.sort()
+    total = ladder[-1][1]  # +Inf bucket
+    if total <= 0:
+        return 0.0
+    rank = max(1.0, math.ceil(total * q))
+    for le, cumulative in ladder:
+        if cumulative >= rank:
+            return le
+    return ladder[-1][0]  # pragma: no cover - +Inf covers all ranks
+
+
+# -- the endpoint ----------------------------------------------------------
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Minimal asyncio ``GET /metrics`` responder.
+
+    ``render`` is an async callable returning the scrape body; it runs
+    on the serving loop, so it may await worker stats round-trips
+    (sharded mode) or read engine state directly (single-process). One
+    request per connection (HTTP/1.0 semantics, ``Connection: close``) -
+    scrapes are periodic and tiny, keep-alive buys nothing here.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], Awaitable[str]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self.host = host
+        self.port = port
+        self._server: "asyncio.AbstractServer | None" = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), timeout=10.0
+            )
+            parts = request.decode("latin-1", "replace").split()
+            # Drain headers so well-behaved clients see a clean close.
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=10.0
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) >= 2 and parts[0] == "GET" and (
+                parts[1] == "/metrics" or parts[1].startswith("/metrics?")
+            ):
+                body = (await self._render()).encode("utf-8")
+                status = "200 OK"
+            elif len(parts) >= 2 and parts[0] == "GET":
+                body = b"repro metrics endpoint; scrape /metrics\n"
+                status = "404 Not Found"
+            else:
+                body = b"only GET is supported\n"
+                status = "405 Method Not Allowed"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client reset
+                pass
+
+
+async def scrape_metrics(
+    host: str, port: int, timeout: float = 10.0
+) -> dict[str, dict[str, Any]]:
+    """Fetch and parse ``http://host:port/metrics`` (soak/CI helper)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /metrics HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    if " 200 " not in status + " ":
+        raise PromParseError(f"scrape failed: {status}")
+    return parse_prometheus_text(body.decode("utf-8"))

@@ -1,0 +1,390 @@
+"""Soak harness: long-running stability check of the sharded service.
+
+``repro soak`` (or :mod:`scripts.soak`) drives a real in-process
+:class:`~repro.service.coordinator.ShardedPlacementServer` with the
+standard load generator in **waves**, injects kill/respawn chaos
+mid-run, scrapes the live ``/metrics`` endpoint after every wave, and
+gates the run on the invariants a long-lived deployment must hold:
+
+- **Memory.** Worker RSS growth from the first to the last wave stays
+  under a factor (leaks compound; epoch truncation must hold RSS
+  roughly flat once warm), and per-partition live T2S vectors stay
+  under the horizon bound ``(horizon_epochs + 2) * epoch_length``.
+- **Quality.** The drift monitor's rolling cross-shard-rate delta
+  (production vs the exact python shadow) stays under a threshold.
+- **Latency.** Scrape-derived server-side p99 batch latency stays
+  under a bound (derived from the histogram ladder alone - the "p999
+  derivable from the scrape" contract, exercised here at p99).
+- **Recovery.** Every injected SIGKILL turns into a counted respawn,
+  the service never degrades, and no batch is answered with an error.
+
+Every gate reads from the scrape, not from in-process state: the soak
+doubles as an end-to-end test of the observability plane itself. The
+only in-process touches are operational (picking a victim pid, waiting
+for recovery to settle, shutdown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import tempfile
+import time
+from typing import Any, Callable
+
+from repro.datasets.synthetic import BitcoinLikeGenerator
+from repro.errors import ConfigurationError
+from repro.obs.prom import (
+    quantile_from_scrape,
+    sample_value,
+    scrape_metrics,
+)
+from repro.service.coordinator import ShardedPlacementServer
+from repro.service.loadgen import run_loadgen_async
+
+__all__ = ["run_soak"]
+
+
+def _labeled_values(
+    families: dict[str, dict[str, Any]], family: str, label: str
+) -> dict[str, float]:
+    """All samples of a gauge/counter family, keyed by one label."""
+    entry = families.get(family)
+    if entry is None:
+        return {}
+    out: dict[str, float] = {}
+    for (name, label_items), value in entry["samples"].items():
+        if name != family:
+            continue
+        labels = dict(label_items)
+        if label in labels:
+            out[labels[label]] = value
+    return out
+
+
+async def run_soak(
+    *,
+    n_txs: int = 200_000,
+    waves: int = 10,
+    workers: int = 2,
+    shards: int = 8,
+    method: str = "optchain-topk:cap=auto:0.01",
+    lease_length: int = 5_000,
+    epoch_length: int = 5_000,
+    horizon_epochs: "int | None" = 4,
+    seed: int = 1,
+    users: int = 4,
+    chunk_size: int = 256,
+    kills: int = 1,
+    drift_sample: int = 8,
+    drift_window: int = 20_000,
+    drift_threshold: float = 0.05,
+    drift_min_samples: int = 200,
+    max_rss_growth: float = 1.6,
+    max_drift_delta: float = 0.05,
+    max_p99_s: float = 5.0,
+    recovery_timeout: float = 120.0,
+    workdir: "str | None" = None,
+    log: "Callable[[str], None] | None" = print,
+) -> dict[str, Any]:
+    """Run one soak; returns a JSON-safe report with per-gate verdicts.
+
+    The report's ``ok`` is True iff every gate passed. Scale the run
+    with ``n_txs``/``waves`` - CI runs a tiny configuration with the
+    same gates active, nightly runs go to millions of transactions.
+    """
+    if waves < 2:
+        raise ConfigurationError(f"waves must be >= 2, got {waves}")
+    if kills >= waves - 1:
+        raise ConfigurationError(
+            f"kills must leave at least one clean wave before and "
+            f"after each ({kills} kills, {waves} waves)"
+        )
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    if workdir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-soak-")
+        workdir = scratch.name
+    else:
+        scratch = None
+    spec: dict[str, Any] = {
+        "method": method,
+        "n_shards": shards,
+        "epoch_length": epoch_length,
+        "horizon_epochs": horizon_epochs,
+        "truncate_spent": True,
+    }
+    if drift_sample:
+        spec["drift_sample_every"] = drift_sample
+        spec["drift_window"] = drift_window
+        spec["drift_threshold"] = drift_threshold
+        spec["drift_min_samples"] = drift_min_samples
+    # Kills land on interior waves, evenly spread; wave 0 establishes
+    # the RSS baseline and the final wave always runs on a healed
+    # service.
+    kill_waves = {
+        1 + (index * (waves - 2)) // kills for index in range(kills)
+    } if kills else set()
+
+    server = ShardedPlacementServer(
+        spec,
+        workers,
+        "127.0.0.1",
+        0,
+        lease_length=lease_length,
+        checkpoint_path=os.path.join(workdir, "soak.ckpt"),
+        metrics_port=0,
+    )
+    await server.start()
+    say(
+        f"soak: {n_txs:,} txs in {waves} waves against {workers} "
+        f"workers (k={shards}, {method}), {kills} kill(s), metrics on "
+        f":{server.metrics_port}"
+    )
+    generator = BitcoinLikeGenerator(seed=seed)
+    wave_reports: list[dict[str, Any]] = []
+    loadgen_errors = 0
+    started = time.perf_counter()
+    try:
+        for wave in range(waves):
+            remaining = n_txs - generator.n_generated
+            wave_txs = remaining // (waves - wave)
+            stream = generator.generate(wave_txs)
+            report = await run_loadgen_async(
+                "127.0.0.1",
+                server.port,
+                stream=stream,
+                n_users=users,
+                chunk_size=chunk_size,
+                seed=seed + wave,
+                request_timeout=60.0,
+                max_retries=10,
+                retry_backoff=0.05,
+            )
+            loadgen_errors += report.errors
+            if wave in kill_waves:
+                await _kill_one_worker(server, say, recovery_timeout)
+            scrape = await scrape_metrics(
+                "127.0.0.1", server.metrics_port
+            )
+            wave_reports.append(_wave_snapshot(wave, report, scrape))
+            say(
+                f"wave {wave + 1}/{waves}: "
+                f"{report.placements_per_s:,.0f} tx/s, "
+                f"{report.retries} retries, "
+                f"{report.errors} errors"
+            )
+        final = wave_reports[-1]
+        gates = _evaluate_gates(
+            wave_reports,
+            loadgen_errors=loadgen_errors,
+            kills=kills,
+            epoch_length=epoch_length,
+            horizon_epochs=horizon_epochs,
+            drift_enabled=bool(drift_sample),
+            drift_min_samples=drift_min_samples,
+            max_rss_growth=max_rss_growth,
+            max_drift_delta=max_drift_delta,
+            max_p99_s=max_p99_s,
+        )
+        elapsed = time.perf_counter() - started
+        result = {
+            "ok": all(gate["ok"] for gate in gates),
+            "n_txs": generator.n_generated,
+            "waves": waves,
+            "workers": workers,
+            "kills": kills,
+            "elapsed_s": round(elapsed, 2),
+            "placements_per_s": round(
+                generator.n_generated / elapsed, 1
+            ) if elapsed > 0 else 0.0,
+            "gates": gates,
+            "final": final,
+        }
+        for gate in gates:
+            say(
+                f"gate {gate['name']}: "
+                + ("ok" if gate["ok"] else "FAIL")
+                + f" ({gate['detail']})"
+            )
+        return result
+    finally:
+        await server.stop()
+        if scratch is not None:
+            scratch.cleanup()
+
+
+async def _kill_one_worker(
+    server: ShardedPlacementServer,
+    say: Callable[[str], None],
+    recovery_timeout: float,
+) -> None:
+    """SIGKILL the lease-holding worker, wait for the respawn to heal."""
+    victim = server._workers[server._granted]
+    process = victim.process
+    if process is None or process.pid is None:  # pragma: no cover
+        return
+    say(f"killing worker {victim.partition_id} (pid {process.pid})")
+    os.kill(process.pid, signal.SIGKILL)
+    deadline = time.monotonic() + recovery_timeout
+    while time.monotonic() < deadline:
+        await asyncio.sleep(0.1)
+        if server._degraded is not None:
+            raise RuntimeError(
+                f"service degraded after kill: {server._degraded}"
+            )
+        if victim.alive and not victim.recovering:
+            say(f"worker {victim.partition_id} recovered")
+            return
+    raise RuntimeError(
+        f"worker {victim.partition_id} did not recover within "
+        f"{recovery_timeout}s"
+    )
+
+
+def _merged_or_sum(
+    scrape: dict[str, dict[str, Any]], family: str
+) -> "float | None":
+    """The ``partition="all"`` sample when exported, else the sum of
+    the per-partition samples (None when the family is absent)."""
+    values = _labeled_values(scrape, family, "partition")
+    if not values:
+        return None
+    if "all" in values:
+        return values["all"]
+    return sum(values.values())
+
+
+def _wave_snapshot(
+    wave: int, report: Any, scrape: dict[str, dict[str, Any]]
+) -> dict[str, Any]:
+    """Everything the gates need from one post-wave scrape."""
+    p99 = quantile_from_scrape(
+        scrape, "repro_batch_latency_seconds", 0.99, partition="all"
+    )
+    if p99 is None:
+        p99 = quantile_from_scrape(
+            scrape, "repro_batch_latency_seconds", 0.99, partition="0"
+        )
+    drift_deltas = _labeled_values(scrape, "repro_drift_delta", "partition")
+    drift_delta = drift_deltas.get(
+        "all", drift_deltas.get(next(iter(drift_deltas), ""), None)
+    )
+    return {
+        "wave": wave,
+        "client_tx_per_s": round(report.placements_per_s, 1),
+        "client_errors": report.errors,
+        "client_retries": report.retries,
+        "rss_kb": _labeled_values(
+            scrape, "repro_rss_kilobytes", "process"
+        ),
+        "live_vectors": _labeled_values(
+            scrape, "repro_live_vectors", "partition"
+        ),
+        "p99_s": p99,
+        "drift_delta": drift_delta,
+        "drift_window_sampled": _merged_or_sum(
+            scrape, "repro_drift_window_sampled"
+        )
+        or 0.0,
+        "respawns": sample_value(
+            scrape,
+            "repro_worker_respawns_total",
+            partition="coordinator",
+        )
+        or 0.0,
+        "degraded": sample_value(scrape, "repro_degraded") or 0.0,
+        "error_replies": _merged_or_sum(
+            scrape, "repro_error_replies_total"
+        )
+        or 0.0,
+    }
+
+
+def _evaluate_gates(
+    wave_reports: list[dict[str, Any]],
+    *,
+    loadgen_errors: int,
+    kills: int,
+    epoch_length: int,
+    horizon_epochs: "int | None",
+    drift_enabled: bool,
+    drift_min_samples: int,
+    max_rss_growth: float,
+    max_drift_delta: float,
+    max_p99_s: float,
+) -> list[dict[str, Any]]:
+    baseline, final = wave_reports[0], wave_reports[-1]
+    gates: list[dict[str, Any]] = []
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        gates.append({"name": name, "ok": bool(ok), "detail": detail})
+
+    growth = 0.0
+    for process, base_kb in baseline["rss_kb"].items():
+        last_kb = final["rss_kb"].get(process)
+        if base_kb and last_kb:
+            growth = max(growth, last_kb / base_kb)
+    gate(
+        "rss_growth",
+        growth <= max_rss_growth,
+        f"max process growth x{growth:.3f} (limit x{max_rss_growth})",
+    )
+    if horizon_epochs is not None:
+        bound = (horizon_epochs + 2) * epoch_length
+        worst = max(final["live_vectors"].values(), default=0.0)
+        gate(
+            "live_vectors",
+            worst <= bound,
+            f"max partition {worst:,.0f} (bound {bound:,} = "
+            f"(horizon {horizon_epochs} + 2) * epoch {epoch_length:,})",
+        )
+    if drift_enabled:
+        sampled = final["drift_window_sampled"]
+        delta = final["drift_delta"]
+        if sampled >= drift_min_samples and delta is not None:
+            gate(
+                "drift_delta",
+                delta <= max_drift_delta,
+                f"delta {delta:+.4f} over {sampled:,.0f} sampled "
+                f"(limit {max_drift_delta})",
+            )
+        else:
+            gate(
+                "drift_delta",
+                False,
+                f"only {sampled:,.0f} sampled transactions in the "
+                f"window (need {drift_min_samples}); run longer or "
+                "raise --drift-sample frequency",
+            )
+    p99 = final["p99_s"]
+    gate(
+        "latency_p99",
+        p99 is not None and p99 <= max_p99_s,
+        f"server-side p99 {p99 if p99 is None else round(p99, 4)}s "
+        f"(limit {max_p99_s}s)",
+    )
+    if kills:
+        gate(
+            "respawns",
+            final["respawns"] >= kills,
+            f"{final['respawns']:.0f} respawns counted for {kills} "
+            "kill(s)",
+        )
+    gate(
+        "no_errors",
+        loadgen_errors == 0 and final["error_replies"] == 0,
+        f"{loadgen_errors} client errors, "
+        f"{final['error_replies']:.0f} server error replies",
+    )
+    gate(
+        "not_degraded",
+        final["degraded"] == 0.0,
+        "degraded gauge is "
+        + ("0" if final["degraded"] == 0.0 else "1"),
+    )
+    return gates

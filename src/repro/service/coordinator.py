@@ -54,6 +54,9 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.drift import merge_drift_dicts
+from repro.obs.metrics import merge_metric_dicts, rss_kb, service_families
+from repro.obs.prom import render_families
 from repro.service import channel as ch
 from repro.service.channel import ChannelClosed, FrameChannel
 from repro.service.journal import journal_path_for
@@ -153,6 +156,8 @@ class ShardedPlacementServer(PlacementServer):
         wal: bool = True,
         wal_sync_bytes: int = 1 << 20,
         faults: "dict[str, Any] | None" = None,
+        metrics_port: "int | None" = None,
+        metrics_host: "str | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(
@@ -166,6 +171,8 @@ class ShardedPlacementServer(PlacementServer):
             max_line_bytes=max_line_bytes,
             checkpoint_path=checkpoint_path,
             checkpoint_compress=checkpoint_compress,
+            metrics_port=metrics_port,
+            metrics_host=metrics_host,
         )
         self._spec = dict(spec)
         self._n_workers = n_workers
@@ -275,6 +282,8 @@ class ShardedPlacementServer(PlacementServer):
             limit=self._max_line_bytes,
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self._metrics_server is not None:
+            await self._metrics_server.start()
 
     def _spawn(self, handle: _WorkerHandle) -> None:
         spec = dict(self._spec)
@@ -401,6 +410,8 @@ class ShardedPlacementServer(PlacementServer):
             await asyncio.gather(
                 *list(self._respawn_tasks), return_exceptions=True
             )
+        if self._metrics_server is not None:
+            await self._metrics_server.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -655,6 +666,7 @@ class ShardedPlacementServer(PlacementServer):
                 process.kill()
                 process.join(timeout=5)
             waiter = self._await_hello(handle.partition_id)
+            self.metrics.respawns += 1
             self._spawn(handle)
             try:
                 await asyncio.wait_for(waiter, self._start_timeout)
@@ -743,6 +755,7 @@ class ShardedPlacementServer(PlacementServer):
                     # A hung worker is handled like a crashed one:
                     # killing it closes the channel, which fires the
                     # normal on-lost recovery path.
+                    self.metrics.heartbeat_timeouts += 1
                     if handle.process is not None:
                         handle.process.kill()
                 except ChannelClosed:
@@ -967,6 +980,7 @@ class ShardedPlacementServer(PlacementServer):
         for first, count, payload in segments:
             handle = self._workers[self._owner_of(first)]
             if not handle.alive or handle.channel is None:
+                self.metrics.retry_replies += 1
                 return {
                     "ok": False,
                     "code": "retry",
@@ -976,6 +990,7 @@ class ShardedPlacementServer(PlacementServer):
                     ),
                 }
             if handle.inflight >= self._max_inflight:
+                self.metrics.overload_replies += 1
                 return {
                     "ok": False,
                     "code": "overload",
@@ -997,6 +1012,7 @@ class ShardedPlacementServer(PlacementServer):
                         "code": "engine",
                         "error": f"service is degraded: {self._degraded}",
                     }
+                self.metrics.retry_replies += 1
                 return {
                     "ok": False,
                     "code": "retry",
@@ -1016,8 +1032,18 @@ class ShardedPlacementServer(PlacementServer):
 
     # -- stats merge -------------------------------------------------------
 
-    async def _merged_stats(self) -> dict:
-        per_partition = []
+    async def _collect_worker_stats(
+        self,
+    ) -> "tuple[list[dict[str, Any]], list[dict[str, Any]]]":
+        """One W_STATS fan-out: (engine stats, obs bundles) per worker.
+
+        A dead worker contributes a ``dead`` stats marker and no obs
+        entry - the scrape simply goes quiet for that partition until
+        it rejoins, which is itself a useful signal next to the
+        coordinator's ``recovering`` gauge.
+        """
+        per_partition: list[dict[str, Any]] = []
+        obs_entries: list[dict[str, Any]] = []
         for handle in self._workers:
             try:
                 response = await handle.request_json(ch.W_STATS)
@@ -1028,11 +1054,110 @@ class ShardedPlacementServer(PlacementServer):
                 continue
             if response.get("ok"):
                 per_partition.append(response["stats"])
+                obs = dict(response.get("obs") or {})
+                obs["partition_id"] = handle.partition_id
+                obs["engine"] = response["stats"]
+                obs_entries.append(obs)
+        return per_partition, obs_entries
+
+    def _merged_obs(
+        self, obs_entries: "list[dict[str, Any]]"
+    ) -> dict[str, Any]:
+        """Service-level observability sidecar of the ``stats`` reply.
+
+        Same shape as the monolith's (metrics/wal/rss_kb/drift) so
+        clients need no mode switch, plus the raw per-partition
+        bundles. The merged metrics fold the coordinator's own
+        counters (retry/overload/respawn/heartbeat) in with the
+        workers' - the histogram percentiles are exactly those of the
+        union of all workers' batches.
+        """
+        metric_dicts = [
+            entry.get("metrics")
+            for entry in obs_entries
+            if entry.get("metrics")
+        ]
+        metric_dicts.append(self.metrics.as_dict())
+        wal_dicts = [
+            entry.get("wal") for entry in obs_entries if entry.get("wal")
+        ]
+        merged_wal: "dict[str, int] | None" = None
+        if wal_dicts:
+            merged_wal = {
+                key: sum(int(data.get(key, 0)) for data in wal_dicts)
+                for key in (
+                    "bytes_appended",
+                    "records_appended",
+                    "fsyncs",
+                    "resets",
+                )
+            }
+        drift_dicts = [
+            entry.get("drift")
+            for entry in obs_entries
+            if entry.get("drift")
+        ]
+        per_partition = []
+        for entry in obs_entries:
+            slim = dict(entry)
+            slim.pop("engine", None)
+            per_partition.append(slim)
+        return {
+            "metrics": merge_metric_dicts(metric_dicts),
+            "wal": merged_wal,
+            "rss_kb": rss_kb(),
+            "drift": (
+                merge_drift_dicts(drift_dicts) if drift_dicts else None
+            ),
+            "partitions": per_partition,
+        }
+
+    async def _merged_stats(self) -> dict:
+        per_partition, obs_entries = await self._collect_worker_stats()
         merged = merge_partition_stats(
             per_partition, self._cursor, self._granted
         )
         merged["degraded"] = self._degraded
-        return {"ok": True, "stats": merged}
+        return {
+            "ok": True,
+            "stats": merged,
+            "obs": self._merged_obs(obs_entries),
+        }
+
+    async def _render_metrics(self) -> str:
+        """Scrape body for the sharded service: per-partition worker
+        bundles plus coordinator-side counters and lease/health gauges."""
+        _, obs_entries = await self._collect_worker_stats()
+        partitions = [
+            {
+                "partition": str(entry.get("partition_id", index)),
+                "engine": entry.get("engine"),
+                "metrics": entry.get("metrics"),
+                "wal": entry.get("wal"),
+                "drift": entry.get("drift"),
+                "rss_kb": entry.get("rss_kb"),
+            }
+            for index, entry in enumerate(obs_entries)
+        ]
+        families = service_families(
+            {
+                "spec": str(self._spec.get("method", "")),
+                "mode": "sharded",
+                "workers": self._n_workers,
+            },
+            partitions,
+            coordinator={
+                "metrics": self.metrics.as_dict(),
+                "rss_kb": rss_kb(),
+                "granted": self._granted,
+                "cursor": self._cursor,
+                "degraded": 0 if self._degraded is None else 1,
+                "recovering": sum(
+                    1 for handle in self._workers if handle.recovering
+                ),
+            },
+        )
+        return render_families(families)
 
 
 def merge_partition_stats(

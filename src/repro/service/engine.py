@@ -190,6 +190,12 @@ class PlacementEngine:
         self._horizon_start = 0
         self._epoch = 0
         self._peak_live = 0
+        # Optional placement-quality shadow (repro.obs.drift), attached
+        # by the serving layer. Observes committed batches and mirrors
+        # the truncation sweeps so its memory stays bounded by the same
+        # policy as the production scorer. Purely observational: a
+        # monitor failure detaches it instead of poisoning the engine.
+        self.drift_monitor: "Any | None" = None
 
     # -- queries -----------------------------------------------------------
 
@@ -287,6 +293,8 @@ class PlacementEngine:
             # serving from a desynced state.
             self._poisoned = True
             raise
+        if self.drift_monitor is not None:
+            self._observe_drift(batch, shards)
         if (
             self._placer.n_placed // self._epoch_length != self._epoch
         ):
@@ -480,6 +488,8 @@ class PlacementEngine:
             return
         if self._collect_spent and self._pending_release:
             scorer.release_vectors(self._pending_release)
+            if self.drift_monitor is not None:
+                self._observe_release(self._pending_release)
             self._pending_release.clear()
         if self._horizon_epochs is not None:
             self._drop_horizon(epoch)
@@ -501,6 +511,26 @@ class PlacementEngine:
             span = [txid for txid in span if txid not in exclude]
         if scorer is not None:
             scorer.release_vectors(span)
+            if self.drift_monitor is not None:
+                self._observe_release(span)
         for txid in span:
             remaining.pop(txid, None)
         self._horizon_start = new_start
+
+    # -- drift shadow (observational; never poisons the engine) ------------
+
+    def _observe_drift(self, batch, shards) -> None:
+        monitor = self.drift_monitor
+        try:
+            monitor.observe_batch(batch, shards)
+        except Exception as exc:  # pragma: no cover - defensive detach
+            monitor.failed = repr(exc)
+            self.drift_monitor = None
+
+    def _observe_release(self, txids) -> None:
+        monitor = self.drift_monitor
+        try:
+            monitor.release_vectors(txids)
+        except Exception as exc:  # pragma: no cover - defensive detach
+            monitor.failed = repr(exc)
+            self.drift_monitor = None

@@ -154,6 +154,13 @@ class BatchJournal:
         self.on_batch_append: "Callable[[BatchJournal], None] | None" = None
         self._fh: "io.BufferedWriter | None" = None
         self._unsynced = 0
+        # Lifetime observability counters (survive reset(): they count
+        # work done, not bytes currently on disk). Exported through
+        # W_STATS into the metrics endpoint.
+        self.bytes_appended = 0
+        self.records_appended = 0
+        self.fsyncs = 0
+        self.resets = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -208,6 +215,8 @@ class BatchJournal:
         os.replace(tmp, self.path)
         self._fh = open(self.path, "ab")
         self._unsynced = 0
+        self.fsyncs += 1  # the header fsync above
+        self.resets += 1
 
     def close(self) -> None:
         if self._fh is not None:
@@ -236,7 +245,10 @@ class BatchJournal:
         # then loses nothing. fsync - host-crash durability - is
         # batched; CRC framing makes the undersynced tail detectable.
         fh.flush()
-        self._unsynced += _RECORD.size + len(payload)
+        size = _RECORD.size + len(payload)
+        self._unsynced += size
+        self.bytes_appended += size
+        self.records_appended += 1
         if self.sync_every_bytes and self._unsynced >= self.sync_every_bytes:
             self.sync()
 
@@ -244,6 +256,16 @@ class BatchJournal:
         if self._fh is not None and self._unsynced:
             os.fsync(self._fh.fileno())
             self._unsynced = 0
+            self.fsyncs += 1
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime WAL counters (metrics endpoint / W_STATS)."""
+        return {
+            "bytes_appended": self.bytes_appended,
+            "records_appended": self.records_appended,
+            "fsyncs": self.fsyncs,
+            "resets": self.resets,
+        }
 
     def append_batch(
         self,

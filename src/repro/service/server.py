@@ -34,9 +34,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+from time import perf_counter
 from typing import Any
 
 from repro.errors import EngineError, ProtocolError
+from repro.obs.metrics import ServiceMetrics, rss_kb, service_families
+from repro.obs.prom import MetricsServer, render_families
 from repro.service.engine import PlacementEngine
 from repro.service.wire import (
     BIN_MAGIC,
@@ -92,6 +95,8 @@ class PlacementServer:
         checkpoint_path: "str | None" = None,
         checkpoint_compress: bool = False,
         checkpoint_delta_every: "int | None" = None,
+        metrics_port: "int | None" = None,
+        metrics_host: "str | None" = None,
     ) -> None:
         self._engine = engine
         self._host = host
@@ -114,6 +119,19 @@ class PlacementServer:
         self._stopped = asyncio.Event()
         self._line_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        #: Live serving metrics (always on: one histogram record and
+        #: two integer bumps per dispatched micro-batch, bench-gated
+        #: under 5% of engine throughput).
+        self.metrics = ServiceMetrics()
+        self._metrics_server: "MetricsServer | None" = (
+            MetricsServer(
+                self._render_metrics,
+                host=metrics_host if metrics_host is not None else host,
+                port=metrics_port,
+            )
+            if metrics_port is not None
+            else None
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -126,6 +144,13 @@ class PlacementServer:
         """The bound port (useful when constructed with port 0)."""
         return self._port
 
+    @property
+    def metrics_port(self) -> "int | None":
+        """Bound ``/metrics`` port, None when the endpoint is off."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.port
+
     async def start(self) -> None:
         self._server = await asyncio.start_server(
             self._on_connection,
@@ -134,6 +159,8 @@ class PlacementServer:
             limit=self._max_line_bytes,
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self._metrics_server is not None:
+            await self._metrics_server.start()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
     async def stop(self) -> None:
@@ -157,6 +184,8 @@ class PlacementServer:
             )
         if self._checkpoint_path is not None:
             self._do_checkpoint(self._checkpoint_path)
+        if self._metrics_server is not None:
+            await self._metrics_server.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -393,7 +422,11 @@ class PlacementServer:
         if op == "place":
             return await self._handle_place(message)
         if op == "stats":
-            return {"ok": True, "stats": self._engine.stats().as_dict()}
+            return {
+                "ok": True,
+                "stats": self._engine.stats().as_dict(),
+                "obs": self._obs_dict(),
+            }
         if op == "checkpoint":
             path = message.get("path") or self._checkpoint_path
             if not path:
@@ -413,6 +446,41 @@ class PlacementServer:
         # (a line task stop() would otherwise wait on) can finish.
         asyncio.get_running_loop().create_task(self.stop())
         return {"ok": True}
+
+    def _obs_dict(self) -> dict[str, Any]:
+        """Observability sidecar of the ``stats`` reply."""
+        monitor = self._engine.drift_monitor
+        return {
+            "metrics": self.metrics.as_dict(),
+            "wal": None,
+            "rss_kb": rss_kb(),
+            "drift": monitor.as_dict() if monitor is not None else None,
+        }
+
+    async def _render_metrics(self) -> str:
+        """Scrape body for the single-process server (overridden by the
+        sharded coordinator, which aggregates worker stats)."""
+        engine_stats = self._engine.stats().as_dict()
+        monitor = self._engine.drift_monitor
+        families = service_families(
+            {
+                "spec": engine_stats.get("spec", ""),
+                "mode": "single",
+                "workers": 0,
+            },
+            [
+                {
+                    "partition": "0",
+                    "engine": engine_stats,
+                    "metrics": self.metrics.as_dict(),
+                    "drift": (
+                        monitor.as_dict() if monitor is not None else None
+                    ),
+                    "rss_kb": rss_kb(),
+                }
+            ],
+        )
+        return render_families(families)
 
     def _do_checkpoint(self, path: "str | pathlib.Path") -> int:
         """One checkpoint at the configured full/delta cadence.
@@ -494,6 +562,7 @@ class PlacementServer:
             # Likely the same client retrying while its original
             # request still waits for a txid gap: retryable, the
             # original will answer (or fail) soon.
+            self.metrics.retry_replies += 1
             return {
                 "ok": False,
                 "code": "retry",
@@ -503,6 +572,7 @@ class PlacementServer:
                 ),
             }
         if len(self._pending) >= self._max_reorder:
+            self.metrics.overload_replies += 1
             return {
                 "ok": False,
                 "code": "overload",
@@ -581,8 +651,13 @@ class PlacementServer:
                 batch.extend(follower.txs)
                 run_next += len(follower.txs)
             try:
+                started = perf_counter()
                 shards = engine.place_batch(batch)
+                self.metrics.record_batch(
+                    len(batch), perf_counter() - started
+                )
             except EngineError as exc:
+                self.metrics.error_replies += 1
                 if len(group) == 1:
                     entry.fail("engine", str(exc))
                     continue
@@ -592,8 +667,14 @@ class PlacementServer:
                 # which is the honest outcome).
                 for member in group:
                     try:
-                        member.resolve(engine.place_batch(member.txs))
+                        started = perf_counter()
+                        shards = engine.place_batch(member.txs)
+                        self.metrics.record_batch(
+                            len(member.txs), perf_counter() - started
+                        )
+                        member.resolve(shards)
                     except EngineError as member_exc:
+                        self.metrics.error_replies += 1
                         member.fail("engine", str(member_exc))
                 continue
             except Exception as exc:  # noqa: BLE001 - a placer bug must

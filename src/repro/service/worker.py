@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import asyncio
 import os
+from time import perf_counter
 from typing import Any
 
 from repro.errors import EngineError, ProtocolError, RetryLaterError
+from repro.obs.metrics import ServiceMetrics, rss_kb
 from repro.service import channel as ch
 from repro.service.channel import ChannelClosed, FrameChannel
 from repro.service.engine import PlacementEngine
@@ -149,6 +151,9 @@ class PlacementWorker:
         # Optional deterministic fault injector (service.faults); duck
         # interface: maybe_kill(stage). None in production.
         self.faults: "Any | None" = None
+        #: Per-partition serving metrics, shipped to the coordinator in
+        #: every W_STATS reply (the scrape path).
+        self.metrics = ServiceMetrics()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -210,7 +215,22 @@ class PlacementWorker:
             response = {"ok": True}
         elif kind == ch.W_STATS:
             async with self._engine_lock:
-                response = {"ok": True, "stats": self._partition.stats()}
+                journal = self._partition.journal
+                monitor = self._partition.engine.drift_monitor
+                response = {
+                    "ok": True,
+                    "stats": self._partition.stats(),
+                    "obs": {
+                        "metrics": self.metrics.as_dict(),
+                        "wal": (
+                            journal.stats() if journal is not None else None
+                        ),
+                        "rss_kb": rss_kb(),
+                        "drift": (
+                            monitor.as_dict() if monitor is not None else None
+                        ),
+                    },
+                }
         elif kind == ch.W_CHECKPOINT:
             response = await self._handle_checkpoint(payload)
         elif kind == ch.W_RESUME:
@@ -285,6 +305,7 @@ class PlacementWorker:
             # The original submission is still in flight (the retry
             # raced it); back off and resubmit - by then the range is
             # either placed (answered from the record) or failed.
+            self.metrics.retry_replies += 1
             return {
                 "ok": False,
                 "code": "retry",
@@ -292,6 +313,7 @@ class PlacementWorker:
                 "already queued; retry later",
             }
         if len(self._queue) >= self._max_reorder:
+            self.metrics.overload_replies += 1
             return {
                 "ok": False,
                 "code": "overload",
@@ -311,6 +333,12 @@ class PlacementWorker:
             hot = body.get("hot")
             if hot is not None:
                 self._partition.import_hot_state(hot)
+            monitor = self._partition.engine.drift_monitor
+            if monitor is not None:
+                # A new lease starts a new contiguous txid run (the gap
+                # is other partitions' leases): restart the shadow at
+                # the granted cursor. See obs.drift "windowed mode".
+                monitor.rebase(self._partition.n_placed)
         self._granted = True
         self._kick.set()
         return {"ok": True, "n_placed": self._partition.n_placed}
@@ -426,8 +454,15 @@ class PlacementWorker:
                 run_next += len(follower.txs)
             async with self._engine_lock:
                 try:
+                    started = perf_counter()
                     shards = await self._place_with_remotes(
                         batch, segments
+                    )
+                    # Includes acquire/writeback round-trips: this is
+                    # the latency a client's batch actually observes
+                    # at this partition.
+                    self.metrics.record_batch(
+                        len(batch), perf_counter() - started
                     )
                 except RetryLaterError as exc:
                     # A foreign owner is recovering: nothing placed;
@@ -437,6 +472,7 @@ class PlacementWorker:
                         member.fail("retry", str(exc))
                     continue
                 except EngineError as exc:
+                    self.metrics.error_replies += 1
                     if len(group) == 1:
                         entry.fail("engine", str(exc))
                         continue
@@ -587,6 +623,24 @@ async def _run_worker(
             partition.engine.last_snapshot_nonce or "",
         )
         partition.journal = journal
+    sample_every = spec.get("drift_sample_every") or 0
+    if sample_every > 0:
+        # Attach after WAL replay: replay may import grants/pads that
+        # bypass the engine's batch path, so the shadow starts at the
+        # recovered cursor (a rebase also happens at every grant).
+        from repro.obs.drift import DriftMonitor
+
+        monitor = DriftMonitor(
+            spec["n_shards"],
+            method=spec["method"],
+            sample_every=sample_every,
+            window=spec.get("drift_window", 20_000),
+            threshold=spec.get("drift_threshold", 0.01),
+            min_samples=spec.get("drift_min_samples", 500),
+        )
+        if partition.n_placed:
+            monitor.rebase(partition.n_placed)
+        partition.engine.drift_monitor = monitor
     worker = PlacementWorker(
         partition,
         max_batch_txs=spec.get("max_batch_txs", 8192),

@@ -1,0 +1,249 @@
+"""DriftMonitor: shadow agreement, windowed mode, merging, engine hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import make_placer
+from repro.datasets.synthetic import synthetic_stream
+from repro.errors import ConfigurationError
+from repro.obs.drift import DriftMonitor, merge_drift_dicts, shadow_method_for
+from repro.service.engine import PlacementEngine
+
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_stream(3_000, seed=13)
+
+
+def feed(monitor, stream, shards, chunk=100):
+    for offset in range(0, len(stream), chunk):
+        monitor.observe_batch(
+            stream[offset : offset + chunk],
+            shards[offset : offset + chunk],
+        )
+
+
+class TestShadowMethod:
+    def test_bare_and_spec_strings(self):
+        assert shadow_method_for("optchain") == "optchain"
+        assert shadow_method_for("optchain-topk") == "optchain"
+        assert (
+            shadow_method_for("optchain-topk:cap=auto:0.01,backend=numpy")
+            == "optchain"
+        )
+
+    def test_unsupported_strategy(self):
+        with pytest.raises(ConfigurationError, match="no exact shadow"):
+            shadow_method_for("hash")
+
+    def test_config_validation(self):
+        for kwargs in (
+            {"sample_every": 0},
+            {"window": 0},
+            {"threshold": -0.1},
+        ):
+            with pytest.raises(ConfigurationError):
+                DriftMonitor(N_SHARDS, **kwargs)
+
+
+class TestAgreement:
+    def test_exact_production_has_zero_drift(self, stream):
+        """Feeding the monitor the exact policy's own placements must
+        yield delta 0 and disagreement 0 - the shadow replays the
+        identical decision function over the identical history."""
+        placer = make_placer("optchain", N_SHARDS)
+        shards = placer.place_stream(stream)
+        monitor = DriftMonitor(
+            N_SHARDS, method="optchain", sample_every=2, min_samples=100
+        )
+        feed(monitor, stream, shards)
+        assert monitor.sampled_txs_total > 500
+        assert monitor.disagreement_rate == 0.0
+        assert monitor.delta == 0.0
+        assert monitor.breaches_total == 0
+
+    def test_capped_production_measurable(self, stream):
+        """A tightly capped strategy disagrees with the exact shadow on
+        some placements; the signal must be visible and the lifetime
+        counters consistent."""
+        placer = make_placer("optchain-topk", N_SHARDS, support_cap=1)
+        shards = placer.place_stream(stream)
+        monitor = DriftMonitor(
+            N_SHARDS, method="optchain-topk", sample_every=1, min_samples=50
+        )
+        feed(monitor, stream, shards)
+        assert monitor.sampled_txs_total == len(stream)
+        assert monitor.observed_txs_total == len(stream)
+        assert monitor.disagreements_total > 0
+        assert 0.0 < monitor.disagreement_rate <= 1.0
+        # Production can only be as good as or worse than the exact
+        # one-step policy under the one-step counterfactual.
+        assert monitor.delta >= 0.0
+
+    def test_threshold_breach_counter(self, stream):
+        placer = make_placer("optchain-topk", N_SHARDS, support_cap=1)
+        shards = placer.place_stream(stream)
+        monitor = DriftMonitor(
+            N_SHARDS,
+            method="optchain-topk",
+            sample_every=1,
+            threshold=0.0,
+            min_samples=1,
+        )
+        baseline = DriftMonitor(
+            N_SHARDS,
+            method="optchain-topk",
+            sample_every=1,
+            threshold=1.0,
+            min_samples=1,
+        )
+        feed(monitor, stream, shards)
+        feed(baseline, stream, shards)
+        if monitor.delta > 0:
+            assert monitor.breaches_total > 0
+        assert baseline.breaches_total == 0
+
+
+class TestWindow:
+    def test_window_rolls(self, stream):
+        placer = make_placer("optchain", N_SHARDS)
+        shards = placer.place_stream(stream)
+        monitor = DriftMonitor(
+            N_SHARDS, method="optchain", sample_every=1, window=200
+        )
+        feed(monitor, stream, shards, chunk=50)
+        # Window bounded by window + one batch of slack.
+        assert monitor._win_sampled <= 200 + 50
+        assert monitor.sampled_txs_total == len(stream)
+
+
+class TestRebase:
+    def test_windowed_mode_mid_stream(self, stream):
+        """Attach at an arbitrary cursor (worker respawn): txids are
+        translated, pre-base parents dropped, and the monitor still
+        scores every post-base transaction."""
+        placer = make_placer("optchain", N_SHARDS)
+        shards = placer.place_stream(stream)
+        cut = 1_500
+        monitor = DriftMonitor(N_SHARDS, method="optchain", sample_every=1)
+        monitor.rebase(cut)
+        assert monitor.rebases_total == 1
+        feed(monitor, stream[cut:], shards[cut:])
+        assert monitor.sampled_txs_total == len(stream) - cut
+        assert monitor.failed is None
+        # Translated shadow holds only post-cut history.
+        assert monitor._shadow.n_placed == len(stream) - cut
+
+    def test_rebase_negative_cursor(self):
+        with pytest.raises(ConfigurationError):
+            DriftMonitor(N_SHARDS).rebase(-1)
+
+
+class TestRelease:
+    def test_release_mirrored_and_translated(self, stream):
+        placer = make_placer("optchain", N_SHARDS)
+        shards = placer.place_stream(stream)
+        monitor = DriftMonitor(N_SHARDS, method="optchain", sample_every=4)
+        monitor.rebase(1_000)
+        feed(monitor, stream[1_000:], shards[1_000:])
+        scorer = monitor._shadow.scorer
+        before = scorer.live_vector_count
+        # Sweep a txid range spanning the base: pre-base ids are
+        # silently dropped, post-base ids release shadow vectors.
+        monitor.release_vectors(range(0, 1_800))
+        assert scorer.live_vector_count < before
+        monitor.release_vectors(range(0, 1_000))  # all pre-base: no-op
+
+
+class TestMerge:
+    def test_merge_single_derives_rates(self, stream):
+        placer = make_placer("optchain-topk", N_SHARDS, support_cap=1)
+        shards = placer.place_stream(stream)
+        monitor = DriftMonitor(
+            N_SHARDS, method="optchain-topk", sample_every=1
+        )
+        feed(monitor, stream, shards)
+        merged = merge_drift_dicts([monitor.as_dict()])
+        assert merged["delta"] == pytest.approx(monitor.delta)
+        assert merged["production_cross_rate"] == pytest.approx(
+            monitor.production_cross_rate
+        )
+        assert merged["disagreement_rate"] == pytest.approx(
+            monitor.disagreement_rate
+        )
+
+    def test_merge_weights_by_samples(self):
+        a = {
+            "window_sampled": 100,
+            "window_prod_cross": 50,
+            "window_shadow_cross": 0,
+            "window_disagreed": 10,
+            "threshold": 0.05,
+        }
+        b = {
+            "window_sampled": 300,
+            "window_prod_cross": 30,
+            "window_shadow_cross": 30,
+            "window_disagreed": 0,
+            "threshold": 0.01,
+        }
+        merged = merge_drift_dicts([a, b])
+        assert merged["window_sampled"] == 400
+        assert merged["production_cross_rate"] == pytest.approx(80 / 400)
+        assert merged["shadow_cross_rate"] == pytest.approx(30 / 400)
+        assert merged["delta"] == pytest.approx(50 / 400)
+        assert merged["threshold"] == 0.05
+
+    def test_merge_empty(self):
+        merged = merge_drift_dicts([])
+        assert merged["delta"] == 0.0
+        assert merged["failed"] is None
+
+    def test_merge_propagates_failure(self):
+        merged = merge_drift_dicts([{}, {"failed": "boom"}])
+        assert merged["failed"] == "boom"
+
+
+class TestEngineHooks:
+    def test_engine_feeds_monitor_and_mirrors_sweeps(self, stream):
+        engine = PlacementEngine(
+            make_placer("optchain", N_SHARDS),
+            epoch_length=500,
+            horizon_epochs=1,
+        )
+        monitor = DriftMonitor(N_SHARDS, method="optchain", sample_every=2)
+        engine.drift_monitor = monitor
+        for offset in range(0, len(stream), 100):
+            engine.place_batch(stream[offset : offset + 100])
+        assert monitor.observed_txs_total == len(stream)
+        assert monitor.sampled_txs_total > 0
+        assert monitor.delta == 0.0
+        # Truncation sweeps were mirrored: shadow memory obeys the
+        # engine's horizon policy instead of growing with the stream.
+        shadow_live = monitor._shadow.scorer.live_vector_count
+        engine_live = engine.stats().live_vectors
+        assert shadow_live <= engine_live + 500
+
+    def test_monitor_failure_detaches_not_poisons(self, stream):
+        engine = PlacementEngine(
+            make_placer("optchain", N_SHARDS), epoch_length=1_000
+        )
+
+        class Exploding:
+            failed = None
+
+            def observe_batch(self, txs, shards):
+                raise RuntimeError("shadow bug")
+
+            def release_vectors(self, txids):
+                raise RuntimeError("shadow bug")
+
+        engine.drift_monitor = Exploding()
+        shards = engine.place_batch(stream[:100])
+        assert len(shards) == 100  # placement unaffected
+        assert engine.drift_monitor is None
+        shards = engine.place_batch(stream[100:200])
+        assert len(shards) == 100

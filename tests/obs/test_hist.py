@@ -1,0 +1,186 @@
+"""LogHistogram: bucket math, percentiles, merge exactness, wire form."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.hist import LogHistogram
+
+
+class TestIndexMath:
+    def test_exact_region_one_bucket_per_tick(self):
+        hist = LogHistogram(precision=5)
+        for ticks in range(2 << 5):
+            assert hist._index_of(ticks) == ticks
+
+    def test_indices_monotone_and_bounds_partition_the_line(self):
+        hist = LogHistogram(precision=3)
+        previous = -1
+        for ticks in range(0, 5_000):
+            index = hist._index_of(ticks)
+            assert index >= previous
+            previous = index
+            lo, hi = hist._bucket_bounds_ticks(index)
+            assert lo <= ticks < hi
+
+    def test_buckets_never_straddle_octave_boundary(self):
+        # The Prometheus exporter's exact-cumulative-count contract.
+        hist = LogHistogram(precision=5)
+        for e in range(6, 27):
+            boundary = 1 << e
+            lo, _ = hist._bucket_bounds_ticks(hist._index_of(boundary))
+            assert lo == boundary
+
+    def test_relative_error_bound(self):
+        precision = 4
+        hist = LogHistogram(precision=precision)
+        for ticks in (97, 1_234, 999_999, 123_456_789):
+            lo, hi = hist._bucket_bounds_ticks(hist._index_of(ticks))
+            assert (hi - lo) <= max(1, lo * 2**-precision)
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(precision=13)
+        with pytest.raises(ValueError):
+            LogHistogram(precision=-1)
+
+
+class TestRecordAndQuery:
+    def test_empty(self):
+        hist = LogHistogram()
+        assert hist.count == 0
+        assert hist.percentile(0.99) == 0.0
+        assert hist.mean == 0.0
+        assert hist.max == 0.0
+
+    def test_negative_clamps_to_zero(self):
+        hist = LogHistogram()
+        hist.record(-1.0)
+        assert hist.count == 1
+        assert hist.max_tick == 0
+
+    def test_percentile_conservative_bound(self):
+        precision = 5
+        hist = LogHistogram(precision=precision)
+        rng = random.Random(42)
+        values = [rng.uniform(1e-5, 2.0) for _ in range(5_000)]
+        for value in values:
+            hist.record(value)
+        values.sort()
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            reported = hist.percentile(q)
+            # Upper bucket edge: never more than one relative step high,
+            # never below the value two ranks earlier.
+            assert reported <= exact * (1 + 2**-precision) + 2e-6
+            assert reported >= values[max(0, int(q * len(values)) - 2)] * (
+                1 - 2**-precision
+            )
+
+    def test_percentile_never_exceeds_recorded_max(self):
+        hist = LogHistogram()
+        hist.record_ticks(1_000_003)
+        assert hist.percentile(1.0) == pytest.approx(1.000003)
+
+    def test_percentiles_sequence_form(self):
+        hist = LogHistogram()
+        for ticks in (10, 20, 30):
+            hist.record_ticks(ticks)
+        p50, p99 = hist.percentiles((0.5, 0.99))
+        assert p50 == hist.percentile(0.5)
+        assert p99 == hist.percentile(0.99)
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            LogHistogram().percentile(1.5)
+
+    def test_sum_and_mean(self):
+        hist = LogHistogram()
+        hist.record_ticks(100, n=3)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(300 / 1e6)
+        assert hist.mean == pytest.approx(100 / 1e6)
+
+
+class TestMerge:
+    def test_merge_equals_union_exactly(self):
+        """The coordinator contract: merged percentiles == percentiles
+        of one histogram fed the union of all values."""
+        rng = random.Random(7)
+        streams = [
+            [rng.uniform(1e-6, 5.0) for _ in range(1_500)] for _ in range(3)
+        ]
+        parts = []
+        union = LogHistogram()
+        for stream in streams:
+            part = LogHistogram()
+            for value in stream:
+                part.record(value)
+                union.record(value)
+            parts.append(part)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        assert merged.count == union.count
+        assert merged.counts == union.counts
+        assert merged.sum_ticks == union.sum_ticks
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0):
+            assert merged.percentile(q) == union.percentile(q)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            LogHistogram(precision=5).merge(LogHistogram(precision=4))
+
+
+class TestWireForm:
+    def test_snapshot_round_trip(self):
+        hist = LogHistogram()
+        rng = random.Random(3)
+        for _ in range(500):
+            hist.record(rng.expovariate(100))
+        clone = LogHistogram.from_snapshot(hist.snapshot())
+        assert clone.count == hist.count
+        assert clone.counts == hist.counts
+        assert clone.max_tick == hist.max_tick
+        assert clone.percentile(0.99) == hist.percentile(0.99)
+
+    def test_snapshot_json_safe(self):
+        import json
+
+        hist = LogHistogram()
+        hist.record(0.01)
+        restored = LogHistogram.from_snapshot(
+            json.loads(json.dumps(hist.snapshot()))
+        )
+        assert restored.counts == hist.counts
+
+    def test_merged_snapshots(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.record_ticks(100, n=5)
+        b.record_ticks(10_000, n=5)
+        merged = LogHistogram.merged([a.snapshot(), b.snapshot()])
+        assert merged.count == 10
+        assert merged.percentile(0.4) == pytest.approx(
+            100 / 1e6, rel=2**-5
+        )
+
+    def test_merged_empty_list(self):
+        merged = LogHistogram.merged([], precision=6)
+        assert merged.count == 0
+        assert merged.precision == 6
+
+
+class TestCumulative:
+    def test_cumulative_exact_at_aligned_edges(self):
+        from repro.obs.prom import DEFAULT_EDGES_TICKS
+
+        hist = LogHistogram()
+        rng = random.Random(11)
+        ticks = [rng.randrange(1, 50_000_000) for _ in range(3_000)]
+        for t in ticks:
+            hist.record_ticks(t)
+        cumulative = hist.cumulative_ticks(DEFAULT_EDGES_TICKS)
+        for edge, count in zip(DEFAULT_EDGES_TICKS, cumulative):
+            assert count == sum(1 for t in ticks if t <= edge)

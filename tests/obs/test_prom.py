@@ -1,0 +1,193 @@
+"""Prometheus exposition: render/parse round trip, scrape quantiles,
+and the asyncio GET /metrics responder."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.obs.hist import LogHistogram
+from repro.obs.prom import (
+    DEFAULT_EDGES_TICKS,
+    Family,
+    MetricsServer,
+    PromParseError,
+    parse_prometheus_text,
+    quantile_from_scrape,
+    render_families,
+    sample_value,
+    scrape_metrics,
+)
+
+
+def _families_with_hist(hist):
+    latency = Family("latency_seconds", "histogram", "test latency")
+    latency.add_histogram(hist, partition="0")
+    counter = Family("requests_total", "counter", "requests").add(
+        42, partition="0"
+    )
+    return [latency, counter]
+
+
+class TestRenderParse:
+    def test_round_trip(self):
+        hist = LogHistogram()
+        for _ in range(100):
+            hist.record(0.002)
+        text = render_families(_families_with_hist(hist))
+        families = parse_prometheus_text(text)
+        assert families["latency_seconds"]["type"] == "histogram"
+        assert families["requests_total"]["type"] == "counter"
+        assert (
+            sample_value(families, "requests_total", partition="0") == 42
+        )
+        assert (
+            sample_value(
+                families,
+                "latency_seconds",
+                "latency_seconds_count",
+                partition="0",
+            )
+            == 100
+        )
+
+    def test_label_escaping_round_trip(self):
+        tricky = 'quo"te\\slash\nnewline'
+        text = render_families(
+            [Family("g", "gauge", "h").add(1.5, label=tricky)]
+        )
+        families = parse_prometheus_text(text)
+        assert sample_value(families, "g", label=tricky) == 1.5
+
+    def test_inf_bucket_and_sum(self):
+        hist = LogHistogram()
+        hist.record(0.5)
+        text = render_families(_families_with_hist(hist))
+        families = parse_prometheus_text(text)
+        assert (
+            sample_value(
+                families,
+                "latency_seconds",
+                "latency_seconds_bucket",
+                partition="0",
+                le="+Inf",
+            )
+            == 1
+        )
+        total = sample_value(
+            families, "latency_seconds", "latency_seconds_sum", partition="0"
+        )
+        assert total == pytest.approx(0.5, rel=1e-5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Family("x", "summary")
+
+    def test_parser_rejects_malformed(self):
+        for bad in (
+            "metric_without_value",
+            "# TYPE m bogus\nm 1",
+            'm{l="unterminated 1',
+            "m not_a_number",
+        ):
+            with pytest.raises(PromParseError):
+                parse_prometheus_text(bad)
+
+    def test_parser_ignores_comments_and_timestamps(self):
+        families = parse_prometheus_text(
+            "# just a comment\nm 3 1700000000000\n"
+        )
+        assert sample_value(families, "m") == 3
+
+
+class TestScrapeQuantile:
+    def test_quantile_within_quarter_octave(self):
+        hist = LogHistogram()
+        rng = random.Random(5)
+        values = sorted(rng.uniform(1e-4, 2.0) for _ in range(4_000))
+        for value in values:
+            hist.record(value)
+        families = parse_prometheus_text(
+            render_families(_families_with_hist(hist))
+        )
+        for q in (0.5, 0.99, 0.999):
+            derived = quantile_from_scrape(
+                families, "latency_seconds", q, partition="0"
+            )
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            # DEFAULT_EDGES_TICKS is a quarter-octave ladder: the
+            # derived quantile is at most one edge (2**0.25) high.
+            assert exact * 0.99 <= derived <= exact * 2**0.25 * 1.01
+
+    def test_quantile_empty_and_missing(self):
+        hist = LogHistogram()
+        families = parse_prometheus_text(
+            render_families(_families_with_hist(hist))
+        )
+        assert (
+            quantile_from_scrape(
+                families, "latency_seconds", 0.99, partition="0"
+            )
+            == 0.0
+        )
+        assert quantile_from_scrape(families, "nope", 0.99) is None
+
+    def test_default_edges_align_with_buckets(self):
+        hist = LogHistogram(precision=5)
+        for edge in DEFAULT_EDGES_TICKS:
+            lo, _hi = hist._bucket_bounds_ticks(hist._index_of(edge + 1))
+            assert lo == edge + 1
+
+
+class TestMetricsServer:
+    def run(self, coro):
+        asyncio.run(coro)
+
+    def test_get_metrics_and_scrape_helper(self):
+        async def scenario():
+            async def render():
+                return render_families(
+                    [Family("up", "gauge", "liveness").add(1)]
+                )
+
+            server = MetricsServer(render)
+            port = await server.start()
+            try:
+                families = await scrape_metrics("127.0.0.1", port)
+                assert sample_value(families, "up") == 1
+            finally:
+                await server.stop()
+
+        self.run(scenario())
+
+    async def _raw_request(self, port, request):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(request)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return raw.split(b"\r\n", 1)[0].decode()
+
+    def test_404_and_405(self):
+        async def scenario():
+            async def render():
+                return "up 1\n"
+
+            server = MetricsServer(render)
+            port = await server.start()
+            try:
+                status = await self._raw_request(
+                    port, b"GET /other HTTP/1.0\r\n\r\n"
+                )
+                assert "404" in status
+                status = await self._raw_request(
+                    port, b"POST /metrics HTTP/1.0\r\n\r\n"
+                )
+                assert "405" in status
+            finally:
+                await server.stop()
+
+        self.run(scenario())

@@ -1,0 +1,193 @@
+"""Coordinator stats aggregation: merged histograms and counters across
+worker processes, including across a mid-run respawn.
+
+The contract under test is the one the scrape and ``repro stats`` rely
+on: the coordinator's merged ``batch_latency`` must be *exactly* the
+element-wise merge of the per-partition histograms (union percentiles),
+and every counter must be the exact sum of the per-partition counters
+plus the coordinator's own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.datasets.synthetic import synthetic_stream
+from repro.obs.hist import LogHistogram
+from repro.obs.metrics import COUNTER_FIELDS
+from repro.service.client import AsyncBinaryPlacementClient
+from repro.service.coordinator import ShardedPlacementServer
+
+N_SHARDS = 4
+LEASE = 600
+SPEC = {"method": "optchain", "n_shards": N_SHARDS, "epoch_length": 500}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_stream(3_600, seed=7)
+
+
+def run_sharded(test_coro, n_workers=2, **kwargs):
+    async def main():
+        server = ShardedPlacementServer(
+            dict(SPEC), n_workers, port=0, lease_length=LEASE, **kwargs
+        )
+        await server.start()
+        try:
+            await test_coro(server)
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def assert_obs_consistent(obs, coordinator_metrics):
+    """Merged view == exact fold of partitions + coordinator counters."""
+    partitions = obs["partitions"]
+    merged = obs["metrics"]
+    sources = [part["metrics"] for part in partitions] + [
+        coordinator_metrics
+    ]
+    for field in COUNTER_FIELDS:
+        assert merged[field] == sum(
+            source[field] for source in sources
+        ), field
+    merged_hist = LogHistogram.from_snapshot(merged["batch_latency"])
+    expected = LogHistogram.merged(
+        [source["batch_latency"] for source in sources]
+    )
+    assert merged_hist.count == expected.count
+    assert merged_hist.counts == expected.counts
+    for q in (0.5, 0.9, 0.99, 0.999):
+        assert merged_hist.percentile(q) == expected.percentile(q)
+
+
+class TestMergeAcrossWorkers:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3])
+    def test_merged_equals_fold_of_partitions(self, stream, n_workers):
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            for offset in range(0, len(stream), 200):
+                await client.place(stream[offset : offset + 200])
+            reply = await client.request({"op": "stats"})
+            obs = reply["obs"]
+            assert len(obs["partitions"]) == n_workers
+            assert obs["metrics"]["placed"] == len(stream)
+            assert_obs_consistent(obs, server.metrics.as_dict())
+            if n_workers > 1:
+                # Leases rotated, so more than one partition recorded.
+                active = [
+                    part
+                    for part in obs["partitions"]
+                    if part["metrics"]["batches"] > 0
+                ]
+                assert len(active) > 1
+            await client.close()
+
+        run_sharded(scenario, n_workers=n_workers)
+
+    def test_counters_sum_not_average(self, stream):
+        """Regression guard: two equally loaded partitions must report
+        the sum, not either side or a mean."""
+
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            # Exactly two leases: one full lease per partition.
+            await client.place(stream[: 2 * LEASE])
+            reply = await client.request({"op": "stats"})
+            obs = reply["obs"]
+            per_part = [
+                part["metrics"]["placed"] for part in obs["partitions"]
+            ]
+            assert sorted(per_part) == [LEASE, LEASE]
+            assert obs["metrics"]["placed"] == 2 * LEASE
+            await client.close()
+
+        run_sharded(scenario, n_workers=2)
+
+
+class TestMergeAcrossRespawn:
+    def test_respawned_worker_rejoins_the_merge(self, stream, tmp_path):
+        """Kill an idle worker mid-run: the respawn restores it from the
+        checkpoint+journal, the respawn counter increments, and the
+        post-respawn merged stats are again an exact fold (the dead
+        window simply contributes the replayed worker's fresh bundle).
+        """
+
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            for offset in range(0, 1_800, 200):
+                await client.place(stream[offset : offset + 200])
+            await client.checkpoint()
+
+            granted = (await client.ping())["granted"]
+            victim = server._workers[1 - granted]
+            old_pid = victim.process.pid
+            victim.process.kill()
+            for _ in range(300):
+                if (
+                    victim.alive
+                    and victim.process.pid != old_pid
+                    and (await client.ping())["degraded"] is None
+                ):
+                    break
+                await asyncio.sleep(0.1)
+            else:
+                raise AssertionError("worker never respawned")
+
+            for offset in range(1_800, len(stream), 200):
+                await client.place(stream[offset : offset + 200])
+            reply = await client.request({"op": "stats"})
+            obs = reply["obs"]
+            assert reply["stats"]["n_placed"] == len(stream)
+            assert obs["metrics"]["respawns"] >= 1
+            assert len(obs["partitions"]) == 2
+            # Every partition is live again and reporting a bundle.
+            assert all(
+                "metrics" in part and not part.get("dead")
+                for part in obs["partitions"]
+            )
+            assert_obs_consistent(obs, server.metrics.as_dict())
+            await client.close()
+
+        run_sharded(
+            scenario,
+            n_workers=2,
+            checkpoint_path=str(tmp_path / "svc.ckpt"),
+        )
+
+    def test_dead_worker_reported_not_dropped(self, stream):
+        """While a worker is down (no checkpoint -> degraded), the stats
+        op must still answer, flagging the dead partition."""
+
+        async def scenario(server):
+            client = await AsyncBinaryPlacementClient.connect(
+                port=server.port
+            )
+            await client.place(stream[:1_500])
+            server._workers[1].process.kill()
+            for _ in range(100):
+                if (await client.ping())["degraded"]:
+                    break
+                await asyncio.sleep(0.1)
+            reply = await client.request({"op": "stats"})
+            flags = {
+                part["partition_id"]: part.get("dead", False)
+                for part in reply["stats"]["partitions"]
+            }
+            assert flags[1] is True
+            assert flags[0] is False
+            # Merged obs folds the survivors only.
+            assert reply["obs"]["metrics"]["placed"] <= 1_500
+            await client.close()
+
+        run_sharded(scenario, n_workers=2)
