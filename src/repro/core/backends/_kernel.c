@@ -118,6 +118,12 @@ typedef struct {
     int64_t n_done;          /* transactions fully committed this call */
     int64_t error_txid;
     int64_t error_parent;
+
+    /* -- raw-parents mode (wire / engine shared marshal) ---------------- */
+    int32_t raw_parents;     /* parents carry raw outpoint txids */
+    int32_t _pad0;
+    int64_t *dedup;          /* scratch: one tx's deduped parents */
+    int64_t dedup_cap;
 } KState;
 
 /* ---------------------------------------------------------------------
@@ -504,13 +510,46 @@ int place_batch(KState *s) {
         }
         int64_t p0 = s->par_off[t];
         int64_t p1 = s->par_off[t + 1];
+        const int64_t *par = s->parents + p0;
         int64_t n_par = p1 - p0;
+        int64_t n_raw;
+        if (s->raw_parents) {
+            /* One transaction's outpoints straight off the wire, not
+             * yet deduplicated. Keep first-appearance order - exactly
+             * what the python marshal's dict.fromkeys produces. Input
+             * counts are tiny, so the quadratic scan beats any hashing
+             * setup. */
+            n_raw = n_par;
+            if (n_par > 1) {
+                if (n_par > s->dedup_cap) {
+                    return KERN_INTERNAL;
+                }
+                int64_t nd = 0;
+                for (int64_t p = 0; p < n_par; p++) {
+                    int64_t parent = par[p];
+                    int dup = 0;
+                    for (int64_t j = 0; j < nd; j++) {
+                        if (s->dedup[j] == parent) {
+                            dup = 1;
+                            break;
+                        }
+                    }
+                    if (!dup) {
+                        s->dedup[nd++] = parent;
+                    }
+                }
+                par = s->dedup;
+                n_par = nd;
+            }
+        } else {
+            n_raw = s->n_outpoints[t];
+        }
         int64_t nnz = 0;
         double bound = INFINITY;
 
         /* ---- T2S recurrence (add_transaction_raw, inlined) ---- */
-        if (s->n_outpoints[t] == 1) {
-            int64_t parent = s->parents[p0];
+        if (n_raw == 1) {
+            int64_t parent = par[0];
             /* OutPoint guarantees parent >= 0; the extra check only
              * keeps a corrupted batch from indexing out of bounds. */
             if (parent < 0 || parent >= txid) {
@@ -548,23 +587,23 @@ int place_batch(KState *s) {
                 }
             }
         } else if (n_par > 0) {
-            /* Parents arrive deduplicated in first-appearance order.
+            /* Parents are deduplicated in first-appearance order.
              * Validate all before registering any spender - the python
              * loop raises before its spender loop runs. */
-            for (int64_t p = p0; p < p1; p++) {
-                int64_t parent = s->parents[p];
+            for (int64_t p = 0; p < n_par; p++) {
+                int64_t parent = par[p];
                 if (parent < 0 || parent >= txid) {
                     s->error_txid = txid;
                     s->error_parent = parent;
                     return KERN_INVALID_INPUT;
                 }
             }
-            for (int64_t p = p0; p < p1; p++) {
-                s->spender_count[s->parents[p]] += 1;
+            for (int64_t p = 0; p < n_par; p++) {
+                s->spender_count[par[p]] += 1;
             }
             if (has_scale) {
-                for (int64_t p = p0; p < p1; p++) {
-                    int64_t parent = s->parents[p];
+                for (int64_t p = 0; p < n_par; p++) {
+                    int64_t parent = par[p];
                     if (!(s->live[parent] && isfinite(s->min_mass[parent]))) {
                         continue;
                     }
@@ -661,7 +700,7 @@ int place_batch(KState *s) {
             has_inputs = 1;
             cross_floor = floor_total * 2.0;
             if (n_par == 1) {
-                int64_t shard = s->assignment[s->parents[p0]];
+                int64_t shard = s->assignment[par[0]];
                 only_input = shard;
                 s->shard_mark[shard] = txid;
                 n_in_shards = 1;
@@ -687,8 +726,8 @@ int place_batch(KState *s) {
                 best_id = shard;
                 best_l2s = l2s;
             } else {
-                for (int64_t p = p0; p < p1; p++) {
-                    int64_t shard = s->assignment[s->parents[p]];
+                for (int64_t p = 0; p < n_par; p++) {
+                    int64_t shard = s->assignment[par[p]];
                     if (s->shard_mark[shard] != txid) {
                         s->shard_mark[shard] = txid;
                         n_in_shards++;
@@ -696,7 +735,7 @@ int place_batch(KState *s) {
                 }
                 only_input = -1;
                 if (n_in_shards == 1) {
-                    only_input = s->assignment[s->parents[p0]];
+                    only_input = s->assignment[par[0]];
                 }
                 /* Iterate the distinct input shards. Python iterates a
                  * set; the (fitness, l2s, shard) tie-break is a strict
@@ -884,4 +923,153 @@ int place_batch(KState *s) {
         s->n_done = t + 1;
     }
     return KERN_OK;
+}
+
+/* ---------------------------------------------------------------------
+ * Batch validation - the compiled twin of
+ * PlacementEngine._apply_inputs (src/repro/service/engine.py).
+ *
+ * Masks live in a dense int64 array indexed by txid (the MaskMap
+ * store): 0 = absent, -1 = arbitrary-precision mask kept on the python
+ * side. Dense stream order is the caller's responsibility (the marshal
+ * checks it); everything else - per-outpoint check order, the undo
+ * log, released-event order, and full rollback on the first invalid
+ * outpoint - mirrors the python journal operation for operation, so an
+ * invalid batch leaves the store bit-identical to the python path and
+ * the error frontier (which txid / parent / output index is reported)
+ * is exactly the same.
+ *
+ * Returns VALID_FALLBACK (after rolling back) when the batch touches
+ * state the int64 encoding cannot represent: a sentinel mask, or a
+ * transaction with more than 62 outputs. The caller then re-runs the
+ * python journal on the untouched store.
+ * ------------------------------------------------------------------- */
+
+#define VALID_OK 0
+#define VALID_UNKNOWN 1   /* unknown or fully-spent parent */
+#define VALID_SPENT 2     /* output missing or already spent */
+#define VALID_FUTURE 3    /* non-earlier parent reference */
+#define VALID_FALLBACK 4  /* needs the python journal; rolled back */
+
+typedef struct {
+    /* -- batch (read-only) --------------------------------------------- */
+    int64_t n_tx;
+    int64_t first_txid;
+    int64_t horizon_start;
+    const int64_t *parents;   /* raw outpoint txids, total_inputs */
+    const int32_t *indexes;   /* raw outpoint indexes, total_inputs */
+    const int64_t *in_off;    /* n_tx + 1 */
+    const int32_t *n_outputs; /* n_tx */
+
+    /* -- mask store (in/out) ------------------------------------------- */
+    int64_t *masks;           /* dense by txid; caller grew past the batch */
+
+    /* -- caller-allocated result buffers ------------------------------- */
+    int64_t *undo_txid;       /* >= total_inputs */
+    int64_t *undo_mask;       /* >= total_inputs */
+    int64_t *released;        /* >= total_inputs + n_tx */
+
+    /* -- results ------------------------------------------------------- */
+    int64_t n_undo;
+    int64_t n_released;
+    int64_t tracked_delta;    /* net change in live entry count */
+    int64_t error_txid;
+    int64_t error_parent;
+    int64_t error_index;
+} VState;
+
+int validate_batch(VState *s) {
+    const int64_t horizon = s->horizon_start;
+    const int64_t last = s->first_txid + s->n_tx;
+    int64_t n_undo = 0;
+    int64_t n_rel = 0;
+    int64_t delta = 0;
+    int rc = VALID_OK;
+
+    s->n_undo = 0;
+    s->n_released = 0;
+    s->tracked_delta = 0;
+    s->error_txid = -1;
+    s->error_parent = -1;
+    s->error_index = -1;
+
+    int64_t txid = s->first_txid;
+    for (int64_t t = 0; t < s->n_tx; t++, txid++) {
+        const int64_t i0 = s->in_off[t];
+        const int64_t i1 = s->in_off[t + 1];
+        for (int64_t i = i0; i < i1; i++) {
+            int64_t parent = s->parents[i];
+            int32_t index = s->indexes[i];
+            /* A u64 wire txid past INT64_MAX arrives negative here;
+             * python would compare it as a huge int and report it as
+             * non-earlier, which is exactly this branch. */
+            if (parent < 0 || parent >= txid) {
+                rc = VALID_FUTURE;
+                s->error_txid = txid;
+                s->error_parent = parent;
+                goto rollback;
+            }
+            if (parent < horizon) {
+                continue; /* pre-horizon parents pass unchecked */
+            }
+            int64_t mask = s->masks[parent];
+            if (mask == 0) {
+                rc = VALID_UNKNOWN;
+                s->error_txid = txid;
+                s->error_parent = parent;
+                goto rollback;
+            }
+            if (mask < 0) {
+                rc = VALID_FALLBACK; /* arbitrary-precision mask */
+                goto rollback;
+            }
+            /* Inline masks never reach bit 62, so an index at or past
+             * it (or a u32 one that wrapped negative) cannot be set. */
+            if (index < 0 || index >= 62 ||
+                !(mask & ((int64_t)1 << index))) {
+                rc = VALID_SPENT;
+                s->error_txid = txid;
+                s->error_parent = parent;
+                s->error_index = (int64_t)index;
+                goto rollback;
+            }
+            s->undo_txid[n_undo] = parent;
+            s->undo_mask[n_undo] = mask;
+            n_undo++;
+            mask ^= (int64_t)1 << index;
+            s->masks[parent] = mask;
+            if (mask == 0) {
+                s->released[n_rel++] = parent;
+                delta -= 1;
+            }
+        }
+        int64_t n_out = (int64_t)s->n_outputs[t];
+        if (n_out > 62 || n_out < 0) {
+            rc = VALID_FALLBACK; /* mask would not fit inline */
+            goto rollback;
+        }
+        if (n_out > 0) {
+            s->masks[txid] = (((int64_t)1 << n_out) - 1);
+            delta += 1;
+        } else {
+            s->released[n_rel++] = txid;
+        }
+    }
+    s->n_undo = n_undo;
+    s->n_released = n_rel;
+    s->tracked_delta = delta;
+    return VALID_OK;
+
+rollback:
+    /* Mirror the python rollback exactly: undo entries restore in
+     * reverse, then every mask the batch created is dropped. Entries
+     * past the failure point were never created, so zeroing the whole
+     * batch range matches the python pop loop. */
+    for (int64_t u = n_undo - 1; u >= 0; u--) {
+        s->masks[s->undo_txid[u]] = s->undo_mask[u];
+    }
+    for (int64_t id = s->first_txid; id < last; id++) {
+        s->masks[id] = 0;
+    }
+    return rc;
 }

@@ -17,6 +17,7 @@ the plain-list originals.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, MutableMapping
 from typing import Any, Iterator
 
 import numpy as np
@@ -241,3 +242,124 @@ class RowMatrix:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RowMatrix(n={self._n}, k={self.n_shards})"
+
+
+class MaskMap(MutableMapping):
+    """``{txid: unspent-output bitmask}`` over a growable int64 array.
+
+    The engine's ``_remaining`` store, shaped so the compiled kernel can
+    validate batches directly against it: slot ``txid`` holds the mask
+    (always positive for a live entry), ``0`` means absent, and the
+    ``_SENTINEL`` marks a mask too wide for 62 bits, whose exact value
+    lives in the ``_big`` dict (the kernel refuses those and falls back
+    to the python journal). Iteration is in ascending txid order and
+    every read returns a native python int, so snapshots, deltas, and
+    partition handoff see a plain ``dict``-alike.
+    """
+
+    __slots__ = ("arr", "_big", "_count")
+
+    _SENTINEL = -1
+    _MAX_INLINE_BITS = 62  # 1 << 62 fits an int64 with headroom
+
+    def __init__(self, items=None, capacity: int = 1024) -> None:
+        self.arr = np.zeros(max(capacity, 1), dtype=np.int64)
+        self._big: dict[int, int] = {}
+        self._count = 0
+        if items:
+            self.update(items)
+
+    def _grow_to(self, needed: int) -> None:
+        cap = len(self.arr)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= _GROW
+        fresh = np.zeros(cap, dtype=np.int64)
+        fresh[: len(self.arr)] = self.arr
+        self.arr = fresh
+
+    def __getitem__(self, txid: int) -> int:
+        if not 0 <= txid < len(self.arr):
+            raise KeyError(txid)
+        value = int(self.arr[txid])
+        if value == 0:
+            raise KeyError(txid)
+        if value == self._SENTINEL:
+            return self._big[txid]
+        return value
+
+    def __setitem__(self, txid: int, mask: int) -> None:
+        if txid < 0:
+            raise KeyError(txid)
+        if mask <= 0:
+            raise ValueError(
+                f"mask for transaction {txid} must be positive, got {mask}"
+            )
+        self._grow_to(txid + 1)
+        present = self.arr[txid] != 0
+        if mask.bit_length() <= self._MAX_INLINE_BITS:
+            self.arr[txid] = mask
+            self._big.pop(txid, None)
+        else:
+            self.arr[txid] = self._SENTINEL
+            self._big[txid] = mask
+        if not present:
+            self._count += 1
+
+    def __delitem__(self, txid: int) -> None:
+        if not 0 <= txid < len(self.arr):
+            raise KeyError(txid)
+        value = int(self.arr[txid])
+        if value == 0:
+            raise KeyError(txid)
+        self.arr[txid] = 0
+        if value == self._SENTINEL:
+            del self._big[txid]
+        self._count -= 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(np.nonzero(self.arr)[0].tolist())
+
+    def items(self):
+        """Ascending ``(txid, mask)`` pairs as a plain list (fast path
+        for snapshots; duck-compatible with ``dict.items()`` callers
+        that only iterate)."""
+        idx = np.nonzero(self.arr)[0]
+        inline = self.arr[idx]
+        big = self._big
+        return [
+            (txid, big[txid] if value == self._SENTINEL else value)
+            for txid, value in zip(idx.tolist(), inline.tolist())
+        ]
+
+    def clear_range(self, start: int, stop: int, exclude=()) -> None:
+        """Drop every entry with ``start <= txid < stop`` except those
+        in ``exclude`` - the vectorized horizon sweep."""
+        view = self.arr[start : min(stop, len(self.arr))]
+        idx = np.nonzero(view)[0]
+        if not idx.size:
+            return
+        if exclude:
+            kept = [i for i in idx.tolist() if i + start not in exclude]
+            if not kept:
+                return
+            idx = np.asarray(kept, dtype=np.intp)
+        sentinels = idx[view[idx] == self._SENTINEL]
+        for i in sentinels.tolist():
+            self._big.pop(i + start, None)
+        view[idx] = 0
+        self._count -= int(idx.size)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, MaskMap):
+            return dict(self.items()) == dict(other.items())
+        if isinstance(other, Mapping):
+            return dict(self.items()) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaskMap(n={self._count})"

@@ -43,6 +43,13 @@ KERN_INVALID_INPUT = 1
 KERN_CAPACITY = 2
 KERN_INTERNAL = 3
 
+# validate_batch return codes (VALID_* in _kernel.c)
+VALID_OK = 0
+VALID_UNKNOWN = 1
+VALID_SPENT = 2
+VALID_FUTURE = 3
+VALID_FALLBACK = 4
+
 _c_double_p = ctypes.POINTER(ctypes.c_double)
 _c_int64_p = ctypes.POINTER(ctypes.c_int64)
 _c_int32_p = ctypes.POINTER(ctypes.c_int32)
@@ -116,6 +123,39 @@ class KState(ctypes.Structure):
         ("n_done", ctypes.c_int64),
         ("error_txid", ctypes.c_int64),
         ("error_parent", ctypes.c_int64),
+        # raw-parents mode
+        ("raw_parents", ctypes.c_int32),
+        ("_pad0", ctypes.c_int32),
+        ("dedup", _c_int64_p),
+        ("dedup_cap", ctypes.c_int64),
+    ]
+
+
+class VState(ctypes.Structure):
+    """Mirror of the ``VState`` struct in ``_kernel.c`` (same order)."""
+
+    _fields_ = [
+        # batch
+        ("n_tx", ctypes.c_int64),
+        ("first_txid", ctypes.c_int64),
+        ("horizon_start", ctypes.c_int64),
+        ("parents", _c_int64_p),
+        ("indexes", _c_int32_p),
+        ("in_off", _c_int64_p),
+        ("n_outputs", _c_int32_p),
+        # mask store
+        ("masks", _c_int64_p),
+        # result buffers
+        ("undo_txid", _c_int64_p),
+        ("undo_mask", _c_int64_p),
+        ("released", _c_int64_p),
+        # results
+        ("n_undo", ctypes.c_int64),
+        ("n_released", ctypes.c_int64),
+        ("tracked_delta", ctypes.c_int64),
+        ("error_txid", ctypes.c_int64),
+        ("error_parent", ctypes.c_int64),
+        ("error_index", ctypes.c_int64),
     ]
 
 
@@ -159,6 +199,8 @@ def _build(source: Path, cc: str, out_path: Path) -> None:
 
 
 def _load() -> ctypes.CDLL:
+    if os.environ.get("REPRO_KERNEL_DISABLE"):
+        raise RuntimeError("kernel disabled via REPRO_KERNEL_DISABLE")
     source_bytes = _SOURCE.read_bytes()
     digest = hashlib.sha256(
         source_bytes + "\x00".join(_CFLAGS).encode()
@@ -177,6 +219,8 @@ def _load() -> ctypes.CDLL:
     lib = ctypes.CDLL(str(out_path))
     lib.place_batch.argtypes = [ctypes.POINTER(KState)]
     lib.place_batch.restype = ctypes.c_int
+    lib.validate_batch.argtypes = [ctypes.POINTER(VState)]
+    lib.validate_batch.restype = ctypes.c_int
     return lib
 
 

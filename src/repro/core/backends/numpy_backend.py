@@ -37,12 +37,23 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.backends.arrays import FloatVector, IntVector, RowMatrix
+from repro.core.backends.arrays import (
+    FloatVector,
+    IntVector,
+    MaskMap,
+    RowMatrix,
+)
 from repro.core.backends.ckernel import (
     KERN_CAPACITY,
     KERN_INVALID_INPUT,
     KERN_OK,
+    VALID_FALLBACK,
+    VALID_FUTURE,
+    VALID_OK,
+    VALID_SPENT,
+    VALID_UNKNOWN,
     KState,
+    VState,
     load_kernel,
 )
 from repro.core.optchain import (
@@ -55,7 +66,7 @@ from repro.core.optchain import (
 from repro.core.placement import PlacementStrategy
 from repro.core.scorer import DEFAULT_SUPPORT_CAP, parse_support_cap
 from repro.core.t2s import AdaptiveTopKT2SScorer, T2SScorer, TopKT2SScorer
-from repro.errors import PlacementError
+from repro.errors import EngineError, PlacementError
 
 _c_double_p = ctypes.POINTER(ctypes.c_double)
 _c_int64_p = ctypes.POINTER(ctypes.c_int64)
@@ -296,6 +307,7 @@ class _KernelDriver:
         self.pb_vals = np.zeros(self.heap_cap, dtype=np.float64)
         self.pb_idx = np.zeros(self.heap_cap, dtype=np.int64)
         self.pb_ids = np.zeros(self.zero_cap, dtype=np.int64)
+        self.dedup = np.zeros(64, dtype=np.int64)
 
     def _grow_heaps(self) -> None:
         self.heap_cap *= 2
@@ -307,8 +319,13 @@ class _KernelDriver:
         self.pb_idx = np.zeros(self.heap_cap, dtype=np.int64)
         self.pb_ids = np.zeros(self.zero_cap, dtype=np.int64)
 
-    def run(self, parents, par_off, n_outs, n_tx) -> None:
+    def run(self, parents, par_off, n_outs, n_tx, raw: bool = False) -> None:
         """Run the kernel over the marshalled batch, committing state.
+
+        With ``raw=True`` the CSR carries raw outpoint txids straight
+        off the wire (``n_outs`` is unused) and the kernel deduplicates
+        per transaction itself; otherwise parents arrive pre-deduped
+        with raw counts in ``n_outs``.
 
         Raises :class:`PlacementError` (with all prior transactions
         committed, matching the python loop) on an invalid input.
@@ -374,6 +391,15 @@ class _KernelDriver:
         st.rows_cap = len(mat.live)
         st.dropped_mass = scorer._dropped_mass
         st.truncated_vectors = scorer._truncated_vectors
+        st.raw_parents = 1 if raw else 0
+        if raw:
+            max_in = int(np.diff(par_off).max()) if n_tx else 0
+            if max_in > len(self.dedup):
+                self.dedup = np.zeros(
+                    max(max_in, 2 * len(self.dedup)), dtype=np.int64
+                )
+            st.dedup = _iptr(self.dedup)
+            st.dedup_cap = len(self.dedup)
 
         st.scaled = _dptr(self.scaled)
         st.heap_vals = _dptr(self.heap_vals)
@@ -401,7 +427,8 @@ class _KernelDriver:
             st.n_tx = n_tx - done
             st.parents = _iptr(parents)
             st.par_off = _iptr(par_off[done:])
-            st.n_outpoints = n_outs[done:].ctypes.data_as(_c_int32_p)
+            if not raw:
+                st.n_outpoints = n_outs[done:].ctypes.data_as(_c_int32_p)
             rc = lib.place_batch(ctypes.byref(st))
             done += st.n_done
             if rc == KERN_CAPACITY:
@@ -573,6 +600,172 @@ class NumpyOptChainPlacer(OptChainPlacer):
             )
         return self._assignment[batch_start:]
 
+    def place_batch_raw(self, parents, in_off, n_tx) -> list[int]:
+        """Place a raw-CSR marshalled batch (wire arrays or the
+        engine's validation marshal): ``parents`` holds every raw
+        outpoint txid, ``in_off`` the per-transaction offsets. Dense
+        txid order is the caller's contract (the engine's marshal and
+        validator both check it). Requires :meth:`_kernel_ready`."""
+        scorer = self.scorer
+        if scorer._pending is not None:
+            raise PlacementError(
+                f"transaction {scorer._pending} was added but never placed"
+            )
+        if self._driver is None:
+            self._driver = _KernelDriver(self)
+        batch_start = len(self._assignment)
+        if n_tx:
+            self._driver.run(parents, in_off, None, n_tx, raw=True)
+        return self._assignment[batch_start:]
+
+    def validation_driver(self) -> "_ValidationDriver | None":
+        """A kernel batch-validation driver, or ``None`` when this
+        placer's configuration keeps the kernel off the hot path (the
+        engine then runs its python journal)."""
+        if not self._kernel_ready():
+            return None
+        return _ValidationDriver()
+
+
+class _ValidationDriver:
+    """Kernel-resident batch validation against a :class:`MaskMap`.
+
+    The compiled twin of ``PlacementEngine._apply_inputs``: marshals a
+    batch of transactions into the raw-outpoint CSR, runs
+    ``validate_batch`` in C against the engine's mask store, and maps
+    error codes back to the byte-exact :class:`EngineError` messages.
+    The same CSR then feeds :meth:`NumpyOptChainPlacer.place_batch_raw`
+    so the batch is marshalled exactly once per request.
+    """
+
+    def __init__(self) -> None:
+        self._lib = load_kernel()  # caller verified availability
+
+    @staticmethod
+    def marshal(batch, first_txid: int):
+        """Typed-array CSR for ``batch``, or ``None`` when the batch
+        needs the python journal (non-dense txids report their exact
+        error there; negative/overflowing ids keep python semantics).
+        """
+        n = len(batch)
+        txids = [tx.txid for tx in batch]
+        if txids != list(range(first_txid, first_txid + n)):
+            return None
+        all_inputs = [tx.inputs for tx in batch]
+        try:
+            # uint dtypes reject negative and over-wide ids, pushing
+            # those (contract-violating) batches to the python path;
+            # the signed views match the wire decoder's zero-copy
+            # reinterpretation, so both marshals hit identical kernel
+            # branches.
+            parents = np.array(
+                [op.txid for ins in all_inputs for op in ins],
+                dtype=np.uint64,
+            ).view(np.int64)
+            indexes = np.array(
+                [op.index for ins in all_inputs for op in ins],
+                dtype=np.uint32,
+            ).view(np.int32)
+            n_outputs = np.array(
+                [len(tx.outputs) for tx in batch], dtype=np.int32
+            )
+        except OverflowError:
+            return None
+        in_off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(list(map(len, all_inputs)), out=in_off[1:])
+        return _MarshalledBatch(
+            first_txid, n, parents, indexes, in_off, n_outputs
+        )
+
+    def validate(self, masks: MaskMap, m, *, horizon_start: int):
+        """Validate + commit ``m`` against ``masks`` in the kernel.
+
+        Returns ``(released, undo_txids)`` on success - ``released``
+        in python event order, ``undo_txids`` the touched parents (or
+        ``None`` when no input spent anything) - or ``None`` when the
+        batch needs the python journal (arbitrary-precision masks,
+        >62-output transactions), with the store rolled back untouched.
+        Raises :class:`EngineError` with the python journal's exact
+        message on an invalid batch, nothing committed.
+        """
+        n_tx = m.n_txs
+        masks._grow_to(m.first_txid + n_tx)
+        total_in = int(m.in_off[-1]) if n_tx else 0
+        undo_txid = np.empty(total_in, dtype=np.int64)
+        undo_mask = np.empty(total_in, dtype=np.int64)
+        released = np.empty(total_in + n_tx, dtype=np.int64)
+        st = VState()
+        st.n_tx = n_tx
+        st.first_txid = m.first_txid
+        st.horizon_start = horizon_start
+        st.parents = _iptr(m.parents)
+        st.indexes = m.indexes.ctypes.data_as(_c_int32_p)
+        st.in_off = _iptr(m.in_off)
+        st.n_outputs = m.n_outputs.ctypes.data_as(_c_int32_p)
+        st.masks = _iptr(masks.arr)
+        st.undo_txid = _iptr(undo_txid)
+        st.undo_mask = _iptr(undo_mask)
+        st.released = _iptr(released)
+        rc = self._lib.validate_batch(ctypes.byref(st))
+        if rc == VALID_OK:
+            masks._count += st.tracked_delta
+            rel = released[: st.n_released].tolist()
+            undo = undo_txid[: st.n_undo] if st.n_undo else None
+            return rel, undo
+        if rc == VALID_FALLBACK:
+            return None
+        txid = st.error_txid
+        parent = st.error_parent
+        if parent < 0:
+            parent += 1 << 64  # recover the wire's u64 value
+        if rc == VALID_FUTURE:
+            raise EngineError(
+                f"transaction {txid} references a non-earlier "
+                f"transaction {parent}"
+            )
+        if rc == VALID_UNKNOWN:
+            raise EngineError(
+                f"transaction {txid} spends an unknown or fully-spent "
+                f"transaction {parent}"
+            )
+        if rc == VALID_SPENT:
+            index = st.error_index
+            if index < 0:
+                index += 1 << 32  # recover the wire's u32 value
+            raise EngineError(
+                f"transaction {txid} spends output {index} of "
+                f"transaction {parent}, which does not exist or is "
+                f"already spent"
+            )
+        raise RuntimeError(
+            f"validation kernel failed with internal status {rc}"
+        )
+
+
+class _MarshalledBatch:
+    """Raw-outpoint CSR of one batch (shape-compatible with
+    :class:`repro.service.wire.WireBatch`)."""
+
+    __slots__ = (
+        "first_txid",
+        "n_txs",
+        "parents",
+        "indexes",
+        "in_off",
+        "n_outputs",
+    )
+
+    def __init__(self, first_txid, n_txs, parents, indexes, in_off, n_outputs):
+        self.first_txid = first_txid
+        self.n_txs = n_txs
+        self.parents = parents
+        self.indexes = indexes
+        self.in_off = in_off
+        self.n_outputs = n_outputs
+
+    def __len__(self) -> int:
+        return self.n_txs
+
 
 class NumpyTopKOptChainPlacer(TopKOptChainPlacer):
     """Bounded-support OptChain over the numpy backend.
@@ -618,6 +811,8 @@ class NumpyTopKOptChainPlacer(TopKOptChainPlacer):
 
     _kernel_ready = NumpyOptChainPlacer._kernel_ready
     place_batch = NumpyOptChainPlacer.place_batch
+    place_batch_raw = NumpyOptChainPlacer.place_batch_raw
+    validation_driver = NumpyOptChainPlacer.validation_driver
 
 
 # Imported lazily by repro.core.spec (backend routing) and

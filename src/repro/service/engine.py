@@ -164,7 +164,20 @@ class PlacementEngine:
         # fabricated output index. Entries are dropped the moment the
         # mask hits zero (which is also what flags the vector for
         # release) or when the horizon passes them.
-        self._remaining: dict[int, int] = {}
+        #
+        # Placers whose compiled kernel is active provide a validation
+        # driver; the store is then a MaskMap (dense int64 array the
+        # kernel validates batches against directly) instead of a dict.
+        # Both behave identically through the Mapping protocol, so
+        # snapshots, deltas, and partition handoff never care which.
+        factory = getattr(placer, "validation_driver", None)
+        self._validator = factory() if factory is not None else None
+        if self._validator is not None:
+            from repro.core.backends.arrays import MaskMap
+
+            self._remaining: "dict[int, int] | Any" = MaskMap()
+        else:
+            self._remaining = {}
         # A placer failure mid-batch (after validation committed) would
         # leave bookkeeping and placements out of step; the engine
         # poisons itself rather than serve from inconsistent state.
@@ -218,6 +231,11 @@ class PlacementEngine:
     def horizon_start(self) -> int:
         """First txid whose vector the horizon policy still retains."""
         return self._horizon_start
+
+    @property
+    def kernel_validation(self) -> bool:
+        """True when batch validation runs in the compiled kernel."""
+        return self._validator is not None
 
     def stats(self) -> EngineStats:
         from repro.core.spec import StrategySpec
@@ -276,15 +294,92 @@ class PlacementEngine:
                 "step; restore the last checkpoint"
             )
         batch = txs if isinstance(txs, list) else list(txs)
-        self._apply_inputs(batch)
-        if _exclude_release and self._pending_release:
-            self._pending_release[:] = [
-                txid
-                for txid in self._pending_release
-                if txid not in _exclude_release
+        marshalled = None
+        if self._validator is not None:
+            marshalled = self._validator.marshal(
+                batch, self._placer.n_placed
+            )
+        return self._place_validated(batch, marshalled, _exclude_release)
+
+    def place_wire_batch(
+        self,
+        wire_batch: Any,
+        *,
+        _exclude_release: "frozenset[int] | set[int] | None" = None,
+    ) -> list[int]:
+        """Place one decoded binary ``place`` payload
+        (:class:`repro.service.wire.WireBatch`) without materializing
+        :class:`Transaction` objects - the frame's C-contiguous arrays
+        feed the validation and placement kernels directly.
+
+        Falls back to the object path (byte-identical replies, same
+        errors) when kernel validation is off or a drift monitor needs
+        the objects.
+        """
+        if self._validator is None or self.drift_monitor is not None:
+            return self.place_batch(
+                self._materialize(wire_batch),
+                _exclude_release=_exclude_release,
+            )
+        if self._poisoned:
+            raise EngineError(
+                "engine is poisoned: a placement failure after batch "
+                "validation left bookkeeping and placements out of "
+                "step; restore the last checkpoint"
+            )
+        first = wire_batch.first_txid
+        if first != self._placer.n_placed:
+            raise EngineError(
+                f"transactions must arrive in dense stream order: "
+                f"got {first}, expected {self._placer.n_placed}"
+            )
+        return self._place_validated(None, wire_batch, _exclude_release)
+
+    @staticmethod
+    def _materialize(wire_batch: Any) -> list[Transaction]:
+        from repro.service.wire import decode_place_payload
+
+        batch: list[Transaction] = []
+        for payload in wire_batch.payloads:
+            batch.extend(decode_place_payload(payload))
+        return batch
+
+    def _place_validated(
+        self,
+        batch: "list[Transaction] | None",
+        marshalled: Any,
+        _exclude_release: "frozenset[int] | set[int] | None",
+    ) -> list[int]:
+        """Common tail of the two entry points: validate (kernel or
+        python journal), filter the pending releases, place, sweep.
+        ``batch`` is None only on the wire path, where Transactions are
+        materialized lazily if the kernel punts the batch back."""
+        if marshalled is not None:
+            if not self._validate_kernel(marshalled):
+                # The kernel rolled everything back: the batch touches
+                # arbitrary-precision masks or >62-output transactions.
+                # The python journal handles it exactly (rare, cold).
+                if batch is None:
+                    batch = self._materialize(marshalled)
+                self._apply_inputs(batch)
+        else:
+            self._apply_inputs(batch)
+        pending = self._pending_release
+        if (
+            _exclude_release
+            and pending
+            and not _exclude_release.isdisjoint(pending)
+        ):
+            pending[:] = [
+                txid for txid in pending if txid not in _exclude_release
             ]
         try:
-            shards = self._placer.place_batch(batch)
+            if marshalled is not None:
+                shards = self._placer.place_batch_raw(
+                    marshalled.parents, marshalled.in_off, marshalled.n_txs
+                )
+            else:
+                shards = self._placer.place_batch(batch)
         except Exception:
             # Validation passed, so this is a placer bug (or a placer
             # violating the snapshotable contract); the spent-output
@@ -304,6 +399,21 @@ class PlacementEngine:
             finally:
                 self._sweep_exclude = None
         return shards
+
+    def _validate_kernel(self, marshalled: Any) -> bool:
+        """Kernel-side :meth:`_apply_inputs`; True when it committed."""
+        result = self._validator.validate(
+            self._remaining, marshalled, horizon_start=self._horizon_start
+        )
+        if result is None:
+            return False
+        released, undo_txids = result
+        if self._collect_spent and released:
+            self._pending_release.extend(released)
+        dirty = self._dirty_parents
+        if dirty is not None and undo_txids is not None:
+            dirty.update(undo_txids.tolist())
+        return True
 
     # -- checkpointing -----------------------------------------------------
 
@@ -370,7 +480,7 @@ class PlacementEngine:
     def export_state(self) -> dict[str, Any]:
         """Mutable engine bookkeeping as plain data."""
         return {
-            "remaining": dict(self._remaining),
+            "remaining": dict(self._remaining.items()),
             "pending_release": list(self._pending_release),
             "horizon_start": self._horizon_start,
             "epoch": self._epoch,
@@ -379,7 +489,12 @@ class PlacementEngine:
 
     def restore_state(self, state: dict[str, Any]) -> None:
         """Load a dump produced by :meth:`export_state` (same config)."""
-        self._remaining = dict(state["remaining"])
+        if self._validator is not None:
+            from repro.core.backends.arrays import MaskMap
+
+            self._remaining = MaskMap(state["remaining"])
+        else:
+            self._remaining = dict(state["remaining"])
         self._pending_release = list(state["pending_release"])
         self._horizon_start = state["horizon_start"]
         self._epoch = state["epoch"]
@@ -513,8 +628,13 @@ class PlacementEngine:
             scorer.release_vectors(span)
             if self.drift_monitor is not None:
                 self._observe_release(span)
-        for txid in span:
-            remaining.pop(txid, None)
+        clear_range = getattr(remaining, "clear_range", None)
+        if clear_range is not None:
+            # MaskMap: one vectorized pass instead of a pop per txid.
+            clear_range(self._horizon_start, new_start, exclude or ())
+        else:
+            for txid in span:
+                remaining.pop(txid, None)
         self._horizon_start = new_start
 
     # -- drift shadow (observational; never poisons the engine) ------------

@@ -48,7 +48,11 @@ from typing import Any, Sequence
 from repro.core.optchain import LoadProxyLatencyProvider
 from repro.errors import ConfigurationError, EngineError
 from repro.service.engine import PlacementEngine
-from repro.service.wire import FRAME_HEADER_BYTES, encode_place_request
+from repro.service.wire import (
+    FRAME_HEADER_BYTES,
+    WireBatch,
+    encode_place_request,
+)
 from repro.utxo.transaction import Transaction
 
 _INF = math.inf
@@ -211,6 +215,18 @@ class EnginePartition:
         """
         if self.n_partitions == 1 or not batch:
             return []
+        if isinstance(batch, WireBatch):
+            # Vectorized over the frame's parent array - no Transaction
+            # objects on the wire fast path.
+            import numpy as np
+
+            parents = batch.parents
+            foreign = parents[parents < batch.first_txid]
+            if not foreign.size:
+                return []
+            unique = np.unique(foreign)
+            owners = (unique // self.lease_length) % self.n_partitions
+            return unique[owners != self.partition_id].tolist()
         first = batch[0].txid
         lease_length = self.lease_length
         n_partitions = self.n_partitions
@@ -247,11 +263,15 @@ class EnginePartition:
         journaling partition re-encodes the batch itself - same bytes
         the coordinator's boundary splitter produces.
         """
+        wire_batch = isinstance(batch, WireBatch)
         if self.journal is not None and batch:
             if raw_segments is None:
-                raw_segments = [
-                    encode_place_request(0, batch)[FRAME_HEADER_BYTES:]
-                ]
+                if wire_batch:
+                    raw_segments = list(batch.payloads)
+                else:
+                    raw_segments = [
+                        encode_place_request(0, batch)[FRAME_HEADER_BYTES:]
+                    ]
             # Append *before* placing: the journal stays a superset of
             # externally visible state, and a deterministic reject
             # simply re-fails (as a no-op) on replay.
@@ -259,15 +279,22 @@ class EnginePartition:
                 raw_segments, remote_parents or {}
             )
         if self.n_partitions == 1:
+            if wire_batch:
+                return self._engine.place_wire_batch(batch), []
             return self._engine.place_batch(batch), []
         if batch:
-            self.pad_to(batch[0].txid)
+            self.pad_to(batch.first_txid if wire_batch else batch[0].txid)
         states = remote_parents or {}
         self._install(states)
         try:
-            shards = self._engine.place_batch(
-                batch, _exclude_release=states.keys()
-            )
+            if wire_batch:
+                shards = self._engine.place_wire_batch(
+                    batch, _exclude_release=states.keys()
+                )
+            else:
+                shards = self._engine.place_batch(
+                    batch, _exclude_release=states.keys()
+                )
         except EngineError:
             self._uninstall(states)
             raise
@@ -473,6 +500,7 @@ class EnginePartition:
             return
         scorer = self._scorer
         remaining = self._engine._remaining
+        clear_range = getattr(remaining, "clear_range", None)
         cursor = self._placer.n_placed
         lease_length = self.lease_length
         lease = start // lease_length
@@ -485,8 +513,11 @@ class EnginePartition:
                 hi = min(lease_start + lease_length, new_start, cursor)
                 if scorer is not None:
                     scorer.release_vectors(range(lo, hi))
-                for txid in range(lo, hi):
-                    remaining.pop(txid, None)
+                if clear_range is not None:
+                    clear_range(lo, hi)
+                else:
+                    for txid in range(lo, hi):
+                        remaining.pop(txid, None)
             lease += 1
         self._horizon_swept = new_start
 

@@ -541,6 +541,153 @@ def decode_place_payload(payload: bytes) -> list[Transaction]:
     return txs
 
 
+class WireBatch:
+    """Zero-copy typed-array view of one (or several coalesced)
+    ``place`` payloads.
+
+    The kernel serving path: ``parents``/``indexes`` are numpy views
+    straight over the payload bytes with the wire's unsigned integers
+    reinterpreted as signed (the validation kernel ranges-checks them,
+    reporting out-of-range values exactly as the object path would).
+    ``payloads`` keeps the raw payload bytes for the WAL journal and
+    for materializing :class:`Transaction` objects when a fallback
+    needs them.
+    """
+
+    __slots__ = (
+        "first_txid",
+        "n_txs",
+        "n_inputs",
+        "n_outputs",
+        "parents",
+        "indexes",
+        "in_off",
+        "payloads",
+    )
+
+    def __init__(
+        self,
+        first_txid: int,
+        n_txs: int,
+        n_inputs,
+        n_outputs,
+        parents,
+        indexes,
+        in_off,
+        payloads: "tuple[bytes, ...]",
+    ) -> None:
+        self.first_txid = first_txid
+        self.n_txs = n_txs
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.parents = parents
+        self.indexes = indexes
+        self.in_off = in_off
+        self.payloads = payloads
+
+    def __len__(self) -> int:
+        return self.n_txs
+
+
+def decode_place_arrays(payload: bytes) -> "WireBatch | None":
+    """Typed-array decode of one ``place`` payload (the kernel path).
+
+    Returns ``None`` when the payload needs the object decoder (the
+    full-outputs flag - content-hashing strategies never run the
+    kernel). Malformed payloads raise :class:`ProtocolError` with the
+    exact messages of :func:`decode_place_payload`, checked in the same
+    order, so both decode paths produce byte-identical error replies.
+    Requires numpy (callers gate on the kernel being active).
+    """
+    import numpy as np
+
+    if len(payload) < PLACE_HEADER_BYTES:
+        raise ProtocolError(
+            f"place payload of {len(payload)} bytes is shorter than "
+            f"its {PLACE_HEADER_BYTES}-byte header"
+        )
+    first, n_txs, flags = _PLACE_HEADER.unpack_from(payload)
+    if n_txs == 0:
+        raise ProtocolError("txs must not be empty")
+    if n_txs > MAX_FRAME_BYTES // 8:
+        raise ProtocolError(
+            f"place batch of {n_txs} transactions cannot fit a "
+            f"{MAX_FRAME_BYTES}-byte frame"
+        )
+    if flags & 1:
+        return None
+
+    offset = PLACE_HEADER_BYTES
+
+    def take(dtype: str, itemsize: int, typecode: str, count: int):
+        nonlocal offset
+        nbytes = count * itemsize
+        end = offset + nbytes
+        if end > len(payload):
+            raise ProtocolError(
+                f"place payload truncated: wanted {nbytes} bytes for "
+                f"{count} '{typecode}' entries, had {len(payload) - offset}"
+            )
+        section = np.frombuffer(payload, dtype=dtype, count=count,
+                                offset=offset)
+        offset = end
+        return section
+
+    n_inputs_u = take("<u4", 4, "I", n_txs)
+    n_outputs_u = take("<u4", 4, "I", n_txs)
+    max_out = int(n_outputs_u.max()) if n_txs else 0
+    if max_out > MAX_OUTPUTS_PER_TX:
+        raise ProtocolError(
+            f"n_outputs must be in [0, {MAX_OUTPUTS_PER_TX}], "
+            f"got {max_out}"
+        )
+    total_inputs = int(n_inputs_u.sum(dtype=np.int64))
+    parents = take("<u8", 8, "Q", total_inputs).view(np.int64)
+    indexes = take("<u4", 4, "I", total_inputs).view(np.int32)
+    if offset != len(payload):
+        raise ProtocolError(
+            f"place payload has {len(payload) - offset} trailing bytes"
+        )
+    in_off = np.zeros(n_txs + 1, dtype=np.int64)
+    np.cumsum(n_inputs_u, out=in_off[1:])
+    return WireBatch(
+        first,
+        n_txs,
+        n_inputs_u.view(np.int32),
+        n_outputs_u.view(np.int32),
+        parents,
+        indexes,
+        in_off,
+        (payload,),
+    )
+
+
+def concat_wire_batches(batches: "Sequence[WireBatch]") -> WireBatch:
+    """Merge txid-contiguous wire batches (the worker's coalescer
+    guarantees adjacency) into one, concatenating the array sections."""
+    import numpy as np
+
+    if len(batches) == 1:
+        return batches[0]
+    n_txs = sum(b.n_txs for b in batches)
+    n_inputs = np.concatenate([b.n_inputs for b in batches])
+    n_outputs = np.concatenate([b.n_outputs for b in batches])
+    parents = np.concatenate([b.parents for b in batches])
+    indexes = np.concatenate([b.indexes for b in batches])
+    in_off = np.zeros(n_txs + 1, dtype=np.int64)
+    np.cumsum(n_inputs, out=in_off[1:])
+    return WireBatch(
+        batches[0].first_txid,
+        n_txs,
+        n_inputs,
+        n_outputs,
+        parents,
+        indexes,
+        in_off,
+        tuple(p for b in batches for p in b.payloads),
+    )
+
+
 def encode_control_request(
     request_id: int, op: str, obj: "dict[str, Any] | None" = None
 ) -> bytes:

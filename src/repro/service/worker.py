@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import warnings
 from time import perf_counter
 from typing import Any
 
@@ -47,6 +48,9 @@ from repro.service.partition import (
     encode_parent_states,
 )
 from repro.service.wire import (
+    WireBatch,
+    concat_wire_batches,
+    decode_place_arrays,
     decode_place_payload,
     decode_response,
     encode_error_response,
@@ -89,6 +93,30 @@ def build_partition(partition_id: int, spec: dict[str, Any]) -> EnginePartition:
     )
 
 
+def _merge_members(
+    members: "list[list[Transaction] | WireBatch]",
+) -> "list[Transaction] | WireBatch":
+    """Fuse a contiguous run of queued requests into one engine batch.
+
+    All-array members concatenate without touching a Transaction
+    object; a mixed run (an object-path frame - e.g. full-output
+    encoding - coalesced with array frames) falls back to one object
+    list, since the engine takes a batch of exactly one kind.
+    """
+    if len(members) == 1:
+        return members[0]
+    if all(isinstance(member, WireBatch) for member in members):
+        return concat_wire_batches(members)
+    batch: list[Transaction] = []
+    for member in members:
+        if isinstance(member, WireBatch):
+            for payload in member.payloads:
+                batch.extend(decode_place_payload(payload))
+        else:
+            batch.extend(member)
+    return batch
+
+
 class _Queued:
     """One decoded ``place`` request waiting for the cursor.
 
@@ -100,7 +128,7 @@ class _Queued:
 
     def __init__(
         self,
-        txs: list[Transaction],
+        txs: "list[Transaction] | WireBatch",
         payload: bytes,
         future: "asyncio.Future[dict]",
     ) -> None:
@@ -132,6 +160,36 @@ class PlacementWorker:
         checkpoint_compress: bool = False,
     ) -> None:
         self._partition = partition
+        engine = partition.engine
+        # Decided once at startup: with the kernel validator active and
+        # no drift monitor attached, ``place`` frames stay as numpy
+        # array views end to end (wire -> kernel). A drift monitor
+        # needs Transaction objects; deciding here (not per request)
+        # keeps the reorder queue single-minded.
+        self._wire_arrays = bool(
+            getattr(engine, "kernel_validation", False)
+            and engine.drift_monitor is None
+        )
+        if not self._wire_arrays and hasattr(
+            engine._placer, "validation_driver"
+        ):
+            from repro.core.backends.ckernel import (
+                kernel_unavailable_reason,
+            )
+
+            reason = (
+                kernel_unavailable_reason()
+                or "kernel-incompatible strategy configuration"
+            )
+            if engine.drift_monitor is None:
+                warnings.warn(
+                    "vectorized backend without the compiled kernel "
+                    f"({reason}): the worker wire fast path is "
+                    "disabled; requests decode through the Python "
+                    "object path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self._max_batch_txs = max_batch_txs
         self._max_reorder = max_reorder_requests
         self._checkpoint_path = checkpoint_path
@@ -267,10 +325,21 @@ class PlacementWorker:
                 "error": "worker is shutting down",
             }
         try:
-            txs = decode_place_payload(payload)
+            txs: "list[Transaction] | WireBatch | None" = None
+            if self._wire_arrays:
+                # None: the frame uses an encoding the array decoder
+                # does not cover (full outputs) - the object decoder
+                # handles it with identical validation.
+                txs = decode_place_arrays(payload)
+            if txs is None:
+                txs = decode_place_payload(payload)
         except ProtocolError as exc:
             return {"ok": False, "code": "protocol", "error": str(exc)}
-        first = txs[0].txid
+        first = (
+            txs.first_txid
+            if isinstance(txs, WireBatch)
+            else txs[0].txid
+        )
         partition = self._partition
         if not partition.owns_txid(first):
             return {
@@ -441,17 +510,19 @@ class PlacementWorker:
             if entry is None:
                 return
             group = [entry]
-            batch = list(entry.txs)
             segments = [entry.payload]
-            run_next = cursor + len(batch)
-            while len(batch) < self._max_batch_txs:
+            total = len(entry.txs)
+            run_next = cursor + total
+            while total < self._max_batch_txs:
                 follower = queue.pop(run_next, None)
                 if follower is None:
                     break
                 group.append(follower)
-                batch.extend(follower.txs)
                 segments.append(follower.payload)
-                run_next += len(follower.txs)
+                count = len(follower.txs)
+                run_next += count
+                total += count
+            batch = _merge_members([member.txs for member in group])
             async with self._engine_lock:
                 try:
                     started = perf_counter()
@@ -516,7 +587,7 @@ class PlacementWorker:
 
     async def _place_with_remotes(
         self,
-        batch: list[Transaction],
+        batch: "list[Transaction] | WireBatch",
         segments: "list[bytes] | None" = None,
     ) -> list[int]:
         """One batch through acquire -> place -> writeback."""

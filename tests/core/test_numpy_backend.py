@@ -222,6 +222,76 @@ class TestErrorParity:
         _assert_same_state(python, numpy_)
 
 
+class TestRawParentPath:
+    """``place_batch_raw``: the zero-copy CSR entry point the serving
+    wire path feeds. Raw outpoint txids go in *undeduplicated* - the
+    kernel's first-appearance dedup must reproduce the python marshal's
+    ``dict.fromkeys`` semantics exactly."""
+
+    def _csr(self, stream):
+        parents = np.array(
+            [
+                outpoint.txid
+                for tx in stream
+                for outpoint in tx.inputs
+            ],
+            dtype=np.int64,
+        )
+        in_off = np.zeros(len(stream) + 1, dtype=np.int64)
+        np.cumsum(
+            [len(tx.inputs) for tx in stream], out=in_off[1:]
+        )
+        return parents, in_off
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_raw_csr_matches_object_path(self, data):
+        from repro.core.backends.ckernel import load_kernel
+
+        if load_kernel() is None:
+            pytest.skip("compiled kernel unavailable")
+        stream = data.draw(raw_streams(max_txs=80))
+        method, kwargs = data.draw(st.sampled_from(SPECS[:4]))
+        object_placer = make_placer(
+            method, N_SHARDS, backend="numpy", **kwargs
+        )
+        raw_placer = make_placer(
+            method, N_SHARDS, backend="numpy", **kwargs
+        )
+        if not raw_placer._kernel_ready():
+            pytest.skip("configuration keeps the kernel off")
+        placed_obj: list[int] = []
+        placed_raw: list[int] = []
+        for start in range(0, len(stream), 13):
+            chunk = stream[start : start + 13]
+            placed_obj.extend(object_placer.place_batch(chunk))
+            parents, in_off = self._csr(chunk)
+            placed_raw.extend(
+                raw_placer.place_batch_raw(parents, in_off, len(chunk))
+            )
+        assert placed_obj == placed_raw
+        _assert_same_state(object_placer, raw_placer)
+
+    def test_duplicate_heavy_fan_in(self):
+        from repro.core.backends.ckernel import load_kernel
+
+        if load_kernel() is None:
+            pytest.skip("compiled kernel unavailable")
+        # Every tx re-spends the same parents several times over - the
+        # dedup path, single-parent shortcut, and argmax tie-breaks all
+        # get hit.
+        stream = [_tx(0, [])] + [
+            _tx(i, [i - 1, i - 1, 0, i - 1, 0]) for i in range(1, 50)
+        ]
+        object_placer = make_placer("optchain", N_SHARDS, backend="numpy")
+        raw_placer = make_placer("optchain", N_SHARDS, backend="numpy")
+        parents, in_off = self._csr(stream)
+        assert object_placer.place_batch(
+            stream
+        ) == raw_placer.place_batch_raw(parents, in_off, len(stream))
+        _assert_same_state(object_placer, raw_placer)
+
+
 class TestBackendPlumbing:
     def test_kernel_unavailability_is_reported(self):
         from repro.core.backends.ckernel import (
